@@ -1,0 +1,24 @@
+// The paper's §3.1 motivating example.  Try:
+//   dune exec bin/satbelim.exe -- analyze examples/java/expand.java -v
+//   dune exec bin/satbelim.exe -- run examples/java/expand.java --gc satb
+class T { T payload; }
+
+class Main {
+  static T[] result;
+
+  static T[] expand(T[] ta) {
+    T[] new_ta = new T[ta.length * 2];
+    for (int i = 0; i < ta.length; i = i + 1) {
+      new_ta[i] = ta[i];
+    }
+    return new_ta;
+  }
+
+  static void main() {
+    T[] src = new T[8];
+    for (int i = 0; i < 8; i = i + 1) {
+      src[i] = new T();
+    }
+    Main.result = Main.expand(src);
+  }
+}

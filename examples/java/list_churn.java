@@ -1,0 +1,21 @@
+// Allocation churn under concurrent marking.  Try:
+//   dune exec bin/satbelim.exe -- run examples/java/list_churn.java --gc satb
+//   dune exec bin/satbelim.exe -- run examples/java/list_churn.java --gc incr
+class Node {
+  Node next;
+  Node(Node n) { this.next = n; }   // initializing store: barrier removed
+}
+
+class Main {
+  static Node head;
+
+  static void build(int n) {
+    Node l = null;
+    for (int i = 0; i < n; i = i + 1) { l = new Node(l); }
+    Main.head = l;                  // unlinks the previous list
+  }
+
+  static void main() {
+    for (int round = 0; round < 8; round = round + 1) { build(32); }
+  }
+}

@@ -1,0 +1,23 @@
+// The §4.3 null-or-same idiom (memoization cache).  Try:
+//   dune exec bin/satbelim.exe -- analyze examples/java/memo.java --null-or-same -v
+class Scope { Scope cache; }
+
+class Main {
+  static Scope seed;
+
+  static void resolve(int n) {
+    Scope s = new Scope();
+    s.cache = Main.seed;
+    for (int i = 0; i < n; i = i + 1) {
+      Scope t = s.cache;
+      if (t == null) { t = Main.seed; }
+      s.cache = t;          // writes back the cached value or fills null:
+                            // removable only by the null-or-same extension
+    }
+  }
+
+  static void main() {
+    Main.seed = new Scope();
+    resolve(100);
+  }
+}
