@@ -1,0 +1,138 @@
+(* Benchmark / reproduction driver.
+
+   `dune exec bench/main.exe` regenerates every table and figure of the
+   paper (E1-E7, see DESIGN.md) and then runs a bechamel microbenchmark
+   suite with one Test.make per table/figure, timing the code that
+   produces each artifact.
+
+   `dune exec bench/main.exe -- table1 fig2 ...` runs a subset;
+   `-- quick` skips the bechamel suite. *)
+
+let experiments =
+  [
+    ("table1", "Table 1: dynamic barrier elimination", Harness.Table1.print);
+    ("table2", "Table 2: jbb end-to-end barrier cost", Harness.Table2.print);
+    ( "fig2",
+      "Figure 2: inline limit vs effectiveness and compile time",
+      Harness.Fig2.print );
+    ("fig3", "Figure 3: effect on compiled code size", Harness.Fig3.print);
+    ("pause", "E5: SATB vs incremental-update final pause", Harness.Pause.print);
+    ("nullsame", "E6: null-or-same extension", Harness.Nullsame.print);
+    ("static", "E7: static elimination counts", Harness.Static_counts.print);
+    ( "movedown",
+      "E8: move-down (delete-by-shift) elision",
+      Harness.Movedown.print );
+    ("ablation", "E9: design-choice ablations", Harness.Ablation.print);
+  ]
+
+(* --- bechamel microbenchmarks: one Test.make per table/figure --------- *)
+
+open Bechamel
+open Toolkit
+
+let compile_all ?(mode = Satb_core.Analysis.A) ?(null_or_same = false)
+    ?(inline_limit = 100) () =
+  List.iter
+    (fun w -> ignore (Harness.Exp.compile ~inline_limit ~mode ~null_or_same w))
+    Workloads.Registry.table1
+
+let bench_tests =
+  Test.make_grouped ~name:"satb-wbe"
+    [
+      (* Table 1's cost is the full field+array analysis over every
+         benchmark at inline limit 100 *)
+      Test.make ~name:"table1/analyze-A-100"
+        (Staged.stage (fun () -> compile_all ()));
+      (* Table 2 is dominated by the instrumented jbb run *)
+      Test.make ~name:"table2/run-jbb-always-log"
+        (Staged.stage (fun () ->
+             let cw = Harness.Exp.compile Workloads.Jbb.t in
+             ignore
+               (Harness.Exp.run ~satb_mode:Jrt.Barrier_cost.Always_log cw)));
+      (* Figure 2's most expensive point: inline limit 200, mode A *)
+      Test.make ~name:"fig2/analyze-A-200"
+        (Staged.stage (fun () -> compile_all ~inline_limit:200 ()));
+      (* Figure 2's cheapest analysis: field-only at limit 100 *)
+      Test.make ~name:"fig2/analyze-F-100"
+        (Staged.stage (fun () -> compile_all ~mode:Satb_core.Analysis.F ()));
+      (* Figure 3 is the code-size model over B/F/A compiles *)
+      Test.make ~name:"fig3/code-size-BFA"
+        (Staged.stage (fun () ->
+             List.iter
+               (fun mode -> compile_all ~mode ())
+               [ Satb_core.Analysis.B; F; A ]));
+      (* E5: one full SATB cycle on jess *)
+      Test.make ~name:"pause/satb-jess"
+        (Staged.stage (fun () ->
+             let cw = Harness.Exp.compile Workloads.Jess.t in
+             ignore
+               (Harness.Exp.run
+                  ~gc:(Jrt.Runner.make_satb ~trigger_allocs:64 ())
+                  cw)));
+      (* E6: analysis with the null-or-same extension enabled *)
+      Test.make ~name:"nullsame/analyze-A+nos"
+        (Staged.stage (fun () -> compile_all ~null_or_same:true ()));
+      (* E8: analysis with the move-down extension enabled *)
+      Test.make ~name:"movedown/analyze-A+md"
+        (Staged.stage (fun () ->
+             ignore (Harness.Exp.compile ~move_down:true Workloads.Jbb.t)));
+      (* E9: the cheapest ablation (single-name, no strong updates) *)
+      Test.make ~name:"ablation/analyze-1-name"
+        (Staged.stage (fun () ->
+             List.iter
+               (fun w ->
+                 ignore
+                   (Satb_core.Driver.compile ~inline_limit:100
+                      ~conf:(Harness.Ablation.conf_of Harness.Ablation.One_name)
+                      (Workloads.Spec.parse w)))
+               Workloads.Registry.table1));
+    ]
+
+let run_bechamel () =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:(Some 10) ()
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let raw = Benchmark.all cfg instances bench_tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let merged = Analyze.merge ols instances results in
+  Hashtbl.iter
+    (fun measure tbl ->
+      Printf.printf "\n%s (ns/run):\n" measure;
+      let rows =
+        Hashtbl.fold
+          (fun name ols acc ->
+            let est =
+              match Analyze.OLS.estimates ols with
+              | Some (e :: _) -> Printf.sprintf "%.0f" e
+              | Some [] | None -> "-"
+            in
+            (name, est) :: acc)
+          tbl []
+        |> List.sort compare
+      in
+      List.iter (fun (n, e) -> Printf.printf "  %-32s %12s\n" n e) rows)
+    merged
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let quick = List.mem "quick" args in
+  let selected = List.filter (fun a -> a <> "quick") args in
+  let wanted name = selected = [] || List.mem name selected in
+  List.iter
+    (fun (name, title, print) ->
+      if wanted name then begin
+        Printf.printf "== %s: %s ==\n%!" name title;
+        print ();
+        print_newline ()
+      end)
+    experiments;
+  if (not quick) && (selected = [] || List.mem "bechamel" selected) then begin
+    Printf.printf "== bechamel: per-artifact timing ==\n%!";
+    run_bechamel ()
+  end

@@ -1,0 +1,273 @@
+(** satbelim — command-line front end.
+
+    Subcommands:
+    Input files ending in [.java] or [.mj] are compiled from mini-Java
+    (see doc/minijava.md); anything else is parsed as jasm assembly.
+
+    - [verify FILE]  — assemble and verify a program
+    - [disasm FILE]  — assemble, inline, and print the expanded program
+    - [analyze FILE] — run the barrier-removal analysis; print per-site
+      verdicts and static statistics
+    - [run FILE]     — interpret the program under a chosen collector and
+      print dynamic barrier statistics *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load path =
+  let minijava =
+    Filename.check_suffix path ".java" || Filename.check_suffix path ".mj"
+  in
+  try
+    if minijava then Ok (Jsrc.Compile.compile_source (read_file path))
+    else Ok (Jir.Parser.parse_linked (read_file path))
+  with
+  | Jir.Parser.Parse_error _ as e -> Error (Fmt.str "%a" Jir.Parser.pp_error e)
+  | (Jsrc.Jparser.Parse_error _ | Jsrc.Jlexer.Lex_error _ | Jsrc.Compile.Type_error _)
+    as e ->
+      Error (Fmt.str "%a" Jsrc.Compile.pp_error e)
+  | Jir.Program.Link_error msg -> Error msg
+  | Sys_error msg -> Error msg
+
+(* common args *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"jasm source file")
+
+let inline_limit_arg =
+  Arg.(
+    value
+    & opt int 100
+    & info [ "inline-limit" ] ~docv:"N"
+        ~doc:"Maximum callee size (instructions) to inline; 0 disables.")
+
+let mode_arg =
+  let mode_conv =
+    Arg.conv
+      ~docv:"MODE"
+      ( (fun s ->
+          match Satb_core.Analysis.mode_of_string s with
+          | Some m -> Ok m
+          | None -> Error (`Msg "expected B, F or A")),
+        fun ppf m -> Fmt.string ppf (Satb_core.Analysis.string_of_mode m) )
+  in
+  Arg.(
+    value
+    & opt mode_conv Satb_core.Analysis.A
+    & info [ "mode" ] ~docv:"MODE"
+        ~doc:"Analysis mode: B (none), F (fields), A (fields+arrays).")
+
+let nos_arg =
+  Arg.(
+    value & flag
+    & info [ "null-or-same" ] ~doc:"Enable the null-or-same extension (§4.3).")
+
+let movedown_arg =
+  Arg.(
+    value & flag
+    & info [ "move-down" ]
+        ~doc:
+          "Enable the move-down (delete-by-shift) elision (§4.3); only \
+           applied to single-mutator programs and requires the SATB \
+           collector's descending array scan.")
+
+let debug_arg =
+  Arg.(value & flag & info [ "debug" ] ~doc:"Trace abstract states on stderr.")
+
+let conf_of mode nos md debug =
+  {
+    Satb_core.Analysis.default_config with
+    mode;
+    null_or_same = nos;
+    move_down = md;
+    debug;
+  }
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+      Fmt.epr "satbelim: %s@." msg;
+      exit 1
+
+(* verify *)
+
+let verify_cmd =
+  let run file =
+    let prog = or_die (load file) in
+    match Jir.Verifier.verify_program prog with
+    | Ok () -> Fmt.pr "%s: OK@." file
+    | Error errs ->
+        List.iter (fun e -> Fmt.epr "%a@." Jir.Verifier.pp_error e) errs;
+        exit 1
+  in
+  Cmd.v (Cmd.info "verify" ~doc:"Assemble and verify a jasm program")
+    Term.(const run $ file_arg)
+
+(* disasm *)
+
+let disasm_cmd =
+  let run file limit =
+    let prog = or_die (load file) in
+    Jir.Verifier.verify_exn prog;
+    let inlined =
+      Satb_core.Inliner.inline_program ~conf:(Satb_core.Inliner.config limit)
+        prog
+    in
+    Fmt.pr "%a@." Jir.Pp.pp_program (Jir.Program.program inlined)
+  in
+  Cmd.v
+    (Cmd.info "disasm" ~doc:"Print the program after inline expansion")
+    Term.(const run $ file_arg $ inline_limit_arg)
+
+(* analyze *)
+
+let analyze_cmd =
+  let run file limit mode nos md debug verbose =
+    let prog = or_die (load file) in
+    let compiled =
+      Satb_core.Driver.compile ~inline_limit:limit
+        ~conf:(conf_of mode nos md debug) prog
+    in
+    List.iter
+      (fun (r : Satb_core.Analysis.method_result) ->
+        if r.verdicts <> [] then begin
+          Fmt.pr "%s.%s:@." r.mr_class r.mr_method;
+          List.iter
+            (fun (v : Satb_core.Analysis.verdict) ->
+              Fmt.pr "  pc %-4d %-12s %s (%s)@." v.v_pc
+                (match v.v_kind with
+                | Jir.Types.Field_store -> "putfield"
+                | Jir.Types.Array_store -> "aastore"
+                | Jir.Types.Static_store -> "putstatic")
+                (if v.v_elide then "ELIDE" else "keep")
+                (Satb_core.Analysis.string_of_reason v.v_reason))
+            r.verdicts
+        end)
+      compiled.results;
+    if verbose then
+      Fmt.pr "@.%a@.analysis: %.3fs, inlining: %.3fs@."
+        Satb_core.Driver.pp_static_stats
+        (Satb_core.Driver.static_stats compiled)
+        compiled.analysis_seconds compiled.inline_seconds
+    else
+      Fmt.pr "@.%a@." Satb_core.Driver.pp_static_stats
+        (Satb_core.Driver.static_stats compiled)
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"More detail.") in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Run the barrier-removal analysis")
+    Term.(
+      const run $ file_arg $ inline_limit_arg $ mode_arg $ nos_arg
+      $ movedown_arg $ debug_arg $ verbose)
+
+(* run *)
+
+let gc_arg =
+  Arg.(
+    value
+    & opt (enum [ ("none", `None); ("satb", `Satb); ("incr", `Incr) ]) `Satb
+    & info [ "gc" ] ~docv:"GC" ~doc:"Collector: none, satb, or incr.")
+
+let entry_arg =
+  Arg.(
+    value
+    & opt string "Main.main"
+    & info [ "entry" ] ~docv:"C.M" ~doc:"Entry method.")
+
+let run_cmd =
+  let run file limit mode nos md gc entry no_elim =
+    let prog = or_die (load file) in
+    let compiled =
+      Satb_core.Driver.compile ~inline_limit:limit
+        ~conf:(conf_of mode nos md false) prog
+    in
+    let policy c m pc =
+      (not no_elim)
+      && not
+           (Satb_core.Driver.needs_barrier compiled
+              { sk_class = c; sk_method = m; sk_pc = pc })
+    in
+    let entry_ref =
+      match String.index_opt entry '.' with
+      | Some i ->
+          {
+            Jir.Types.mclass = String.sub entry 0 i;
+            mname = String.sub entry (i + 1) (String.length entry - i - 1);
+          }
+      | None ->
+          Fmt.epr "satbelim: entry must be Class.method@.";
+          exit 1
+    in
+    let gc_choice =
+      match gc with
+      | `None -> Jrt.Runner.No_gc
+      | `Satb -> Jrt.Runner.make_satb ()
+      | `Incr -> Jrt.Runner.make_incr ()
+    in
+    let cfg = { Jrt.Interp.default_config with policy } in
+    let r = Jrt.Runner.run ~cfg ~gc:gc_choice compiled.program ~entry:entry_ref in
+    Fmt.pr "steps: %d, cost units: %d (barriers: %d)@." r.steps r.cost_units
+      r.barrier_units;
+    Fmt.pr "%a@." Jrt.Interp.pp_dyn_stats r.dyn;
+    (match r.gc with
+    | Some g ->
+        Fmt.pr "gc: %d cycles, %d violations, final pauses: %a@." g.cycles
+          g.total_violations
+          Fmt.(list ~sep:comma int)
+          g.final_pause_works
+    | None -> ());
+    List.iter
+      (fun (tid, e) -> Fmt.pr "thread %d died: %s@." tid e)
+      r.thread_errors
+  in
+  let no_elim =
+    Arg.(value & flag & info [ "no-elim" ] ~doc:"Keep every barrier.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Interpret the program with barrier instrumentation")
+    Term.(
+      const run $ file_arg $ inline_limit_arg $ mode_arg $ nos_arg
+      $ movedown_arg $ gc_arg $ entry_arg $ no_elim)
+
+(* workloads *)
+
+let workloads_cmd =
+  let list_them () =
+    List.iter
+      (fun (w : Workloads.Spec.t) ->
+        Fmt.pr "%-16s %s@." w.name w.description)
+      Workloads.Registry.all
+  in
+  let run name =
+    match name with
+    | None -> list_them ()
+    | Some n -> (
+        match Workloads.Registry.find n with
+        | Some w -> print_string w.src
+        | None ->
+            Fmt.epr "satbelim: unknown workload %S (try 'workloads')@." n;
+            exit 1)
+  in
+  let name_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"NAME"
+          ~doc:"Workload to dump as jasm; omit to list all workloads.")
+  in
+  Cmd.v
+    (Cmd.info "workloads"
+       ~doc:"List the bundled workloads, or dump one as jasm source")
+    Term.(const run $ name_arg)
+
+let () =
+  let doc = "compile-time SATB write-barrier removal toolkit" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "satbelim" ~doc)
+          [ verify_cmd; disasm_cmd; analyze_cmd; run_cmd; workloads_cmd ]))

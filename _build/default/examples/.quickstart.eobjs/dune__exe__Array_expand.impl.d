@@ -1,0 +1,1 @@
+examples/array_expand.ml: Fmt Harness List Satb_core Workloads

@@ -1,0 +1,1 @@
+examples/concurrent_marking.ml: Fmt Harness Jrt Workloads

@@ -1,0 +1,1 @@
+examples/escape_precision.ml: Fmt Harness Jrt List Satb_core Workloads

@@ -1,0 +1,1 @@
+examples/escape_precision.mli:

@@ -1,0 +1,1 @@
+examples/minijava.ml: Fmt Jir Jrt Jsrc List Satb_core

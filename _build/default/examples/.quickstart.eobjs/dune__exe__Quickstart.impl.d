@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt Jir Jrt List Satb_core

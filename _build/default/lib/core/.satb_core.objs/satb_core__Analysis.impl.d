@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Array Field_id Fmt Fun Hashtbl Intrange Intval Jir List Queue Refsym State

@@ -1,0 +1,1 @@
+lib/core/driver.ml: Analysis Fmt Hashtbl Inliner Jir List Option Sys

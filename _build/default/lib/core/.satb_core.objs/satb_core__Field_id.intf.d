@@ -1,0 +1,1 @@
+lib/core/field_id.mli: Fmt Jir

@@ -1,0 +1,1 @@
+lib/core/inliner.ml: Array Fun Jir List

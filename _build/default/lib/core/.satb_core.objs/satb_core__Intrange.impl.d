@@ -1,0 +1,1 @@
+lib/core/intrange.ml: Fmt Intval

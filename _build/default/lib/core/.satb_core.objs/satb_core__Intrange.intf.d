@@ -1,0 +1,1 @@
+lib/core/intrange.mli: Fmt Intval

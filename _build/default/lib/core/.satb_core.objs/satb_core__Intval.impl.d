@@ -1,0 +1,1 @@
+lib/core/intval.ml: Fmt Hashtbl Jir List Option Printf

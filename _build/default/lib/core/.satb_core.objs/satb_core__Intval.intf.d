@@ -1,0 +1,1 @@
+lib/core/intval.mli: Fmt Hashtbl Jir

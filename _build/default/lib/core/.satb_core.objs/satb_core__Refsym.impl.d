@@ -1,0 +1,1 @@
+lib/core/refsym.ml: Fmt Stdlib

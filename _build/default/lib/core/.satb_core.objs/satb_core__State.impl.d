@@ -1,0 +1,1 @@
+lib/core/state.ml: Array Field_id Fmt Intrange Intval Jir List Map Option Refsym Set String

@@ -1,0 +1,1 @@
+lib/core/state.mli: Field_id Fmt Intrange Intval Jir Map Refsym Set

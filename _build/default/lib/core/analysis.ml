@@ -1,0 +1,798 @@
+(** The barrier-removal abstract interpretation (paper §2 and §3).
+
+    A flow-sensitive, intraprocedural iterative dataflow analysis over
+    basic blocks.  Each reference store site receives a verdict: whether
+    its SATB write barrier may be omitted, and why.  The verdict recorded
+    at the analysis fixed point is the sound one (§2.4, last paragraph).
+
+    Modes correspond to the configurations measured in the paper's
+    Figures 2 and 3:
+    - [B] — no analysis, every barrier kept (baseline);
+    - [F] — field analysis only (§2): pre-null object-field stores;
+    - [A] — field + array analysis (§3): additionally proves array-element
+      stores initializing via null ranges and stride inference.
+
+    The [null_or_same] flag enables the §4.3 extension (implemented here,
+    where the paper did the reasoning "by inspection"): a store may also be
+    elided when the written value provably either equals the current field
+    content or overwrites null, for unique thread-local receivers. *)
+
+open Jir.Types
+module Rset = Refsym.Set
+
+type mode = B | F | A
+
+let mode_of_string = function
+  | "B" | "b" -> Some B
+  | "F" | "f" -> Some F
+  | "A" | "a" -> Some A
+  | _ -> None
+
+let string_of_mode = function B -> "B" | F -> "F" | A -> "A"
+
+type config = {
+  mode : mode;
+  null_or_same : bool;
+  move_down : bool;
+      (** enable the §4.3 move-down (delete-by-shift) elision; it is only
+          applied when the program is single-mutator (no spawn) and
+          requires the collector to scan object arrays in descending
+          index order *)
+  two_names : bool;
+      (** the paper's §2.4 precision: a unique [R_id/A] for the most
+          recent allocation plus a summary [R_id/B].  Disabling it (for
+          the ablation study) collapses every site to its summary name,
+          losing strong update and the constructor-fresh-object facts *)
+  max_visits : int;
+      (** widening threshold: after this many visits of a block, integer
+          components merge straight to ⊤ *)
+  debug : bool;  (** trace block states and verdicts on stderr *)
+}
+
+let default_config =
+  {
+    mode = A;
+    null_or_same = false;
+    move_down = false;
+    two_names = true;
+    max_visits = 24;
+    debug = false;
+  }
+
+(** Why a barrier was removed (or kept). *)
+type reason =
+  | Keep
+  | Pre_null_field  (** §2: receiver thread-local, field definitely null *)
+  | Pre_null_array  (** §3: index within the array's null range *)
+  | Null_or_same  (** §4.3 extension *)
+  | Move_down
+      (** §4.3 extension: delete-by-shift store whose overwritten value is
+          null or was re-stored at a lower index *)
+  | Dead_code  (** store unreachable in the analyzed method *)
+
+let string_of_reason = function
+  | Keep -> "keep"
+  | Pre_null_field -> "pre-null-field"
+  | Pre_null_array -> "pre-null-array"
+  | Null_or_same -> "null-or-same"
+  | Move_down -> "move-down"
+  | Dead_code -> "dead-code"
+
+type verdict = {
+  v_pc : int;
+  v_kind : store_kind;
+  v_elide : bool;
+  v_reason : reason;
+}
+
+type method_result = {
+  mr_class : class_name;
+  mr_method : method_name;
+  verdicts : verdict list;  (** one per reference-store site, by pc *)
+  iterations : int;  (** block visits until the fixed point *)
+}
+
+(** Analysis of one method. *)
+
+type env = {
+  conf : config;
+  prog : Jir.Program.t;
+  cls : cls;
+  meth : meth;
+  gen : Intval.Gen.t;
+  in_ctor : bool;
+  catches_bounds : bool;
+      (** §3.6 footnote: methods that catch array-bounds exceptions get no
+          array-store elision at all *)
+  track_ints : bool;
+  move_down : bool;
+      (** §4.3 move-down elision, already gated on single-mutator *)
+}
+
+(** Outcome of transferring one instruction. *)
+type outcome =
+  | Fall of State.t
+  | Jump of (int * State.t) list  (** (target pc, state) *)
+  | Branch of { taken : int * State.t; fall : State.t }
+  | Stop
+
+let is_ref_field env fr = Jir.Types.equal_ty (Jir.Program.field_ty env.prog fr) R
+
+let int_top = State.Int Intval.top
+
+(** Entry state (§2.3, §3.4): reference arguments hold their [Arg i]
+    symbols (all non-thread-local except a constructor's receiver); integer
+    arguments and argument array lengths get fresh constant unknowns; in a
+    constructor the receiver's declared fields are null. *)
+let entry_state (env : env) : State.t =
+  let m = env.meth in
+  let rho = Array.make m.max_locals State.Bot in
+  let nl = ref (Rset.singleton Refsym.Global) in
+  let len = ref State.Rmap.empty in
+  let sigma = ref State.Sigma.empty in
+  List.iteri
+    (fun i ty ->
+      match ty with
+      | R ->
+          let sym = Refsym.Arg i in
+          rho.(i) <- State.ref_of (Rset.singleton sym);
+          if not (env.in_ctor && i = 0) then nl := Rset.add sym !nl;
+          if env.track_ints then
+            len :=
+              State.Rmap.add sym
+                (Intval.of_const_unknown (Intval.Gen.fresh_const env.gen))
+                !len
+      | I ->
+          rho.(i) <-
+            (if env.track_ints then
+               State.Int
+                 (Intval.of_const_unknown (Intval.Gen.fresh_const env.gen))
+             else int_top))
+    m.params;
+  if env.in_ctor then
+    List.iter
+      (fun fd ->
+        let key = (Refsym.Arg 0, Field_id.F (env.cls.cname, fd.fd_name)) in
+        let v =
+          match fd.fd_ty with
+          | R -> State.null_v
+          | I -> State.Int (Intval.const 0)
+        in
+        sigma := State.Sigma.add key v !sigma)
+      env.cls.fields;
+  {
+    rho;
+    stk = [];
+    nl = !nl;
+    sigma = !sigma;
+    len = !len;
+    nr = State.Rmap.empty;
+    shift = None;
+  }
+
+let push_int env i s =
+  State.push (if env.track_ints then State.Int i else int_top) s
+
+(** Allocate at [pc]: retire the site's previous most-recent symbol into
+    the summary symbol, then bind the fresh [R_pc/A].  With the two-names
+    precision ablated, every allocation binds the (non-unique) summary
+    name directly. *)
+let fresh_alloc env pc (s : State.t) : Refsym.t * State.t =
+  if env.conf.two_names then (Refsym.recent pc, State.retire_site s pc)
+  else (Refsym.summary pc, s)
+
+(** Field-store verdict (§2.4): every possible receiver is thread-local
+    and the field's abstract content is the empty set of references. *)
+let field_store_elidable (s : State.t) (objs : Rset.t) (f : Field_id.t) : bool
+    =
+  Rset.for_all
+    (fun ot ->
+      (not (Rset.mem ot s.State.nl))
+      &&
+      match State.Sigma.find_opt (ot, f) s.State.sigma with
+      | Some (State.Ref { refs; _ }) -> Rset.is_empty refs
+      | Some (State.Bot | State.Clash | State.Int _) | None -> false)
+    objs
+
+(** Array-store verdict (§3): every possible receiver is thread-local and
+    the index provably lies in its null range. *)
+let array_store_elidable (s : State.t) (arrs : Rset.t) (ind : Intval.t) : bool
+    =
+  Rset.for_all
+    (fun at ->
+      (not (Rset.mem at s.State.nl))
+      && Intrange.mem (State.lookup_nr s at) ind
+           ~len:(State.lookup_len s (Rset.singleton at)))
+    arrs
+
+(** Null-or-same verdict (§4.3 extension): unique thread-local receiver,
+    and the value carries the fact that it equals the field's current
+    content or that content is null. *)
+let null_or_same_elidable env (s : State.t) (objs : Rset.t)
+    (value : State.refinfo) (f : Field_id.t) : bool =
+  env.conf.null_or_same
+  &&
+  match Rset.elements objs with
+  | [ r ] ->
+      Refsym.unique ~in_ctor:env.in_ctor r
+      && (not (Rset.mem r s.State.nl))
+      && State.Nos.mem (r, f) value.State.nos
+  | [] | _ :: _ :: _ -> false
+
+(** On the branch where a tested value is known null, every null-or-same
+    fact it carries implies the named field is currently null: refine σ.
+    Sound only for unique, thread-local receivers (no other mutator can
+    intervene). *)
+let refine_on_null env (s : State.t) (ri : State.refinfo) : State.t =
+  if not env.conf.null_or_same then s
+  else
+    State.Nos.fold
+      (fun (r, f) (s : State.t) ->
+        if Refsym.unique ~in_ctor:env.in_ctor r && not (Rset.mem r s.State.nl)
+        then
+          { s with sigma = State.Sigma.add (r, f) State.null_v s.State.sigma }
+        else s)
+      ri.nos s
+
+(** The transfer function: abstract effect of one instruction (§2.4, §3.3),
+    plus verdict recording for reference stores.  [record pc kind elide
+    reason] is called for each store site visit. *)
+let transfer env ~record (s : State.t) (pc : int) (instr : int instr) :
+    outcome =
+  let track_arrays = env.conf.mode = A in
+  match instr with
+  | Iconst n -> Fall (push_int env (Intval.const n) s)
+  | Aconst_null -> Fall (State.push State.null_v s)
+  | Iload i ->
+      let v =
+        match State.local s i with
+        | State.Int _ as v when env.track_ints -> v
+        | State.Int _ | State.Bot | State.Clash -> int_top
+        | State.Ref _ -> int_top
+      in
+      Fall (State.push v s)
+  | Aload i ->
+      let v =
+        match State.local s i with
+        | State.Ref _ as v -> v
+        | State.Bot | State.Clash | State.Int _ -> State.global_v
+      in
+      Fall (State.push v s)
+  | Istore i ->
+      let v, s = State.pop s in
+      let v = match v with State.Int _ -> v | _ -> int_top in
+      Fall (State.set_local s i v)
+  | Astore i ->
+      let v, s = State.pop s in
+      let v = match v with State.Ref _ -> v | _ -> State.global_v in
+      Fall (State.set_local s i v)
+  | Iinc (i, d) ->
+      let v =
+        match State.local s i with
+        | State.Int iv when env.track_ints -> State.Int (Intval.add_const d iv)
+        | State.Int _ | State.Bot | State.Clash | State.Ref _ -> int_top
+      in
+      Fall (State.set_local s i v)
+  | Ibin op ->
+      let b, s = State.pop_int s in
+      let a, s = State.pop_int s in
+      Fall (push_int env (Intval.binop op a b) s)
+  | Ineg ->
+      let a, s = State.pop_int s in
+      Fall (push_int env (Intval.neg a) s)
+  | Dup ->
+      let v, s' = State.pop s in
+      ignore s';
+      Fall (State.push v s)
+  | Pop ->
+      let _, s = State.pop s in
+      Fall s
+  | Swap ->
+      let a, s = State.pop s in
+      let b, s = State.pop s in
+      Fall (State.push b (State.push a s))
+  | Goto l -> Jump [ (l, s) ]
+  | If_i (_, l) ->
+      let _, s = State.pop_int s in
+      Branch { taken = (l, s); fall = s }
+  | If_icmp (_, l) ->
+      let _, s = State.pop_int s in
+      let _, s = State.pop_int s in
+      Branch { taken = (l, s); fall = s }
+  | If_null l ->
+      let ri, s = State.pop_ref s in
+      Branch { taken = (l, refine_on_null env s ri); fall = s }
+  | If_nonnull l ->
+      let ri, s = State.pop_ref s in
+      Branch { taken = (l, s); fall = refine_on_null env s ri }
+  | If_acmp (_, l) ->
+      let _, s = State.pop_ref s in
+      let _, s = State.pop_ref s in
+      Branch { taken = (l, s); fall = s }
+  | Getstatic fr -> (
+      match Jir.Program.static_ty env.prog fr with
+      | R ->
+          (* the loaded value is exactly the static's current content: a
+             must-alias source for the §4.3 move-down extension *)
+          let msrc =
+            if env.move_down then Some (State.Mstatic (fr.fclass, fr.fname))
+            else None
+          in
+          Fall
+            (State.push
+               (State.Ref
+                  (State.mk_refinfo ?msrc (Rset.singleton Refsym.Global)))
+               s)
+      | I -> Fall (push_int env Intval.top s))
+  | Putstatic fr ->
+      let v, s = State.pop s in
+      if Jir.Types.equal_ty (Jir.Program.static_ty env.prog fr) R then begin
+        (* static stores always escape the value and always need their
+           barrier (the receiver is GlobalRef) *)
+        record pc Static_store false Keep;
+        let s =
+          match v with
+          | State.Ref { refs; _ } -> State.all_non_tl s refs
+          | State.Bot | State.Clash | State.Int _ -> s
+        in
+        (* the static now holds a different object: must-alias facts
+           derived from it are stale *)
+        let s =
+          State.kill_must_src s (fun m ->
+              State.equal_must_src m (State.Mstatic (fr.fclass, fr.fname)))
+        in
+        Fall s
+      end
+      else Fall s
+  | Getfield fr ->
+      let obj, s = State.pop_ref s in
+      let f = Field_id.of_field_ref fr in
+      if is_ref_field env fr then begin
+        let ri = State.lookup_ref_field s obj.refs f in
+        let nos =
+          match Rset.elements obj.refs with
+          | [ r ]
+            when env.conf.null_or_same
+                 && Refsym.unique ~in_ctor:env.in_ctor r
+                 && not (Rset.mem r s.nl) ->
+              State.Nos.add (r, f) ri.nos
+          | _ -> ri.nos
+        in
+        Fall (State.push (State.Ref { ri with nos }) s)
+      end
+      else Fall (push_int env (State.lookup_int_field s obj.refs f) s)
+  | Putfield fr ->
+      let value, s = State.pop s in
+      let obj, s = State.pop_ref s in
+      let f = Field_id.of_field_ref fr in
+      let is_ref = is_ref_field env fr in
+      (* verdict first, against the pre-store state *)
+      if is_ref then begin
+        let vri =
+          match value with
+          | State.Ref ri -> ri
+          | State.Bot | State.Clash | State.Int _ ->
+              State.mk_refinfo (Rset.singleton Refsym.Global)
+        in
+        if Rset.is_empty obj.refs then
+          (* receiver definitely null: the store always raises NPE *)
+          record pc Field_store true Dead_code
+        else if field_store_elidable s obj.refs f then
+          record pc Field_store true Pre_null_field
+        else if null_or_same_elidable env s obj.refs vri f then
+          record pc Field_store true Null_or_same
+        else record pc Field_store false Keep
+      end;
+      (* σ update: strong for a unique singleton receiver, weak merge
+         otherwise (§2.4) *)
+      let store_val =
+        match Jir.Program.field_ty env.prog fr, value with
+        | R, State.Ref _ -> value
+        | R, (State.Bot | State.Clash | State.Int _) -> State.global_v
+        | I, State.Int _ when env.track_ints -> value
+        | I, _ -> int_top
+      in
+      let locs = List.map (fun ot -> (ot, f)) (Rset.elements obj.refs) in
+      let s = State.kill_nos s locs in
+      let s =
+        match Rset.elements obj.refs with
+        | [ r ] when Refsym.unique ~in_ctor:env.in_ctor r ->
+            { s with sigma = State.Sigma.add (r, f) store_val s.sigma }
+        | receivers ->
+            List.fold_left
+              (fun s ot ->
+                if Rset.mem ot s.State.nl then s
+                else
+                  let old = State.lookup_field s ot f in
+                  let merged =
+                    match old, store_val with
+                    | State.Ref a, State.Ref b ->
+                        State.Ref
+                          (State.mk_refinfo (Rset.union a.refs b.refs))
+                    | State.Int a, State.Int b ->
+                        State.Int (Intval.merge_flat a b)
+                    | _, v -> v
+                  in
+                  { s with sigma = State.Sigma.add (ot, f) merged s.sigma })
+              s receivers
+      in
+      Fall (State.all_non_tl_cond s ~objs:obj.refs ~value)
+  | New cn ->
+      let sym, s = fresh_alloc env pc s in
+      let c = Jir.Program.get_class env.prog cn in
+      (* the fresh object's fields are zeroed; when the symbol is unique
+         this is a strong fact, but for the ablated single-name mode the
+         summary also covers older objects, so existing knowledge must be
+         kept (union with the empty set is the identity) *)
+      let strong = Refsym.unique ~in_ctor:false sym in
+      let sigma =
+        List.fold_left
+          (fun sg fd ->
+            let key = (sym, Field_id.F (cn, fd.fd_name)) in
+            if (not strong) && State.Sigma.mem key sg then sg
+            else
+              let v =
+                match fd.fd_ty with
+                | R -> State.null_v
+                | I ->
+                    if env.track_ints && strong then State.Int (Intval.const 0)
+                    else int_top
+              in
+              State.Sigma.add key v sg)
+          s.State.sigma c.fields
+      in
+      Fall (State.push (State.ref_of (Rset.singleton sym)) { s with sigma })
+  | Newarray ety ->
+      let n, s = State.pop_int s in
+      let sym, s = fresh_alloc env pc s in
+      let strong = Refsym.unique ~in_ctor:false sym in
+      let elem_val =
+        match ety with
+        | Elem_ref _ -> State.null_v
+        | Elem_int ->
+            if env.track_ints && strong then State.Int (Intval.const 0)
+            else int_top
+      in
+      let sigma =
+        let key = (sym, Field_id.Elems) in
+        if (not strong) && State.Sigma.mem key s.State.sigma then s.State.sigma
+        else State.Sigma.add key elem_val s.State.sigma
+      in
+      let len =
+        if not env.track_ints then s.State.len
+        else if strong then State.Rmap.add sym n s.State.len
+        else
+          State.Rmap.update sym
+            (function
+              | None -> Some n | Some old -> Some (Intval.merge_flat old n))
+            s.State.len
+      in
+      let nr =
+        match ety with
+        | Elem_ref _ when track_arrays && strong ->
+            State.Rmap.add sym (Intrange.of_new_array n) s.State.nr
+        | Elem_ref _ | Elem_int -> s.State.nr
+      in
+      Fall
+        (State.push
+           (State.ref_of (Rset.singleton sym))
+           { s with sigma; len; nr })
+  | Aaload ->
+      let ind, s = State.pop_int s in
+      let arr, s = State.pop_ref s in
+      let ri = State.lookup_ref_field s arr.refs Field_id.Elems in
+      (* remember where the element came from when the array itself is
+         must-identified (§4.3 move-down) *)
+      let eprov =
+        match arr.State.msrc with
+        | Some m when env.move_down && not (Intval.is_top ind) ->
+            Some (m, ind)
+        | Some _ | None -> None
+      in
+      Fall (State.push (State.Ref { ri with eprov }) s)
+  | Aastore ->
+      let value, s = State.pop s in
+      let ind, s = State.pop_int s in
+      let arr, s = State.pop_ref s in
+      (* §4.3 move-down: the stored value was loaded from the same
+         (must-identified) array one slot above, and the active chain says
+         the overwritten slot currently holds null or a value already
+         re-stored at a lower index — with a descending-scan collector and
+         a single mutator, no snapshot pointer can be lost *)
+      let move_down_ok =
+        env.move_down
+        && (not env.catches_bounds)
+        &&
+        match arr.State.msrc, value, s.State.shift with
+        | Some m, State.Ref { eprov = Some (m', idx_v); _ }, Some (ms, idx_s)
+          ->
+            State.equal_must_src m m'
+            && State.equal_must_src m ms
+            && Intval.equal ind idx_s
+            && Intval.equal (Intval.sub idx_v ind) (Intval.const 1)
+        | _, _, _ -> false
+      in
+      let pre_null_ok =
+        track_arrays
+        && (not env.catches_bounds)
+        && array_store_elidable s arr.refs ind
+      in
+      (* verdict against the pre-store state *)
+      (if Rset.is_empty arr.refs then record pc Array_store true Dead_code
+       else if pre_null_ok then record pc Array_store true Pre_null_array
+       else if move_down_ok then record pc Array_store true Move_down
+       else record pc Array_store false Keep);
+      (* shift-chain bookkeeping for the post-store state: a store of
+         null through a must-identified array starts a chain (its barrier
+         logged the overwritten value, or that value was null); the chain
+         store itself advances it; anything else ends it.  Element
+         provenances die on every array store (distinct sources may alias
+         the same concrete array). *)
+      let next_shift =
+        match arr.State.msrc, value with
+        | Some m, State.Ref { refs; _ }
+          when Rset.is_empty refs && not (Intval.is_top ind) ->
+            Some (m, ind)
+        | Some m, State.Ref { eprov = Some (_, idx_v); _ } when move_down_ok
+          ->
+            Some (m, idx_v)
+        | _, _ -> None
+      in
+      let s = State.kill_all_eprov s in
+      let s = { s with State.shift = next_shift } in
+      (* element update is always weak (§2.4) *)
+      let store_val =
+        match value with
+        | State.Ref _ -> value
+        | State.Bot | State.Clash | State.Int _ -> State.global_v
+      in
+      let locs =
+        List.map (fun at -> (at, Field_id.Elems)) (Rset.elements arr.refs)
+      in
+      let s = State.kill_nos s locs in
+      let s =
+        List.fold_left
+          (fun s at ->
+            if Rset.mem at s.State.nl then s
+            else
+              let old = State.lookup_field s at Field_id.Elems in
+              let merged =
+                match old, store_val with
+                | State.Ref a, State.Ref b ->
+                    State.Ref (State.mk_refinfo (Rset.union a.refs b.refs))
+                | _, v -> v
+              in
+              { s with sigma = State.Sigma.add (at, Field_id.Elems) merged s.sigma })
+          s (Rset.elements arr.refs)
+      in
+      (* null ranges contract (§3.3) *)
+      let s =
+        if track_arrays then
+          let nr =
+            Rset.fold
+              (fun at nr ->
+                match State.Rmap.find_opt at nr with
+                | Some r -> State.Rmap.add at (Intrange.contract r ind) nr
+                | None -> nr)
+              arr.refs s.State.nr
+          in
+          { s with nr }
+        else s
+      in
+      Fall (State.all_non_tl_cond s ~objs:arr.refs ~value)
+  | Iaload ->
+      let _, s = State.pop_int s in
+      let arr, s = State.pop_ref s in
+      Fall (push_int env (State.lookup_int_field s arr.refs Field_id.Elems) s)
+  | Iastore ->
+      let v, s = State.pop_int s in
+      let _, s = State.pop_int s in
+      let arr, s = State.pop_ref s in
+      let s =
+        List.fold_left
+          (fun s at ->
+            if Rset.mem at s.State.nl then s
+            else
+              let old = State.lookup_int_field s (Rset.singleton at) Field_id.Elems in
+              { s with
+                State.sigma =
+                  State.Sigma.add (at, Field_id.Elems)
+                    (State.Int (Intval.merge_flat old v))
+                    s.State.sigma
+              })
+          s (Rset.elements arr.refs)
+      in
+      Fall s
+  | Arraylength ->
+      let arr, s = State.pop_ref s in
+      Fall (push_int env (State.lookup_len s arr.refs) s)
+  | Invoke mr ->
+      let callee = Jir.Program.get_method env.prog mr in
+      let args, s =
+        List.fold_left
+          (fun (args, s) _ty ->
+            let v, s = State.pop s in
+            (v :: args, s))
+          ([], s) callee.params
+      in
+      let s = State.escape_args s args in
+      let s = State.kill_all_must_src s in
+      let s =
+        match callee.ret with
+        | None -> s
+        | Some R -> State.push State.global_v s
+        | Some I -> State.push int_top s
+      in
+      Fall s
+  | Spawn mr ->
+      let callee = Jir.Program.get_method env.prog mr in
+      let args, s =
+        List.fold_left
+          (fun (args, s) _ty ->
+            let v, s = State.pop s in
+            (v :: args, s))
+          ([], s) callee.params
+      in
+      Fall (State.kill_all_must_src (State.escape_args s args))
+  | Return | Ireturn | Areturn -> Stop
+
+(** Run the analysis on one method to its fixed point.
+    [single_mutator] gates the §4.3 move-down extension: the caller sets
+    it when the whole program contains no [spawn]. *)
+let analyze_method ?(conf = default_config) ?(single_mutator = false)
+    (prog : Jir.Program.t) (cls : cls) (meth : meth) : method_result =
+  let n = Array.length meth.code in
+  let store_pcs =
+    (* every reference-store site in the method, for verdict reporting *)
+    List.filter_map
+      (fun pc ->
+        match meth.code.(pc) with
+        | Putfield fr when Jir.Types.equal_ty (Jir.Program.field_ty prog fr) R
+          ->
+            Some (pc, Field_store)
+        | Putstatic fr
+          when Jir.Types.equal_ty (Jir.Program.static_ty prog fr) R ->
+            Some (pc, Static_store)
+        | Aastore -> Some (pc, Array_store)
+        | _ -> None)
+      (List.init n Fun.id)
+  in
+  if conf.mode = B then
+    {
+      mr_class = cls.cname;
+      mr_method = meth.mname;
+      verdicts =
+        List.map
+          (fun (pc, kind) ->
+            { v_pc = pc; v_kind = kind; v_elide = false; v_reason = Keep })
+          store_pcs;
+      iterations = 0;
+    }
+  else begin
+    let env =
+      {
+        conf;
+        prog;
+        cls;
+        meth;
+        gen = Intval.Gen.create ();
+        in_ctor = meth.is_constructor;
+        catches_bounds =
+          List.exists
+            (fun h -> match h.kind with Bounds | Any -> true | Null_deref | Arith -> false)
+            meth.handlers;
+        track_ints = conf.mode = A;
+        move_down = conf.move_down && single_mutator && conf.mode = A;
+      }
+    in
+    let cfg = Jir.Cfg.build meth in
+    let nb = Jir.Cfg.n_blocks cfg in
+    let in_states : State.t option array = Array.make nb None in
+    let visits = Array.make nb 0 in
+    let queued = Array.make nb false in
+    let work = Queue.create () in
+    let iterations = ref 0 in
+    let verdict_tbl : (int, bool * reason) Hashtbl.t = Hashtbl.create 16 in
+    let record pc _kind elide reason =
+      if conf.debug then
+        Fmt.epr "   verdict %s.%s@@%d: %s (%s)@." cls.cname meth.mname pc
+          (if elide then "elide" else "keep")
+          (string_of_reason reason);
+      Hashtbl.replace verdict_tbl pc (elide, reason)
+    in
+    let enqueue id =
+      if not queued.(id) then begin
+        queued.(id) <- true;
+        Queue.add id work
+      end
+    in
+    let post_block id (s : State.t) =
+      let widen = visits.(id) >= conf.max_visits in
+      let merged =
+        match in_states.(id) with
+        | None -> s
+        | Some old -> State.merge ~widen ~gen:env.gen old s
+      in
+      match in_states.(id) with
+      | Some old when State.equal old merged -> ()
+      | Some _ | None ->
+          in_states.(id) <- Some merged;
+          enqueue id
+    in
+    let post_pc pc s = post_block cfg.block_of_pc.(pc) s in
+    let process_block id =
+      visits.(id) <- visits.(id) + 1;
+      match in_states.(id) with
+      | None -> ()
+      | Some s0 ->
+          let b = Jir.Cfg.block cfg id in
+          if conf.debug then
+            Fmt.epr "@[<v2>-- %s.%s block %d (pc %d..%d) visit %d:@,%a@]@."
+              cls.cname meth.mname id b.start_pc b.end_pc visits.(id)
+              State.pp s0;
+          let rec go pc s =
+            if pc >= b.end_pc then post_pc pc s
+            else begin
+              (* handler edges: control may leave for the handler from any
+                 covered instruction, with an empty operand stack *)
+              List.iter
+                (fun h ->
+                  if pc >= h.from_pc && pc < h.to_pc then
+                    post_pc h.target { s with State.stk = [] })
+                meth.handlers;
+              match transfer env ~record s pc meth.code.(pc) with
+              | Fall s -> go (pc + 1) s
+              | Jump targets -> List.iter (fun (t, s) -> post_pc t s) targets
+              | Branch { taken = t, st; fall } ->
+                  post_pc t st;
+                  go (pc + 1) fall
+              | Stop -> ()
+            end
+          in
+          go b.start_pc s0
+    in
+    in_states.(0) <- Some (entry_state env);
+    enqueue 0;
+    while not (Queue.is_empty work) do
+      let id = Queue.pop work in
+      queued.(id) <- false;
+      incr iterations;
+      process_block id
+    done;
+    let verdicts =
+      List.map
+        (fun (pc, kind) ->
+          match Hashtbl.find_opt verdict_tbl pc with
+          | Some (elide, reason) ->
+              { v_pc = pc; v_kind = kind; v_elide = elide; v_reason = reason }
+          | None ->
+              (* never visited: unreachable code *)
+              { v_pc = pc; v_kind = kind; v_elide = true; v_reason = Dead_code })
+        store_pcs
+    in
+    {
+      mr_class = cls.cname;
+      mr_method = meth.mname;
+      verdicts;
+      iterations = !iterations;
+    }
+  end
+
+(** Does the program ever start a second thread?  The move-down extension
+    is disabled for multi-threaded programs (§4.3: unsynchronized writes
+    by other mutators would invalidate it). *)
+let program_spawns (prog : Jir.Program.t) : bool =
+  List.exists
+    (fun (_, (m : meth)) ->
+      Array.exists
+        (function Spawn _ -> true | _ -> false)
+        m.code)
+    (Jir.Program.all_methods prog)
+
+(** Analyze every method of a program. *)
+let analyze_program ?(conf = default_config) (prog : Jir.Program.t) :
+    method_result list =
+  let single_mutator = not (program_spawns prog) in
+  List.map
+    (fun (c, m) -> analyze_method ~conf ~single_mutator prog c m)
+    (Jir.Program.all_methods prog)

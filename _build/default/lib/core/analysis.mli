@@ -1,0 +1,68 @@
+(** The barrier-removal abstract interpretation (paper §2 and §3): a
+    flow-sensitive, intraprocedural iterative dataflow analysis over basic
+    blocks, producing a verdict — barrier removable or not, and why — for
+    every reference-store site.  The verdict recorded at the fixed point
+    is the sound one (§2.4). *)
+
+(** Analysis modes, matching the configurations of the paper's Figures 2
+    and 3: no analysis / field only / field + array. *)
+type mode = B | F | A
+
+val mode_of_string : string -> mode option
+val string_of_mode : mode -> string
+
+type config = {
+  mode : mode;
+  null_or_same : bool;  (** enable the §4.3 null-or-same extension *)
+  move_down : bool;
+      (** enable the §4.3 move-down elision; applied only to
+          single-mutator programs, and requires the collector to scan
+          object arrays in descending index order *)
+  two_names : bool;
+      (** §2.4 two-names-per-site precision; disable only for the
+          ablation study *)
+  max_visits : int;  (** per-block widening threshold *)
+  debug : bool;  (** trace block states and verdicts on stderr *)
+}
+
+val default_config : config
+
+(** Why a barrier was removed (or kept). *)
+type reason =
+  | Keep
+  | Pre_null_field  (** §2: receiver thread-local, field definitely null *)
+  | Pre_null_array  (** §3: index within the array's null range *)
+  | Null_or_same  (** §4.3: rewrites the field's value or fills a null *)
+  | Move_down  (** §4.3: delete-by-shift copy store *)
+  | Dead_code
+
+val string_of_reason : reason -> string
+
+type verdict = {
+  v_pc : int;
+  v_kind : Jir.Types.store_kind;
+  v_elide : bool;
+  v_reason : reason;
+}
+
+type method_result = {
+  mr_class : Jir.Types.class_name;
+  mr_method : Jir.Types.method_name;
+  verdicts : verdict list;  (** one per reference-store site, by pc *)
+  iterations : int;  (** block visits until the fixed point *)
+}
+
+val analyze_method :
+  ?conf:config ->
+  ?single_mutator:bool ->
+  Jir.Program.t ->
+  Jir.Types.cls ->
+  Jir.Types.meth ->
+  method_result
+(** Analyze one (already inlined) method to its fixed point.
+    [single_mutator] gates the move-down extension. *)
+
+val program_spawns : Jir.Program.t -> bool
+(** Does the program ever start a second thread? *)
+
+val analyze_program : ?conf:config -> Jir.Program.t -> method_result list

@@ -1,0 +1,56 @@
+(** End-to-end "JIT compilation" pipeline: verify → inline → analyze,
+    bundling the expanded program with per-site barrier verdicts keyed the
+    way the runtime looks them up, plus the compile-time measurements used
+    by the Figure 2 reproduction. *)
+
+type site_key = {
+  sk_class : Jir.Types.class_name;
+  sk_method : Jir.Types.method_name;
+  sk_pc : int;  (** pc in the {e inlined} method *)
+}
+
+type compiled = {
+  program : Jir.Program.t;  (** after inlining *)
+  results : Analysis.method_result list;
+  verdicts : (site_key, Analysis.verdict) Hashtbl.t;
+  inline_limit : int;
+  conf : Analysis.config;
+  analysis_seconds : float;  (** CPU time spent in the analysis proper *)
+  inline_seconds : float;
+}
+
+type static_stats = {
+  total_sites : int;
+  elided_sites : int;
+  field_sites : int;
+  field_elided : int;
+  array_sites : int;
+  array_elided : int;
+  static_sites : int;
+  by_reason : (Analysis.reason * int) list;
+}
+
+val compile :
+  ?verify:bool ->
+  ?inline_limit:int ->
+  ?conf:Analysis.config ->
+  Jir.Program.t ->
+  compiled
+
+val needs_barrier : compiled -> site_key -> bool
+(** Does the store at the site still need its SATB barrier?  Unknown
+    sites conservatively do. *)
+
+val verdict : compiled -> site_key -> Analysis.verdict option
+val static_stats : compiled -> static_stats
+val pp_static_stats : static_stats Fmt.t
+
+val barrier_footprint : int
+(** Inline code-space cost of one retained SATB barrier, in machine
+    instructions (§1: "between 9 and 12 RISC instructions"). *)
+
+val codegen_expansion : int
+(** Machine instructions per bytecode in the code-size model. *)
+
+val code_size : compiled -> int
+(** Figure 3's metric: expanded bytecodes plus barrier footprints. *)

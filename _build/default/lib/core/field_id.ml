@@ -1,0 +1,17 @@
+(** Identifiers of abstract heap locations within an object: a named field
+    of a class, or the paper's pseudo-field [f_elems] that collapses all
+    elements of an object array (§2.4: "we treat an object array as an
+    object with a single field f_elems"). *)
+
+type t =
+  | F of Jir.Types.class_name * Jir.Types.field_name
+  | Elems
+
+let compare (a : t) (b : t) = Stdlib.compare a b
+let equal a b = compare a b = 0
+
+let of_field_ref (fr : Jir.Types.field_ref) = F (fr.fclass, fr.fname)
+
+let pp ppf = function
+  | F (c, f) -> Fmt.pf ppf "%s.%s" c f
+  | Elems -> Fmt.string ppf "elems"

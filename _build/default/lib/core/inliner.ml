@@ -1,0 +1,166 @@
+(** Method inlining (paper §2.4, §4.4).
+
+    The analysis is performed after inlined method bodies are expanded: a
+    non-inlined call conservatively escapes every reference argument, so
+    without inlining even the constructor invocation that follows every
+    allocation would make the fresh object escape immediately.  The
+    "inline limit" is the maximum bytecode size of a callee that will be
+    expanded — the parameter swept in the paper's Figure 2.
+
+    Expansion is recursive (an inlined body's own calls are expanded
+    against the same limit) with a depth bound and a per-method growth
+    bound as safety valves; (mutually) recursive chains are cut by keeping
+    the call, and callees with exception handlers are not inlined so that
+    handler semantics stay exact. *)
+
+open Jir.Types
+
+type config = {
+  limit : int;  (** max callee size, in instructions; 0 disables inlining *)
+  max_depth : int;
+  max_method_size : int;
+}
+
+let config ?(max_depth = 8) ?(max_method_size = 20_000) limit =
+  { limit; max_depth; max_method_size }
+
+type expanded = {
+  out_code : int instr list;
+  locals_used : int;
+  pc_map : int array;  (** old pc (and old end) → new pc *)
+}
+
+let unchanged (code : int instr array) ~(first_free_local : int) : expanded =
+  {
+    out_code = Array.to_list code;
+    locals_used = first_free_local;
+    pc_map = Array.init (Array.length code + 1) Fun.id;
+  }
+
+(** Expand eligible calls inside [code].  Each inlined call site is
+    replaced by stores of the arguments into fresh locals (popped in
+    reverse), followed by the callee body with locals shifted and branches
+    relocated; callee returns become jumps to just after the expansion
+    (return values stay on the operand stack). *)
+let rec expand_body (prog : Jir.Program.t) (conf : config)
+    ~(stack : method_ref list) ~(depth : int) (code : int instr array)
+    ~(first_free_local : int) : expanded =
+  let n = Array.length code in
+  let decide pc =
+    match code.(pc) with
+    | Invoke mr when conf.limit > 0 && depth < conf.max_depth -> (
+        match Jir.Program.find_method prog mr with
+        | Some callee
+          when Array.length callee.code <= conf.limit
+               && callee.handlers = []
+               && not (List.exists (equal_method_ref mr) stack) ->
+            Some (mr, callee)
+        | Some _ | None -> None)
+    | _ -> None
+  in
+  let plans = Array.init n decide in
+  let free_local = ref first_free_local in
+  let expansions : (int * int instr list) option array = Array.make n None in
+  Array.iteri
+    (fun pc plan ->
+      match plan with
+      | None -> ()
+      | Some (mr, callee) ->
+          let base = !free_local in
+          (* expand the callee in its own frame coordinates; the uniform
+             [base] shift below relocates the whole body, including any
+             temporaries its own nested inlining introduced *)
+          let inner =
+            expand_body prog conf ~stack:(mr :: stack) ~depth:(depth + 1)
+              callee.code ~first_free_local:callee.max_locals
+          in
+          free_local := max !free_local (base + inner.locals_used);
+          expansions.(pc) <- Some (base, inner.out_code))
+    plans;
+  let size_of pc =
+    match expansions.(pc), plans.(pc) with
+    | Some (_, body), Some (_, callee) ->
+        List.length callee.params + List.length body
+    | _ -> 1
+  in
+  let pc_map = Array.make (n + 1) 0 in
+  let acc = ref 0 in
+  for pc = 0 to n - 1 do
+    pc_map.(pc) <- !acc;
+    acc := !acc + size_of pc
+  done;
+  pc_map.(n) <- !acc;
+  if !acc > conf.max_method_size then unchanged code ~first_free_local
+  else begin
+    let out = ref [] in
+    let emit i = out := i :: !out in
+    Array.iteri
+      (fun pc instr ->
+        match expansions.(pc), plans.(pc) with
+        | None, _ | _, None -> emit (map_label (fun l -> pc_map.(l)) instr)
+        | Some (base, body), Some (_, callee) ->
+            let param_tys = Array.of_list callee.params in
+            let nargs = Array.length param_tys in
+            for k = nargs - 1 downto 0 do
+              match param_tys.(k) with
+              | I -> emit (Istore (base + k))
+              | R -> emit (Astore (base + k))
+            done;
+            let body_start = pc_map.(pc) + nargs in
+            let after = pc_map.(pc + 1) in
+            List.iter
+              (fun bi ->
+                let relocated =
+                  match bi with
+                  | Return | Ireturn | Areturn -> Goto after
+                  | Iload i -> Iload (base + i)
+                  | Istore i -> Istore (base + i)
+                  | Aload i -> Aload (base + i)
+                  | Astore i -> Astore (base + i)
+                  | Iinc (i, d) -> Iinc (base + i, d)
+                  | other -> map_label (fun l -> body_start + l) other
+                in
+                emit relocated)
+              body)
+      code;
+    { out_code = List.rev !out; locals_used = !free_local; pc_map }
+  end
+
+(** Inline within one method, relocating handlers and labels. *)
+let inline_method (prog : Jir.Program.t) (conf : config) (m : meth) : meth =
+  if conf.limit <= 0 then m
+  else
+    let e =
+      expand_body prog conf ~stack:[] ~depth:0 m.code
+        ~first_free_local:m.max_locals
+    in
+    let new_pc pc = e.pc_map.(pc) in
+    {
+      m with
+      code = Array.of_list e.out_code;
+      max_locals = max m.max_locals e.locals_used;
+      handlers =
+        List.map
+          (fun h ->
+            {
+              h with
+              from_pc = new_pc h.from_pc;
+              to_pc = new_pc h.to_pc;
+              target = new_pc h.target;
+            })
+          m.handlers;
+      labels = List.map (fun (pc, name) -> (new_pc pc, name)) m.labels;
+    }
+
+(** Inline every method of a program (bodies are expanded against the
+    {e original} program, as a JIT compiling methods independently
+    would). *)
+let inline_program ?(conf = config 100) (prog : Jir.Program.t) :
+    Jir.Program.t =
+  let classes =
+    List.map
+      (fun c ->
+        { c with methods = List.map (inline_method prog conf) c.methods })
+      (Jir.Program.classes prog)
+  in
+  Jir.Program.of_program { classes }

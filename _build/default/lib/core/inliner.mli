@@ -1,0 +1,24 @@
+(** Method inlining (paper §2.4, §4.4).  The analyses run after inlined
+    bodies are expanded: a non-inlined call conservatively escapes every
+    reference argument, so without inlining even the constructor call
+    after every allocation would make the fresh object escape.  The
+    inline limit (maximum callee size) is the paper's Figure 2
+    parameter. *)
+
+type config = {
+  limit : int;  (** max callee size in instructions; 0 disables *)
+  max_depth : int;
+  max_method_size : int;
+}
+
+val config : ?max_depth:int -> ?max_method_size:int -> int -> config
+
+val inline_method :
+  Jir.Program.t -> config -> Jir.Types.meth -> Jir.Types.meth
+(** Inline within one method, relocating handlers and labels.  Recursive
+    chains are cut by keeping the call; callees with exception handlers
+    are never inlined (keeps handler semantics exact). *)
+
+val inline_program : ?conf:config -> Jir.Program.t -> Jir.Program.t
+(** Inline every method, each expanded against the {e original} program
+    (as a JIT compiling methods independently would). *)

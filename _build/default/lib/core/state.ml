@@ -1,0 +1,534 @@
+(** Abstract program states for the barrier-removal analyses.
+
+    A state is the paper's tuple ⟨ρ, σ, NL, stk⟩ (§2.1) extended with the
+    array-analysis components Len and NR (§3.2) and, for the null-or-same
+    extension (§4.3), per-value "null-or-same-as (r, f)" facts.
+
+    - ρ ([rho]) maps local variables to abstract values;
+    - [stk] is the abstract operand stack;
+    - NL ([nl]) is the set of reference symbols that may be reachable by
+      other threads (non-thread-local);
+    - σ ([sigma]) maps (reference symbol, field id) to the abstract value
+      the field may contain; a reference field mapped to the empty set of
+      symbols is {e definitely null};
+    - [len] maps array symbols to their symbolic length;
+    - [nr] maps object-array symbols to the subrange of indices known to
+      hold null. *)
+
+module Rset = Refsym.Set
+
+module Sigma = Map.Make (struct
+  type t = Refsym.t * Field_id.t
+
+  let compare (r1, f1) (r2, f2) =
+    match Refsym.compare r1 r2 with
+    | 0 -> Field_id.compare f1 f2
+    | c -> c
+end)
+
+module Rmap = Map.Make (Refsym)
+
+(** Null-or-same facts: [(r, f)] ∈ [nos v] means that in every concrete
+    state, either [v] equals the current content of field [f] of the object
+    named [r], or that content is null.  Either disjunct makes an SATB
+    barrier for [r.f ← v] unnecessary (§4.3).  Facts are killed eagerly
+    (from every abstract value in the state) whenever the location may be
+    written, so a surviving fact always refers to the current content. *)
+module Nos = Set.Make (struct
+  type t = Refsym.t * Field_id.t
+
+  let compare (r1, f1) (r2, f2) =
+    match Refsym.compare r1 r2 with
+    | 0 -> Field_id.compare f1 f2
+    | c -> c
+end)
+
+(** Must-alias value sources, for the §4.3 array-rearrangement extension:
+    two values carrying the same source are {e the same concrete
+    reference}.  Currently only static fields are tracked (enough for the
+    delete-by-shift idiom over a program-global array); the type is a
+    variant so finer sources can be added. *)
+type must_src = Mstatic of Jir.Types.class_name * Jir.Types.field_name
+
+let equal_must_src (Mstatic (c1, f1)) (Mstatic (c2, f2)) =
+  String.equal c1 c2 && String.equal f1 f2
+
+let pp_must_src ppf (Mstatic (c, f)) = Fmt.pf ppf "%s.%s" c f
+
+type refinfo = {
+  refs : Rset.t;
+  nos : Nos.t;
+  msrc : must_src option;
+      (** this value equals the current content of the source *)
+  eprov : (must_src * Intval.t) option;
+      (** this value was loaded from the array identified by the source,
+          at the given index, with no store to that array since *)
+}
+
+(** Abstract values: the ⊥ of the RefVal lattice, integer values, or sets
+    of reference symbols.  [Clash] covers local-variable slots holding
+    different kinds on different paths; the verifier guarantees they are
+    never read. *)
+type aval = Bot | Clash | Int of Intval.t | Ref of refinfo
+
+type t = {
+  rho : aval array;
+  stk : aval list;
+  nl : Rset.t;
+  sigma : aval Sigma.t;
+  len : Intval.t Rmap.t;
+  nr : Intrange.t Rmap.t;
+  shift : (must_src * Intval.t) option;
+      (** active move-down chain (§4.3): every slot of the array
+          identified by the source at index ≤ the given one currently
+          holds null or a value also stored at a lower index *)
+}
+
+let mk_refinfo ?msrc ?eprov ?(nos = Nos.empty) refs =
+  { refs; nos; msrc; eprov }
+
+let ref_of refs = Ref (mk_refinfo refs)
+let null_v = ref_of Rset.empty
+let global_v = ref_of (Rset.singleton Refsym.Global)
+
+let pp_aval ppf = function
+  | Bot -> Fmt.string ppf "⊥"
+  | Clash -> Fmt.string ppf "clash"
+  | Int i -> Intval.pp ppf i
+  | Ref { refs; _ } ->
+      if Rset.is_empty refs then Fmt.string ppf "null" else Rset.pp ppf refs
+
+let pp ppf (s : t) =
+  Fmt.pf ppf "@[<v>rho: %a@,stk: %a@,NL: %a@,sigma: %a@,len: %a@,nr: %a@]"
+    Fmt.(array ~sep:sp pp_aval)
+    s.rho
+    Fmt.(list ~sep:sp pp_aval)
+    s.stk Rset.pp s.nl
+    Fmt.(
+      list ~sep:sp (fun ppf ((r, f), v) ->
+          pf ppf "%a.%a=%a" Refsym.pp r Field_id.pp f pp_aval v))
+    (Sigma.bindings s.sigma)
+    Fmt.(
+      list ~sep:sp (fun ppf (r, v) ->
+          pf ppf "len(%a)=%a" Refsym.pp r Intval.pp v))
+    (Rmap.bindings s.len)
+    Fmt.(
+      list ~sep:sp (fun ppf (r, v) ->
+          pf ppf "nr(%a)=%a" Refsym.pp r Intrange.pp v))
+    (Rmap.bindings s.nr)
+
+(* ---- equality --------------------------------------------------------- *)
+
+let equal_opt eq a b =
+  match a, b with
+  | None, None -> true
+  | Some x, Some y -> eq x y
+  | None, Some _ | Some _, None -> false
+
+let equal_shift (m1, i1) (m2, i2) =
+  equal_must_src m1 m2 && Intval.equal i1 i2
+
+let equal_refinfo a b =
+  Rset.equal a.refs b.refs
+  && Nos.equal a.nos b.nos
+  && equal_opt equal_must_src a.msrc b.msrc
+  && equal_opt equal_shift a.eprov b.eprov
+
+let equal_aval a b =
+  match a, b with
+  | Bot, Bot | Clash, Clash -> true
+  | Int x, Int y -> Intval.equal x y
+  | Ref x, Ref y -> equal_refinfo x y
+  | (Bot | Clash | Int _ | Ref _), _ -> false
+
+let equal (a : t) (b : t) =
+  Array.length a.rho = Array.length b.rho
+  && Array.for_all2 equal_aval a.rho b.rho
+  && List.length a.stk = List.length b.stk
+  && List.for_all2 equal_aval a.stk b.stk
+  && Rset.equal a.nl b.nl
+  && Sigma.equal equal_aval a.sigma b.sigma
+  && Rmap.equal Intval.equal a.len b.len
+  && Rmap.equal Intrange.equal a.nr b.nr
+  && equal_opt equal_shift a.shift b.shift
+
+(* ---- lookups ---------------------------------------------------------- *)
+
+(** The paper's lookup(σ, r, NL, f): {GlobalRef} for non-thread-local
+    references, the recorded abstract value otherwise.  An absent entry
+    means the location was never populated on any path reaching here; for
+    reference fields we conservatively answer {GlobalRef}. *)
+let lookup_field (s : t) (r : Refsym.t) (f : Field_id.t) : aval =
+  if Rset.mem r s.nl || Refsym.equal r Refsym.Global then global_v
+  else
+    match Sigma.find_opt (r, f) s.sigma with
+    | Some v -> v
+    | None -> global_v
+
+(** Union of reference-field lookups over a receiver set.  Integer fields
+    use {!lookup_int_field}. *)
+let lookup_ref_field (s : t) (objs : Rset.t) (f : Field_id.t) : refinfo =
+  Rset.fold
+    (fun r acc ->
+      match lookup_field s r f with
+      | Ref ri -> { acc with refs = Rset.union acc.refs ri.refs }
+      | Bot -> acc
+      | Clash | Int _ -> { acc with refs = Rset.add Refsym.Global acc.refs })
+    objs (mk_refinfo Rset.empty)
+
+let lookup_int_field (s : t) (objs : Rset.t) (f : Field_id.t) : Intval.t =
+  if Rset.is_empty objs then Intval.top
+  else
+    Rset.fold
+      (fun r acc ->
+        let v =
+          match lookup_field s r f with Int i -> i | Bot | Clash | Ref _ -> Intval.top
+        in
+        match acc with
+        | None -> Some v
+        | Some a -> Some (Intval.merge_flat a v))
+      objs None
+    |> Option.value ~default:Intval.top
+
+(** Array length: sound even for escaped arrays, since lengths are
+    immutable. *)
+let lookup_len (s : t) (objs : Rset.t) : Intval.t =
+  if Rset.is_empty objs then Intval.top
+  else
+    Rset.fold
+      (fun r acc ->
+        let v =
+          match Rmap.find_opt r s.len with Some l -> l | None -> Intval.top
+        in
+        match acc with
+        | None -> Some v
+        | Some a -> Some (Intval.merge_flat a v))
+      objs None
+    |> Option.value ~default:Intval.top
+
+(** Null range of an array; [Empty] once it may be visible to another
+    thread (its elements could be overwritten behind our back). *)
+let lookup_nr (s : t) (r : Refsym.t) : Intrange.t =
+  if Rset.mem r s.nl then Intrange.Empty
+  else
+    match Rmap.find_opt r s.nr with Some nr -> nr | None -> Intrange.Empty
+
+(* ---- escape (non-thread-locality) ------------------------------------- *)
+
+(** The paper's AllNonTL(NL, RS, σ): extend NL with [rs] and everything
+    transitively reachable from [rs] via σ. *)
+let all_non_tl (s : t) (rs : Rset.t) : t =
+  let rec close nl frontier =
+    match Rset.choose_opt frontier with
+    | None -> nl
+    | Some r ->
+        let frontier = Rset.remove r frontier in
+        if Rset.mem r nl then close nl frontier
+        else
+          let nl = Rset.add r nl in
+          let reachable =
+            Sigma.fold
+              (fun (r', _) v acc ->
+                if Refsym.equal r' r then
+                  match v with
+                  | Ref { refs; _ } -> Rset.union refs acc
+                  | Bot | Clash | Int _ -> acc
+                else acc)
+              s.sigma Rset.empty
+          in
+          close nl (Rset.union frontier (Rset.diff reachable nl))
+  in
+  { s with nl = close s.nl rs }
+
+(** AllNonTLCond(NL, RS, val, σ): if any possible receiver is already
+    non-thread-local, the stored value (and everything reachable from it)
+    escapes. *)
+let all_non_tl_cond (s : t) ~(objs : Rset.t) ~(value : aval) : t =
+  if Rset.is_empty (Rset.inter objs s.nl) then s
+  else
+    match value with
+    | Ref { refs; _ } -> all_non_tl s refs
+    | Bot | Clash | Int _ -> s
+
+(** nAllNonTL over the reference arguments of a call. *)
+let escape_args (s : t) (args : aval list) : t =
+  let refs =
+    List.fold_left
+      (fun acc v ->
+        match v with
+        | Ref { refs; _ } -> Rset.union refs acc
+        | Bot | Clash | Int _ -> acc)
+      Rset.empty args
+  in
+  all_non_tl s refs
+
+(* ---- allocation-site symbol recycling (§2.4 newinstance) -------------- *)
+
+(** Substitute [R_site/A → R_site/B] throughout the state: ρ, stk, NL, the
+    domain and range of σ, Len, NR and versions — the paper's rngSubst,
+    transfer and replS.  Null-or-same facts naming the site are dropped
+    (the name is about to denote a different object). *)
+let retire_site (s : t) (site : int) : t =
+  let a_sym = Refsym.recent site in
+  let b_sym = Refsym.summary site in
+  let subst_set rs =
+    if Rset.mem a_sym rs then Rset.add b_sym (Rset.remove a_sym rs) else rs
+  in
+  let drop_site_nos nos =
+    Nos.filter (fun (r, _) -> not (Refsym.equal r a_sym)) nos
+  in
+  let subst_aval = function
+    | Ref ri ->
+        Ref { ri with refs = subst_set ri.refs; nos = drop_site_nos ri.nos }
+    | (Bot | Clash | Int _) as v -> v
+  in
+  let subst_key (r, f) = (Refsym.subst ~from_sym:a_sym ~to_sym:b_sym r, f) in
+  let sigma =
+    Sigma.fold
+      (fun key v acc ->
+        let key = subst_key key in
+        let v = subst_aval v in
+        match Sigma.find_opt key acc with
+        | None -> Sigma.add key v acc
+        | Some old ->
+            let merged =
+              match old, v with
+              | Ref a, Ref b ->
+                  Ref
+                    (mk_refinfo
+                       ~nos:(Nos.inter a.nos b.nos)
+                       (Rset.union a.refs b.refs))
+              | Int a, Int b -> Int (Intval.merge_flat a b)
+              | Bot, x | x, Bot -> x
+              | _ -> Clash
+            in
+            Sigma.add key merged acc)
+      s.sigma Sigma.empty
+  in
+  let remap_rmap merge m =
+    Rmap.fold
+      (fun r v acc ->
+        let r = Refsym.subst ~from_sym:a_sym ~to_sym:b_sym r in
+        match Rmap.find_opt r acc with
+        | None -> Rmap.add r v acc
+        | Some old -> Rmap.add r (merge old v) acc)
+      m Rmap.empty
+  in
+  {
+    s with
+    rho = Array.map subst_aval s.rho;
+    stk = List.map subst_aval s.stk;
+    nl = subst_set s.nl;
+    sigma;
+    len = remap_rmap Intval.merge_flat s.len;
+    nr = remap_rmap Intrange.merge_flat s.nr;
+  }
+
+(* ---- merging (§2.2, §3.5) --------------------------------------------- *)
+
+(** Merge null-or-same facts: a fact survives when on {e each} side either
+    it was recorded for the value, or the side's σ shows the location
+    definitely null — the "or the field is null" disjunct of §4.3. *)
+let merge_nos (s1 : t) (s2 : t) (r1 : refinfo) (r2 : refinfo) : Nos.t =
+  let candidates = Nos.union r1.nos r2.nos in
+  let side_ok (s : t) (ri : refinfo) ((r, f) : Refsym.t * Field_id.t) =
+    Nos.mem (r, f) ri.nos
+    || ((not (Rset.mem r s.nl))
+       &&
+       match Sigma.find_opt (r, f) s.sigma with
+       | Some (Ref { refs; _ }) -> Rset.is_empty refs
+       | Some (Bot | Clash | Int _) | None -> false)
+  in
+  Nos.filter (fun c -> side_ok s1 r1 c && side_ok s2 r2 c) candidates
+
+(** Merge must-sources: survives only when identical on both sides. *)
+let merge_msrc a b =
+  match a, b with
+  | Some x, Some y when equal_must_src x y -> a
+  | Some _, Some _ | None, _ | _, None -> None
+
+(** Merge element provenances: same array source, indices merged as
+    integer state components (they stride with loop counters). *)
+let merge_eprov ctx a b =
+  match a, b with
+  | Some (m1, i1), Some (m2, i2) when equal_must_src m1 m2 -> (
+      match Intval.merge ctx i1 i2 with
+      | Intval.Top -> None
+      | i -> Some (m1, i))
+  | Some _, Some _ | None, _ | _, None -> None
+
+let merge_aval (ctx : Intval.Ctx.ctx) (s1 : t) (s2 : t) (a : aval) (b : aval)
+    : aval =
+  match a, b with
+  | Bot, x | x, Bot -> x
+  | Int x, Int y -> Int (Intval.merge ctx x y)
+  | Ref x, Ref y ->
+      Ref
+        {
+          refs = Rset.union x.refs y.refs;
+          nos = merge_nos s1 s2 x y;
+          msrc = merge_msrc x.msrc y.msrc;
+          eprov = merge_eprov ctx x.eprov y.eprov;
+        }
+  | Clash, _ | _, Clash -> Clash
+  | Int _, Ref _ | Ref _, Int _ -> Clash
+
+(** Merge two whole states through one shared merge context, so that all
+    integer state components (ρ, stk, and NR bounds — §3.5) discover common
+    strides.  Raises [Invalid_argument] on operand-stack disagreement,
+    which the verifier rules out. *)
+let merge ?(widen = false) ~(gen : Intval.Gen.t) (s1 : t) (s2 : t) : t =
+  let ctx = Intval.Ctx.create ~widen gen in
+  let mav = merge_aval ctx s1 s2 in
+  if List.length s1.stk <> List.length s2.stk then
+    invalid_arg "State.merge: operand stack mismatch";
+  let sigma =
+    Sigma.merge
+      (fun _ a b ->
+        match a, b with
+        | None, x | x, None -> x
+        | Some a, Some b -> Some (mav a b))
+      s1.sigma s2.sigma
+  in
+  let len =
+    Rmap.merge
+      (fun _ a b ->
+        match a, b with
+        | None, x | x, None -> x
+        | Some a, Some b -> Some (Intval.merge ctx a b))
+      s1.len s2.len
+  in
+  let nr =
+    Rmap.merge
+      (fun r a b ->
+        match a, b with
+        | None, x | x, None -> x
+        | Some a, Some b ->
+            let len_of (s : t) =
+              match Rmap.find_opt r s.len with
+              | Some l -> l
+              | None -> Intval.top
+            in
+            Some (Intrange.merge ctx ~len1:(len_of s1) ~len2:(len_of s2) a b))
+      s1.nr s2.nr
+  in
+  let shift =
+    match s1.shift, s2.shift with
+    | Some (m1, i1), Some (m2, i2) when equal_must_src m1 m2 -> (
+        match Intval.merge ctx i1 i2 with
+        | Intval.Top -> None
+        | i -> Some (m1, i))
+    | Some _, Some _ | None, _ | _, None -> None
+  in
+  {
+    rho = Array.map2 mav s1.rho s2.rho;
+    stk = List.map2 mav s1.stk s2.stk;
+    nl = Rset.union s1.nl s2.nl;
+    sigma;
+    len;
+    nr;
+    shift;
+  }
+
+(* ---- null-or-same fact invalidation ----------------------------------- *)
+
+(** [kill_nos s locs] removes every null-or-same fact about the locations
+    [locs] from every abstract value in the state.  Called whenever a
+    location may have been written, so surviving facts always describe the
+    current content. *)
+let kill_nos (s : t) (locs : (Refsym.t * Field_id.t) list) : t =
+  if locs = [] then s
+  else
+    let dead (r, f) =
+      List.exists
+        (fun (r', f') -> Refsym.equal r r' && Field_id.equal f f')
+        locs
+    in
+    let clean = function
+      | Ref ri -> Ref { ri with nos = Nos.filter (fun l -> not (dead l)) ri.nos }
+      | (Bot | Clash | Int _) as v -> v
+    in
+    {
+      s with
+      rho = Array.map clean s.rho;
+      stk = List.map clean s.stk;
+      sigma = Sigma.map clean s.sigma;
+    }
+
+(** Invalidate must-source-derived facts.  [pred m] selects the sources
+    to kill; values lose their [msrc]/[eprov], and the active shift chain
+    dies if its source matches. *)
+let kill_must_src (s : t) (pred : must_src -> bool) : t =
+  let clean = function
+    | Ref ri ->
+        let msrc =
+          match ri.msrc with Some m when pred m -> None | o -> o
+        in
+        let eprov =
+          match ri.eprov with Some (m, _) when pred m -> None | o -> o
+        in
+        Ref { ri with msrc; eprov }
+    | (Bot | Clash | Int _) as v -> v
+  in
+  let shift =
+    match s.shift with Some (m, _) when pred m -> None | o -> o
+  in
+  {
+    s with
+    rho = Array.map clean s.rho;
+    stk = List.map clean s.stk;
+    sigma = Sigma.map clean s.sigma;
+    shift;
+  }
+
+(** Kill every must-source fact (conservative barrier for calls, which
+    may write any static or array). *)
+let kill_all_must_src (s : t) : t = kill_must_src s (fun _ -> true)
+
+(** Kill every element provenance — called after any object-array store,
+    since two distinct sources may alias the same concrete array.  (The
+    caller re-establishes the shift chain separately when the store
+    extended it.) *)
+let kill_all_eprov (s : t) : t =
+  let clean = function
+    | Ref ({ eprov = Some _; _ } as ri) -> Ref { ri with eprov = None }
+    | (Bot | Clash | Int _ | Ref { eprov = None; _ }) as v -> v
+  in
+  {
+    s with
+    rho = Array.map clean s.rho;
+    stk = List.map clean s.stk;
+    sigma = Sigma.map clean s.sigma;
+  }
+
+(* ---- stack and locals helpers ----------------------------------------- *)
+
+exception Analysis_bug of string
+
+let bugf fmt = Fmt.kstr (fun s -> raise (Analysis_bug s)) fmt
+
+let push v s = { s with stk = v :: s.stk }
+
+let pop s =
+  match s.stk with
+  | v :: stk -> (v, { s with stk })
+  | [] -> bugf "abstract stack underflow (verifier should prevent this)"
+
+let pop_int s =
+  match pop s with
+  | Int i, s -> (i, s)
+  | (Bot | Clash), s -> (Intval.top, s)
+  | Ref _, _ -> bugf "expected abstract int on stack"
+
+let pop_ref s =
+  match pop s with
+  | Ref ri, s -> (ri, s)
+  | (Bot | Clash), s -> (mk_refinfo (Rset.singleton Refsym.Global), s)
+  | Int _, _ -> bugf "expected abstract ref on stack"
+
+let set_local s i v =
+  let rho = Array.copy s.rho in
+  rho.(i) <- v;
+  { s with rho }
+
+let local s i = s.rho.(i)

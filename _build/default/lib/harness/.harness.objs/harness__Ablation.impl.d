@@ -1,0 +1,1 @@
+lib/harness/ablation.ml: Fmt Jrt List Satb_core Tablefmt Workloads

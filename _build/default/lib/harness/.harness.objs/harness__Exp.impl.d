@@ -1,0 +1,1 @@
+lib/harness/exp.ml: Fmt Jrt Satb_core Workloads

@@ -1,0 +1,1 @@
+lib/harness/fig2.ml: Buffer Exp List Printf Satb_core Tablefmt Workloads

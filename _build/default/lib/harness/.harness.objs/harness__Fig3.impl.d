@@ -1,0 +1,1 @@
+lib/harness/fig3.ml: Exp List Printf Satb_core Tablefmt Workloads

@@ -1,0 +1,1 @@
+lib/harness/movedown.ml: Exp Jrt List Tablefmt Workloads

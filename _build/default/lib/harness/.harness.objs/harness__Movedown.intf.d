@@ -1,0 +1,1 @@
+lib/harness/movedown.mli: Workloads

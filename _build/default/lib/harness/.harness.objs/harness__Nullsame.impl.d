@@ -1,0 +1,1 @@
+lib/harness/nullsame.ml: Exp List Tablefmt Workloads

@@ -1,0 +1,1 @@
+lib/harness/pause.ml: Exp Float Fmt Jrt List Printf Tablefmt Workloads

@@ -1,0 +1,1 @@
+lib/harness/pause.mli: Workloads

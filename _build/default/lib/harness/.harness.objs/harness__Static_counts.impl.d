@@ -1,0 +1,1 @@
+lib/harness/static_counts.ml: Exp List Satb_core Tablefmt Workloads

@@ -1,0 +1,1 @@
+lib/harness/static_counts.mli: Satb_core Workloads

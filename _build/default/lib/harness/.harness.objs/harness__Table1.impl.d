@@ -1,0 +1,1 @@
+lib/harness/table1.ml: Exp Fmt Jrt List Printf Tablefmt Workloads

@@ -1,0 +1,1 @@
+lib/harness/table2.ml: Exp Jrt List Printf Tablefmt Workloads

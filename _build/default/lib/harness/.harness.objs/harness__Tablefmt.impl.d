@@ -1,0 +1,1 @@
+lib/harness/tablefmt.ml: Array List Printf String

@@ -1,0 +1,16 @@
+(** E9 — ablation study over the design choices DESIGN.md calls out:
+    full analysis vs. single-name-per-site (no §2.4 precision) vs.
+    no stride discovery (immediate widening) vs. field-only. *)
+
+type variant = Full | One_name | No_stride | Field_only
+
+val variants : variant list
+val string_of_variant : variant -> string
+val conf_of : variant -> Satb_core.Analysis.config
+
+type row = { bench : string; elim : (variant * float) list }
+
+val measure_one : Workloads.Spec.t -> row
+val measure : unit -> row list
+val render : row list -> string
+val print : unit -> unit

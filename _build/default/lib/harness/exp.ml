@@ -1,0 +1,40 @@
+(** Shared plumbing for the experiments: compile a workload at a given
+    analysis configuration and run it under the instrumented runtime. *)
+
+type compiled_workload = {
+  workload : Workloads.Spec.t;
+  compiled : Satb_core.Driver.compiled;
+}
+
+let compile ?(inline_limit = 100) ?(mode = Satb_core.Analysis.A)
+    ?(null_or_same = false) ?(move_down = false) (w : Workloads.Spec.t) :
+    compiled_workload =
+  let prog = Workloads.Spec.parse w in
+  let conf =
+    { Satb_core.Analysis.default_config with mode; null_or_same; move_down }
+  in
+  { workload = w; compiled = Satb_core.Driver.compile ~inline_limit ~conf prog }
+
+(** Barrier policy from the analysis verdicts. *)
+let policy_of (cw : compiled_workload) : Jrt.Interp.barrier_policy =
+ fun c m pc ->
+  not
+    (Satb_core.Driver.needs_barrier cw.compiled
+       { sk_class = c; sk_method = m; sk_pc = pc })
+
+let run ?(gc = Jrt.Runner.No_gc) ?(satb_mode = Jrt.Barrier_cost.Conditional)
+    ?(use_policy = true) ?(seed = 0) ?quantum ?gc_period
+    (cw : compiled_workload) : Jrt.Runner.report =
+  let policy =
+    if use_policy then policy_of cw else Jrt.Interp.keep_all_policy
+  in
+  let cfg = { Jrt.Interp.default_config with policy; satb_mode } in
+  let report =
+    Jrt.Runner.run ~cfg ~gc ~seed ?quantum ?gc_period cw.compiled.program
+      ~entry:cw.workload.entry
+  in
+  (match report.thread_errors with
+  | [] -> ()
+  | (tid, e) :: _ ->
+      Fmt.failwith "workload %s: thread %d died: %s" cw.workload.name tid e);
+  report

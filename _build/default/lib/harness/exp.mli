@@ -1,0 +1,29 @@
+(** Shared plumbing for the experiments: compile a workload at a given
+    analysis configuration and run it under the instrumented runtime. *)
+
+type compiled_workload = {
+  workload : Workloads.Spec.t;
+  compiled : Satb_core.Driver.compiled;
+}
+
+val compile :
+  ?inline_limit:int ->
+  ?mode:Satb_core.Analysis.mode ->
+  ?null_or_same:bool ->
+  ?move_down:bool ->
+  Workloads.Spec.t ->
+  compiled_workload
+
+val policy_of : compiled_workload -> Jrt.Interp.barrier_policy
+(** Barrier-elision policy from the analysis verdicts. *)
+
+val run :
+  ?gc:Jrt.Runner.gc_choice ->
+  ?satb_mode:Jrt.Barrier_cost.satb_mode ->
+  ?use_policy:bool ->
+  ?seed:int ->
+  ?quantum:int ->
+  ?gc_period:int ->
+  compiled_workload ->
+  Jrt.Runner.report
+(** Run under the instrumented runtime; fails on any thread error. *)

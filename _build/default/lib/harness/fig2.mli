@@ -1,0 +1,24 @@
+(** E3 — the paper's Figure 2: inline limit vs analysis effectiveness and
+    compile time, in modes B/F/A. *)
+
+val limits : int list
+val modes : Satb_core.Analysis.mode list
+
+type point = {
+  bench : string;
+  limit : int;
+  mode : Satb_core.Analysis.mode;
+  elim_pct : float;
+  compile_s : float;
+}
+
+val measure_one :
+  ?reps:int ->
+  Workloads.Spec.t ->
+  limit:int ->
+  mode:Satb_core.Analysis.mode ->
+  point
+
+val measure : ?reps:int -> unit -> point list
+val render : point list -> string
+val print : unit -> unit

@@ -1,0 +1,9 @@
+(** E4 — the paper's Figure 3: effect of the analyses on compiled code
+    size at inline limit 100 (code-size model in {!Satb_core.Driver}). *)
+
+type row = { bench : string; size_b : int; size_f : int; size_a : int }
+
+val measure_one : ?inline_limit:int -> Workloads.Spec.t -> row
+val measure : ?inline_limit:int -> unit -> row list
+val render : row list -> string
+val print : unit -> unit

@@ -1,0 +1,18 @@
+(** E8 — the §4.3 move-down (delete-by-shift) extension: additional
+    elimination with the shift-chain analysis enabled, plus the SATB
+    violation count proving it sound under the descending-scan
+    contract. *)
+
+type row = {
+  bench : string;
+  elim_base_pct : float;
+  elim_md_pct : float;
+  array_base_pct : float;
+  array_md_pct : float;
+  violations : int;
+}
+
+val measure_one : Workloads.Spec.t -> row
+val measure : unit -> row list
+val render : row list -> string
+val print : unit -> unit

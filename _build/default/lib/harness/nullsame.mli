@@ -1,0 +1,17 @@
+(** E6 — the §4.3 null-or-same extension: additional dynamic elimination
+    over the field+array analyses, against the paper's by-inspection
+    estimates (javac 15%, jack 14%, jbb 4%). *)
+
+type row = {
+  bench : string;
+  elim_base_pct : float;
+  elim_nos_pct : float;
+  delta_pct : float;
+  paper_delta_pct : float option;
+}
+
+val paper_deltas : (string * float) list
+val measure_one : Workloads.Spec.t -> row
+val measure : unit -> row list
+val render : row list -> string
+val print : unit -> unit

@@ -1,0 +1,88 @@
+(** E5 — SATB vs incremental-update final pause work (§1 and §4.5).
+
+    Both collectors run with the same concurrent-increment budget on the
+    same workload; we compare the work done inside the final
+    stop-the-world pause.  The paper's claim: SATB remark pauses (drain
+    the leftover log buffers) are often an order of magnitude smaller than
+    incremental-update final pauses (rescan roots + dirty cards + trace
+    everything allocated during the cycle). *)
+
+type row = {
+  bench : string;
+  satb_cycles : int;
+  satb_max_pause : int;
+  incr_cycles : int;
+  incr_max_pause : int;
+  ratio : float;  (** incr / satb max pause work *)
+}
+
+let max_or_zero = function [] -> 0 | l -> List.fold_left max 0 l
+
+let measure_one ?(trigger_allocs = 16) ?(steps_per_increment = 16)
+    (w : Workloads.Spec.t) : row =
+  (* The SATB run uses the analysis-directed elision policy; the
+     incremental-update run keeps every barrier, because pre-null elision
+     is an SATB-specific optimization: a card-marking collector must hear
+     about stores of fresh pointers into already-scanned objects even when
+     the overwritten value was null. *)
+  let go ~use_policy gc =
+    let cw = Exp.compile w in
+    let r = Exp.run ~use_policy ~gc cw in
+    match r.gc with
+    | Some g ->
+        if g.total_violations > 0 then
+          Fmt.failwith "%s: marking invariant violated" w.name;
+        (g.cycles, max_or_zero g.final_pause_works)
+    | None -> (0, 0)
+  in
+  let satb_cycles, satb_max_pause =
+    go ~use_policy:true (Jrt.Runner.Satb { steps_per_increment; trigger_allocs })
+  in
+  let incr_cycles, incr_max_pause =
+    go ~use_policy:false
+      (Jrt.Runner.Incr { steps_per_increment; trigger_allocs })
+  in
+  {
+    bench = w.name;
+    satb_cycles;
+    satb_max_pause;
+    incr_cycles;
+    incr_max_pause;
+    ratio =
+      (* a zero SATB pause is reported as if it cost one unit *)
+      float_of_int incr_max_pause /. float_of_int (max 1 satb_max_pause);
+  }
+
+let measure ?trigger_allocs ?steps_per_increment () : row list =
+  List.map
+    (measure_one ?trigger_allocs ?steps_per_increment)
+    Workloads.Registry.table1
+
+let render (rows : row list) : string =
+  let body =
+    List.map
+      (fun r ->
+        [
+          r.bench;
+          string_of_int r.satb_cycles;
+          string_of_int r.satb_max_pause;
+          string_of_int r.incr_cycles;
+          string_of_int r.incr_max_pause;
+          (if Float.is_nan r.ratio then "-" else Printf.sprintf "%.1fx" r.ratio);
+        ])
+      rows
+  in
+  Tablefmt.render
+    ~header:
+      [
+        "benchmark";
+        "satb cycles";
+        "satb max pause";
+        "incr cycles";
+        "incr max pause";
+        "incr/satb";
+      ]
+    ~align:[ Tablefmt.L; R; R; R; R; R ]
+    body
+
+let print () = print_endline (render (measure ()))

@@ -1,0 +1,21 @@
+(** E5 — SATB vs incremental-update final pause work under equal
+    concurrent budgets (the paper's §1 motivation).  The incremental run
+    keeps every barrier: pre-null elision is SATB-specific. *)
+
+type row = {
+  bench : string;
+  satb_cycles : int;
+  satb_max_pause : int;
+  incr_cycles : int;
+  incr_max_pause : int;
+  ratio : float;
+}
+
+val measure_one :
+  ?trigger_allocs:int -> ?steps_per_increment:int -> Workloads.Spec.t -> row
+
+val measure :
+  ?trigger_allocs:int -> ?steps_per_increment:int -> unit -> row list
+
+val render : row list -> string
+val print : unit -> unit

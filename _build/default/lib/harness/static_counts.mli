@@ -1,0 +1,13 @@
+(** E7 — static elimination counts (the tech-report companion to
+    Table 1). *)
+
+type row = {
+  bench : string;
+  stats : Satb_core.Driver.static_stats;
+  dyn_elim_pct : float;
+}
+
+val measure_one : Workloads.Spec.t -> row
+val measure : unit -> row list
+val render : row list -> string
+val print : unit -> unit

@@ -1,0 +1,1 @@
+lib/jir/cfg.ml: Array List Types

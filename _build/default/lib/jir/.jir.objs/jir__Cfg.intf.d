@@ -1,0 +1,1 @@
+lib/jir/cfg.mli: Types

@@ -1,0 +1,1 @@
+lib/jir/parser.ml: Buffer Builder Fmt Lexer List Printexc Program String Types

@@ -1,0 +1,1 @@
+lib/jir/parser.mli: Fmt Program Types

@@ -1,0 +1,1 @@
+lib/jir/pp.mli: Fmt Hashtbl Types

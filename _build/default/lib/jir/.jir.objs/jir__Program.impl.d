@@ -1,0 +1,1 @@
+lib/jir/program.ml: Array Fmt Hashtbl List String Types

@@ -1,0 +1,1 @@
+lib/jir/types.ml: Fmt String

@@ -1,0 +1,1 @@
+lib/jir/verifier.ml: Array Fmt List Pp Program Queue Types

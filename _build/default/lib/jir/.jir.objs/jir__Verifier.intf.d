@@ -1,0 +1,1 @@
+lib/jir/verifier.mli: Fmt Program Types

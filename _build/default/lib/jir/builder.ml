@@ -1,0 +1,127 @@
+(** Programmatic construction of methods and classes with symbolic labels.
+
+    Typical use:
+    {[
+      let m =
+        Builder.(
+          meth "expand" ~params:[ R ] ~ret:(Some R) ~locals:4 (fun b ->
+              emit b (Aload 0);
+              emit b Arraylength;
+              ...
+              label b "loop";
+              ...
+              emit b (Goto "loop")))
+    ]}
+    Labels are strings while building; {!finish} resolves them to
+    instruction indices and records them for faithful pretty-printing. *)
+
+open Types
+
+type t = {
+  name : method_name;
+  params : ty list;
+  ret : ty option;
+  is_constructor : bool;
+  mutable locals : int;
+  mutable rev_code : string instr list;  (** reversed *)
+  mutable count : int;
+  label_tbl : (string, int) Hashtbl.t;
+  mutable rev_handlers : string handler list;
+}
+
+exception Build_error of string
+
+let build_errorf fmt = Fmt.kstr (fun s -> raise (Build_error s)) fmt
+
+let create ~name ~params ?ret ?(ctor = false) ~locals () =
+  if locals < List.length params then
+    build_errorf "method %s: %d locals < %d params" name locals
+      (List.length params);
+  {
+    name;
+    params;
+    ret;
+    is_constructor = ctor;
+    locals;
+    rev_code = [];
+    count = 0;
+    label_tbl = Hashtbl.create 8;
+    rev_handlers = [];
+  }
+
+(** Append one instruction (branch targets are label names). *)
+let emit b (i : string instr) =
+  b.rev_code <- i :: b.rev_code;
+  b.count <- b.count + 1
+
+let emit_all b is = List.iter (emit b) is
+
+(** Define [name] at the current position. *)
+let label b name =
+  if Hashtbl.mem b.label_tbl name then
+    build_errorf "method %s: duplicate label %s" b.name name;
+  Hashtbl.replace b.label_tbl name b.count
+
+(** Register an exception handler over the region between labels
+    [from_lbl] (inclusive) and [to_lbl] (exclusive), jumping to
+    [target_lbl]. *)
+let handler b ~from_lbl ~to_lbl ~target_lbl kind =
+  b.rev_handlers <-
+    { from_pc = from_lbl; to_pc = to_lbl; target = target_lbl; kind }
+    :: b.rev_handlers
+
+(** Current instruction count (useful to compute label-free offsets). *)
+let here b = b.count
+
+let grow_locals b n = if n > b.locals then b.locals <- n
+
+let finish b : meth =
+  let resolve l =
+    match Hashtbl.find_opt b.label_tbl l with
+    | Some pc -> pc
+    | None -> build_errorf "method %s: undefined label %s" b.name l
+  in
+  let code =
+    Array.of_list (List.rev_map (map_label resolve) b.rev_code)
+  in
+  let handlers =
+    List.rev_map
+      (fun h ->
+        {
+          from_pc = resolve h.from_pc;
+          to_pc = resolve h.to_pc;
+          target = resolve h.target;
+          kind = h.kind;
+        })
+      b.rev_handlers
+  in
+  let labels =
+    Hashtbl.fold (fun name pc acc -> (pc, name) :: acc) b.label_tbl []
+    |> List.sort compare
+  in
+  {
+    mname = b.name;
+    params = b.params;
+    ret = b.ret;
+    is_constructor = b.is_constructor;
+    max_locals = b.locals;
+    code;
+    handlers;
+    labels;
+  }
+
+(** [meth name ~params ?ret ?ctor ~locals f] builds a whole method in one
+    call: [f] receives the builder and emits the body. *)
+let meth name ~params ?ret ?(ctor = false) ~locals f : meth =
+  let b = create ~name ~params ?ret ~ctor ~locals () in
+  f b;
+  finish b
+
+(** Convenience constructors for classes and programs. *)
+
+let field_decl name ty = { fd_name = name; fd_ty = ty }
+
+let cls ?(fields = []) ?(statics = []) ?(methods = []) cname : cls =
+  { cname; fields; statics; methods }
+
+let program classes : program = { classes }

@@ -1,0 +1,55 @@
+(** Programmatic construction of methods and classes with symbolic
+    labels; {!finish} resolves labels to instruction indices. *)
+
+open Types
+
+type t
+
+exception Build_error of string
+
+val create :
+  name:method_name ->
+  params:ty list ->
+  ?ret:ty ->
+  ?ctor:bool ->
+  locals:int ->
+  unit ->
+  t
+
+val emit : t -> string instr -> unit
+(** Append one instruction (branch targets are label names). *)
+
+val emit_all : t -> string instr list -> unit
+
+val label : t -> string -> unit
+(** Define a label at the current position. *)
+
+val handler :
+  t -> from_lbl:string -> to_lbl:string -> target_lbl:string -> exn_kind -> unit
+(** Register an exception handler over the region between two labels
+    (from inclusive, to exclusive). *)
+
+val here : t -> int
+(** Current instruction count. *)
+
+val grow_locals : t -> int -> unit
+val finish : t -> meth
+
+val meth :
+  method_name ->
+  params:ty list ->
+  ?ret:ty ->
+  ?ctor:bool ->
+  locals:int ->
+  (t -> unit) ->
+  meth
+(** Build a whole method in one call. *)
+
+val field_decl : field_name -> ty -> field_decl
+val cls :
+  ?fields:field_decl list ->
+  ?statics:field_decl list ->
+  ?methods:meth list ->
+  class_name ->
+  cls
+val program : cls list -> program

@@ -1,0 +1,117 @@
+(** Control-flow graphs over assembled methods.
+
+    Basic blocks are maximal single-entry straight-line instruction ranges;
+    the analysis of the paper iterates over them (§2: "this pass analyzes
+    basic blocks with modified start states, propagating changes to
+    successor blocks, until a fixed point is reached").
+
+    Exception-handler targets are block leaders; handler edges are kept
+    separately from normal edges because the abstract state transfer differs
+    (operand stack cleared). *)
+
+open Types
+
+type block = {
+  id : int;
+  start_pc : int;
+  end_pc : int;  (** exclusive *)
+  succs : int list;  (** successor block ids, normal edges *)
+  handler_succs : (int * exn_kind) list;
+      (** handler blocks reachable from inside this block *)
+}
+
+type t = {
+  meth : meth;
+  blocks : block array;
+  block_of_pc : int array;  (** pc → id of containing block *)
+}
+
+let instrs t (b : block) =
+  Array.sub t.meth.code b.start_pc (b.end_pc - b.start_pc)
+
+(** Compute block leaders: entry, branch targets, instructions after
+    branches/terminals, handler targets and handler range boundaries. *)
+let leaders (m : meth) : bool array =
+  let n = Array.length m.code in
+  let leader = Array.make n false in
+  leader.(0) <- true;
+  Array.iteri
+    (fun pc i ->
+      List.iter (fun t -> if t < n then leader.(t) <- true) (targets i);
+      let branches = targets i <> [] || is_terminal i in
+      if branches && pc + 1 < n then leader.(pc + 1) <- true)
+    m.code;
+  List.iter
+    (fun h ->
+      if h.target < n then leader.(h.target) <- true;
+      if h.from_pc < n then leader.(h.from_pc) <- true;
+      if h.to_pc < n then leader.(h.to_pc) <- true)
+    m.handlers;
+  leader
+
+let build (m : meth) : t =
+  let n = Array.length m.code in
+  let leader = leaders m in
+  let block_of_pc = Array.make n (-1) in
+  let starts = ref [] in
+  for pc = n - 1 downto 0 do
+    if leader.(pc) then starts := pc :: !starts
+  done;
+  let starts = Array.of_list !starts in
+  let nblocks = Array.length starts in
+  let end_of i = if i + 1 < nblocks then starts.(i + 1) else n in
+  Array.iteri
+    (fun i start ->
+      for pc = start to end_of i - 1 do
+        block_of_pc.(pc) <- i
+      done)
+    starts;
+  let block_at pc = block_of_pc.(pc) in
+  let blocks =
+    Array.init nblocks (fun i ->
+        let start_pc = starts.(i) in
+        let end_pc = end_of i in
+        let last = m.code.(end_pc - 1) in
+        let branch_succs = List.map block_at (targets last) in
+        let fall =
+          if is_terminal last || end_pc >= n then [] else [ block_at end_pc ]
+        in
+        let handler_succs =
+          List.filter_map
+            (fun h ->
+              let overlaps = h.from_pc < end_pc && h.to_pc > start_pc in
+              if overlaps then Some (block_at h.target, h.kind) else None)
+            m.handlers
+        in
+        {
+          id = i;
+          start_pc;
+          end_pc;
+          succs = List.sort_uniq compare (branch_succs @ fall);
+          handler_succs = List.sort_uniq compare handler_succs;
+        })
+  in
+  { meth = m; blocks; block_of_pc }
+
+let n_blocks t = Array.length t.blocks
+let block t id = t.blocks.(id)
+
+(** Blocks in reverse post order from the entry — a good iteration order
+    for forward dataflow. *)
+let reverse_postorder (t : t) : int list =
+  let n = n_blocks t in
+  let seen = Array.make n false in
+  let order = ref [] in
+  let rec dfs id =
+    if not seen.(id) then begin
+      seen.(id) <- true;
+      let b = t.blocks.(id) in
+      List.iter dfs b.succs;
+      List.iter (fun (h, _) -> dfs h) b.handler_succs;
+      order := id :: !order
+    end
+  in
+  dfs 0;
+  (* include blocks unreachable from entry at the end so every block gets
+     processed at least never (they have no in-state and stay bottom) *)
+  !order

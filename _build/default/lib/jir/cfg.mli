@@ -1,0 +1,27 @@
+(** Control-flow graphs over assembled methods: maximal basic blocks, the
+    iteration unit of the paper's dataflow analysis (§2).  Handler edges
+    are kept apart from normal edges because the state transfer differs
+    (operand stack cleared). *)
+
+type block = {
+  id : int;
+  start_pc : int;
+  end_pc : int;  (** exclusive *)
+  succs : int list;
+  handler_succs : (int * Types.exn_kind) list;
+}
+
+type t = {
+  meth : Types.meth;
+  blocks : block array;
+  block_of_pc : int array;
+}
+
+val instrs : t -> block -> int Types.instr array
+val leaders : Types.meth -> bool array
+val build : Types.meth -> t
+val n_blocks : t -> int
+val block : t -> int -> block
+
+val reverse_postorder : t -> int list
+(** Blocks reachable from entry, in a good order for forward dataflow. *)

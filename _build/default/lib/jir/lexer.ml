@@ -1,0 +1,37 @@
+(** Line lexer for the jasm assembly syntax.
+
+    jasm is line-oriented: each non-empty line is one directive,
+    instruction, or label declaration.  The lexer strips comments ([;] or
+    [#] to end of line) and splits each remaining line on whitespace,
+    keeping the 1-based line number for error reporting. *)
+
+type line = { lineno : int; tokens : string list }
+
+let strip_comment s =
+  let cut_at idx = String.sub s 0 idx in
+  let len = String.length s in
+  let rec find i =
+    if i >= len then s
+    else
+      match s.[i] with
+      | ';' | '#' -> cut_at i
+      | _ -> find (i + 1)
+  in
+  find 0
+
+let split_on_whitespace s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun t -> t <> "")
+
+(** [tokenize src] returns one {!line} per non-blank, non-comment source
+    line, in order. *)
+let tokenize (src : string) : line list =
+  let raw_lines = String.split_on_char '\n' src in
+  let f (lineno, acc) raw =
+    let tokens = split_on_whitespace (strip_comment raw) in
+    let acc = if tokens = [] then acc else { lineno; tokens } :: acc in
+    (lineno + 1, acc)
+  in
+  let _, rev = List.fold_left f (1, []) raw_lines in
+  List.rev rev

@@ -1,0 +1,9 @@
+(** Line lexer for the jasm assembly syntax: strips [;]/[#] comments and
+    splits each non-blank line into whitespace-separated tokens, keeping
+    1-based line numbers for error reporting. *)
+
+type line = { lineno : int; tokens : string list }
+
+val strip_comment : string -> string
+val split_on_whitespace : string -> string list
+val tokenize : string -> line list

@@ -1,0 +1,16 @@
+(** Recursive-descent parser for jasm assembly (grammar sketch in {!Pp}).
+    Label references are resolved to instruction indices via
+    {!Builder}. *)
+
+exception Parse_error of { lineno : int; message : string }
+
+val pp_error : exn Fmt.t
+(** Render a {!Parse_error} (or any other exception) for the user. *)
+
+val instr_of_tokens : int -> string list -> string Types.instr option
+(** Parse one instruction line; [None] when the mnemonic is not an
+    instruction (the caller then tries directives).  The [int] is the
+    line number for errors. *)
+
+val parse_program : string -> Types.program
+val parse_linked : string -> Program.t

@@ -1,0 +1,39 @@
+(** Class-table access: efficient lookup of classes, fields and methods,
+    plus structural well-formedness checks (dataflow checks live in
+    {!Verifier}). *)
+
+open Types
+
+type t
+
+exception Link_error of string
+
+val of_program : program -> t
+(** Index a program.  Raises {!Link_error} on duplicate class, field or
+    method names. *)
+
+val program : t -> program
+val classes : t -> cls list
+val find_class : t -> class_name -> cls option
+val get_class : t -> class_name -> cls
+val find_method : t -> method_ref -> meth option
+val get_method : t -> method_ref -> meth
+val find_field : t -> field_ref -> field_decl option
+val get_field : t -> field_ref -> field_decl
+val find_static : t -> field_ref -> field_decl option
+val get_static : t -> field_ref -> field_decl
+val field_ty : t -> field_ref -> ty
+val static_ty : t -> field_ref -> ty
+
+val field_index : t -> field_ref -> int
+(** Index of an instance field within its class's declaration order (the
+    runtime's object layout). *)
+
+val all_methods : t -> (cls * meth) list
+val all_static_refs : t -> field_ref list
+
+val with_method : t -> method_ref -> meth -> t
+(** Replace one method's body, re-linking the program. *)
+
+val total_instr_count : t -> int
+(** Total instruction count over all methods. *)

@@ -1,0 +1,373 @@
+(** Bytecode verification.
+
+    A dataflow pass over each method checks stack discipline and types,
+    mirroring the JVM verifier rules the paper's analysis depends on (§2.2,
+    §2.3):
+
+    - operand stacks have the same depth and types at every join point;
+    - a freshly allocated object ([new C]) is an {e uninitialized} value
+      that may only be duplicated, shuffled, stored/loaded through locals,
+      and finally consumed as receiver of a constructor of [C]; only then do
+      all its copies become ordinary references.  This is what justifies the
+      analysis's constructor entry state (receiver unescaped, declared
+      fields null);
+    - field/method references resolve and are used at their declared types;
+    - exception handlers start with an empty operand stack. *)
+
+open Types
+
+type error = {
+  e_class : class_name;
+  e_method : method_name;
+  e_pc : int;
+  e_msg : string;
+}
+
+let pp_error ppf e =
+  Fmt.pf ppf "%s.%s@%d: %s" e.e_class e.e_method e.e_pc e.e_msg
+
+exception Verify of string
+
+let failf fmt = Fmt.kstr (fun s -> raise (Verify s)) fmt
+
+(** Verification-time value types.  [VUninit pc] tracks the allocation site
+    so that initializing one copy initializes them all. *)
+type vty = VInt | VRef | VUninit of int
+
+let pp_vty ppf = function
+  | VInt -> Fmt.string ppf "int"
+  | VRef -> Fmt.string ppf "ref"
+  | VUninit pc -> Fmt.pf ppf "uninit@%d" pc
+
+(** Local-variable slots additionally track "never written" and "merge
+    conflict"; both are errors only when read. *)
+type lty = LUnset | LConflict | LVal of vty
+
+type state = { stack : vty list; locals : lty array }
+
+let equal_vty a b =
+  match a, b with
+  | VInt, VInt | VRef, VRef -> true
+  | VUninit p, VUninit q -> p = q
+  | (VInt | VRef | VUninit _), _ -> false
+
+let merge_vty a b =
+  if equal_vty a b then a
+  else failf "stack type mismatch: %a vs %a" pp_vty a pp_vty b
+
+let merge_lty a b =
+  match a, b with
+  | LVal x, LVal y -> if equal_vty x y then a else LConflict
+  | LUnset, _ | _, LUnset -> LConflict
+  | LConflict, _ | _, LConflict -> LConflict
+
+let merge_state (a : state) (b : state) : state =
+  if List.length a.stack <> List.length b.stack then
+    failf "stack depth mismatch at join: %d vs %d" (List.length a.stack)
+      (List.length b.stack);
+  {
+    stack = List.map2 merge_vty a.stack b.stack;
+    locals = Array.map2 merge_lty a.locals b.locals;
+  }
+
+let equal_lty a b =
+  match a, b with
+  | LUnset, LUnset | LConflict, LConflict -> true
+  | LVal x, LVal y -> equal_vty x y
+  | (LUnset | LConflict | LVal _), _ -> false
+
+let equal_state a b =
+  List.length a.stack = List.length b.stack
+  && List.for_all2 equal_vty a.stack b.stack
+  && Array.for_all2 equal_lty a.locals b.locals
+
+let vty_of_ty = function I -> VInt | R -> VRef
+
+(** Verify one method against the class table.  Raises {!Verify}. *)
+let verify_method (prog : Program.t) (c : cls) (m : meth) : unit =
+  let n = Array.length m.code in
+  if n = 0 then failf "empty code";
+  if m.max_locals < List.length m.params then
+    failf "max_locals %d < %d params" m.max_locals (List.length m.params);
+  let entry =
+    let locals = Array.make m.max_locals LUnset in
+    List.iteri (fun i ty -> locals.(i) <- LVal (vty_of_ty ty)) m.params;
+    { stack = []; locals }
+  in
+  let states : state option array = Array.make n None in
+  let work = Queue.create () in
+  let post pc (s : state) =
+    if pc < 0 || pc >= n then failf "branch target %d out of range" pc;
+    let s' =
+      match states.(pc) with None -> s | Some old -> merge_state old s
+    in
+    match states.(pc) with
+    | Some old when equal_state old s' -> ()
+    | Some _ | None ->
+        states.(pc) <- Some s';
+        Queue.add pc work
+  in
+  let pop = function
+    | v :: stack -> (v, stack)
+    | [] -> failf "stack underflow"
+  in
+  let pop_int stack =
+    match pop stack with
+    | VInt, rest -> rest
+    | v, _ -> failf "expected int on stack, got %a" pp_vty v
+  in
+  let pop_ref stack =
+    match pop stack with
+    | VRef, rest -> rest
+    | v, _ -> failf "expected initialized ref on stack, got %a" pp_vty v
+  in
+  let pop_ty ty stack =
+    match ty with I -> pop_int stack | R -> pop_ref stack
+  in
+  let load locals i =
+    if i < 0 || i >= Array.length locals then failf "local %d out of range" i;
+    match locals.(i) with
+    | LVal v -> v
+    | LUnset -> failf "local %d read before write" i
+    | LConflict -> failf "local %d has conflicting types at merge" i
+  in
+  let store locals i v =
+    if i < 0 || i >= Array.length locals then failf "local %d out of range" i;
+    let locals = Array.copy locals in
+    locals.(i) <- LVal v;
+    locals
+  in
+  (* Initializing a VUninit site: every copy in stack and locals becomes an
+     ordinary reference. *)
+  let initialize site (s : state) : state =
+    let up = function VUninit p when p = site -> VRef | v -> v in
+    {
+      stack = List.map up s.stack;
+      locals =
+        Array.map (function LVal v -> LVal (up v) | l -> l) s.locals;
+    }
+  in
+  let check_ret ty =
+    match m.ret, ty with
+    | None, None -> ()
+    | Some I, Some I | Some R, Some R -> ()
+    | _ ->
+        failf "return type mismatch (method returns %s)"
+          (Pp.string_of_ret m.ret)
+  in
+  let handler_covers pc h = pc >= h.from_pc && pc < h.to_pc in
+  let step pc (s : state) : unit =
+    (* Any instruction inside a handler range can transfer to the handler
+       with an empty stack and the current locals. *)
+    List.iter
+      (fun h ->
+        if handler_covers pc h then
+          post h.target { stack = []; locals = s.locals })
+      m.handlers;
+    let fallthrough stack locals =
+      if pc + 1 >= n then failf "control falls off the end of the code";
+      post (pc + 1) { stack; locals }
+    in
+    match m.code.(pc) with
+    | Iconst _ -> fallthrough (VInt :: s.stack) s.locals
+    | Aconst_null -> fallthrough (VRef :: s.stack) s.locals
+    | Iload i ->
+        (match load s.locals i with
+        | VInt -> ()
+        | v -> failf "iload of non-int local %d (%a)" i pp_vty v);
+        fallthrough (VInt :: s.stack) s.locals
+    | Aload i -> (
+        match load s.locals i with
+        | VRef -> fallthrough (VRef :: s.stack) s.locals
+        | VUninit p -> fallthrough (VUninit p :: s.stack) s.locals
+        | VInt -> failf "aload of int local %d" i)
+    | Istore i ->
+        let stack = pop_int s.stack in
+        fallthrough stack (store s.locals i VInt)
+    | Astore i -> (
+        match pop s.stack with
+        | (VRef | VUninit _) as v, stack ->
+            fallthrough stack (store s.locals i v)
+        | VInt, _ -> failf "astore of int value")
+    | Iinc (i, _) ->
+        (match load s.locals i with
+        | VInt -> ()
+        | v -> failf "iinc of non-int local %d (%a)" i pp_vty v);
+        fallthrough s.stack s.locals
+    | Ibin _ ->
+        let stack = pop_int (pop_int s.stack) in
+        fallthrough (VInt :: stack) s.locals
+    | Ineg ->
+        let stack = pop_int s.stack in
+        fallthrough (VInt :: stack) s.locals
+    | Dup ->
+        let v, _ = pop s.stack in
+        fallthrough (v :: s.stack) s.locals
+    | Pop ->
+        let _, stack = pop s.stack in
+        fallthrough stack s.locals
+    | Swap ->
+        let a, stack = pop s.stack in
+        let b, stack = pop stack in
+        fallthrough (b :: a :: stack) s.locals
+    | Goto l -> post l s
+    | If_i (_, l) ->
+        let stack = pop_int s.stack in
+        post l { s with stack };
+        fallthrough stack s.locals
+    | If_icmp (_, l) ->
+        let stack = pop_int (pop_int s.stack) in
+        post l { s with stack };
+        fallthrough stack s.locals
+    | If_null l | If_nonnull l ->
+        let stack = pop_ref s.stack in
+        post l { s with stack };
+        fallthrough stack s.locals
+    | If_acmp (_, l) ->
+        let stack = pop_ref (pop_ref s.stack) in
+        post l { s with stack };
+        fallthrough stack s.locals
+    | Getstatic fr ->
+        let ty = Program.static_ty prog fr in
+        fallthrough (vty_of_ty ty :: s.stack) s.locals
+    | Putstatic fr ->
+        let ty = Program.static_ty prog fr in
+        let stack = pop_ty ty s.stack in
+        fallthrough stack s.locals
+    | Getfield fr ->
+        let ty = Program.field_ty prog fr in
+        let stack = pop_ref s.stack in
+        fallthrough (vty_of_ty ty :: stack) s.locals
+    | Putfield fr ->
+        let ty = Program.field_ty prog fr in
+        let stack = pop_ty ty s.stack in
+        let stack = pop_ref stack in
+        fallthrough stack s.locals
+    | New cn ->
+        ignore (Program.get_class prog cn);
+        fallthrough (VUninit pc :: s.stack) s.locals
+    | Newarray (Elem_ref cn) ->
+        ignore (Program.get_class prog cn);
+        let stack = pop_int s.stack in
+        fallthrough (VRef :: stack) s.locals
+    | Newarray Elem_int ->
+        let stack = pop_int s.stack in
+        fallthrough (VRef :: stack) s.locals
+    | Aaload ->
+        let stack = pop_ref (pop_int s.stack) in
+        fallthrough (VRef :: stack) s.locals
+    | Aastore ->
+        let stack = pop_ref s.stack in
+        let stack = pop_int stack in
+        let stack = pop_ref stack in
+        fallthrough stack s.locals
+    | Iaload ->
+        let stack = pop_ref (pop_int s.stack) in
+        fallthrough (VInt :: stack) s.locals
+    | Iastore ->
+        let stack = pop_int s.stack in
+        let stack = pop_int stack in
+        let stack = pop_ref stack in
+        fallthrough stack s.locals
+    | Arraylength ->
+        let stack = pop_ref s.stack in
+        fallthrough (VInt :: stack) s.locals
+    | Invoke mr ->
+        let callee = Program.get_method prog mr in
+        if callee.is_constructor then begin
+          (* pop non-receiver args, then consume the uninitialized
+             receiver and initialize all its copies *)
+          (match callee.ret with
+          | None -> ()
+          | Some _ -> failf "constructor %a returns a value" pp_method_ref mr);
+          let non_recv = List.tl callee.params in
+          let stack =
+            List.fold_left (fun st ty -> pop_ty ty st) s.stack
+              (List.rev non_recv)
+          in
+          match pop stack with
+          | VUninit site, stack ->
+              let s' = initialize site { stack; locals = s.locals } in
+              fallthrough s'.stack s'.locals
+          | v, _ ->
+              failf "constructor receiver must be uninitialized, got %a"
+                pp_vty v
+        end
+        else begin
+          let stack =
+            List.fold_left (fun st ty -> pop_ty ty st) s.stack
+              (List.rev callee.params)
+          in
+          match callee.ret with
+          | None -> fallthrough stack s.locals
+          | Some ty -> fallthrough (vty_of_ty ty :: stack) s.locals
+        end
+    | Spawn mr ->
+        let callee = Program.get_method prog mr in
+        if callee.is_constructor then failf "cannot spawn a constructor";
+        (match callee.ret with
+        | None -> ()
+        | Some _ -> failf "spawned method must return void");
+        let stack =
+          List.fold_left (fun st ty -> pop_ty ty st) s.stack
+            (List.rev callee.params)
+        in
+        fallthrough stack s.locals
+    | Return ->
+        check_ret None
+    | Ireturn ->
+        let _ = pop_int s.stack in
+        check_ret (Some I)
+    | Areturn ->
+        let _ = pop_ref s.stack in
+        check_ret (Some R)
+  in
+  (* constructors must belong to their class and take a ref receiver *)
+  if m.is_constructor then begin
+    match m.params with
+    | R :: _ -> ()
+    | _ -> failf "constructor must take a ref receiver as parameter 0"
+  end;
+  List.iter
+    (fun h ->
+      if h.from_pc < 0 || h.to_pc > n || h.from_pc >= h.to_pc then
+        failf "handler range [%d,%d) invalid" h.from_pc h.to_pc;
+      if h.target < 0 || h.target >= n then
+        failf "handler target %d out of range" h.target)
+    m.handlers;
+  states.(0) <- Some entry;
+  Queue.add 0 work;
+  let current = ref 0 in
+  (try
+     while not (Queue.is_empty work) do
+       let pc = Queue.pop work in
+       current := pc;
+       match states.(pc) with
+       | Some s -> step pc s
+       | None -> ()
+     done
+   with Verify msg -> failf "pc %d (%s): %s" !current
+     (Pp.instr_to_string ~lbl:string_of_int m.code.(!current))
+     msg);
+  ignore c
+
+(** Verify every method; collect all failures. *)
+let verify_program (prog : Program.t) : (unit, error list) result =
+  let errors =
+    List.filter_map
+      (fun (c, m) ->
+        match verify_method prog c m with
+        | () -> None
+        | exception Verify msg ->
+            Some { e_class = c.cname; e_method = m.mname; e_pc = -1; e_msg = msg }
+        | exception Program.Link_error msg ->
+            Some { e_class = c.cname; e_method = m.mname; e_pc = -1; e_msg = msg })
+      (Program.all_methods prog)
+  in
+  match errors with [] -> Ok () | _ :: _ -> Error errors
+
+let verify_exn prog =
+  match verify_program prog with
+  | Ok () -> ()
+  | Error (e :: _) -> failf "%a" pp_error e
+  | Error [] -> assert false

@@ -1,0 +1,23 @@
+(** Bytecode verification: a dataflow pass over each method enforcing the
+    JVM-style rules the analysis relies on (paper §2.2-2.3) — consistent
+    operand stacks at joins, typed locals, resolution of field/method
+    references, empty stacks at handler entries, and the new-object
+    initialization discipline (a fresh [new C] may only be duplicated,
+    shuffled, spilled, and finally consumed by a constructor of [C]). *)
+
+type error = {
+  e_class : Types.class_name;
+  e_method : Types.method_name;
+  e_pc : int;
+  e_msg : string;
+}
+
+val pp_error : error Fmt.t
+
+exception Verify of string
+
+val verify_method : Program.t -> Types.cls -> Types.meth -> unit
+(** Raises {!Verify} on the first violation. *)
+
+val verify_program : Program.t -> (unit, error list) result
+val verify_exn : Program.t -> unit

@@ -1,0 +1,1 @@
+lib/jsrc/ast.ml: Fmt Jir String

@@ -1,0 +1,1 @@
+lib/jsrc/compile.ml: Ast Fmt Hashtbl Jir Jparser Lazy List Option Printf

@@ -1,0 +1,1 @@
+lib/jsrc/compile.mli: Ast Fmt Jir

@@ -1,0 +1,1 @@
+lib/jsrc/jlexer.ml: Ast List Printf String

@@ -1,0 +1,1 @@
+lib/jsrc/jlexer.mli: Ast

@@ -1,0 +1,1 @@
+lib/jsrc/jparser.ml: Array Ast Fmt Jlexer List Option Printexc String

@@ -1,0 +1,1 @@
+lib/jsrc/jparser.mli: Ast Fmt

@@ -1,0 +1,111 @@
+(** Abstract syntax for mini-Java, the source language the paper writes
+    its examples in (§2.4, §3.1).
+
+    The subset is exactly what the paper's code fragments need: classes
+    with int/reference fields and statics, constructors, static and
+    instance methods (direct dispatch), single-dimension arrays,
+    structured control flow with short-circuit conditions, allocation,
+    field/array/static assignment, calls, and [spawn] for starting
+    threads. *)
+
+type pos = { line : int; col : int }
+
+type ty =
+  | Tint
+  | Tobj of string  (** class type *)
+  | Tarr of elem_ty  (** single-dimension array *)
+
+and elem_ty = Eint | Eobj of string
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem  (** [%] *)
+
+type cmpop = Lt | Le | Gt | Ge | Eq | Ne
+
+type expr = { e : expr_node; pos : pos }
+
+and expr_node =
+  | Int_lit of int
+  | Null
+  | Local of string  (** also [this] *)
+  | Field of expr * string  (** [e.f] *)
+  | Static_field of string * string  (** [C.f] *)
+  | Index of expr * expr  (** [e[i]] *)
+  | Length of expr  (** [e.length] *)
+  | New_obj of string * expr list  (** [new C(args)] *)
+  | New_arr of elem_ty * expr  (** [new C[n]], [new int[n]] *)
+  | Call of call
+  | Binop of binop * expr * expr
+  | Neg of expr
+
+and call =
+  | Static_call of string * string * expr list  (** [C.m(args)] *)
+  | Instance_call of expr * string * expr list  (** [e.m(args)] *)
+
+(** Conditions are a separate syntactic class (there is no bool value
+    type), giving natural short-circuit compilation. *)
+type cond = { c : cond_node; cpos : pos }
+
+and cond_node =
+  | Cmp of cmpop * expr * expr  (** int comparison, or ref ==/!= *)
+  | And of cond * cond
+  | Or of cond * cond
+  | Not of cond
+
+type stmt = { s : stmt_node; spos : pos }
+
+and stmt_node =
+  | Decl of ty * string * expr  (** [ty x = e;] *)
+  | Assign_local of string * expr
+  | Assign_field of expr * string * expr  (** [e.f = e;] *)
+  | Assign_static of string * string * expr
+  | Assign_index of expr * expr * expr  (** [e[i] = e;] *)
+  | If of cond * stmt list * stmt list
+  | While of cond * stmt list
+  | For of stmt option * cond * stmt option * stmt list
+      (** [for (init; cond; step) body] — init/step are simple statements *)
+  | Return of expr option
+  | Expr_stmt of call  (** call for effect *)
+  | Spawn of string * string * expr list  (** [spawn C.m(args);] *)
+
+type meth = {
+  m_name : string;
+  m_static : bool;
+  m_ctor : bool;
+  m_ret : ty option;
+  m_params : (ty * string) list;  (** excluding the implicit [this] *)
+  m_body : stmt list;
+  m_pos : pos;
+}
+
+type field = { f_name : string; f_ty : ty; f_static : bool }
+
+type cls = {
+  c_name : string;
+  c_fields : field list;
+  c_methods : meth list;
+}
+
+type program = cls list
+
+let erase : ty -> Jir.Types.ty = function
+  | Tint -> Jir.Types.I
+  | Tobj _ | Tarr _ -> Jir.Types.R
+
+let pp_ty ppf = function
+  | Tint -> Fmt.string ppf "int"
+  | Tobj c -> Fmt.string ppf c
+  | Tarr Eint -> Fmt.string ppf "int[]"
+  | Tarr (Eobj c) -> Fmt.pf ppf "%s[]" c
+
+let equal_ty a b =
+  match a, b with
+  | Tint, Tint -> true
+  | Tobj c1, Tobj c2 -> String.equal c1 c2
+  | Tarr Eint, Tarr Eint -> true
+  | Tarr (Eobj c1), Tarr (Eobj c2) -> String.equal c1 c2
+  | (Tint | Tobj _ | Tarr _), _ -> false

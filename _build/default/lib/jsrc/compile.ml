@@ -1,0 +1,522 @@
+(** Type checking and code generation: mini-Java AST → JIR.
+
+    The pass is deliberately simple — one symbol-collection sweep, then a
+    single typed code-generation walk per method using {!Jir.Builder}.
+    Instance methods receive their receiver as JIR parameter 0; classes
+    without an explicit constructor get a trivial synthesized one (the
+    verifier requires every allocation to be constructor-initialized, and
+    the paper's analysis gives constructors their special entry state). *)
+
+open Ast
+
+exception Type_error of { pos : pos; message : string }
+
+let errf pos fmt =
+  Fmt.kstr (fun message -> raise (Type_error { pos; message })) fmt
+
+let pp_error ppf = function
+  | Type_error { pos; message } ->
+      Fmt.pf ppf "minijava: %d:%d: %s" pos.line pos.col message
+  | e -> Jparser.pp_error ppf e
+
+(* ---- collected signatures ---------------------------------------------- *)
+
+type msig = {
+  sg_static : bool;
+  sg_ctor : bool;
+  sg_params : ty list;  (** excluding the receiver *)
+  sg_ret : ty option;
+}
+
+type csig = {
+  cs_fields : (string * ty) list;  (** instance *)
+  cs_statics : (string * ty) list;
+  cs_methods : (string * msig) list;
+}
+
+type genv = (string, csig) Hashtbl.t
+
+let collect (prog : program) : genv =
+  let g = Hashtbl.create 8 in
+  List.iter
+    (fun (c : cls) ->
+      if Hashtbl.mem g c.c_name then
+        errf { line = 0; col = 0 } "duplicate class %s" c.c_name;
+      let fields, statics =
+        List.partition_map
+          (fun f ->
+            if f.f_static then Right (f.f_name, f.f_ty)
+            else Left (f.f_name, f.f_ty))
+          c.c_fields
+      in
+      let methods =
+        List.map
+          (fun (m : meth) ->
+            ( m.m_name,
+              {
+                sg_static = m.m_static;
+                sg_ctor = m.m_ctor;
+                sg_params = List.map fst m.m_params;
+                sg_ret = m.m_ret;
+              } ))
+          c.c_methods
+      in
+      let methods =
+        (* classes without an explicit constructor get the synthesized
+           default one (mirrored in {!compile_class}) *)
+        if List.exists (fun (m : meth) -> m.m_ctor) c.c_methods then methods
+        else
+          ( "<init>",
+            { sg_static = false; sg_ctor = true; sg_params = []; sg_ret = None }
+          )
+          :: methods
+      in
+      Hashtbl.replace g c.c_name
+        { cs_fields = fields; cs_statics = statics; cs_methods = methods })
+    prog;
+  g
+
+let class_sig (g : genv) pos name : csig =
+  match Hashtbl.find_opt g name with
+  | Some cs -> cs
+  | None -> errf pos "unknown class %s" name
+
+let is_class (g : genv) name = Hashtbl.mem g name
+
+(* ---- expression types -------------------------------------------------- *)
+
+(** The type of [null] is compatible with every reference type. *)
+type ety = Known of ty | Null_t
+
+let pp_ety ppf = function
+  | Known t -> pp_ty ppf t
+  | Null_t -> Fmt.string ppf "null"
+
+let compatible ~(expected : ty) (actual : ety) =
+  match actual with
+  | Known t -> equal_ty expected t
+  | Null_t -> ( match expected with Tint -> false | Tobj _ | Tarr _ -> true)
+
+(* ---- per-method compilation environment -------------------------------- *)
+
+type env = {
+  g : genv;
+  cur_class : string;
+  cur_static : bool;
+  b : Jir.Builder.t;
+  locals : (string, int * ty) Hashtbl.t;
+  mutable next_local : int;
+  mutable next_label : int;
+}
+
+let fresh_label env prefix =
+  let n = env.next_label in
+  env.next_label <- n + 1;
+  Printf.sprintf "%s%d" prefix n
+
+let add_local env pos name ty =
+  if Hashtbl.mem env.locals name then
+    errf pos "variable %s is already defined" name;
+  let slot = env.next_local in
+  env.next_local <- slot + 1;
+  Jir.Builder.grow_locals env.b (slot + 1);
+  Hashtbl.replace env.locals name (slot, ty);
+  slot
+
+let find_local env name = Hashtbl.find_opt env.locals name
+
+let instance_field env pos cls name : ty =
+  match List.assoc_opt name (class_sig env.g pos cls).cs_fields with
+  | Some t -> t
+  | None -> errf pos "class %s has no field %s" cls name
+
+let static_field env pos cls name : ty =
+  match List.assoc_opt name (class_sig env.g pos cls).cs_statics with
+  | Some t -> t
+  | None -> errf pos "class %s has no static field %s" cls name
+
+let method_sig env pos cls name : msig =
+  match List.assoc_opt name (class_sig env.g pos cls).cs_methods with
+  | Some s -> s
+  | None -> errf pos "class %s has no method %s" cls name
+
+let emit env i = Jir.Builder.emit env.b i
+
+(* A parsed [Field (Local c, f)] where [c] names a class (and no local
+   shadows it) is really a static access; same for instance calls. *)
+let as_static_base env (e : expr) : string option =
+  match e.e with
+  | Local name when find_local env name = None && is_class env.g name ->
+      Some name
+  | _ -> None
+
+(* ---- expressions ------------------------------------------------------- *)
+
+let rec compile_expr env (e : expr) : ety =
+  match e.e with
+  | Int_lit n ->
+      emit env (Iconst n);
+      Known Tint
+  | Null ->
+      emit env Aconst_null;
+      Null_t
+  | Local "this" ->
+      if env.cur_static then errf e.pos "this in a static method";
+      emit env (Aload 0);
+      Known (Tobj env.cur_class)
+  | Local name -> (
+      match find_local env name with
+      | Some (slot, ty) ->
+          emit env (match ty with Tint -> Iload slot | _ -> Aload slot);
+          Known ty
+      | None -> errf e.pos "unknown variable %s" name)
+  | Field (base, f) -> (
+      match as_static_base env base with
+      | Some cls ->
+          let ty = static_field env e.pos cls f in
+          emit env (Getstatic { fclass = cls; fname = f });
+          Known ty
+      | None -> (
+          match compile_expr env base with
+          | Known (Tobj cls) ->
+              let ty = instance_field env e.pos cls f in
+              emit env (Getfield { fclass = cls; fname = f });
+              Known ty
+          | t -> errf e.pos "field access on non-object (%a)" pp_ety t))
+  | Static_field (cls, f) ->
+      let ty = static_field env e.pos cls f in
+      emit env (Getstatic { fclass = cls; fname = f });
+      Known ty
+  | Index (arr, idx) -> (
+      match compile_expr env arr with
+      | Known (Tarr elem) -> (
+          expect_int env idx;
+          match elem with
+          | Eint ->
+              emit env Iaload;
+              Known Tint
+          | Eobj c ->
+              emit env Aaload;
+              Known (Tobj c))
+      | t -> errf e.pos "indexing a non-array (%a)" pp_ety t)
+  | Length arr -> (
+      match compile_expr env arr with
+      | Known (Tarr _) ->
+          emit env Arraylength;
+          Known Tint
+      | t -> errf e.pos ".length of a non-array (%a)" pp_ety t)
+  | New_obj (cls, args) ->
+      let sg = method_sig env e.pos cls "<init>" in
+      if not sg.sg_ctor then errf e.pos "%s.<init> is not a constructor" cls;
+      emit env (New cls);
+      emit env Dup;
+      compile_args env e.pos args sg.sg_params;
+      emit env (Invoke { mclass = cls; mname = "<init>" });
+      Known (Tobj cls)
+  | New_arr (elem, len) ->
+      expect_int env len;
+      (match elem with
+      | Eint -> emit env (Newarray Elem_int)
+      | Eobj c ->
+          if not (is_class env.g c) then errf e.pos "unknown class %s" c;
+          emit env (Newarray (Elem_ref c)));
+      Known (Tarr elem)
+  | Call c -> (
+      match compile_call env e.pos c with
+      | Some t -> Known t
+      | None -> errf e.pos "void method used as a value")
+  | Binop (op, a, b) ->
+      expect_int env a;
+      expect_int env b;
+      emit env
+        (Ibin
+           (match op with
+           | Add -> Jir.Types.Add
+           | Sub -> Jir.Types.Sub
+           | Mul -> Jir.Types.Mul
+           | Div -> Jir.Types.Div
+           | Rem -> Jir.Types.Rem));
+      Known Tint
+  | Neg a ->
+      expect_int env a;
+      emit env Ineg;
+      Known Tint
+
+and expect_int env (e : expr) : unit =
+  match compile_expr env e with
+  | Known Tint -> ()
+  | t -> errf e.pos "expected an int expression, found %a" pp_ety t
+
+and expect_ty env (e : expr) ~(expected : ty) : unit =
+  let actual = compile_expr env e in
+  if not (compatible ~expected actual) then
+    errf e.pos "expected %a, found %a" pp_ty expected pp_ety actual
+
+and compile_args env pos (args : expr list) (params : ty list) : unit =
+  if List.length args <> List.length params then
+    errf pos "expected %d arguments, got %d" (List.length params)
+      (List.length args);
+  List.iter2 (fun a expected -> expect_ty env a ~expected) args params
+
+(** Compile a call, pushing its result if any; returns its return type. *)
+and compile_call env pos (c : call) : ty option =
+  match c with
+  | Static_call ("", name, args) ->
+      (* unqualified: a method of the current class *)
+      let sg = method_sig env pos env.cur_class name in
+      if sg.sg_static then
+        compile_call env pos (Static_call (env.cur_class, name, args))
+      else if env.cur_static then
+        errf pos "instance method %s called from a static method" name
+      else
+        compile_call env pos
+          (Instance_call
+             ({ e = Local "this"; pos }, name, args))
+  | Static_call (cls, name, args) ->
+      let sg = method_sig env pos cls name in
+      if not sg.sg_static then
+        errf pos "%s.%s is an instance method" cls name;
+      compile_args env pos args sg.sg_params;
+      emit env (Invoke { mclass = cls; mname = name });
+      sg.sg_ret
+  | Instance_call (recv, name, args) -> (
+      match as_static_base env recv with
+      | Some cls -> compile_call env pos (Static_call (cls, name, args))
+      | None -> (
+          match compile_expr env recv with
+          | Known (Tobj cls) ->
+              let sg = method_sig env pos cls name in
+              if sg.sg_static then
+                errf pos "%s.%s is static; call it on the class" cls name;
+              compile_args env pos args sg.sg_params;
+              emit env (Invoke { mclass = cls; mname = name });
+              sg.sg_ret
+          | t -> errf pos "method call on non-object (%a)" pp_ety t))
+
+(* ---- conditions --------------------------------------------------------- *)
+
+(** Compile a condition as control flow: fall through or jump so that
+    control reaches [if_true] / [if_false]. *)
+let rec compile_cond env (c : cond) ~(if_true : string) ~(if_false : string)
+    : unit =
+  match c.c with
+  | Not inner -> compile_cond env inner ~if_true:if_false ~if_false:if_true
+  | And (a, b) ->
+      let mid = fresh_label env "and" in
+      compile_cond env a ~if_true:mid ~if_false;
+      Jir.Builder.label env.b mid;
+      compile_cond env b ~if_true ~if_false
+  | Or (a, b) ->
+      let mid = fresh_label env "or" in
+      compile_cond env a ~if_true ~if_false:mid;
+      Jir.Builder.label env.b mid;
+      compile_cond env b ~if_true ~if_false
+  | Cmp (op, a, b) -> (
+      let jump_int cond =
+        emit env (If_icmp (cond, if_true));
+        emit env (Goto if_false)
+      in
+      let ta = lazy (compile_expr env a) in
+      (* null comparisons get the dedicated branch forms *)
+      match op, a.e, b.e with
+      | (Eq | Ne), Null, Null ->
+          (* degenerate but legal: null == null is always true *)
+          emit env (Goto (if op = Eq then if_true else if_false))
+      | (Eq | Ne), _, Null ->
+          (match Lazy.force ta with
+          | Known Tint -> errf a.pos "int compared against null"
+          | Known (Tobj _ | Tarr _) | Null_t -> ());
+          emit env
+            (if op = Eq then If_null if_true else If_nonnull if_true);
+          emit env (Goto if_false)
+      | (Eq | Ne), Null, _ ->
+          compile_cond env
+            { c = Cmp (op, b, a); cpos = c.cpos }
+            ~if_true ~if_false
+      | _, _, _ -> (
+          match Lazy.force ta with
+          | Known Tint ->
+              expect_int env b;
+              jump_int
+                (match op with
+                | Lt -> Jir.Types.Lt
+                | Le -> Jir.Types.Le
+                | Gt -> Jir.Types.Gt
+                | Ge -> Jir.Types.Ge
+                | Eq -> Jir.Types.Eq
+                | Ne -> Jir.Types.Ne)
+          | Known (Tobj _ | Tarr _) | Null_t -> (
+              let tb = compile_expr env b in
+              ignore tb;
+              match op with
+              | Eq ->
+                  emit env (If_acmp (true, if_true));
+                  emit env (Goto if_false)
+              | Ne ->
+                  emit env (If_acmp (false, if_true));
+                  emit env (Goto if_false)
+              | Lt | Le | Gt | Ge ->
+                  errf c.cpos "ordered comparison of references")))
+
+(* ---- statements --------------------------------------------------------- *)
+
+let rec compile_stmt env (st : stmt) : unit =
+  match st.s with
+  | Decl (ty, name, init) ->
+      expect_ty env init ~expected:ty;
+      let slot = add_local env st.spos name ty in
+      emit env (match ty with Tint -> Istore slot | _ -> Astore slot)
+  | Assign_local (name, rhs) -> (
+      match find_local env name with
+      | Some (slot, ty) ->
+          expect_ty env rhs ~expected:ty;
+          emit env (match ty with Tint -> Istore slot | _ -> Astore slot)
+      | None -> errf st.spos "unknown variable %s" name)
+  | Assign_field (base, f, rhs) -> (
+      match as_static_base env base with
+      | Some cls ->
+          let ty = static_field env st.spos cls f in
+          expect_ty env rhs ~expected:ty;
+          emit env (Putstatic { fclass = cls; fname = f })
+      | None -> (
+          match compile_expr env base with
+          | Known (Tobj cls) ->
+              let ty = instance_field env st.spos cls f in
+              expect_ty env rhs ~expected:ty;
+              emit env (Putfield { fclass = cls; fname = f })
+          | t -> errf st.spos "field assignment on non-object (%a)" pp_ety t))
+  | Assign_static (cls, f, rhs) ->
+      let ty = static_field env st.spos cls f in
+      expect_ty env rhs ~expected:ty;
+      emit env (Putstatic { fclass = cls; fname = f })
+  | Assign_index (arr, idx, rhs) -> (
+      match compile_expr env arr with
+      | Known (Tarr elem) -> (
+          expect_int env idx;
+          match elem with
+          | Eint ->
+              expect_int env rhs;
+              emit env Iastore
+          | Eobj c ->
+              expect_ty env rhs ~expected:(Tobj c);
+              emit env Aastore)
+      | t -> errf st.spos "indexed assignment on non-array (%a)" pp_ety t)
+  | If (c, then_, else_) ->
+      let lt = fresh_label env "then" in
+      let lf = fresh_label env "else" in
+      let join = fresh_label env "fi" in
+      compile_cond env c ~if_true:lt ~if_false:lf;
+      Jir.Builder.label env.b lt;
+      List.iter (compile_stmt env) then_;
+      emit env (Goto join);
+      Jir.Builder.label env.b lf;
+      List.iter (compile_stmt env) else_;
+      emit env (Goto join);
+      Jir.Builder.label env.b join
+  | While (c, body) ->
+      let head = fresh_label env "while" in
+      let lbody = fresh_label env "do" in
+      let out = fresh_label env "done" in
+      Jir.Builder.label env.b head;
+      compile_cond env c ~if_true:lbody ~if_false:out;
+      Jir.Builder.label env.b lbody;
+      List.iter (compile_stmt env) body;
+      emit env (Goto head);
+      Jir.Builder.label env.b out
+  | For (init, c, step, body) ->
+      Option.iter (compile_stmt env) init;
+      let head = fresh_label env "for" in
+      let lbody = fresh_label env "do" in
+      let out = fresh_label env "done" in
+      Jir.Builder.label env.b head;
+      compile_cond env c ~if_true:lbody ~if_false:out;
+      Jir.Builder.label env.b lbody;
+      List.iter (compile_stmt env) body;
+      Option.iter (compile_stmt env) step;
+      emit env (Goto head);
+      Jir.Builder.label env.b out
+  | Return None -> emit env Return
+  | Return (Some e) -> (
+      match compile_expr env e with
+      | Known Tint -> emit env Ireturn
+      | Known (Tobj _ | Tarr _) | Null_t -> emit env Areturn)
+  | Expr_stmt c -> (
+      match compile_call env st.spos c with
+      | None -> ()
+      | Some _ -> emit env Pop)
+  | Spawn (cls, name, args) ->
+      let sg = method_sig env st.spos cls name in
+      if not sg.sg_static then errf st.spos "spawn target must be static";
+      if sg.sg_ret <> None then errf st.spos "spawn target must return void";
+      compile_args env st.spos args sg.sg_params;
+      emit env (Spawn { mclass = cls; mname = name })
+
+(* ---- methods and classes ------------------------------------------------ *)
+
+let compile_method (g : genv) (cls_name : string) (m : Ast.meth) :
+    Jir.Types.meth =
+  let params =
+    (if m.m_static then [] else [ Jir.Types.R ])
+    @ List.map (fun (t, _) -> erase t) m.m_params
+  in
+  let b =
+    Jir.Builder.create ~name:m.m_name ~params
+      ?ret:(Option.map erase m.m_ret)
+      ~ctor:m.m_ctor
+      ~locals:(List.length params)
+      ()
+  in
+  let env =
+    {
+      g;
+      cur_class = cls_name;
+      cur_static = m.m_static;
+      b;
+      locals = Hashtbl.create 8;
+      next_local = 0;
+      next_label = 0;
+    }
+  in
+  if not m.m_static then begin
+    Hashtbl.replace env.locals "this" (0, Tobj cls_name);
+    env.next_local <- 1
+  end;
+  List.iter
+    (fun (t, name) ->
+      let slot = env.next_local in
+      env.next_local <- slot + 1;
+      Hashtbl.replace env.locals name (slot, t))
+    m.m_params;
+  List.iter (compile_stmt env) m.m_body;
+  (* void methods (and constructors) may fall off the end *)
+  (match m.m_ret with None -> emit env Return | Some _ -> ());
+  Jir.Builder.finish b
+
+let default_ctor : Jir.Types.meth =
+  Jir.Builder.meth "<init>" ~params:[ Jir.Types.R ] ~ctor:true ~locals:1
+    (fun b -> Jir.Builder.emit b Jir.Types.Return)
+
+let compile_class (g : genv) (c : Ast.cls) : Jir.Types.cls =
+  let fields, statics =
+    List.partition_map
+      (fun f ->
+        let fd = Jir.Builder.field_decl f.f_name (erase f.f_ty) in
+        if f.f_static then Right fd else Left fd)
+      c.c_fields
+  in
+  let methods = List.map (compile_method g c.c_name) c.c_methods in
+  let methods =
+    if List.exists (fun (m : Ast.meth) -> m.m_ctor) c.c_methods then methods
+    else default_ctor :: methods
+  in
+  { Jir.Types.cname = c.c_name; fields; statics; methods }
+
+(** Compile a mini-Java program to a linked JIR program. *)
+let compile_program (prog : program) : Jir.Program.t =
+  let g = collect prog in
+  Jir.Program.of_program
+    { Jir.Types.classes = List.map (compile_class g) prog }
+
+(** Parse and compile mini-Java source. *)
+let compile_source (src : string) : Jir.Program.t =
+  compile_program (Jparser.parse_program src)

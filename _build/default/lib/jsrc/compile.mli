@@ -1,0 +1,11 @@
+(** Type checking and code generation: mini-Java AST → JIR.  Instance
+    methods receive their receiver as JIR parameter 0; classes without an
+    explicit constructor get a synthesized trivial one. *)
+
+exception Type_error of { pos : Ast.pos; message : string }
+
+val pp_error : exn Fmt.t
+(** Render a type, parse, or lex error for the user. *)
+
+val compile_program : Ast.program -> Jir.Program.t
+val compile_source : string -> Jir.Program.t

@@ -1,0 +1,113 @@
+(** Hand-written lexer for mini-Java. *)
+
+type token =
+  | Tident of string
+  | Tint_lit of int
+  | Tkw of string  (** reserved word *)
+  | Tpunct of string  (** operator or delimiter, longest-match *)
+  | Teof
+
+type spanned = { tok : token; pos : Ast.pos }
+
+exception Lex_error of { pos : Ast.pos; message : string }
+
+let keywords =
+  [
+    "class"; "int"; "void"; "static"; "new"; "null"; "this"; "return";
+    "if"; "else"; "while"; "for"; "spawn";
+  ]
+
+let puncts =
+  (* longest first, so matching can be greedy *)
+  [
+    "&&"; "||"; "=="; "!="; "<="; ">="; "["; "]"; "("; ")"; "{"; "}";
+    "<"; ">"; "="; "+"; "-"; "*"; "/"; "%"; "!"; ";"; ","; ".";
+  ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+(** Tokenize a whole source string; [//] comments and [/* */] block
+    comments are skipped. *)
+let tokenize (src : string) : spanned list =
+  let n = String.length src in
+  let line = ref 1 and col = ref 1 in
+  let i = ref 0 in
+  let out = ref [] in
+  let pos () : Ast.pos = { line = !line; col = !col } in
+  let advance () =
+    (if !i < n then
+       match src.[!i] with
+       | '\n' ->
+           incr line;
+           col := 1
+       | _ -> incr col);
+    incr i
+  in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  let error message = raise (Lex_error { pos = pos (); message }) in
+  while !i < n do
+    match src.[!i] with
+    | ' ' | '\t' | '\r' | '\n' -> advance ()
+    | '/' when peek 1 = Some '/' ->
+        while !i < n && src.[!i] <> '\n' do
+          advance ()
+        done
+    | '/' when peek 1 = Some '*' ->
+        advance ();
+        advance ();
+        let closed = ref false in
+        while (not !closed) && !i < n do
+          if src.[!i] = '*' && peek 1 = Some '/' then begin
+            advance ();
+            advance ();
+            closed := true
+          end
+          else advance ()
+        done;
+        if not !closed then error "unterminated block comment"
+    | c when is_digit c ->
+        let p = pos () in
+        let start = !i in
+        while !i < n && is_digit src.[!i] do
+          advance ()
+        done;
+        let text = String.sub src start (!i - start) in
+        out := { tok = Tint_lit (int_of_string text); pos = p } :: !out
+    | c when is_ident_start c ->
+        let p = pos () in
+        let start = !i in
+        while !i < n && is_ident_char src.[!i] do
+          advance ()
+        done;
+        let text = String.sub src start (!i - start) in
+        let tok =
+          if List.mem text keywords then Tkw text else Tident text
+        in
+        out := { tok; pos = p } :: !out
+    | _ ->
+        let p = pos () in
+        let matched =
+          List.find_opt
+            (fun punct ->
+              let l = String.length punct in
+              !i + l <= n && String.sub src !i l = punct)
+            puncts
+        in
+        (match matched with
+        | Some punct ->
+            for _ = 1 to String.length punct do
+              advance ()
+            done;
+            out := { tok = Tpunct punct; pos = p } :: !out
+        | None -> error (Printf.sprintf "unexpected character %C" src.[!i]))
+  done;
+  List.rev ({ tok = Teof; pos = pos () } :: !out)
+
+let string_of_token = function
+  | Tident s -> Printf.sprintf "identifier %S" s
+  | Tint_lit n -> Printf.sprintf "integer %d" n
+  | Tkw s -> Printf.sprintf "keyword %S" s
+  | Tpunct s -> Printf.sprintf "%S" s
+  | Teof -> "end of input"

@@ -1,0 +1,17 @@
+(** Hand-written lexer for mini-Java: identifiers, integer literals,
+    keywords, longest-match punctuation; [//] and [/* */] comments. *)
+
+type token =
+  | Tident of string
+  | Tint_lit of int
+  | Tkw of string
+  | Tpunct of string
+  | Teof
+
+type spanned = { tok : token; pos : Ast.pos }
+
+exception Lex_error of { pos : Ast.pos; message : string }
+
+val keywords : string list
+val tokenize : string -> spanned list
+val string_of_token : token -> string

@@ -1,0 +1,497 @@
+(** Recursive-descent parser for mini-Java.
+
+    One notable ambiguity is resolved later, in {!Compile}: [foo.bar]
+    parses as a field access on the expression [Local "foo"]; when [foo]
+    turns out to name a class rather than a local, the type checker
+    reinterprets it as a static access. *)
+
+open Ast
+open Jlexer
+
+exception Parse_error of { pos : pos; message : string }
+
+type st = { toks : spanned array; mutable cur : int }
+
+let errf (p : st) fmt =
+  Fmt.kstr
+    (fun message ->
+      raise (Parse_error { pos = p.toks.(p.cur).pos; message }))
+    fmt
+
+let peek (p : st) = p.toks.(p.cur).tok
+let peek2 (p : st) =
+  if p.cur + 1 < Array.length p.toks then p.toks.(p.cur + 1).tok else Teof
+let peek3 (p : st) =
+  if p.cur + 2 < Array.length p.toks then p.toks.(p.cur + 2).tok else Teof
+let pos_here (p : st) = p.toks.(p.cur).pos
+let advance (p : st) = if p.cur < Array.length p.toks - 1 then p.cur <- p.cur + 1
+
+let eat (p : st) (tok : token) =
+  if peek p = tok then advance p
+  else
+    errf p "expected %s, found %s" (string_of_token tok)
+      (string_of_token (peek p))
+
+let eat_punct p s = eat p (Tpunct s)
+let eat_kw p s = eat p (Tkw s)
+
+let ident (p : st) =
+  match peek p with
+  | Tident s ->
+      advance p;
+      s
+  | t -> errf p "expected an identifier, found %s" (string_of_token t)
+
+(* ---- types ------------------------------------------------------------- *)
+
+(** [base_ty] parses [int] or a class name; [ty] additionally accepts the
+    array suffix. *)
+let base_ty (p : st) : ty =
+  match peek p with
+  | Tkw "int" ->
+      advance p;
+      Tint
+  | Tident c ->
+      advance p;
+      Tobj c
+  | t -> errf p "expected a type, found %s" (string_of_token t)
+
+let ty (p : st) : ty =
+  let base = base_ty p in
+  if peek p = Tpunct "[" && peek2 p = Tpunct "]" then begin
+    advance p;
+    advance p;
+    match base with
+    | Tint -> Tarr Eint
+    | Tobj c -> Tarr (Eobj c)
+    | Tarr _ -> errf p "multi-dimensional arrays are not supported"
+  end
+  else base
+
+(* ---- expressions ------------------------------------------------------- *)
+
+let rec expr (p : st) : expr = add_expr p
+
+and add_expr (p : st) : expr =
+  let rec loop acc =
+    match peek p with
+    | Tpunct "+" ->
+        advance p;
+        loop { e = Binop (Add, acc, mul_expr p); pos = acc.pos }
+    | Tpunct "-" ->
+        advance p;
+        loop { e = Binop (Sub, acc, mul_expr p); pos = acc.pos }
+    | _ -> acc
+  in
+  loop (mul_expr p)
+
+and mul_expr (p : st) : expr =
+  let rec loop acc =
+    match peek p with
+    | Tpunct "*" ->
+        advance p;
+        loop { e = Binop (Mul, acc, unary_expr p); pos = acc.pos }
+    | Tpunct "/" ->
+        advance p;
+        loop { e = Binop (Div, acc, unary_expr p); pos = acc.pos }
+    | Tpunct "%" ->
+        advance p;
+        loop { e = Binop (Rem, acc, unary_expr p); pos = acc.pos }
+    | _ -> acc
+  in
+  loop (unary_expr p)
+
+and unary_expr (p : st) : expr =
+  match peek p with
+  | Tpunct "-" ->
+      let pos = pos_here p in
+      advance p;
+      { e = Neg (unary_expr p); pos }
+  | _ -> postfix_expr p
+
+and postfix_expr (p : st) : expr =
+  let rec loop acc =
+    match peek p with
+    | Tpunct "." -> (
+        advance p;
+        let name = ident p in
+        match peek p with
+        | Tpunct "(" ->
+            let args = arg_list p in
+            loop { e = Call (Instance_call (acc, name, args)); pos = acc.pos }
+        | _ ->
+            if String.equal name "length" then
+              loop { e = Length acc; pos = acc.pos }
+            else loop { e = Field (acc, name); pos = acc.pos })
+    | Tpunct "[" ->
+        advance p;
+        let idx = expr p in
+        eat_punct p "]";
+        loop { e = Index (acc, idx); pos = acc.pos }
+    | _ -> acc
+  in
+  loop (primary_expr p)
+
+and primary_expr (p : st) : expr =
+  let pos = pos_here p in
+  match peek p with
+  | Tint_lit n ->
+      advance p;
+      { e = Int_lit n; pos }
+  | Tkw "null" ->
+      advance p;
+      { e = Null; pos }
+  | Tkw "this" ->
+      advance p;
+      { e = Local "this"; pos }
+  | Tkw "new" -> (
+      advance p;
+      match peek p with
+      | Tkw "int" ->
+          advance p;
+          eat_punct p "[";
+          let len = expr p in
+          eat_punct p "]";
+          { e = New_arr (Eint, len); pos }
+      | Tident c -> (
+          advance p;
+          match peek p with
+          | Tpunct "(" ->
+              let args = arg_list p in
+              { e = New_obj (c, args); pos }
+          | Tpunct "[" ->
+              advance p;
+              let len = expr p in
+              eat_punct p "]";
+              { e = New_arr (Eobj c, len); pos }
+          | t ->
+              errf p "expected (args) or [length] after new %s, found %s" c
+                (string_of_token t))
+      | t -> errf p "expected a type after new, found %s" (string_of_token t))
+  | Tident name -> (
+      advance p;
+      match peek p with
+      | Tpunct "(" ->
+          (* unqualified call: method of the enclosing class; resolved in
+             Compile against the current class *)
+          let args = arg_list p in
+          { e = Call (Static_call ("", name, args)); pos }
+      | _ -> { e = Local name; pos })
+  | Tpunct "(" ->
+      advance p;
+      let e = expr p in
+      eat_punct p ")";
+      e
+  | t -> errf p "expected an expression, found %s" (string_of_token t)
+
+and arg_list (p : st) : expr list =
+  eat_punct p "(";
+  if peek p = Tpunct ")" then begin
+    advance p;
+    []
+  end
+  else begin
+    let rec loop acc =
+      let acc = expr p :: acc in
+      match peek p with
+      | Tpunct "," ->
+          advance p;
+          loop acc
+      | _ ->
+          eat_punct p ")";
+          List.rev acc
+    in
+    loop []
+  end
+
+(* ---- conditions -------------------------------------------------------- *)
+
+let cmpop_of = function
+  | "<" -> Some Lt
+  | "<=" -> Some Le
+  | ">" -> Some Gt
+  | ">=" -> Some Ge
+  | "==" -> Some Eq
+  | "!=" -> Some Ne
+  | _ -> None
+
+let rec cond (p : st) : cond = or_cond p
+
+and or_cond (p : st) : cond =
+  let rec loop acc =
+    match peek p with
+    | Tpunct "||" ->
+        advance p;
+        loop { c = Or (acc, and_cond p); cpos = acc.cpos }
+    | _ -> acc
+  in
+  loop (and_cond p)
+
+and and_cond (p : st) : cond =
+  let rec loop acc =
+    match peek p with
+    | Tpunct "&&" ->
+        advance p;
+        loop { c = And (acc, primary_cond p); cpos = acc.cpos }
+    | _ -> acc
+  in
+  loop (primary_cond p)
+
+and primary_cond (p : st) : cond =
+  let cpos = pos_here p in
+  match peek p with
+  | Tpunct "!" ->
+      advance p;
+      { c = Not (primary_cond p); cpos }
+  | Tpunct "(" -> (
+      (* backtracking: "(" may open a nested condition or a parenthesized
+         arithmetic operand of a comparison *)
+      let save = p.cur in
+      match
+        advance p;
+        let inner = cond p in
+        eat_punct p ")";
+        inner
+      with
+      | inner -> { c = inner.c; cpos }
+      | exception Parse_error _ ->
+          p.cur <- save;
+          comparison p)
+  | _ -> comparison p
+
+and comparison (p : st) : cond =
+  let cpos = pos_here p in
+  let lhs = expr p in
+  match peek p with
+  | Tpunct s when cmpop_of s <> None ->
+      advance p;
+      let rhs = expr p in
+      { c = Cmp (Option.get (cmpop_of s), lhs, rhs); cpos }
+  | t -> errf p "expected a comparison operator, found %s" (string_of_token t)
+
+(* ---- statements -------------------------------------------------------- *)
+
+(** A "simple" statement (no trailing [;]): declaration, assignment, or
+    call for effect. *)
+let rec simple_stmt (p : st) : stmt =
+  let spos = pos_here p in
+  let is_decl_start =
+    match peek p, peek2 p, peek3 p with
+    | Tkw "int", _, _ -> true
+    | Tident _, Tident _, _ -> true  (* C x = ... *)
+    | Tident _, Tpunct "[", Tpunct "]" -> true  (* C[] x = ... *)
+    | _ -> false
+  in
+  if is_decl_start then begin
+    let t = ty p in
+    let name = ident p in
+    eat_punct p "=";
+    let e = expr p in
+    { s = Decl (t, name, e); spos }
+  end
+  else begin
+    let lhs = postfix_expr p in
+    match peek p with
+    | Tpunct "=" -> (
+        advance p;
+        let rhs = expr p in
+        match lhs.e with
+        | Local x -> { s = Assign_local (x, rhs); spos }
+        | Field (base, f) -> { s = Assign_field (base, f, rhs); spos }
+        | Index (arr, idx) -> { s = Assign_index (arr, idx, rhs); spos }
+        | _ -> errf p "this expression cannot be assigned to")
+    | _ -> (
+        match lhs.e with
+        | Call c -> { s = Expr_stmt c; spos }
+        | _ -> errf p "expected '=' or a call statement")
+  end
+
+and stmt (p : st) : stmt =
+  let spos = pos_here p in
+  match peek p with
+  | Tkw "if" ->
+      advance p;
+      eat_punct p "(";
+      let c = cond p in
+      eat_punct p ")";
+      let then_ = block p in
+      let else_ =
+        match peek p with
+        | Tkw "else" -> (
+            advance p;
+            match peek p with
+            | Tkw "if" -> [ stmt p ]  (* else-if chain *)
+            | _ -> block p)
+        | _ -> []
+      in
+      { s = If (c, then_, else_); spos }
+  | Tkw "while" ->
+      advance p;
+      eat_punct p "(";
+      let c = cond p in
+      eat_punct p ")";
+      { s = While (c, block p); spos }
+  | Tkw "for" ->
+      advance p;
+      eat_punct p "(";
+      let init =
+        if peek p = Tpunct ";" then None else Some (simple_stmt p)
+      in
+      eat_punct p ";";
+      let c = cond p in
+      eat_punct p ";";
+      let step =
+        if peek p = Tpunct ")" then None else Some (simple_stmt p)
+      in
+      eat_punct p ")";
+      { s = For (init, c, step, block p); spos }
+  | Tkw "return" ->
+      advance p;
+      let e = if peek p = Tpunct ";" then None else Some (expr p) in
+      eat_punct p ";";
+      { s = Return e; spos }
+  | Tkw "spawn" ->
+      advance p;
+      let c = ident p in
+      eat_punct p ".";
+      let m = ident p in
+      let args = arg_list p in
+      eat_punct p ";";
+      { s = Spawn (c, m, args); spos }
+  | _ ->
+      let st = simple_stmt p in
+      eat_punct p ";";
+      st
+
+and block (p : st) : stmt list =
+  eat_punct p "{";
+  let rec loop acc =
+    if peek p = Tpunct "}" then begin
+      advance p;
+      List.rev acc
+    end
+    else loop (stmt p :: acc)
+  in
+  loop []
+
+(* ---- classes ----------------------------------------------------------- *)
+
+let rec member (p : st) (cls_name : string) :
+    [ `Field of field | `Meth of meth ] =
+  let m_pos = pos_here p in
+  let is_static =
+    match peek p with
+    | Tkw "static" ->
+        advance p;
+        true
+    | _ -> false
+  in
+  match peek p with
+  | Tkw "void" ->
+      advance p;
+      let name = ident p in
+      let params = param_list p in
+      let body = block p in
+      `Meth
+        {
+          m_name = name;
+          m_static = is_static;
+          m_ctor = false;
+          m_ret = None;
+          m_params = params;
+          m_body = body;
+          m_pos;
+        }
+  | Tident c when (not is_static) && String.equal c cls_name && peek2 p = Tpunct "(" ->
+      (* constructor *)
+      advance p;
+      let params = param_list p in
+      let body = block p in
+      `Meth
+        {
+          m_name = "<init>";
+          m_static = false;
+          m_ctor = true;
+          m_ret = None;
+          m_params = params;
+          m_body = body;
+          m_pos;
+        }
+  | _ -> (
+      let t = ty p in
+      let name = ident p in
+      match peek p with
+      | Tpunct ";" ->
+          advance p;
+          `Field { f_name = name; f_ty = t; f_static = is_static }
+      | Tpunct "(" ->
+          let params = param_list p in
+          let body = block p in
+          `Meth
+            {
+              m_name = name;
+              m_static = is_static;
+              m_ctor = false;
+              m_ret = Some t;
+              m_params = params;
+              m_body = body;
+              m_pos;
+            }
+      | t' ->
+          errf p "expected ';' or '(' after member %s, found %s" name
+            (string_of_token t'))
+
+and param_list (p : st) : (ty * string) list =
+  eat_punct p "(";
+  if peek p = Tpunct ")" then begin
+    advance p;
+    []
+  end
+  else begin
+    let rec loop acc =
+      let t = ty p in
+      let name = ident p in
+      let acc = (t, name) :: acc in
+      match peek p with
+      | Tpunct "," ->
+          advance p;
+          loop acc
+      | _ ->
+          eat_punct p ")";
+          List.rev acc
+    in
+    loop []
+  end
+
+let parse_class (p : st) : cls =
+  eat_kw p "class";
+  let c_name = ident p in
+  eat_punct p "{";
+  let rec loop fields methods =
+    if peek p = Tpunct "}" then begin
+      advance p;
+      { c_name; c_fields = List.rev fields; c_methods = List.rev methods }
+    end
+    else
+      match member p c_name with
+      | `Field f -> loop (f :: fields) methods
+      | `Meth m -> loop fields (m :: methods)
+  in
+  loop [] []
+
+let parse_program (src : string) : program =
+  let toks = Array.of_list (Jlexer.tokenize src) in
+  let p = { toks; cur = 0 } in
+  let rec loop acc =
+    match peek p with
+    | Teof -> List.rev acc
+    | _ -> loop (parse_class p :: acc)
+  in
+  loop []
+
+let pp_error ppf = function
+  | Parse_error { pos; message } ->
+      Fmt.pf ppf "minijava: %d:%d: %s" pos.line pos.col message
+  | Jlexer.Lex_error { pos; message } ->
+      Fmt.pf ppf "minijava: %d:%d: %s" pos.line pos.col message
+  | e -> Fmt.string ppf (Printexc.to_string e)

@@ -1,0 +1,10 @@
+(** Recursive-descent parser for mini-Java.  The [foo.bar] ambiguity
+    (field of a local vs. static of a class) parses as a field access and
+    is resolved by {!Compile}. *)
+
+exception Parse_error of { pos : Ast.pos; message : string }
+
+val parse_program : string -> Ast.program
+
+val pp_error : exn Fmt.t
+(** Render a parse or lex error for the user. *)

@@ -1,0 +1,1 @@
+lib/runtime/barrier_cost.ml:

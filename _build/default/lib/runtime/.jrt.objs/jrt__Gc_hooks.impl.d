@@ -1,0 +1,1 @@
+lib/runtime/gc_hooks.ml: Heap Value

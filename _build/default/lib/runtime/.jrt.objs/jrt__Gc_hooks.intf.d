@@ -1,0 +1,1 @@
+lib/runtime/gc_hooks.mli: Heap Value

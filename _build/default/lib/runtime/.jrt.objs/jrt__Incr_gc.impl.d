@@ -1,0 +1,1 @@
+lib/runtime/incr_gc.ml: Gc_hooks Heap List Oracle

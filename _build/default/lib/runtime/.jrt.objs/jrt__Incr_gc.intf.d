@@ -1,0 +1,1 @@
+lib/runtime/incr_gc.mli: Gc_hooks Heap Oracle Value

@@ -1,0 +1,1 @@
+lib/runtime/interp.ml: Array Barrier_cost Fmt Gc_hooks Hashtbl Heap Jir List Value

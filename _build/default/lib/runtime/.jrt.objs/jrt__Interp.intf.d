@@ -1,0 +1,1 @@
+lib/runtime/interp.mli: Barrier_cost Fmt Gc_hooks Hashtbl Heap Jir Value

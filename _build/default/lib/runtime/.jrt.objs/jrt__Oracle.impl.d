@@ -1,0 +1,1 @@
+lib/runtime/oracle.ml: Heap Int List Set

@@ -1,0 +1,1 @@
+lib/runtime/oracle.mli: Heap Set

@@ -1,0 +1,1 @@
+lib/runtime/runner.ml: Gc_hooks Heap Incr_gc Interp Jir List Satb_gc

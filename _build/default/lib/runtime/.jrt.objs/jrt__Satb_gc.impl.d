@@ -1,0 +1,1 @@
+lib/runtime/satb_gc.ml: Array Gc_hooks Heap List Oracle Value

@@ -1,0 +1,1 @@
+lib/runtime/satb_gc.mli: Gc_hooks Heap Oracle Value

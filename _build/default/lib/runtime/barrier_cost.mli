@@ -1,0 +1,20 @@
+(** RISC-instruction cost model for write barriers, calibrated to the
+    paper's §1: the SATB barrier's inline path costs "between 9 and 12
+    RISC instructions" while active; a card-marking barrier "as few as
+    two". *)
+
+type satb_mode =
+  | No_barrier  (** Table 2 "no-barrier" *)
+  | Conditional  (** normal barrier: marking check first *)
+  | Always_log  (** Table 2 "always-log": check elided (§4.5) *)
+
+val string_of_satb_mode : satb_mode -> string
+val check_marking : int
+val load_and_test_pre : int
+val log_out_of_line : int
+val satb_cost : mode:satb_mode -> marking:bool -> pre_null:bool -> int
+val card_mark_cost : int
+
+val bytecode_units : int
+(** Average machine instructions per interpreted bytecode — the base work
+    barrier overhead is measured against. *)

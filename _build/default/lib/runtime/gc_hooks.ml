@@ -1,0 +1,25 @@
+(** The mutator/collector interface.
+
+    The interpreter calls these hooks; collectors ({!Satb_gc},
+    {!Incr_gc}) implement them.  [log_ref_store] is the body of the write
+    barrier: it runs only for stores whose barrier was {e not} eliminated
+    by the analysis — SATB logs the pre-write value, incremental-update
+    card-marking dirties the target's card. *)
+
+type t = {
+  name : string;
+  is_marking : unit -> bool;
+  log_ref_store : obj:int -> pre:Value.t -> unit;
+  on_alloc : Heap.obj -> unit;
+  step : unit -> unit;  (** perform a bounded increment of collector work *)
+}
+
+(** No collector: barriers are pure instrumentation. *)
+let none : t =
+  {
+    name = "none";
+    is_marking = (fun () -> false);
+    log_ref_store = (fun ~obj:_ ~pre:_ -> ());
+    on_alloc = (fun _ -> ());
+    step = (fun () -> ());
+  }

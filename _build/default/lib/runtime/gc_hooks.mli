@@ -1,0 +1,15 @@
+(** The mutator/collector interface: the interpreter calls these hooks,
+    collectors implement them.  [log_ref_store] is the write-barrier body
+    and runs only at sites whose barrier the analysis kept. *)
+
+type t = {
+  name : string;
+  is_marking : unit -> bool;
+  log_ref_store : obj:int -> pre:Value.t -> unit;
+      (** [obj] is the written object's id, [-1] for static stores *)
+  on_alloc : Heap.obj -> unit;
+  step : unit -> unit;  (** one bounded increment of collector work *)
+}
+
+val none : t
+(** No collector: barriers are pure instrumentation. *)

@@ -1,0 +1,104 @@
+(** The simulated heap: a growable store of objects and arrays with
+    per-object mark state for the concurrent collectors.
+
+    Objects' reference fields and object-array elements start null and int
+    fields/elements start zero, exactly the allocator-zeroing guarantee the
+    paper's pre-null analysis relies on. *)
+
+type payload =
+  | Fields of Value.t array  (** instance fields, in declaration order *)
+  | Ref_array of Value.t array
+  | Int_array of int array
+
+type obj = {
+  id : int;
+  cls : Jir.Types.class_name;  (** class, or element class for arrays *)
+  payload : payload;
+  mutable marked : bool;
+  mutable born_during_mark : bool;
+      (** allocated while marking was in progress (relevant to both
+          collectors, with opposite consequences) *)
+  mutable dead : bool;  (** reclaimed by a sweep *)
+}
+
+type t = {
+  mutable objects : obj array;  (** slot i holds object with id i (or dummy) *)
+  mutable next_id : int;
+  mutable live_count : int;
+  mutable total_allocated : int;
+}
+
+let dummy =
+  {
+    id = -1;
+    cls = "";
+    payload = Fields [||];
+    marked = false;
+    born_during_mark = false;
+    dead = true;
+  }
+
+let create () =
+  { objects = Array.make 1024 dummy; next_id = 0; live_count = 0; total_allocated = 0 }
+
+let grow h =
+  if h.next_id >= Array.length h.objects then begin
+    let bigger = Array.make (2 * Array.length h.objects) dummy in
+    Array.blit h.objects 0 bigger 0 (Array.length h.objects);
+    h.objects <- bigger
+  end
+
+let alloc (h : t) (cls : Jir.Types.class_name) (payload : payload) : obj =
+  grow h;
+  let o =
+    {
+      id = h.next_id;
+      cls;
+      payload;
+      marked = false;
+      born_during_mark = false;
+      dead = false;
+    }
+  in
+  h.objects.(h.next_id) <- o;
+  h.next_id <- h.next_id + 1;
+  h.live_count <- h.live_count + 1;
+  h.total_allocated <- h.total_allocated + 1;
+  o
+
+let alloc_object h cls ~n_fields = alloc h cls (Fields (Array.make n_fields Value.Null))
+
+let alloc_ref_array h cls ~len = alloc h cls (Ref_array (Array.make len Value.Null))
+
+let alloc_int_array h ~len = alloc h "int[]" (Int_array (Array.make len 0))
+
+let get (h : t) (id : int) : obj =
+  if id < 0 || id >= h.next_id then invalid_arg "Heap.get: bad id";
+  h.objects.(id)
+
+(** Reference values directly held by an object (outgoing edges). *)
+let out_edges (o : obj) : int list =
+  match o.payload with
+  | Fields vs | Ref_array vs ->
+      Array.to_list vs
+      |> List.filter_map (function Value.Ref id -> Some id | _ -> None)
+  | Int_array _ -> []
+
+let iter_live (h : t) (f : obj -> unit) =
+  for id = 0 to h.next_id - 1 do
+    let o = h.objects.(id) in
+    if not o.dead then f o
+  done
+
+let clear_marks (h : t) =
+  iter_live h (fun o ->
+      o.marked <- false;
+      o.born_during_mark <- false)
+
+(** Reclaim an object (sweep); accessing it afterwards is a bug that we
+    make loud by poisoning its payload. *)
+let free (h : t) (o : obj) =
+  if not o.dead then begin
+    o.dead <- true;
+    h.live_count <- h.live_count - 1
+  end

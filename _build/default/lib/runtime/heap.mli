@@ -1,0 +1,38 @@
+(** The simulated heap: a growable store of objects and arrays with
+    per-object mark state.  Reference fields and object-array elements
+    start null, int fields/elements zero — the allocator-zeroing guarantee
+    the pre-null analysis relies on. *)
+
+type payload =
+  | Fields of Value.t array  (** instance fields, declaration order *)
+  | Ref_array of Value.t array
+  | Int_array of int array
+
+type obj = {
+  id : int;
+  cls : Jir.Types.class_name;  (** class, or element class for arrays *)
+  payload : payload;
+  mutable marked : bool;
+  mutable born_during_mark : bool;
+  mutable dead : bool;  (** reclaimed by a sweep *)
+}
+
+type t = {
+  mutable objects : obj array;
+  mutable next_id : int;
+  mutable live_count : int;
+  mutable total_allocated : int;
+}
+
+val create : unit -> t
+val alloc_object : t -> Jir.Types.class_name -> n_fields:int -> obj
+val alloc_ref_array : t -> Jir.Types.class_name -> len:int -> obj
+val alloc_int_array : t -> len:int -> obj
+val get : t -> int -> obj
+
+val out_edges : obj -> int list
+(** Reference values directly held by the object. *)
+
+val iter_live : t -> (obj -> unit) -> unit
+val clear_marks : t -> unit
+val free : t -> obj -> unit

@@ -1,0 +1,210 @@
+(** Incremental-update ("mostly-parallel") concurrent marking with a
+    card-marking write barrier — the Boehm–Demers–Shenker style baseline
+    the paper contrasts SATB against (§1).
+
+    The mutator's barrier merely dirties the card of the object whose field
+    was written (≈2 instructions).  The collector traces concurrently from
+    a root snapshot; the final stop-the-world pause must then (a) rescan
+    the roots, (b) rescan every object on a dirty card, and (c) trace
+    everything newly discovered — which includes every object allocated
+    during the cycle that became reachable, since incremental update gets
+    no "allocated black" guarantee.  That rescan loop is why
+    incremental-update final pauses are often an order of magnitude longer
+    than SATB remark pauses (§1, §4.5); the measured pause work feeds the
+    E5 experiment. *)
+
+module Iset = Oracle.Iset
+
+let card_size = 64
+
+type phase = Idle | Marking
+
+type cycle_report = {
+  cycle : int;
+  marked : int;
+  dirty_cards : int;  (** distinct cards dirtied during the cycle *)
+  allocated_during : int;
+  increments : int;
+  final_pause_work : int;  (** objects scanned inside the final pause *)
+  rescan_rounds : int;
+  swept : int;
+  violations : int;  (** reachable-at-end objects left unmarked *)
+}
+
+type t = {
+  heap : Heap.t;
+  roots : unit -> int list;
+  steps_per_increment : int;
+  mutable phase : phase;
+  mutable gray : int list;
+  mutable dirty : Iset.t;  (** dirty card ids *)
+  mutable dirtied_total : int;
+  mutable allocated_during : int;
+  mutable increments : int;
+  mutable cycles : int;
+  mutable reports : cycle_report list;
+  mutable sweep_enabled : bool;
+}
+
+let create ?(steps_per_increment = 64) ?(sweep = true) (heap : Heap.t)
+    ~(roots : unit -> int list) : t =
+  {
+    heap;
+    roots;
+    steps_per_increment;
+    phase = Idle;
+    gray = [];
+    dirty = Iset.empty;
+    dirtied_total = 0;
+    allocated_during = 0;
+    increments = 0;
+    cycles = 0;
+    reports = [];
+    sweep_enabled = sweep;
+  }
+
+let is_marking t = t.phase = Marking
+
+let mark_and_gray t id =
+  let o = Heap.get t.heap id in
+  if (not o.marked) && not o.dead then begin
+    o.marked <- true;
+    t.gray <- id :: t.gray
+  end
+
+let start_cycle (t : t) : unit =
+  assert (t.phase = Idle);
+  t.phase <- Marking;
+  t.gray <- [];
+  t.dirty <- Iset.empty;
+  t.dirtied_total <- 0;
+  t.allocated_during <- 0;
+  t.increments <- 0;
+  List.iter (mark_and_gray t) (t.roots ())
+
+let log_ref_store t ~obj ~pre:_ =
+  if t.phase = Marking && obj >= 0 then begin
+    let card = obj / card_size in
+    if not (Iset.mem card t.dirty) then begin
+      t.dirty <- Iset.add card t.dirty;
+      t.dirtied_total <- t.dirtied_total + 1
+    end
+  end
+
+let on_alloc t (o : Heap.obj) =
+  if t.phase = Marking then begin
+    (* allocated white: incremental update must trace new objects *)
+    o.born_during_mark <- true;
+    t.allocated_during <- t.allocated_during + 1
+  end
+
+let drain (t : t) (budget : int) : int =
+  let processed = ref 0 in
+  while !processed < budget && t.gray <> [] do
+    match t.gray with
+    | id :: rest ->
+        t.gray <- rest;
+        incr processed;
+        let o = Heap.get t.heap id in
+        if not o.dead then List.iter (mark_and_gray t) (Heap.out_edges o)
+    | [] -> ()
+  done;
+  !processed
+
+let step (t : t) : unit =
+  if t.phase = Marking then begin
+    t.increments <- t.increments + 1;
+    ignore (drain t t.steps_per_increment)
+  end
+
+let quiescent (t : t) : bool = t.phase = Marking && t.gray = []
+
+(** The final stop-the-world pause: alternate root rescans and dirty-card
+    rescans until a fixed point, then sweep. *)
+let finish_cycle (t : t) : cycle_report =
+  assert (t.phase = Marking);
+  let pause_work = ref 0 in
+  let rounds = ref 0 in
+  let changed = ref true in
+  while !changed do
+    incr rounds;
+    changed := false;
+    (* rescan roots: they may now reference unmarked (e.g. new) objects *)
+    List.iter
+      (fun id ->
+        incr pause_work;
+        let o = Heap.get t.heap id in
+        if (not o.marked) && not o.dead then begin
+          changed := true;
+          mark_and_gray t id
+        end)
+      (t.roots ());
+    (* rescan marked objects on dirty cards: their fields were updated *)
+    let dirty = t.dirty in
+    t.dirty <- Iset.empty;
+    Iset.iter
+      (fun card ->
+        let lo = card * card_size in
+        let hi = min ((card + 1) * card_size) t.heap.Heap.next_id in
+        for id = lo to hi - 1 do
+          let o = Heap.get t.heap id in
+          if o.marked && not o.dead then begin
+            incr pause_work;
+            List.iter
+              (fun tgt ->
+                let g = Heap.get t.heap tgt in
+                if (not g.marked) && not g.dead then begin
+                  changed := true;
+                  mark_and_gray t tgt
+                end)
+              (Heap.out_edges o)
+          end
+        done)
+      dirty;
+    pause_work := !pause_work + drain t max_int
+  done;
+  (* Invariant: everything reachable now is marked. *)
+  let now = Oracle.reachable t.heap (t.roots ()) in
+  let violations =
+    Iset.fold
+      (fun id n ->
+        let o = Heap.get t.heap id in
+        if o.dead || not o.marked then n + 1 else n)
+      now 0
+  in
+  let marked = ref 0 in
+  Heap.iter_live t.heap (fun o -> if o.marked then incr marked);
+  let swept = ref 0 in
+  if t.sweep_enabled && violations = 0 then
+    Heap.iter_live t.heap (fun o ->
+        if not o.marked then begin
+          Heap.free t.heap o;
+          incr swept
+        end);
+  let report =
+    {
+      cycle = t.cycles;
+      marked = !marked;
+      dirty_cards = t.dirtied_total;
+      allocated_during = t.allocated_during;
+      increments = t.increments;
+      final_pause_work = !pause_work;
+      rescan_rounds = !rounds;
+      swept = !swept;
+      violations;
+    }
+  in
+  t.cycles <- t.cycles + 1;
+  t.reports <- report :: t.reports;
+  t.phase <- Idle;
+  Heap.clear_marks t.heap;
+  report
+
+let hooks (t : t) : Gc_hooks.t =
+  {
+    Gc_hooks.name = "incremental-update";
+    is_marking = (fun () -> is_marking t);
+    log_ref_store = (fun ~obj ~pre -> log_ref_store t ~obj ~pre);
+    on_alloc = (fun o -> on_alloc t o);
+    step = (fun () -> step t);
+  }

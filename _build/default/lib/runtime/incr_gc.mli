@@ -1,0 +1,53 @@
+(** Incremental-update ("mostly parallel") concurrent marking with a
+    card-marking write barrier — the Boehm-Demers-Shenker-style baseline
+    the paper contrasts SATB against (§1).  The final stop-the-world
+    pause must rescan roots and dirty cards and trace everything newly
+    reachable — including every object allocated during the cycle — which
+    is why its pauses dwarf SATB remark pauses (experiment E5). *)
+
+val card_size : int
+
+type phase = Idle | Marking
+
+type cycle_report = {
+  cycle : int;
+  marked : int;
+  dirty_cards : int;
+  allocated_during : int;
+  increments : int;
+  final_pause_work : int;
+  rescan_rounds : int;
+  swept : int;
+  violations : int;  (** reachable-at-end objects left unmarked *)
+}
+
+type t = {
+  heap : Heap.t;
+  roots : unit -> int list;
+  steps_per_increment : int;
+  mutable phase : phase;
+  mutable gray : int list;
+  mutable dirty : Oracle.Iset.t;
+  mutable dirtied_total : int;
+  mutable allocated_during : int;
+  mutable increments : int;
+  mutable cycles : int;
+  mutable reports : cycle_report list;
+  mutable sweep_enabled : bool;
+}
+
+val create :
+  ?steps_per_increment:int ->
+  ?sweep:bool ->
+  Heap.t ->
+  roots:(unit -> int list) ->
+  t
+
+val is_marking : t -> bool
+val start_cycle : t -> unit
+val log_ref_store : t -> obj:int -> pre:Value.t -> unit
+val on_alloc : t -> Heap.obj -> unit
+val step : t -> unit
+val quiescent : t -> bool
+val finish_cycle : t -> cycle_report
+val hooks : t -> Gc_hooks.t

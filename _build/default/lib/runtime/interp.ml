@@ -1,0 +1,577 @@
+(** A multi-threaded bytecode interpreter with write-barrier
+    instrumentation.
+
+    Every reference store (putfield/putstatic of a reference field,
+    aastore) is a {e barrier site}.  The interpreter counts, per site, how
+    many times it executes and how often the overwritten value was null —
+    the instrumentation behind the paper's Table 1, including the
+    "potentially pre-null" upper bound (§4.2).  A {e policy} (normally the
+    analysis verdicts) decides which sites' barriers were compiled out;
+    executed barriers invoke the active collector's hook and are charged to
+    the RISC cost model.
+
+    Threads are deterministic green threads; the {!Runner} module
+    interleaves them and the collector. *)
+
+open Jir.Types
+
+exception Runtime_bug of string
+
+let bugf fmt = Fmt.kstr (fun s -> raise (Runtime_bug s)) fmt
+
+(** A barrier site in the compiled (inlined) program. *)
+type site = { s_class : class_name; s_method : method_name; s_pc : int }
+
+type site_stats = {
+  st_kind : store_kind;
+  st_elided : bool;  (** the policy removed this site's barrier *)
+  mutable execs : int;
+  mutable pre_null_execs : int;
+}
+
+(** [policy cls meth pc = true] means the analysis proved the barrier at
+    that site unnecessary. *)
+type barrier_policy = class_name -> method_name -> int -> bool
+
+let keep_all_policy : barrier_policy = fun _ _ _ -> false
+
+type config = {
+  policy : barrier_policy;
+  satb_mode : Barrier_cost.satb_mode;
+  barrier_flavor : [ `Satb | `Card ];
+      (** which barrier body executes at non-elided sites: SATB pre-value
+          logging or incremental-update card marking *)
+  max_steps : int;
+}
+
+let default_config =
+  {
+    policy = keep_all_policy;
+    satb_mode = Barrier_cost.Conditional;
+    barrier_flavor = `Satb;
+    max_steps = 50_000_000;
+  }
+
+type frame = {
+  f_class : class_name;
+  f_meth : meth;
+  mutable pc : int;
+  locals : Value.t array;
+  mutable ostack : Value.t list;
+}
+
+type thread = {
+  tid : int;
+  mutable frames : frame list;  (** top first *)
+  mutable finished : bool;
+  mutable error : string option;
+}
+
+type t = {
+  prog : Jir.Program.t;
+  heap : Heap.t;
+  statics : (class_name * field_name, Value.t) Hashtbl.t;
+  mutable threads : thread list;  (** in spawn order *)
+  mutable next_tid : int;
+  stats : (site, site_stats) Hashtbl.t;
+  cfg : config;
+  mutable gc : Gc_hooks.t;
+  mutable instr_count : int;
+  mutable cost_units : int;  (** bytecode + barrier RISC units *)
+  mutable barrier_units : int;
+  mutable barriers_executed : int;
+  mutable elided_barrier_execs : int;
+  field_index : (field_ref, int) Hashtbl.t;
+}
+
+exception Jexn of exn_kind
+
+let jthrow kind = raise (Jexn kind)
+
+let create ?(cfg = default_config) (prog : Jir.Program.t) : t =
+  let statics = Hashtbl.create 64 in
+  List.iter
+    (fun (c : cls) ->
+      List.iter
+        (fun fd ->
+          Hashtbl.replace statics (c.cname, fd.fd_name)
+            (match fd.fd_ty with I -> Value.Int 0 | R -> Value.Null))
+        c.statics)
+    (Jir.Program.classes prog);
+  {
+    prog;
+    heap = Heap.create ();
+    statics;
+    threads = [];
+    next_tid = 0;
+    stats = Hashtbl.create 256;
+    cfg;
+    gc = Gc_hooks.none;
+    instr_count = 0;
+    cost_units = 0;
+    barrier_units = 0;
+    barriers_executed = 0;
+    elided_barrier_execs = 0;
+    field_index = Hashtbl.create 64;
+  }
+
+let set_collector m gc = m.gc <- gc
+
+let field_index m fr =
+  match Hashtbl.find_opt m.field_index fr with
+  | Some i -> i
+  | None ->
+      let i = Jir.Program.field_index m.prog fr in
+      Hashtbl.replace m.field_index fr i;
+      i
+
+(** Spawn a thread running [mr] with [args] already evaluated. *)
+let spawn_thread (m : t) (mr : method_ref) (args : Value.t list) : thread =
+  let meth = Jir.Program.get_method m.prog mr in
+  let locals = Array.make meth.max_locals Value.Null in
+  List.iteri (fun i v -> locals.(i) <- v) args;
+  let th =
+    {
+      tid = m.next_tid;
+      frames =
+        [ { f_class = mr.mclass; f_meth = meth; pc = 0; locals; ostack = [] } ];
+      finished = false;
+      error = None;
+    }
+  in
+  m.next_tid <- m.next_tid + 1;
+  m.threads <- m.threads @ [ th ];
+  th
+
+(* ---- GC root enumeration ---------------------------------------------- *)
+
+(** All reference values currently held in thread stacks and statics. *)
+let roots (m : t) : int list =
+  let acc = ref [] in
+  let add = function Value.Ref id -> acc := id :: !acc | Value.Null | Value.Int _ -> () in
+  Hashtbl.iter (fun _ v -> add v) m.statics;
+  List.iter
+    (fun th ->
+      List.iter
+        (fun fr ->
+          Array.iter add fr.locals;
+          List.iter add fr.ostack)
+        th.frames)
+    m.threads;
+  !acc
+
+(* ---- barrier instrumentation ------------------------------------------ *)
+
+let site_stats (m : t) (site : site) (kind : store_kind) : site_stats =
+  match Hashtbl.find_opt m.stats site with
+  | Some st -> st
+  | None ->
+      let st =
+        {
+          st_kind = kind;
+          st_elided = m.cfg.policy site.s_class site.s_method site.s_pc;
+          execs = 0;
+          pre_null_execs = 0;
+        }
+      in
+      Hashtbl.replace m.stats site st;
+      st
+
+(** Execute the write-barrier protocol for a reference store.
+    [obj = -1] for static stores. *)
+let ref_store_barrier (m : t) (fr : frame) ~(kind : store_kind) ~(obj : int)
+    ~(pre : Value.t) : unit =
+  let site = { s_class = fr.f_class; s_method = fr.f_meth.mname; s_pc = fr.pc } in
+  let st = site_stats m site kind in
+  st.execs <- st.execs + 1;
+  let pre_null = not (Value.is_ref pre) in
+  if pre_null then st.pre_null_execs <- st.pre_null_execs + 1;
+  if st.st_elided then m.elided_barrier_execs <- m.elided_barrier_execs + 1
+  else begin
+    m.barriers_executed <- m.barriers_executed + 1;
+    let cost =
+      match m.cfg.barrier_flavor with
+      | `Satb ->
+          Barrier_cost.satb_cost ~mode:m.cfg.satb_mode
+            ~marking:(m.gc.is_marking ()) ~pre_null
+      | `Card -> Barrier_cost.card_mark_cost
+    in
+    m.barrier_units <- m.barrier_units + cost;
+    m.cost_units <- m.cost_units + cost;
+    let active =
+      match m.cfg.satb_mode, m.cfg.barrier_flavor with
+      | Barrier_cost.No_barrier, _ -> false
+      | _, `Card -> true
+      | (Barrier_cost.Conditional | Barrier_cost.Always_log), `Satb -> true
+    in
+    if active then m.gc.log_ref_store ~obj ~pre
+  end
+
+(* ---- interpretation --------------------------------------------------- *)
+
+let pop fr =
+  match fr.ostack with
+  | v :: rest ->
+      fr.ostack <- rest;
+      v
+  | [] -> bugf "operand stack underflow at %s.%s@%d" fr.f_class fr.f_meth.mname fr.pc
+
+let push fr v = fr.ostack <- v :: fr.ostack
+
+let pop_int fr =
+  match pop fr with
+  | Value.Int n -> n
+  | v -> bugf "expected int, got %a" Value.pp v
+
+let pop_ref_or_null fr =
+  match pop fr with
+  | (Value.Null | Value.Ref _) as v -> v
+  | Value.Int _ -> bugf "expected ref, got int"
+
+let pop_obj m fr =
+  match pop_ref_or_null fr with
+  | Value.Ref id ->
+      let o = Heap.get m.heap id in
+      (* a swept object reached through a live reference means the
+         collector (or an unsound barrier removal) freed live data *)
+      if o.Heap.dead then
+        bugf "use-after-free of #%d (%s) at %s.%s@%d" id o.Heap.cls fr.f_class
+          fr.f_meth.mname fr.pc;
+      o
+  | Value.Null -> jthrow Null_deref
+  | Value.Int _ -> assert false
+
+let fields_of (o : Heap.obj) =
+  match o.payload with
+  | Heap.Fields fs -> fs
+  | Heap.Ref_array _ | Heap.Int_array _ -> bugf "expected object, got array"
+
+let ref_elems_of (o : Heap.obj) =
+  match o.payload with
+  | Heap.Ref_array es -> es
+  | Heap.Fields _ | Heap.Int_array _ -> bugf "expected object array"
+
+let int_elems_of (o : Heap.obj) =
+  match o.payload with
+  | Heap.Int_array es -> es
+  | Heap.Fields _ | Heap.Ref_array _ -> bugf "expected int array"
+
+(** Allocate and notify the collector. *)
+let allocate m payload_kind =
+  let o = payload_kind in
+  m.gc.on_alloc o;
+  o
+
+(** Unwind after a runtime exception of [kind] raised at the current pc of
+    the top frame. *)
+let unwind (m : t) (th : thread) (kind : exn_kind) : unit =
+  ignore m;
+  let matches (h : int handler) =
+    match h.kind, kind with
+    | Any, _ -> true
+    | Bounds, Bounds | Null_deref, Null_deref | Arith, Arith -> true
+    | (Bounds | Null_deref | Arith), _ -> false
+  in
+  let rec go = function
+    | [] ->
+        th.frames <- [];
+        th.finished <- true;
+        th.error <- Some (string_of_exn_kind kind)
+    | (fr : frame) :: rest -> (
+        let candidate =
+          List.find_opt
+            (fun h -> fr.pc >= h.from_pc && fr.pc < h.to_pc && matches h)
+            fr.f_meth.handlers
+        in
+        match candidate with
+        | Some h ->
+            fr.ostack <- [];
+            fr.pc <- h.target;
+            th.frames <- fr :: rest
+        | None -> go rest)
+  in
+  go th.frames
+
+(** Execute one instruction of [th].  Returns [false] once the thread has
+    finished. *)
+let step (m : t) (th : thread) : bool =
+  match th.frames with
+  | [] ->
+      th.finished <- true;
+      false
+  | fr :: callers -> (
+      m.instr_count <- m.instr_count + 1;
+      m.cost_units <- m.cost_units + Barrier_cost.bytecode_units;
+      if m.instr_count > m.cfg.max_steps then
+        bugf "instruction budget exceeded (%d)" m.cfg.max_steps;
+      let code = fr.f_meth.code in
+      if fr.pc < 0 || fr.pc >= Array.length code then
+        bugf "pc out of range in %s.%s" fr.f_class fr.f_meth.mname;
+      let next () = fr.pc <- fr.pc + 1 in
+      try
+        (match code.(fr.pc) with
+        | Iconst n ->
+            push fr (Value.Int n);
+            next ()
+        | Aconst_null ->
+            push fr Value.Null;
+            next ()
+        | Iload i ->
+            push fr fr.locals.(i);
+            next ()
+        | Aload i ->
+            push fr fr.locals.(i);
+            next ()
+        | Istore i | Astore i ->
+            fr.locals.(i) <- pop fr;
+            next ()
+        | Iinc (i, d) ->
+            (match fr.locals.(i) with
+            | Value.Int n -> fr.locals.(i) <- Value.Int (n + d)
+            | v -> bugf "iinc of %a" Value.pp v);
+            next ()
+        | Ibin op ->
+            let b = pop_int fr in
+            let a = pop_int fr in
+            let r =
+              match op with
+              | Add -> a + b
+              | Sub -> a - b
+              | Mul -> a * b
+              | Div -> if b = 0 then jthrow Arith else a / b
+              | Rem -> if b = 0 then jthrow Arith else a mod b
+            in
+            push fr (Value.Int r);
+            next ()
+        | Ineg ->
+            push fr (Value.Int (-pop_int fr));
+            next ()
+        | Dup ->
+            let v = pop fr in
+            push fr v;
+            push fr v;
+            next ()
+        | Pop ->
+            let _ = pop fr in
+            next ()
+        | Swap ->
+            let a = pop fr in
+            let b = pop fr in
+            push fr a;
+            push fr b;
+            next ()
+        | Goto l -> fr.pc <- l
+        | If_i (c, l) ->
+            let a = pop_int fr in
+            if eval_cond c a 0 then fr.pc <- l else next ()
+        | If_icmp (c, l) ->
+            let b = pop_int fr in
+            let a = pop_int fr in
+            if eval_cond c a b then fr.pc <- l else next ()
+        | If_null l -> (
+            match pop_ref_or_null fr with
+            | Value.Null -> fr.pc <- l
+            | _ -> next ())
+        | If_nonnull l -> (
+            match pop_ref_or_null fr with
+            | Value.Null -> next ()
+            | _ -> fr.pc <- l)
+        | If_acmp (want_eq, l) ->
+            let b = pop_ref_or_null fr in
+            let a = pop_ref_or_null fr in
+            if Value.equal a b = want_eq then fr.pc <- l else next ()
+        | Getstatic r ->
+            push fr (Hashtbl.find m.statics (r.fclass, r.fname));
+            next ()
+        | Putstatic r ->
+            let v = pop fr in
+            (if Jir.Types.equal_ty (Jir.Program.static_ty m.prog r) R then
+               let pre = Hashtbl.find m.statics (r.fclass, r.fname) in
+               ref_store_barrier m fr ~kind:Static_store ~obj:(-1) ~pre);
+            Hashtbl.replace m.statics (r.fclass, r.fname) v;
+            next ()
+        | Getfield r ->
+            let o = pop_obj m fr in
+            push fr (fields_of o).(field_index m r);
+            next ()
+        | Putfield r ->
+            let v = pop fr in
+            let o = pop_obj m fr in
+            let fs = fields_of o in
+            let idx = field_index m r in
+            (if Jir.Types.equal_ty (Jir.Program.field_ty m.prog r) R then
+               ref_store_barrier m fr ~kind:Field_store ~obj:o.id
+                 ~pre:fs.(idx));
+            fs.(idx) <- v;
+            next ()
+        | New cn ->
+            let c = Jir.Program.get_class m.prog cn in
+            let o =
+              allocate m
+                (Heap.alloc_object m.heap cn ~n_fields:(List.length c.fields))
+            in
+            push fr (Value.Ref o.id);
+            next ()
+        | Newarray ety ->
+            let len = pop_int fr in
+            if len < 0 then jthrow Bounds;
+            let o =
+              match ety with
+              | Elem_ref cn -> allocate m (Heap.alloc_ref_array m.heap cn ~len)
+              | Elem_int -> allocate m (Heap.alloc_int_array m.heap ~len)
+            in
+            push fr (Value.Ref o.id);
+            next ()
+        | Aaload ->
+            let i = pop_int fr in
+            let o = pop_obj m fr in
+            let es = ref_elems_of o in
+            if i < 0 || i >= Array.length es then jthrow Bounds;
+            push fr es.(i);
+            next ()
+        | Aastore ->
+            let v = pop fr in
+            let i = pop_int fr in
+            let o = pop_obj m fr in
+            let es = ref_elems_of o in
+            if i < 0 || i >= Array.length es then jthrow Bounds;
+            ref_store_barrier m fr ~kind:Array_store ~obj:o.id ~pre:es.(i);
+            es.(i) <- v;
+            next ()
+        | Iaload ->
+            let i = pop_int fr in
+            let o = pop_obj m fr in
+            let es = int_elems_of o in
+            if i < 0 || i >= Array.length es then jthrow Bounds;
+            push fr (Value.Int es.(i));
+            next ()
+        | Iastore ->
+            let v = pop_int fr in
+            let i = pop_int fr in
+            let o = pop_obj m fr in
+            let es = int_elems_of o in
+            if i < 0 || i >= Array.length es then jthrow Bounds;
+            es.(i) <- v;
+            next ()
+        | Arraylength ->
+            let o = pop_obj m fr in
+            let len =
+              match o.payload with
+              | Heap.Ref_array es -> Array.length es
+              | Heap.Int_array es -> Array.length es
+              | Heap.Fields _ -> bugf "arraylength of non-array"
+            in
+            push fr (Value.Int len);
+            next ()
+        | Invoke mr ->
+            let callee = Jir.Program.get_method m.prog mr in
+            let nargs = List.length callee.params in
+            let locals = Array.make callee.max_locals Value.Null in
+            for k = nargs - 1 downto 0 do
+              locals.(k) <- pop fr
+            done;
+            let new_frame =
+              {
+                f_class = mr.mclass;
+                f_meth = callee;
+                pc = 0;
+                locals;
+                ostack = [];
+              }
+            in
+            (* fr.pc stays at the call site until the callee returns, so
+               exception handler ranges cover the invoke *)
+            th.frames <- new_frame :: fr :: callers
+        | Spawn mr ->
+            let callee = Jir.Program.get_method m.prog mr in
+            let nargs = List.length callee.params in
+            let args = Array.make nargs Value.Null in
+            for k = nargs - 1 downto 0 do
+              args.(k) <- pop fr
+            done;
+            let _ = spawn_thread m mr (Array.to_list args) in
+            next ()
+        | Return -> (
+            match callers with
+            | [] ->
+                th.frames <- [];
+                th.finished <- true
+            | caller :: _ ->
+                caller.pc <- caller.pc + 1;
+                th.frames <- callers)
+        | Ireturn | Areturn -> (
+            let v = pop fr in
+            match callers with
+            | [] ->
+                th.frames <- [];
+                th.finished <- true
+            | caller :: _ ->
+                push caller v;
+                caller.pc <- caller.pc + 1;
+                th.frames <- callers));
+        not th.finished
+      with Jexn kind ->
+        unwind m th kind;
+        not th.finished)
+
+(* ---- aggregate statistics --------------------------------------------- *)
+
+type dyn_stats = {
+  total_execs : int;  (** dynamic reference-store (barrier) executions *)
+  elided_execs : int;
+  pot_pre_null_execs : int;
+      (** executions at sites whose pre-value was never non-null *)
+  field_execs : int;  (** putfield only; statics are counted apart *)
+  field_elided : int;
+  array_execs : int;
+  array_elided : int;
+  static_execs : int;  (** putstatic of reference statics (never elided) *)
+}
+
+let dyn_stats (m : t) : dyn_stats =
+  let total = ref 0
+  and elided = ref 0
+  and pot = ref 0
+  and field = ref 0
+  and field_e = ref 0
+  and array = ref 0
+  and array_e = ref 0
+  and static_ = ref 0 in
+  Hashtbl.iter
+    (fun _ st ->
+      total := !total + st.execs;
+      if st.st_elided then elided := !elided + st.execs;
+      if st.pre_null_execs = st.execs then pot := !pot + st.execs;
+      match st.st_kind with
+      | Field_store ->
+          field := !field + st.execs;
+          if st.st_elided then field_e := !field_e + st.execs
+      | Static_store -> static_ := !static_ + st.execs
+      | Array_store ->
+          array := !array + st.execs;
+          if st.st_elided then array_e := !array_e + st.execs)
+    m.stats;
+  {
+    total_execs = !total;
+    elided_execs = !elided;
+    pot_pre_null_execs = !pot;
+    field_execs = !field;
+    field_elided = !field_e;
+    array_execs = !array;
+    array_elided = !array_e;
+    static_execs = !static_;
+  }
+
+let pct num den = if den = 0 then 0.0 else 100.0 *. float_of_int num /. float_of_int den
+
+let pp_dyn_stats ppf (d : dyn_stats) =
+  Fmt.pf ppf
+    "barriers: %d execs, %.1f%% elided, %.1f%% potentially pre-null; field %d (%.1f%% elided), array %d (%.1f%% elided), static %d"
+    d.total_execs
+    (pct d.elided_execs d.total_execs)
+    (pct d.pot_pre_null_execs d.total_execs)
+    d.field_execs
+    (pct d.field_elided d.field_execs)
+    d.array_execs
+    (pct d.array_elided d.array_execs)
+    d.static_execs

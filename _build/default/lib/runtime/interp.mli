@@ -1,0 +1,92 @@
+(** A multi-threaded bytecode interpreter with write-barrier
+    instrumentation: per-site execution and pre-null counters (the
+    machinery behind the paper's Table 1, including the "potentially
+    pre-null" upper bound of §4.2), an elision policy, the RISC cost
+    model, and collector hooks. *)
+
+exception Runtime_bug of string
+
+type site = {
+  s_class : Jir.Types.class_name;
+  s_method : Jir.Types.method_name;
+  s_pc : int;
+}
+
+type site_stats = {
+  st_kind : Jir.Types.store_kind;
+  st_elided : bool;
+  mutable execs : int;
+  mutable pre_null_execs : int;
+}
+
+type barrier_policy =
+  Jir.Types.class_name -> Jir.Types.method_name -> int -> bool
+(** [policy cls meth pc = true] means the analysis removed that site's
+    barrier. *)
+
+val keep_all_policy : barrier_policy
+
+type config = {
+  policy : barrier_policy;
+  satb_mode : Barrier_cost.satb_mode;
+  barrier_flavor : [ `Satb | `Card ];
+  max_steps : int;
+}
+
+val default_config : config
+
+type frame = {
+  f_class : Jir.Types.class_name;
+  f_meth : Jir.Types.meth;
+  mutable pc : int;
+  locals : Value.t array;
+  mutable ostack : Value.t list;
+}
+
+type thread = {
+  tid : int;
+  mutable frames : frame list;
+  mutable finished : bool;
+  mutable error : string option;
+}
+
+type t = {
+  prog : Jir.Program.t;
+  heap : Heap.t;
+  statics : (Jir.Types.class_name * Jir.Types.field_name, Value.t) Hashtbl.t;
+  mutable threads : thread list;
+  mutable next_tid : int;
+  stats : (site, site_stats) Hashtbl.t;
+  cfg : config;
+  mutable gc : Gc_hooks.t;
+  mutable instr_count : int;
+  mutable cost_units : int;
+  mutable barrier_units : int;
+  mutable barriers_executed : int;
+  mutable elided_barrier_execs : int;
+  field_index : (Jir.Types.field_ref, int) Hashtbl.t;
+}
+
+val create : ?cfg:config -> Jir.Program.t -> t
+val set_collector : t -> Gc_hooks.t -> unit
+val spawn_thread : t -> Jir.Types.method_ref -> Value.t list -> thread
+
+val roots : t -> int list
+(** All reference values held in thread stacks and statics. *)
+
+val step : t -> thread -> bool
+(** Execute one instruction; [false] once the thread has finished. *)
+
+type dyn_stats = {
+  total_execs : int;
+  elided_execs : int;
+  pot_pre_null_execs : int;
+  field_execs : int;  (** putfield only; statics are counted apart *)
+  field_elided : int;
+  array_execs : int;
+  array_elided : int;
+  static_execs : int;  (** putstatic of reference statics (never elided) *)
+}
+
+val dyn_stats : t -> dyn_stats
+val pp_dyn_stats : dyn_stats Fmt.t

@@ -1,0 +1,22 @@
+(** Synchronous reachability oracle.
+
+    The simulator can stop the world for free, so we compute exact
+    reachable sets to (a) capture the logical snapshot when SATB marking
+    starts and (b) verify collector invariants at the end of each cycle.
+    A production collector obviously has no such oracle — it exists purely
+    to {e check} the algorithms. *)
+
+module Iset = Set.Make (Int)
+
+(** Objects reachable from the given root ids. *)
+let reachable (heap : Heap.t) (roots : int list) : Iset.t =
+  let rec go seen = function
+    | [] -> seen
+    | id :: todo ->
+        if Iset.mem id seen then go seen todo
+        else
+          let o = Heap.get heap id in
+          let seen = Iset.add id seen in
+          go seen (List.rev_append (Heap.out_edges o) todo)
+  in
+  go Iset.empty roots

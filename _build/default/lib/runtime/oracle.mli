@@ -1,0 +1,7 @@
+(** Synchronous reachability oracle: exact reachable sets used to capture
+    the logical snapshot when SATB marking starts and to verify collector
+    invariants.  Exists purely to {e check} the algorithms. *)
+
+module Iset : Set.S with type elt = int
+
+val reachable : Heap.t -> int list -> Iset.t

@@ -1,0 +1,187 @@
+(** Deterministic execution harness: interleaves mutator threads and
+    collector increments, triggers and finishes marking cycles, and
+    produces a run report.
+
+    Scheduling is a round-robin over live threads with a fixed (optionally
+    seed-jittered) quantum; collector increments run every
+    [gc_period] mutator instructions.  Everything is deterministic for a
+    given seed, which the soundness property tests exploit to explore many
+    adversarial mutator/collector interleavings. *)
+
+type gc_choice =
+  | No_gc
+  | Satb of { steps_per_increment : int; trigger_allocs : int }
+  | Incr of { steps_per_increment : int; trigger_allocs : int }
+
+let make_satb ?(steps_per_increment = 64) ?(trigger_allocs = 512) () =
+  Satb { steps_per_increment; trigger_allocs }
+
+let make_incr ?(steps_per_increment = 64) ?(trigger_allocs = 512) () =
+  Incr { steps_per_increment; trigger_allocs }
+
+type gc_summary = {
+  cycles : int;
+  total_violations : int;
+  final_pause_works : int list;  (** per cycle, oldest first *)
+  mark_increments : int list;
+  logged_or_dirtied : int list;
+      (** SATB buffer entries / dirty cards, per cycle *)
+}
+
+type report = {
+  machine : Interp.t;
+  steps : int;
+  dyn : Interp.dyn_stats;
+  cost_units : int;
+  barrier_units : int;
+  gc : gc_summary option;
+  thread_errors : (int * string) list;
+}
+
+(** Simple deterministic PRNG for quantum jitter. *)
+let lcg seed =
+  let state = ref (if seed = 0 then 1 else seed) in
+  fun bound ->
+    state := (!state * 1103515245) + 12345;
+    let v = (!state lsr 16) land 0x3FFF in
+    1 + (v mod bound)
+
+let run ?(cfg = Interp.default_config) ?(gc = No_gc) ?(quantum = 50)
+    ?(seed = 0) ?(gc_period = 32) (prog : Jir.Program.t)
+    ~(entry : Jir.Types.method_ref) : report =
+  let m = Interp.create ~cfg prog in
+  let _main = Interp.spawn_thread m entry [] in
+  let rand = lcg seed in
+  (* collector wiring *)
+  let satb_state = ref None in
+  let incr_state = ref None in
+  let trigger =
+    match gc with
+    | No_gc -> max_int
+    | Satb { trigger_allocs; _ } | Incr { trigger_allocs; _ } -> trigger_allocs
+  in
+  (match gc with
+  | No_gc -> ()
+  | Satb { steps_per_increment; _ } ->
+      let t =
+        Satb_gc.create ~steps_per_increment m.Interp.heap ~roots:(fun () ->
+            Interp.roots m)
+      in
+      satb_state := Some t;
+      Interp.set_collector m (Satb_gc.hooks t)
+  | Incr { steps_per_increment; _ } ->
+      let t =
+        Incr_gc.create ~steps_per_increment m.Interp.heap ~roots:(fun () ->
+            Interp.roots m)
+      in
+      incr_state := Some t;
+      Interp.set_collector m (Incr_gc.hooks t));
+  let satb_reports = ref [] in
+  let incr_reports = ref [] in
+  let marking_active () =
+    match !satb_state, !incr_state with
+    | Some t, _ -> Satb_gc.is_marking t
+    | _, Some t -> Incr_gc.is_marking t
+    | None, None -> false
+  in
+  let last_cycle_alloc = ref 0 in
+  let maybe_start_cycle () =
+    if
+      (not (marking_active ()))
+      && m.Interp.heap.Heap.total_allocated - !last_cycle_alloc >= trigger
+    then begin
+      (match !satb_state with Some t -> Satb_gc.start_cycle t | None -> ());
+      match !incr_state with Some t -> Incr_gc.start_cycle t | None -> ()
+    end
+  in
+  (* main scheduling loop *)
+  let since_gc = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    let runnable = List.filter (fun th -> not th.Interp.finished) m.Interp.threads in
+    if runnable = [] then continue_ := false
+    else begin
+      List.iter
+        (fun th ->
+          let q = if seed = 0 then quantum else rand quantum in
+          let k = ref 0 in
+          while !k < q && not th.Interp.finished do
+            ignore (Interp.step m th);
+            incr k;
+            incr since_gc;
+            if !since_gc >= gc_period then begin
+              since_gc := 0;
+              m.Interp.gc.Gc_hooks.step ();
+              maybe_start_cycle ();
+              (* finish once the concurrent phase has gone quiescent *)
+              (match !satb_state with
+              | Some t when Satb_gc.quiescent t ->
+                  satb_reports := Satb_gc.finish_cycle t :: !satb_reports;
+                  last_cycle_alloc := m.Interp.heap.Heap.total_allocated
+              | Some _ | None -> ());
+              match !incr_state with
+              | Some t when Incr_gc.quiescent t ->
+                  incr_reports := Incr_gc.finish_cycle t :: !incr_reports;
+                  last_cycle_alloc := m.Interp.heap.Heap.total_allocated
+              | Some _ | None -> ()
+            end
+          done)
+        runnable
+    end
+  done;
+  (* finish any in-flight cycle so its invariants still get checked *)
+  (match !satb_state with
+  | Some t when Satb_gc.is_marking t ->
+      satb_reports := Satb_gc.finish_cycle t :: !satb_reports
+  | Some _ | None -> ());
+  (match !incr_state with
+  | Some t when Incr_gc.is_marking t ->
+      incr_reports := Incr_gc.finish_cycle t :: !incr_reports
+  | Some _ | None -> ());
+  let gc_summary =
+    match gc with
+    | No_gc -> None
+    | Satb _ ->
+        let rs = List.rev !satb_reports in
+        Some
+          {
+            cycles = List.length rs;
+            total_violations =
+              List.fold_left (fun a (r : Satb_gc.cycle_report) -> a + r.violations) 0 rs;
+            final_pause_works =
+              List.map (fun (r : Satb_gc.cycle_report) -> r.final_pause_work) rs;
+            mark_increments =
+              List.map (fun (r : Satb_gc.cycle_report) -> r.increments) rs;
+            logged_or_dirtied =
+              List.map (fun (r : Satb_gc.cycle_report) -> r.logged) rs;
+          }
+    | Incr _ ->
+        let rs = List.rev !incr_reports in
+        Some
+          {
+            cycles = List.length rs;
+            total_violations =
+              List.fold_left (fun a (r : Incr_gc.cycle_report) -> a + r.violations) 0 rs;
+            final_pause_works =
+              List.map (fun (r : Incr_gc.cycle_report) -> r.final_pause_work) rs;
+            mark_increments =
+              List.map (fun (r : Incr_gc.cycle_report) -> r.increments) rs;
+            logged_or_dirtied =
+              List.map (fun (r : Incr_gc.cycle_report) -> r.dirty_cards) rs;
+          }
+  in
+  {
+    machine = m;
+    steps = m.Interp.instr_count;
+    dyn = Interp.dyn_stats m;
+    cost_units = m.Interp.cost_units;
+    barrier_units = m.Interp.barrier_units;
+    gc = gc_summary;
+    thread_errors =
+      List.filter_map
+        (fun th ->
+          match th.Interp.error with
+          | Some e -> Some (th.Interp.tid, e)
+          | None -> None)
+        m.Interp.threads;
+  }

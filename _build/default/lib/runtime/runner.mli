@@ -1,0 +1,45 @@
+(** Deterministic execution harness: interleaves mutator threads and
+    collector increments, triggers and finishes marking cycles, and
+    produces a run report.  Deterministic for a given seed — the
+    soundness property tests sweep seeds to explore adversarial
+    mutator/collector interleavings. *)
+
+type gc_choice =
+  | No_gc
+  | Satb of { steps_per_increment : int; trigger_allocs : int }
+  | Incr of { steps_per_increment : int; trigger_allocs : int }
+
+val make_satb :
+  ?steps_per_increment:int -> ?trigger_allocs:int -> unit -> gc_choice
+
+val make_incr :
+  ?steps_per_increment:int -> ?trigger_allocs:int -> unit -> gc_choice
+
+type gc_summary = {
+  cycles : int;
+  total_violations : int;
+  final_pause_works : int list;  (** per cycle, oldest first *)
+  mark_increments : int list;
+  logged_or_dirtied : int list;
+      (** SATB log entries / dirty cards, per cycle *)
+}
+
+type report = {
+  machine : Interp.t;
+  steps : int;
+  dyn : Interp.dyn_stats;
+  cost_units : int;
+  barrier_units : int;
+  gc : gc_summary option;
+  thread_errors : (int * string) list;
+}
+
+val run :
+  ?cfg:Interp.config ->
+  ?gc:gc_choice ->
+  ?quantum:int ->
+  ?seed:int ->
+  ?gc_period:int ->
+  Jir.Program.t ->
+  entry:Jir.Types.method_ref ->
+  report

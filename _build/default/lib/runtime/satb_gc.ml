@@ -1,0 +1,291 @@
+(** Snapshot-at-the-beginning (SATB) concurrent marking (Yuasa-style, as
+    used by the Garbage-First collector the paper instruments).
+
+    The collector marks the objects reachable in a logical snapshot of the
+    object graph taken when marking starts.  The mutator's write barrier
+    logs the {e pre-write} value of every overwritten reference field, so
+    that subgraphs unlinked during marking are still traced.  Objects
+    allocated during marking are implicitly marked ("allocated black") and
+    need never be examined — the key SATB advantage (§1).
+
+    The final "remark pause" only has to drain the remaining SATB buffers,
+    which is why SATB pauses are so much shorter than incremental-update
+    pauses (compared in {!Incr_gc}); the pause's work is measured in
+    {!cycle_report.final_pause_work}.
+
+    Object arrays are scanned {e incrementally} (in bounded chunks) and in
+    {e descending} index order.  The direction is a documented contract
+    with the compiler: the §4.3 move-down elision (see
+    {!Satb_core.Analysis}) is only sound when the collector's array scan
+    direction agrees with the direction of element movement, and delete
+    loops move elements toward lower indices.
+
+    Every cycle is checked against the {!Oracle}: a missing barrier that
+    actually unlinked an unvisited snapshot object shows up as an invariant
+    violation, so running workloads under this collector end-to-end tests
+    the {e soundness} of the barrier-removal analysis. *)
+
+module Iset = Oracle.Iset
+
+type phase = Idle | Marking
+
+(** Gray-set entries: a whole object, or the remainder of a partially
+    scanned object array (slots [0..upto] still to visit, descending). *)
+type gray = Whole of int | Array_tail of { id : int; upto : int }
+
+(** How the marker walks object arrays; [Descending] is the shipping
+    contract (required by move-down elision), [Ascending] exists to let
+    the tests demonstrate that the contract matters. *)
+type scan_direction = Descending | Ascending
+
+type cycle_report = {
+  cycle : int;
+  snapshot_size : int;
+  marked : int;
+  logged : int;  (** SATB buffer entries processed *)
+  allocated_during : int;
+  increments : int;  (** concurrent mark increments *)
+  final_pause_work : int;  (** objects processed inside the remark pause *)
+  swept : int;
+  violations : int;
+      (** snapshot-reachable objects left unmarked — 0 unless a needed
+          barrier was removed *)
+}
+
+type t = {
+  heap : Heap.t;
+  roots : unit -> int list;
+  steps_per_increment : int;
+  buffer_capacity : int;
+      (** entries a mutator-local log buffer holds before it is handed to
+          the collector; remnants are only visible at the remark pause *)
+  array_chunk : int;  (** array slots visited per gray-entry processing *)
+  direction : scan_direction;
+  mutable phase : phase;
+  mutable gray : gray list;
+  mutable satb_buffer : int list;  (** completed buffers (object ids) *)
+  mutable local_buffer : int list;  (** mutator-local, not yet handed over *)
+  mutable local_count : int;
+  mutable snapshot : Iset.t;
+  mutable logged : int;
+  mutable allocated_during : int;
+  mutable increments : int;
+  mutable cycles : int;
+  mutable reports : cycle_report list;  (** most recent first *)
+  mutable sweep_enabled : bool;
+}
+
+let create ?(steps_per_increment = 64) ?(buffer_capacity = 32)
+    ?(array_chunk = 8) ?(direction = Descending) ?(sweep = true)
+    (heap : Heap.t) ~(roots : unit -> int list) : t =
+  {
+    heap;
+    roots;
+    steps_per_increment;
+    buffer_capacity;
+    array_chunk;
+    direction;
+    phase = Idle;
+    gray = [];
+    satb_buffer = [];
+    local_buffer = [];
+    local_count = 0;
+    snapshot = Iset.empty;
+    logged = 0;
+    allocated_during = 0;
+    increments = 0;
+    cycles = 0;
+    reports = [];
+    sweep_enabled = sweep;
+  }
+
+let is_marking t = t.phase = Marking
+
+let mark_and_gray t id =
+  let o = Heap.get t.heap id in
+  if (not o.marked) && not o.dead then begin
+    o.marked <- true;
+    t.gray <- Whole id :: t.gray
+  end
+
+(** Begin a cycle: capture the root set (initial-mark pause) and the
+    oracle snapshot used for verification. *)
+let start_cycle (t : t) : unit =
+  assert (t.phase = Idle);
+  t.phase <- Marking;
+  t.gray <- [];
+  t.satb_buffer <- [];
+  t.local_buffer <- [];
+  t.local_count <- 0;
+  t.logged <- 0;
+  t.allocated_during <- 0;
+  t.increments <- 0;
+  let roots = t.roots () in
+  t.snapshot <- Oracle.reachable t.heap roots;
+  List.iter (mark_and_gray t) roots
+
+(** Mutator hooks. *)
+
+(** Log the pre-write value into the mutator-local buffer; a full buffer
+    is handed to the collector (only then can concurrent marking see its
+    entries — exactly how G1's thread-local SATB queues behave). *)
+let log_ref_store t ~obj:_ ~pre =
+  if t.phase = Marking then
+    match pre with
+    | Value.Ref id ->
+        t.local_buffer <- id :: t.local_buffer;
+        t.local_count <- t.local_count + 1;
+        t.logged <- t.logged + 1;
+        if t.local_count >= t.buffer_capacity then begin
+          t.satb_buffer <- List.rev_append t.local_buffer t.satb_buffer;
+          t.local_buffer <- [];
+          t.local_count <- 0
+        end
+    | Value.Null | Value.Int _ -> ()
+
+let on_alloc t (o : Heap.obj) =
+  if t.phase = Marking then begin
+    (* allocate black: implicitly marked, never examined (§1) *)
+    o.marked <- true;
+    o.born_during_mark <- true;
+    t.allocated_during <- t.allocated_during + 1
+  end
+
+(** Scan one chunk of an object array's slots in the configured
+    direction, re-graying a continuation when slots remain. *)
+let scan_array_chunk (t : t) (id : int) ~(upto : int) : unit =
+  let o = Heap.get t.heap id in
+  if not o.dead then
+    match o.payload with
+    | Heap.Ref_array es ->
+        let upto = min upto (Array.length es - 1) in
+        let visit i =
+          match es.(i) with
+          | Value.Ref tgt -> mark_and_gray t tgt
+          | Value.Null | Value.Int _ -> ()
+        in
+        (match t.direction with
+        | Descending ->
+            let last = max 0 (upto - t.array_chunk + 1) in
+            for i = upto downto last do
+              visit i
+            done;
+            if last > 0 then
+              t.gray <- Array_tail { id; upto = last - 1 } :: t.gray
+        | Ascending ->
+            (* slots [0..upto] remain, walked upward: visit the low chunk
+               and keep the high remainder — used only to demonstrate the
+               direction contract in tests *)
+            let len = Array.length es in
+            let start = len - 1 - upto in
+            let stop = min (len - 1) (start + t.array_chunk - 1) in
+            for i = start to stop do
+              visit i
+            done;
+            if stop < len - 1 then
+              t.gray <- Array_tail { id; upto = len - 1 - (stop + 1) } :: t.gray)
+    | Heap.Fields _ | Heap.Int_array _ -> ()
+
+(** Process up to [budget] gray entries (one collector increment),
+    draining logged pre-values first.  Returns the number processed. *)
+let drain (t : t) (budget : int) : int =
+  let processed = ref 0 in
+  while
+    !processed < budget && (t.gray <> [] || t.satb_buffer <> [])
+  do
+    (match t.satb_buffer with
+    | id :: rest ->
+        t.satb_buffer <- rest;
+        mark_and_gray t id
+    | [] -> ());
+    (match t.gray with
+    | Whole id :: rest ->
+        t.gray <- rest;
+        incr processed;
+        let o = Heap.get t.heap id in
+        if not o.dead then begin
+          match o.payload with
+          | Heap.Ref_array es ->
+              scan_array_chunk t id ~upto:(Array.length es - 1)
+          | Heap.Fields _ | Heap.Int_array _ ->
+              List.iter (mark_and_gray t) (Heap.out_edges o)
+        end
+    | Array_tail { id; upto } :: rest ->
+        t.gray <- rest;
+        incr processed;
+        scan_array_chunk t id ~upto
+    | [] -> ())
+  done;
+  !processed
+
+let step (t : t) : unit =
+  if t.phase = Marking then begin
+    t.increments <- t.increments + 1;
+    ignore (drain t t.steps_per_increment)
+  end
+
+(** Has the concurrent phase exhausted its known work? *)
+let quiescent (t : t) : bool =
+  t.phase = Marking && t.gray = [] && t.satb_buffer = []
+
+(** The remark pause: flush the mutator-local buffer remnants, drain
+    everything, verify the snapshot invariant, sweep.  Returns the cycle
+    report.  The pause's work is bounded by the buffer remnants and their
+    transitive unmarked reach — not by heap size or allocation rate, which
+    is the SATB advantage measured in experiment E5. *)
+let finish_cycle (t : t) : cycle_report =
+  assert (t.phase = Marking);
+  t.satb_buffer <- List.rev_append t.local_buffer t.satb_buffer;
+  t.local_buffer <- [];
+  t.local_count <- 0;
+  let pause_work = ref 0 in
+  while t.gray <> [] || t.satb_buffer <> [] do
+    pause_work := !pause_work + drain t max_int
+  done;
+  (* Invariant: every snapshot-reachable object is marked.  A violation
+     means a store whose barrier was (wrongly) removed unlinked an
+     unvisited part of the snapshot. *)
+  let violations =
+    Iset.fold
+      (fun id n ->
+        let o = Heap.get t.heap id in
+        if o.dead || not o.marked then n + 1 else n)
+      t.snapshot 0
+  in
+  let marked = ref 0 in
+  Heap.iter_live t.heap (fun o -> if o.marked then incr marked);
+  let swept = ref 0 in
+  if t.sweep_enabled && violations = 0 then
+    Heap.iter_live t.heap (fun o ->
+        if not o.marked then begin
+          Heap.free t.heap o;
+          incr swept
+        end);
+  let report =
+    {
+      cycle = t.cycles;
+      snapshot_size = Iset.cardinal t.snapshot;
+      marked = !marked;
+      logged = t.logged;
+      allocated_during = t.allocated_during;
+      increments = t.increments;
+      final_pause_work = !pause_work;
+      swept = !swept;
+      violations;
+    }
+  in
+  t.cycles <- t.cycles + 1;
+  t.reports <- report :: t.reports;
+  t.phase <- Idle;
+  Heap.clear_marks t.heap;
+  report
+
+(** Package as mutator-facing hooks. *)
+let hooks (t : t) : Gc_hooks.t =
+  {
+    Gc_hooks.name = "satb";
+    is_marking = (fun () -> is_marking t);
+    log_ref_store = (fun ~obj ~pre -> log_ref_store t ~obj ~pre);
+    on_alloc = (fun o -> on_alloc t o);
+    step = (fun () -> step t);
+  }

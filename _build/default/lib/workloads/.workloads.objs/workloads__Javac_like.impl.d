@@ -1,0 +1,1 @@
+lib/workloads/javac_like.ml: List Printf Spec String

@@ -1,0 +1,1 @@
+lib/workloads/jbb.ml: List Printf Spec String

@@ -1,0 +1,1 @@
+lib/workloads/jbb.mli: Spec

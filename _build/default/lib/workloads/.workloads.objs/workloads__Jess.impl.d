@@ -1,0 +1,1 @@
+lib/workloads/jess.ml: List Printf Spec String

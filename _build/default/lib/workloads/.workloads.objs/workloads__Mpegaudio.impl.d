@@ -1,0 +1,1 @@
+lib/workloads/mpegaudio.ml: Jir Jsrc Spec

@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Compress Db Jack Javac_like Jbb Jess List Micro Mpegaudio Mtrt Spec String

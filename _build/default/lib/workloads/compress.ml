@@ -1,0 +1,100 @@
+(** compress lookalike — one of the two SPECjvm98 programs the paper
+    {e omitted} ("two benchmarks with very little heap or pointer
+    manipulation", §4.1).
+
+    It exists here as a sanity workload: almost all of its work is integer
+    arithmetic over int arrays (an LZW-style hash loop), so it executes
+    almost no reference-store barriers, and the analysis has almost
+    nothing to do — exactly why the paper left it out of Table 1. *)
+
+let src =
+  {|
+; compress: int-array LZW-style hashing; nearly barrier-free
+class Obj
+  method void <init> (ref) locals 1 ctor
+    return
+  end
+end
+
+class Main
+  static ref dict      ; the single object-array (rarely touched)
+  static ref seed
+
+  ; one compression block: hash-chase over int arrays
+  method void block (int) locals 5
+    iconst 64
+    inewarray
+    astore 1
+    iconst 64
+    inewarray
+    astore 2
+    iconst 0
+    istore 3
+  loop:
+    iload 3
+    iload 0
+    if_icmpge fin
+    ; h = (h * 31 + i) mod 64
+    iload 3
+    iconst 31
+    imul
+    iload 3
+    iadd
+    iconst 64
+    irem
+    istore 4
+    aload 1
+    iload 4
+    aload 2
+    iload 4
+    iaload
+    iconst 1
+    iadd
+    iastore
+    aload 2
+    iload 4
+    iload 3
+    iastore
+    iinc 3 1
+    goto loop
+  fin:
+    return
+  end
+
+  method void main () locals 1
+    new Obj
+    dup
+    invoke Obj.<init>
+    putstatic Main.seed
+    iconst 4
+    anewarray Obj
+    putstatic Main.dict
+    ; one reference store in the whole run
+    getstatic Main.dict
+    iconst 0
+    getstatic Main.seed
+    aastore
+    iconst 12
+    istore 0
+  blocks:
+    iload 0
+    ifle fin
+    iconst 200
+    invoke Main.block
+    iinc 0 -1
+    goto blocks
+  fin:
+    return
+  end
+end
+|}
+
+let t : Spec.t =
+  {
+    Spec.name = "compress";
+    description =
+      "omitted-by-the-paper benchmark: int-array work, almost no barriers";
+    paper_row = None;
+    src;
+    entry = Spec.main_entry;
+  }

@@ -1,0 +1,7 @@
+(** See the module implementation header for the workload's design and
+    the Table 1 row it reproduces. *)
+
+val src : string
+(** jasm source. *)
+
+val t : Spec.t

@@ -1,0 +1,214 @@
+(** db lookalike — a small in-memory database's store population.
+
+    Records are allocated with their reference fields initialized in the
+    constructor (eliminable), inserted into a global index array, and then
+    the index is bubble-sorted: the sorting swaps are the paper's §4.3
+    "array rearrangement" idiom — two aastores per swap whose pre-values
+    are never null, so neither pre-null analysis nor the potentially
+    pre-null bound can touch them.  Periodic "snapshot" arrays are
+    published (escape) before being filled, so their stores stay
+    potentially pre-null yet unprovable.
+
+    Paper row: 30.1M barriers, 10.2% eliminated, 28.2% potentially
+    pre-null, 10/90 field/array, field 99.4% / array 0.0% eliminated. *)
+
+let pad n = String.concat "\n" (List.init n (fun _ -> "    iinc 2 1"))
+
+let src =
+  Printf.sprintf
+    {|
+; db: record allocation, index sort (swap idiom), snapshot publication
+class Obj
+  method void <init> (ref) locals 1 ctor
+    return
+  end
+end
+
+class Rec
+  field ref k0
+  field ref k1
+  field ref k2
+  field ref k3
+  field int id
+  method void <init> (ref ref int) locals 3 ctor
+    aload 0
+    iload 2
+    putfield Rec.id
+    return
+  end
+end
+
+class Main
+  static ref index
+  static ref snap
+  static ref seed
+
+  ; one full bubble pass over the index: swap out-of-order neighbours
+  method void pass () locals 4
+    iconst 0
+    istore 0
+  loop:
+    iload 0
+    getstatic Main.index
+    arraylength
+    iconst 1
+    isub
+    if_icmpge fin
+    getstatic Main.index
+    iload 0
+    aaload
+    astore 1            ; a = index[j]
+    getstatic Main.index
+    iload 0
+    iconst 1
+    iadd
+    aaload
+    astore 2            ; b = index[j+1]
+    aload 1
+    getfield Rec.id
+    aload 2
+    getfield Rec.id
+    if_icmple skip
+    getstatic Main.index
+    iload 0
+    aload 2
+    aastore             ; swap: pre-value never null, barrier kept
+    getstatic Main.index
+    iload 0
+    iconst 1
+    iadd
+    aload 1
+    aastore             ; swap: barrier kept
+  skip:
+    iinc 0 1
+    goto loop
+  fin:
+    return
+  end
+
+  ; publish a snapshot array, then fill it (escape before init: stores
+  ; stay potentially pre-null but unprovable)
+  method void snapshot () locals 1
+    getstatic Main.index
+    arraylength
+    anewarray Rec
+    putstatic Main.snap
+    iconst 0
+    istore 0
+  loop:
+    iload 0
+    getstatic Main.snap
+    arraylength
+    if_icmpge fin
+    getstatic Main.snap
+    iload 0
+    getstatic Main.index
+    iload 0
+    aaload
+    aastore
+    iinc 0 1
+    goto loop
+  fin:
+    return
+  end
+
+  ; sets the remaining record keys; sized (~40 instructions) so it
+  ; inlines at limit 50 but not at 25
+  method void bindKeys (ref ref) locals 3
+    aload 0
+    aload 1
+    putfield Rec.k1
+    aload 0
+    aload 1
+    putfield Rec.k2
+    aload 0
+    aload 1
+    putfield Rec.k3
+    iconst 0
+    istore 2
+%s
+    return
+  end
+
+  method void main () locals 2
+    new Obj
+    dup
+    invoke Obj.<init>
+    putstatic Main.seed
+    iconst 32
+    anewarray Rec
+    putstatic Main.index
+    ; fill the index in reverse key order to maximize sorting work
+    iconst 0
+    istore 0
+  fill:
+    iload 0
+    iconst 32
+    if_icmpge sort
+    new Rec
+    dup
+    getstatic Main.seed
+    iconst 32
+    iload 0
+    isub
+    invoke Rec.<init>
+    astore 1
+    ; primary key right at the allocation site (eliminable once the
+    ; constructor is inlined)
+    aload 1
+    getstatic Main.seed
+    putfield Rec.k0
+    ; remaining keys via a mid-sized helper (inlines at limit 50+)
+    aload 1
+    getstatic Main.seed
+    invoke Main.bindKeys
+    getstatic Main.index
+    iload 0
+    aload 1
+    aastore
+    iinc 0 1
+    goto fill
+  sort:
+    iconst 0
+    istore 0
+  passes:
+    iload 0
+    iconst 32
+    if_icmpge snaps
+    invoke Main.pass
+    iinc 0 1
+    goto passes
+  snaps:
+    iconst 0
+    istore 0
+  sloop:
+    iload 0
+    iconst 8
+    if_icmpge fin
+    invoke Main.snapshot
+    iinc 0 1
+    goto sloop
+  fin:
+    return
+  end
+end
+|}
+    (pad 28)
+
+let t : Spec.t =
+  {
+    Spec.name = "db";
+    description = "database: index bubble-sort swaps dominate stores";
+    paper_row =
+      Some
+        {
+          p_total_millions = 30.1;
+          p_elim_pct = 10.2;
+          p_pot_pre_null_pct = 28.2;
+          p_field_pct = 10;
+          p_field_elim_pct = 99.4;
+          p_array_elim_pct = 0.0;
+        };
+    src;
+    entry = Spec.main_entry;
+  }

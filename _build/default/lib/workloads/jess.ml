@@ -1,0 +1,175 @@
+(** jess lookalike — an expert-system shell's store population.
+
+    Rule firing allocates short-lived fact objects whose fields are
+    initialized immediately (eliminable), then inserts each fact into the
+    global working memory and agenda arrays (array stores to escaped
+    arrays: barrier kept).  Working memory is reused across generations, so
+    the first generation's array stores overwrite null (potentially
+    pre-null) while later generations overwrite old facts.
+
+    Paper row: 7.9M barriers, 50.5% eliminated, 75.0% potentially
+    pre-null, 51/49 field/array, field 99.7% / array 0.0% eliminated. *)
+
+let pad n = String.concat "\n" (List.init n (fun _ -> "    iinc 2 1"))
+
+let src =
+  Printf.sprintf
+    {|
+; jess: rule-engine working-memory churn
+class Obj
+  method void <init> (ref) locals 1 ctor
+    return
+  end
+end
+
+class Fact
+  field ref slot0
+  field ref slot1
+  method void <init> (ref) locals 1 ctor
+    return
+  end
+end
+
+class Main
+  static ref wm        ; working memory (reused across generations)
+  static ref derived1  ; derived-fact tables, each slot written once
+  static ref derived2
+  static ref seed
+
+  ; one generation of rule firing: allocate a fact per working-memory
+  ; slot and insert it (the same site overwrites old facts in later
+  ; generations, so it is not even potentially pre-null)
+  method void generation () locals 2
+    iconst 0
+    istore 0
+  loop:
+    iload 0
+    getstatic Main.wm
+    arraylength
+    if_icmpge fin
+    new Fact
+    dup
+    invoke Fact.<init>
+    astore 1
+    ; first slot is set right at the allocation site: eliminable once the
+    ; (trivial) constructor is inlined
+    aload 1
+    getstatic Main.seed
+    putfield Fact.slot0
+    ; second slot is set by a mid-sized helper: eliminable only once the
+    ; helper itself is inlined
+    aload 1
+    getstatic Main.seed
+    invoke Main.bindSlot1
+    getstatic Main.wm
+    iload 0
+    aload 1
+    aastore              ; escaped + churned: kept, not pre-null
+    iinc 0 1
+    goto loop
+  fin:
+    return
+  end
+
+  ; rule-network binding: sets the second slot; sized (~35 instructions)
+  ; so it inlines at limit 50 but not at 25
+  method void bindSlot1 (ref ref) locals 3
+    aload 0
+    aload 1
+    putfield Fact.slot1
+    iconst 0
+    istore 2
+%s
+    return
+  end
+
+  ; derive: record each working-memory fact in a write-once table
+  ; (escaped array: kept, but dynamically always pre-null)
+  method void derive1 () locals 1
+    iconst 0
+    istore 0
+  loop:
+    iload 0
+    getstatic Main.derived1
+    arraylength
+    if_icmpge fin
+    getstatic Main.derived1
+    iload 0
+    getstatic Main.wm
+    iload 0
+    aaload
+    aastore
+    iinc 0 1
+    goto loop
+  fin:
+    return
+  end
+
+  method void derive2 () locals 1
+    iconst 0
+    istore 0
+  loop:
+    iload 0
+    getstatic Main.derived2
+    arraylength
+    if_icmpge fin
+    getstatic Main.derived2
+    iload 0
+    getstatic Main.wm
+    iload 0
+    aaload
+    aastore
+    iinc 0 1
+    goto loop
+  fin:
+    return
+  end
+
+  method void main () locals 1
+    new Obj
+    dup
+    invoke Obj.<init>
+    putstatic Main.seed
+    iconst 96
+    anewarray Fact
+    putstatic Main.wm
+    iconst 96
+    anewarray Fact
+    putstatic Main.derived1
+    iconst 96
+    anewarray Fact
+    putstatic Main.derived2
+    iconst 2
+    istore 0
+  gens:
+    iload 0
+    ifle derive
+    invoke Main.generation
+    iinc 0 -1
+    goto gens
+  derive:
+    invoke Main.derive1
+    invoke Main.derive2
+    return
+  end
+end
+|}
+    (pad 30)
+
+let t : Spec.t =
+  {
+    Spec.name = "jess";
+    description = "expert-system shell: fact allocation + working-memory churn";
+    paper_row =
+      Some
+        {
+          p_total_millions = 7.9;
+          p_elim_pct = 50.5;
+          p_pot_pre_null_pct = 75.0;
+          p_field_pct = 51;
+          p_field_elim_pct = 99.7;
+          p_array_elim_pct = 0.0;
+        };
+    src;
+    entry = Spec.main_entry;
+  }

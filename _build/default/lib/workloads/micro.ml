@@ -1,0 +1,152 @@
+(** Micro-programs lifted straight from the paper's running examples. *)
+
+(** §3.1's motivating example: [expand] doubles an array, copying the old
+    elements in order.  Every store in the copy loop is initializing. *)
+let expand_src =
+  {|
+; paper §3.1: public static T[] expand(T[] ta)
+class T
+  field ref payload
+  method void <init> (ref) locals 1 ctor
+    return
+  end
+end
+
+class Main
+  static ref result
+
+  method ref expand (ref) locals 3
+    aload 0
+    arraylength
+    iconst 2
+    imul
+    anewarray T
+    astore 1
+    iconst 0
+    istore 2
+  loop:
+    iload 2
+    aload 0
+    arraylength
+    if_icmpge fin
+    aload 1
+    iload 2
+    aload 0
+    iload 2
+    aaload
+    aastore              ; initializing: eliminable by the array analysis
+    iinc 2 1
+    goto loop
+  fin:
+    aload 1
+    areturn
+  end
+
+  method void main () locals 2
+    iconst 8
+    anewarray T
+    astore 0
+    iconst 0
+    istore 1
+  fill:
+    iload 1
+    iconst 8
+    if_icmpge go
+    aload 0
+    iload 1
+    new T
+    dup
+    invoke T.<init>
+    aastore
+    iinc 1 1
+    goto fill
+  go:
+    aload 0
+    invoke Main.expand
+    putstatic Main.result
+    return
+  end
+end
+|}
+
+(** §2.4's two-names-per-site example: W1 writes a field of the most
+    recently allocated object (strong update, eliminable); W2 writes a
+    field of an object saved from a {e previous} iteration (summarized by
+    [R_id/B], weak update, kept). *)
+let two_names_src =
+  {|
+; paper §2.4: precision from two abstract names per allocation site
+class T
+  field ref f1
+  method void <init> (ref) locals 1 ctor
+    return
+  end
+end
+
+class Main
+  static ref sink
+  static int p1
+  static int p2
+
+  method void loop () locals 3
+    aconst_null
+    astore 1            ; saved = null
+    iconst 8
+    istore 0
+  head:
+    iload 0
+    ifle fin
+    new T
+    dup
+    invoke T.<init>
+    astore 2            ; t = new T()
+    getstatic Main.p2
+    ifeq skipw1
+    aload 2
+    getstatic Main.sink
+    putfield T.f1       ; W1: most recent allocation, eliminable
+  skipw1:
+    aload 1
+    ifnull skipw2
+    aload 1
+    getstatic Main.sink
+    putfield T.f1       ; W2: older object (R_id/B), kept
+  skipw2:
+    aload 2
+    astore 1            ; saved = t
+    iinc 0 -1
+    goto head
+  fin:
+    return
+  end
+
+  method void main () locals 0
+    new T
+    dup
+    invoke T.<init>
+    putstatic Main.sink
+    iconst 1
+    putstatic Main.p2
+    invoke Main.loop
+    return
+  end
+end
+|}
+
+let expand : Spec.t =
+  {
+    Spec.name = "micro-expand";
+    description = "paper §3.1 array-doubling example";
+    paper_row = None;
+    src = expand_src;
+    entry = Spec.main_entry;
+  }
+
+let two_names : Spec.t =
+  {
+    Spec.name = "micro-two-names";
+    description = "paper §2.4 two-names-per-allocation-site example";
+    paper_row = None;
+    src = two_names_src;
+    entry = Spec.main_entry;
+  }

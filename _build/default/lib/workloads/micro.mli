@@ -1,0 +1,10 @@
+(** Micro-programs lifted straight from the paper's running examples. *)
+
+val expand_src : string
+(** §3.1's array-doubling example. *)
+
+val two_names_src : string
+(** §2.4's two-names-per-allocation-site example. *)
+
+val expand : Spec.t
+val two_names : Spec.t

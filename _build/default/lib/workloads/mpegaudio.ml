@@ -1,0 +1,55 @@
+(** mpegaudio lookalike — the second SPECjvm98 program the paper omitted
+    for having "very little heap or pointer manipulation" (§4.1).
+
+    Like {!Compress} it exists as a sanity workload, but unlike the other
+    workloads it is written in {e mini-Java} and compiled through the
+    {!Jsrc} frontend; its jasm [src] is the pretty-printed compiler
+    output, which also exercises the frontend → printer → parser
+    round-trip every time the workload is loaded. *)
+
+let java_src =
+  {|
+// mpegaudio: subband-synthesis-style integer DSP over int arrays
+class Main {
+  static int checksum;
+
+  static int window(int[] samples, int[] coeffs, int phase) {
+    int acc = 0;
+    for (int i = 0; i < samples.length; i = i + 1) {
+      int k = (i * 7 + phase) % coeffs.length;
+      acc = acc + samples[i] * coeffs[k];
+    }
+    return acc;
+  }
+
+  static void frame(int n) {
+    int[] samples = new int[32];
+    int[] coeffs = new int[16];
+    for (int i = 0; i < 32; i = i + 1) { samples[i] = (i * i) % 97; }
+    for (int j = 0; j < 16; j = j + 1) { coeffs[j] = 16 - j; }
+    int acc = 0;
+    for (int p = 0; p < n; p = p + 1) {
+      acc = acc + window(samples, coeffs, p);
+    }
+    Main.checksum = Main.checksum + acc % 1000;
+  }
+
+  static void main() {
+    for (int f = 0; f < 10; f = f + 1) { frame(6); }
+  }
+}
+|}
+
+let src =
+  Jir.Pp.program_to_string
+    (Jir.Program.program (Jsrc.Compile.compile_source java_src))
+
+let t : Spec.t =
+  {
+    Spec.name = "mpegaudio";
+    description =
+      "omitted-by-the-paper benchmark (mini-Java source): int DSP, no barriers";
+    paper_row = None;
+    src;
+    entry = Spec.main_entry;
+  }

@@ -1,0 +1,6 @@
+(** See the module implementation header: the second omitted SPECjvm98
+    benchmark, written in mini-Java and compiled through {!Jsrc}. *)
+
+val java_src : string
+val src : string
+val t : Spec.t

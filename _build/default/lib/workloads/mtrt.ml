@@ -1,0 +1,249 @@
+(** mtrt lookalike — a multi-threaded ray tracer's store population.
+
+    Two worker threads each build thread-local scene fragments (vector
+    objects with constructor field initialization — eliminable) and fill
+    thread-local ray buffers in order (eliminable array stores), then
+    publish results into a shared image buffer (escaped array, write-once:
+    dynamically pre-null but kept) and update shared bookkeeping fields
+    (overwrites, kept).  Nearly every store in this program overwrites
+    null dynamically, matching the paper's 91.6%% potentially-pre-null
+    bound.
+
+    Paper row: 3.0M barriers, 61.9% eliminated, 91.6% potentially
+    pre-null, 41/59 field/array, field 72.0% / array 54.7% eliminated. *)
+
+let pad l n = String.concat "\n" (List.init n (fun _ -> "    iinc " ^ string_of_int l ^ " 1"))
+
+let src =
+  Printf.sprintf
+    {|
+; mtrt: two render workers with thread-local scenes + shared image
+class Obj
+  method void <init> (ref) locals 1 ctor
+    return
+  end
+end
+
+class Vec
+  field ref x
+  field ref y
+  field ref z
+  method void <init> (ref ref) locals 2 ctor
+    aload 0
+    aload 1
+    putfield Vec.x
+    aload 0
+    aload 1
+    putfield Vec.y
+    return
+  end
+end
+
+class Shared
+  field ref last      ; repeatedly overwritten bookkeeping slot
+  field ref brdf0     ; write-once fields initialized after escape
+  field ref brdf1
+  method void <init> (ref) locals 1 ctor
+    return
+  end
+end
+
+class Worker
+  ; sets a vector's z component; sized (~40 instructions) so it inlines
+  ; at limit 50 but not at 25
+  method void bindZ (ref ref) locals 3
+    aload 0
+    aload 1
+    putfield Vec.z
+    iconst 0
+    istore 2
+%s
+    return
+  end
+
+  ; in-order refill of a ray buffer from the scene; sized (~75
+  ; instructions) so it inlines at limit 100 but not at 50
+  method void refill (ref ref) locals 4
+    iconst 0
+    istore 2
+  fill:
+    iload 2
+    aload 0
+    arraylength
+    if_icmpge fin
+    aload 0
+    iload 2
+    aload 1
+    iload 2
+    iconst 32
+    irem
+    aaload
+    aastore              ; eliminable once inlined into the worker
+    iinc 2 1
+    goto fill
+  fin:
+    iconst 0
+    istore 3
+%s
+    return
+  end
+
+  ; run (shared: ref, buffer: ref, base: int)
+  method void run (ref ref int) locals 8
+    ; build 32 thread-local vectors into a local scene array, in order
+    iconst 32
+    anewarray Vec
+    astore 3
+    iconst 0
+    istore 4
+  build:
+    iload 4
+    iconst 32
+    if_icmpge rays
+    new Vec
+    dup
+    getstatic Main.seed
+    invoke Vec.<init>
+    astore 5
+    ; z component via a mid-sized helper (inlines at limit 50+)
+    aload 5
+    getstatic Main.seed
+    invoke Worker.bindZ
+    aload 3
+    iload 4
+    aload 5
+    aastore              ; thread-local in-order init: eliminable
+    iinc 4 1
+    goto build
+  rays:
+    ; two rounds of ray-buffer refills (fresh local arrays, in order)
+    iconst 0
+    istore 4
+  round:
+    iload 4
+    iconst 2
+    if_icmpge publish
+    iconst 36
+    anewarray Vec
+    astore 6
+    ; the refill loop lives in a helper, so the fresh buffer only stays
+    ; provably thread-local at the 100-instruction inline level
+    aload 6
+    aload 3
+    invoke Worker.refill
+    iinc 4 1
+    goto round
+  publish:
+    ; write-once results into the shared image buffer slice [base..base+86)
+    iconst 0
+    istore 4
+  pub:
+    iload 4
+    iconst 86
+    if_icmpge book
+    aload 1
+    iload 2
+    iload 4
+    iadd
+    aload 3
+    iload 4
+    iconst 32
+    irem
+    aaload
+    aastore              ; escaped buffer: kept, dynamically pre-null
+    iinc 4 1
+    goto pub
+  book:
+    ; shared bookkeeping: overwrite shared.last repeatedly
+    iconst 0
+    istore 4
+  bk:
+    iload 4
+    iconst 28
+    if_icmpge once
+    aload 0
+    aload 3
+    iload 4
+    iconst 32
+    irem
+    aaload
+    putfield Shared.last ; escaped object overwrite: kept
+    iinc 4 1
+    goto bk
+  once:
+    ; escape-then-init: publish a material object, then set its fields
+    iconst 0
+    istore 4
+  mat:
+    iload 4
+    iconst 5
+    if_icmpge fin
+    new Shared
+    dup
+    invoke Shared.<init>
+    astore 5
+    aload 0
+    aload 5
+    putfield Shared.last ; publish (escape)
+    aload 5
+    getstatic Main.seed
+    putfield Shared.brdf0  ; post-escape init: kept, pre-null
+    aload 5
+    getstatic Main.seed
+    putfield Shared.brdf1  ; post-escape init: kept, pre-null
+    iinc 4 1
+    goto mat
+  fin:
+    return
+  end
+end
+
+class Main
+  static ref seed
+  static ref image
+  static ref shared
+
+  method void main () locals 1
+    new Obj
+    dup
+    invoke Obj.<init>
+    putstatic Main.seed
+    iconst 172
+    anewarray Vec
+    putstatic Main.image
+    new Shared
+    dup
+    invoke Shared.<init>
+    putstatic Main.shared
+    ; two workers render disjoint slices of the shared image
+    getstatic Main.shared
+    getstatic Main.image
+    iconst 0
+    spawn Worker.run
+    getstatic Main.shared
+    getstatic Main.image
+    iconst 86
+    spawn Worker.run
+    return
+  end
+end
+|}
+    (pad 2 33) (pad 3 57)
+
+let t : Spec.t =
+  {
+    Spec.name = "mtrt";
+    description = "multi-threaded ray tracer: thread-local scenes, shared image";
+    paper_row =
+      Some
+        {
+          p_total_millions = 3.0;
+          p_elim_pct = 61.9;
+          p_pot_pre_null_pct = 91.6;
+          p_field_pct = 41;
+          p_field_elim_pct = 72.0;
+          p_array_elim_pct = 54.7;
+        };
+    src;
+    entry = Spec.main_entry;
+  }

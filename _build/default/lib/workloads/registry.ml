@@ -1,0 +1,15 @@
+(** All workloads, in the paper's Table 1 order. *)
+
+let table1 : Spec.t list =
+  [ Jess.t; Db.t; Javac_like.t; Mtrt.t; Jack.t; Jbb.t ]
+
+let micro : Spec.t list = [ Micro.expand; Micro.two_names ]
+
+(** Benchmarks the paper omitted for having "very little heap or pointer
+    manipulation" (§4.1); kept as sanity workloads. *)
+let omitted : Spec.t list = [ Compress.t; Mpegaudio.t ]
+
+let all : Spec.t list = table1 @ micro @ omitted
+
+let find (name : string) : Spec.t option =
+  List.find_opt (fun (w : Spec.t) -> String.equal w.name name) all

@@ -1,0 +1,14 @@
+(** All bundled workloads. *)
+
+val table1 : Spec.t list
+(** The six benchmarks of the paper's Table 1, in its order. *)
+
+val micro : Spec.t list
+(** The paper's §2.4 and §3.1 running examples. *)
+
+val omitted : Spec.t list
+(** Benchmarks the paper omitted for having "very little heap or pointer
+    manipulation" (§4.1); kept as sanity workloads. *)
+
+val all : Spec.t list
+val find : string -> Spec.t option

@@ -1,0 +1,34 @@
+(** A workload: a jasm program with an entry point and the paper's
+    benchmark it stands in for.
+
+    The six main workloads reproduce the {e store-population shape} of the
+    SPECjvm98 / SPECjbb2000 programs measured in the paper's Table 1: the
+    ratio of field to array reference stores, the fraction of each that is
+    an initializing store to a still-thread-local object (provably
+    eliminable), the fraction that escapes before initialization
+    (dynamically pre-null but not provable), and the overwrite idioms
+    (sorting swaps, delete-by-shift loops) the paper's §4.3 discusses. *)
+
+type t = {
+  name : string;
+  description : string;
+  paper_row : paper_row option;
+      (** the corresponding Table 1 row from the paper, for side-by-side
+          reporting *)
+  src : string;
+  entry : Jir.Types.method_ref;
+}
+
+(** Paper's Table 1 (dynamic) values. *)
+and paper_row = {
+  p_total_millions : float;
+  p_elim_pct : float;
+  p_pot_pre_null_pct : float;
+  p_field_pct : int;  (** field share of field/array split *)
+  p_field_elim_pct : float;
+  p_array_elim_pct : float;
+}
+
+let main_entry = { Jir.Types.mclass = "Main"; mname = "main" }
+
+let parse (w : t) : Jir.Program.t = Jir.Parser.parse_linked w.src

@@ -1,0 +1,24 @@
+(** A workload: a jasm program, its entry point, and the paper's Table 1
+    row it stands in for (the six main workloads reproduce each
+    benchmark's store-population shape — see DESIGN.md §2). *)
+
+type t = {
+  name : string;
+  description : string;
+  paper_row : paper_row option;
+  src : string;
+  entry : Jir.Types.method_ref;
+}
+
+(** The paper's Table 1 (dynamic) values. *)
+and paper_row = {
+  p_total_millions : float;
+  p_elim_pct : float;
+  p_pot_pre_null_pct : float;
+  p_field_pct : int;
+  p_field_elim_pct : float;
+  p_array_elim_pct : float;
+}
+
+val main_entry : Jir.Types.method_ref
+val parse : t -> Jir.Program.t

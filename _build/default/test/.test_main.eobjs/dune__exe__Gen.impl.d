@@ -1,0 +1,1 @@
+test/gen.ml: Jir List QCheck2 Satb_core

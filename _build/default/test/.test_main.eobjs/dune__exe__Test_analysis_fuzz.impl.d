@@ -1,0 +1,1 @@
+test/test_analysis_fuzz.ml: Alcotest Gen Hashtbl Jir Jrt List QCheck2 QCheck_alcotest Satb_core Workloads

@@ -1,0 +1,1 @@
+test/test_cfg.ml: Alcotest Array Gen Jir List Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_differential.ml: Hashtbl Jir Jrt Jsrc List Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_field_analysis.ml: Alcotest Jir List Satb_core String Workloads

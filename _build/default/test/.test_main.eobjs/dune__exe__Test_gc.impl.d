@@ -1,0 +1,1 @@
+test/test_gc.ml: Alcotest Harness Jir Jrt List Printf Satb_core Workloads

@@ -1,0 +1,1 @@
+test/test_gc_edges.ml: Alcotest Array Jrt List

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Float Harness List Printf Satb_core String Workloads

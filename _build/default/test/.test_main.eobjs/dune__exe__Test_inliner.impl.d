@@ -1,0 +1,1 @@
+test/test_inliner.ml: Alcotest Array Gen Hashtbl Jir Jrt List Printf QCheck2 QCheck_alcotest Satb_core Workloads

@@ -1,0 +1,1 @@
+test/test_intrange.ml: Alcotest Fun Gen List QCheck2 QCheck_alcotest Satb_core

@@ -1,0 +1,1 @@
+test/test_intval.ml: Alcotest Gen Jir List QCheck2 QCheck_alcotest Satb_core

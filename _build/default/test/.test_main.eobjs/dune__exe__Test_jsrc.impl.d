@@ -1,0 +1,1 @@
+test/test_jsrc.ml: Alcotest Hashtbl Jir Jrt Jsrc List Satb_core String

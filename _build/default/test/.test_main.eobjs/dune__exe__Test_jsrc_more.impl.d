@@ -1,0 +1,1 @@
+test/test_jsrc_more.ml: Alcotest Hashtbl Jir Jrt Jsrc List

@@ -1,0 +1,1 @@
+test/test_movedown.ml: Alcotest Float Harness Jir Jrt List Printf QCheck2 QCheck_alcotest Satb_core String Workloads

@@ -1,0 +1,1 @@
+test/test_nullsame.ml: Alcotest Harness Jir Jrt List Satb_core String Workloads

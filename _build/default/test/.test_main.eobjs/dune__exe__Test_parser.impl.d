@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Gen Jir List Printf QCheck2 QCheck_alcotest String Workloads

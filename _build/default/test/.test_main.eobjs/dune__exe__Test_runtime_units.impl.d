@@ -1,0 +1,1 @@
+test/test_runtime_units.ml: Alcotest Array Jir Jrt List

@@ -1,0 +1,1 @@
+test/test_scan_direction.ml: Alcotest Jir Jrt Lazy List Satb_core

@@ -1,0 +1,1 @@
+test/test_smoke.ml: Alcotest Fmt Jir Jrt Satb_core

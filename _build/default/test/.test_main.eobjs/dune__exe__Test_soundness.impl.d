@@ -1,0 +1,1 @@
+test/test_soundness.ml: Alcotest Harness Jrt List Printf QCheck2 QCheck_alcotest Workloads

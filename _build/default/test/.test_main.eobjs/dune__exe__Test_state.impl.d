@@ -1,0 +1,1 @@
+test/test_state.ml: Alcotest Array Gen List QCheck2 QCheck_alcotest Satb_core

@@ -1,0 +1,1 @@
+test/test_types_units.ml: Alcotest Harness Jir List String

@@ -1,0 +1,1 @@
+test/test_verifier.ml: Alcotest Fmt Jir List Printf String Workloads

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Float Harness List Printf Workloads

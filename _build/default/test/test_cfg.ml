@@ -1,0 +1,154 @@
+(* Basic-block construction tests. *)
+
+open Jir.Types
+
+let build_meth body f =
+  Jir.Builder.meth "m" ~params:[] ~locals:4 (fun b ->
+      f b;
+      ignore body)
+
+let simple_loop =
+  Jir.Builder.meth "m" ~params:[] ~locals:2 (fun b ->
+      let e = Jir.Builder.emit b in
+      e (Iconst 5);
+      e (Istore 0);
+      Jir.Builder.label b "head";
+      e (Iload 0);
+      e (If_i (Le, "out"));
+      e (Iinc (0, -1));
+      e (Goto "head");
+      Jir.Builder.label b "out";
+      e Return)
+
+let test_loop_blocks () =
+  let cfg = Jir.Cfg.build simple_loop in
+  (* blocks: [entry], [head..branch], [body], [out] *)
+  Alcotest.(check int) "4 blocks" 4 (Jir.Cfg.n_blocks cfg);
+  let b0 = Jir.Cfg.block cfg 0 in
+  let b1 = Jir.Cfg.block cfg 1 in
+  let b2 = Jir.Cfg.block cfg 2 in
+  let b3 = Jir.Cfg.block cfg 3 in
+  Alcotest.(check (list int)) "entry falls into head" [ 1 ] b0.succs;
+  Alcotest.(check (list int)) "head branches to body and out"
+    [ 2; 3 ] b1.succs;
+  Alcotest.(check (list int)) "body loops to head" [ 1 ] b2.succs;
+  Alcotest.(check (list int)) "out is terminal" [] b3.succs
+
+let test_block_of_pc_total () =
+  let cfg = Jir.Cfg.build simple_loop in
+  Array.iteri
+    (fun pc id ->
+      let b = Jir.Cfg.block cfg id in
+      Alcotest.(check bool)
+        (Printf.sprintf "pc %d inside its block" pc)
+        true
+        (pc >= b.start_pc && pc < b.end_pc))
+    cfg.block_of_pc
+
+let test_instrs_slice () =
+  let cfg = Jir.Cfg.build simple_loop in
+  let total =
+    Array.to_list cfg.blocks
+    |> List.map (fun b -> Array.length (Jir.Cfg.instrs cfg b))
+    |> List.fold_left ( + ) 0
+  in
+  Alcotest.(check int) "blocks partition the code"
+    (Array.length simple_loop.code)
+    total
+
+let test_reverse_postorder () =
+  let cfg = Jir.Cfg.build simple_loop in
+  let order = Jir.Cfg.reverse_postorder cfg in
+  Alcotest.(check int) "entry first" 0 (List.hd order);
+  Alcotest.(check int) "all reachable blocks present" 4 (List.length order)
+
+let with_handler =
+  Jir.Builder.meth "m" ~params:[] ~locals:1 (fun b ->
+      let e = Jir.Builder.emit b in
+      Jir.Builder.label b "t0";
+      e (Iconst 1);
+      e (Iconst 0);
+      e (Ibin Div);
+      e Pop;
+      Jir.Builder.label b "t1";
+      e Return;
+      Jir.Builder.label b "h";
+      e Return;
+      Jir.Builder.handler b ~from_lbl:"t0" ~to_lbl:"t1" ~target_lbl:"h" Arith)
+
+let test_handler_edges () =
+  let cfg = Jir.Cfg.build with_handler in
+  let covered = Jir.Cfg.block cfg 0 in
+  Alcotest.(check bool) "protected block has a handler successor" true
+    (List.exists (fun (_, k) -> k = Arith) covered.handler_succs);
+  (* the handler target is a block leader *)
+  let handler_block_ids = List.map fst covered.handler_succs in
+  List.iter
+    (fun id ->
+      let b = Jir.Cfg.block cfg id in
+      Alcotest.(check bool) "handler starts a block" true (b.start_pc >= 0))
+    handler_block_ids
+
+let test_straight_line_single_block () =
+  let m =
+    Jir.Builder.meth "m" ~params:[] ~locals:1 (fun b ->
+        let e = Jir.Builder.emit b in
+        e (Iconst 1);
+        e (Istore 0);
+        e (Iload 0);
+        e Pop;
+        e Return)
+  in
+  let cfg = Jir.Cfg.build m in
+  Alcotest.(check int) "one block" 1 (Jir.Cfg.n_blocks cfg)
+
+let prop_blocks_partition =
+  QCheck2.Test.make ~name:"blocks partition generated methods" ~count:200
+    Gen.gen_program (fun p ->
+      List.for_all
+        (fun (c : cls) ->
+          List.for_all
+            (fun (m : meth) ->
+              let cfg = Jir.Cfg.build m in
+              let n = Array.length m.code in
+              (* every pc belongs to exactly one block, blocks are
+                 contiguous and non-overlapping *)
+              Array.length cfg.block_of_pc = n
+              && Array.for_all (fun id -> id >= 0) cfg.block_of_pc
+              && Array.to_list cfg.blocks
+                 |> List.for_all (fun (b : Jir.Cfg.block) ->
+                        b.start_pc < b.end_pc && b.end_pc <= n))
+            c.methods)
+        p.classes)
+
+let prop_succs_are_leaders =
+  QCheck2.Test.make ~name:"successors are block starts" ~count:200
+    Gen.gen_program (fun p ->
+      List.for_all
+        (fun (c : cls) ->
+          List.for_all
+            (fun (m : meth) ->
+              let cfg = Jir.Cfg.build m in
+              Array.to_list cfg.blocks
+              |> List.for_all (fun (b : Jir.Cfg.block) ->
+                     List.for_all
+                       (fun s ->
+                         let sb = Jir.Cfg.block cfg s in
+                         cfg.block_of_pc.(sb.start_pc) = s)
+                       b.succs))
+            c.methods)
+        p.classes)
+
+let tests =
+  List.map
+    (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("loop blocks", test_loop_blocks);
+      ("block_of_pc total", test_block_of_pc_total);
+      ("instrs slice", test_instrs_slice);
+      ("reverse postorder", test_reverse_postorder);
+      ("handler edges", test_handler_edges);
+      ("straight line", test_straight_line_single_block);
+    ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_blocks_partition; prop_succs_are_leaders ]

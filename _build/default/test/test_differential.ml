@@ -1,0 +1,118 @@
+(* Differential testing of the interpreter's arithmetic and comparisons
+   against OCaml's own semantics: generate random operand pairs, build a
+   one-off program computing the operation, and compare results. *)
+
+open Jir.Types
+
+let run_expr (build : Jir.Builder.t -> unit) : (int, string) result =
+  let main =
+    Jir.Builder.meth "main" ~params:[] ~locals:2 (fun b ->
+        build b;
+        Jir.Builder.emit b (Putstatic { fclass = "Main"; fname = "out" });
+        Jir.Builder.emit b Return)
+  in
+  let prog =
+    Jir.Program.of_program
+      (Jir.Builder.program
+         [
+           Jir.Builder.cls "Main"
+             ~statics:[ Jir.Builder.field_decl "out" I ]
+             ~methods:[ main ];
+         ])
+  in
+  Jir.Verifier.verify_exn prog;
+  let r = Jrt.Runner.run prog ~entry:{ mclass = "Main"; mname = "main" } in
+  match r.thread_errors with
+  | [ (_, e) ] -> Error e
+  | _ :: _ :: _ -> Error "multiple"
+  | [] -> (
+      match Hashtbl.find_opt r.machine.Jrt.Interp.statics ("Main", "out") with
+      | Some (Jrt.Value.Int n) -> Ok n
+      | _ -> Error "missing out")
+
+let reference op a b =
+  match op with
+  | Add -> Ok (a + b)
+  | Sub -> Ok (a - b)
+  | Mul -> Ok (a * b)
+  | Div -> if b = 0 then Error "arith" else Ok (a / b)
+  | Rem -> if b = 0 then Error "arith" else Ok (a mod b)
+
+let operand = QCheck2.Gen.int_range (-10_000) 10_000
+
+let prop_binops =
+  QCheck2.Test.make ~name:"interpreter arithmetic matches OCaml" ~count:300
+    QCheck2.Gen.(
+      triple (oneofl [ Add; Sub; Mul; Div; Rem ]) operand operand)
+    (fun (op, a, b) ->
+      let got =
+        run_expr (fun bld ->
+            Jir.Builder.emit_all bld [ Iconst a; Iconst b; Ibin op ])
+      in
+      got = reference op a b)
+
+let prop_comparisons =
+  QCheck2.Test.make ~name:"interpreter comparisons match OCaml" ~count:300
+    QCheck2.Gen.(
+      triple (oneofl [ Eq; Ne; Lt; Ge; Gt; Le ]) operand operand)
+    (fun (cond, a, b) ->
+      let got =
+        run_expr (fun bld ->
+            Jir.Builder.emit_all bld
+              [ Iconst a; Iconst b; If_icmp (cond, "yes"); Iconst 0;
+                Goto "done" ];
+            Jir.Builder.label bld "yes";
+            Jir.Builder.emit bld (Iconst 1);
+            Jir.Builder.label bld "done")
+      in
+      got = Ok (if eval_cond cond a b then 1 else 0))
+
+let prop_neg_and_iinc =
+  QCheck2.Test.make ~name:"ineg and iinc match OCaml" ~count:300
+    QCheck2.Gen.(pair operand (int_range (-100) 100))
+    (fun (a, d) ->
+      let got =
+        run_expr (fun bld ->
+            Jir.Builder.emit_all bld
+              [ Iconst a; Istore 0; Iinc (0, d); Iload 0; Ineg ])
+      in
+      got = Ok (-(a + d)))
+
+let prop_minijava_expressions =
+  (* the same arithmetic through the mini-Java frontend *)
+  QCheck2.Test.make ~name:"mini-Java arithmetic matches OCaml" ~count:200
+    QCheck2.Gen.(triple (oneofl [ "+"; "-"; "*"; "/"; "%" ]) operand operand)
+    (fun (op, a, b) ->
+      let src =
+        Printf.sprintf
+          "class Main { static int out; static void main() { int x = %d; int y = %d; Main.out = x %s y; } }"
+          a b op
+      in
+      let prog = Jsrc.Compile.compile_source src in
+      let r =
+        Jrt.Runner.run prog ~entry:{ mclass = "Main"; mname = "main" }
+      in
+      let got =
+        match r.thread_errors with
+        | [ (_, e) ] -> Error e
+        | _ :: _ :: _ -> Error "multiple"
+        | [] -> (
+            match
+              Hashtbl.find_opt r.machine.Jrt.Interp.statics ("Main", "out")
+            with
+            | Some (Jrt.Value.Int n) -> Ok n
+            | _ -> Error "missing")
+      in
+      let jop =
+        match op with
+        | "+" -> Add
+        | "-" -> Sub
+        | "*" -> Mul
+        | "/" -> Div
+        | _ -> Rem
+      in
+      got = reference jop a b)
+
+let tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_binops; prop_comparisons; prop_neg_and_iinc; prop_minijava_expressions ]

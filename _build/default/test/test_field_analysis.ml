@@ -1,0 +1,510 @@
+(* Targeted tests for the field analysis (paper §2): each case is a small
+   jasm program with known expected verdicts. *)
+
+let compile ?(inline_limit = 100) ?(mode = Satb_core.Analysis.A)
+    ?(null_or_same = false) src =
+  let prog = Jir.Parser.parse_linked src in
+  let conf = { Satb_core.Analysis.default_config with mode; null_or_same } in
+  Satb_core.Driver.compile ~inline_limit ~conf prog
+
+(* Find the verdict of the store nearest to the given label-free pc in the
+   given method of the *inlined* program; tests instead locate stores by
+   order of appearance. *)
+let verdicts_of compiled ~meth =
+  List.concat_map
+    (fun (r : Satb_core.Analysis.method_result) ->
+      if String.equal r.mr_method meth then r.verdicts else [])
+    compiled.Satb_core.Driver.results
+
+let elide_flags compiled ~meth =
+  List.map (fun (v : Satb_core.Analysis.verdict) -> v.v_elide)
+    (verdicts_of compiled ~meth)
+
+let check_flags name ?inline_limit ?mode ?null_or_same src ~meth expected =
+  let compiled = compile ?inline_limit ?mode ?null_or_same src in
+  Alcotest.(check (list bool)) name expected (elide_flags compiled ~meth)
+
+let base =
+  {|
+class T
+  field ref f
+  field ref g
+  method void <init> (ref) locals 1 ctor
+    return
+  end
+end
+|}
+
+let test_initializing_store_elided () =
+  check_flags "init store elided"
+    (base
+   ^ {|
+class Main
+  static ref sink
+  method void m () locals 1
+    new T
+    dup
+    invoke T.<init>
+    astore 0
+    aload 0
+    aconst_null
+    putfield T.f
+    return
+  end
+end
+|})
+    ~meth:"m" [ true ]
+
+let test_escape_via_putstatic_kills () =
+  check_flags "escape via putstatic"
+    (base
+   ^ {|
+class Main
+  static ref sink
+  method void m () locals 1
+    new T
+    dup
+    invoke T.<init>
+    astore 0
+    aload 0
+    putstatic Main.sink
+    aload 0
+    aconst_null
+    putfield T.f
+    return
+  end
+end
+|})
+    ~meth:"m" [ false; false ]
+(* putstatic itself + the post-escape putfield *)
+
+let test_escape_via_invoke_kills () =
+  check_flags "escape via non-inlined call"
+    (base
+   ^ {|
+class Main
+  static ref sink
+  method void big (ref) locals 3
+    iconst 0
+    istore 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    iinc 1 1
+    return
+  end
+  method void m () locals 1
+    new T
+    dup
+    invoke T.<init>
+    astore 0
+    aload 0
+    invoke Main.big
+    aload 0
+    aconst_null
+    putfield T.f
+    return
+  end
+end
+|})
+    ~meth:"m" [ false ]
+
+let test_second_store_same_field_kept () =
+  (* first store fills the field; the second overwrites a possibly
+     non-null value *)
+  check_flags "strong update then overwrite"
+    (base
+   ^ {|
+class Main
+  static ref sink
+  method void m () locals 1
+    new T
+    dup
+    invoke T.<init>
+    astore 0
+    aload 0
+    getstatic Main.sink
+    putfield T.f
+    aload 0
+    getstatic Main.sink
+    putfield T.f
+    return
+  end
+end
+|})
+    ~meth:"m" [ true; false ]
+
+let test_two_fields_independent () =
+  check_flags "distinct fields tracked separately"
+    (base
+   ^ {|
+class Main
+  static ref sink
+  method void m () locals 1
+    new T
+    dup
+    invoke T.<init>
+    astore 0
+    aload 0
+    getstatic Main.sink
+    putfield T.f
+    aload 0
+    getstatic Main.sink
+    putfield T.g
+    return
+  end
+end
+|})
+    ~meth:"m" [ true; true ]
+
+let test_constructor_entry_state () =
+  (* inside a constructor, the receiver is unescaped and its declared
+     fields null (§2.3): the first store to each field elides even when
+     nothing is inlined *)
+  check_flags "ctor entry state" ~inline_limit:0
+    {|
+class T
+  field ref f
+  method void <init> (ref ref) locals 2 ctor
+    aload 0
+    aload 1
+    putfield T.f
+    aload 0
+    aload 1
+    putfield T.f
+    return
+  end
+end
+|}
+    ~meth:"<init>" [ true; false ]
+
+let test_non_ctor_receiver_arg_escaped () =
+  (* in a plain method the receiver argument is non-thread-local *)
+  check_flags "plain method receiver" ~inline_limit:0
+    (base
+   ^ {|
+class Main
+  method void set (ref) locals 1
+    aload 0
+    aconst_null
+    putfield T.f
+    return
+  end
+end
+|})
+    ~meth:"set" [ false ]
+
+let test_two_names_per_site () =
+  (* §2.4: store to the previous iteration's object must keep its barrier
+     while the store to the fresh object elides *)
+  let w = Workloads.Micro.two_names in
+  let compiled = compile w.src in
+  Alcotest.(check (list bool)) "W1 elided, W2 kept" [ true; false ]
+    (elide_flags compiled ~meth:"loop")
+
+let test_merged_receivers_weak_update () =
+  (* receiver may be one of two allocation sites: elidable only if the
+     field is null under both *)
+  check_flags "merged receivers"
+    (base
+   ^ {|
+class Main
+  static int p
+  static ref sink
+  method void m () locals 2
+    getstatic Main.p
+    ifeq else1
+    new T
+    dup
+    invoke T.<init>
+    astore 0
+    goto join
+  else1:
+    new T
+    dup
+    invoke T.<init>
+    astore 0
+    aload 0
+    getstatic Main.sink
+    putfield T.f
+  join:
+    aload 0
+    getstatic Main.sink
+    putfield T.f
+    return
+  end
+end
+|})
+    ~meth:"m"
+    (* the else-branch store elides (fresh, null field); the join store
+       must keep its barrier: on the else path the field is non-null *)
+    [ true; false ]
+
+let test_value_from_global_still_elides () =
+  (* what matters is the pre-state of the field, not the stored value *)
+  check_flags "global value into fresh field"
+    (base
+   ^ {|
+class Main
+  static ref sink
+  method void m () locals 1
+    new T
+    dup
+    invoke T.<init>
+    astore 0
+    aload 0
+    getstatic Main.sink
+    putfield T.f
+    return
+  end
+end
+|})
+    ~meth:"m" [ true ]
+
+let test_store_into_field_of_loaded_object_kept () =
+  check_flags "field of global object"
+    (base
+   ^ {|
+class Main
+  static ref sink
+  method void m () locals 1
+    getstatic Main.sink
+    astore 0
+    aload 0
+    aconst_null
+    putfield T.f
+    return
+  end
+end
+|})
+    ~meth:"m" [ false ]
+
+let test_aastore_into_global_escapes_value () =
+  (* storing a fresh object into an escaped array escapes it: later field
+     stores keep their barrier *)
+  check_flags "escape via aastore"
+    (base
+   ^ {|
+class Main
+  static ref arr
+  method void m () locals 1
+    new T
+    dup
+    invoke T.<init>
+    astore 0
+    getstatic Main.arr
+    iconst 0
+    aload 0
+    aastore
+    aload 0
+    aconst_null
+    putfield T.f
+    return
+  end
+end
+|})
+    ~meth:"m" [ false; false ]
+
+let test_escape_transitively_through_fields () =
+  (* u is stored into t.f while both are local; when t escapes, u must
+     too (AllNonTL closure through σ) *)
+  check_flags "transitive escape"
+    (base
+   ^ {|
+class Main
+  static ref sink
+  method void m () locals 2
+    new T
+    dup
+    invoke T.<init>
+    astore 0
+    new T
+    dup
+    invoke T.<init>
+    astore 1
+    aload 0
+    aload 1
+    putfield T.f
+    aload 0
+    putstatic Main.sink
+    aload 1
+    getstatic Main.sink
+    putfield T.g
+    return
+  end
+end
+|})
+    ~meth:"m" [ true; false; false ]
+(* t.f := u elides; putstatic kept; u.g := ... kept (u escaped with t) *)
+
+let test_dead_code_verdict () =
+  let compiled =
+    compile
+      (base
+     ^ {|
+class Main
+  static ref sink
+  method void m () locals 1
+    goto out
+    aconst_null
+    aconst_null
+    putfield T.f
+  out:
+    return
+  end
+end
+|})
+  in
+  match verdicts_of compiled ~meth:"m" with
+  | [ v ] ->
+      Alcotest.(check bool) "dead store elided" true v.v_elide;
+      Alcotest.(check string) "reason" "dead-code"
+        (Satb_core.Analysis.string_of_reason v.v_reason)
+  | vs -> Alcotest.failf "expected one verdict, got %d" (List.length vs)
+
+let test_mode_b_keeps_everything () =
+  check_flags "mode B" ~mode:Satb_core.Analysis.B
+    (base
+   ^ {|
+class Main
+  static ref sink
+  method void m () locals 1
+    new T
+    dup
+    invoke T.<init>
+    astore 0
+    aload 0
+    aconst_null
+    putfield T.f
+    return
+  end
+end
+|})
+    ~meth:"m" [ false ]
+
+let tests =
+  List.map
+    (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("initializing store elided", test_initializing_store_elided);
+      ("escape via putstatic", test_escape_via_putstatic_kills);
+      ("escape via call", test_escape_via_invoke_kills);
+      ("strong update then overwrite", test_second_store_same_field_kept);
+      ("fields independent", test_two_fields_independent);
+      ("constructor entry state", test_constructor_entry_state);
+      ("plain receiver escaped", test_non_ctor_receiver_arg_escaped);
+      ("two names per site", test_two_names_per_site);
+      ("merged receivers weak", test_merged_receivers_weak_update);
+      ("global value into fresh field", test_value_from_global_still_elides);
+      ("field of global object", test_store_into_field_of_loaded_object_kept);
+      ("escape via aastore", test_aastore_into_global_escapes_value);
+      ("transitive escape", test_escape_transitively_through_fields);
+      ("dead code verdict", test_dead_code_verdict);
+      ("mode B keeps everything", test_mode_b_keeps_everything);
+    ]

@@ -1,0 +1,232 @@
+(* Inliner tests: expansion mechanics and, crucially, behavioral
+   equivalence — a program must compute the same results at every inline
+   limit. *)
+
+open Jir.Types
+
+let parse src = Jir.Parser.parse_linked src
+
+let inline limit prog =
+  Satb_core.Inliner.inline_program ~conf:(Satb_core.Inliner.config limit) prog
+
+let method_size prog ~cls ~meth =
+  Array.length (Jir.Program.get_method prog { mclass = cls; mname = meth }).code
+
+let src_calc =
+  {|
+class Main
+  static int out
+  method int double (int) locals 1
+    iload 0
+    iconst 2
+    imul
+    ireturn
+  end
+  method int apply (int) locals 1
+    iload 0
+    invoke Main.double
+    iconst 1
+    iadd
+    ireturn
+  end
+  method void main () locals 0
+    iconst 20
+    invoke Main.apply
+    putstatic Main.out
+    return
+  end
+end
+|}
+
+let test_small_callee_inlined () =
+  let prog = parse src_calc in
+  let before = method_size prog ~cls:"Main" ~meth:"main" in
+  let inlined = inline 100 prog in
+  let after = method_size inlined ~cls:"Main" ~meth:"main" in
+  Alcotest.(check bool) "main grew" true (after > before);
+  (* no Invoke remains in main: both levels expanded *)
+  let m = Jir.Program.get_method inlined { mclass = "Main"; mname = "main" } in
+  Alcotest.(check bool) "no calls left" true
+    (Array.for_all
+       (function Invoke _ -> false | _ -> true)
+       m.code)
+
+let test_limit_zero_is_identity () =
+  let prog = parse src_calc in
+  let inlined = inline 0 prog in
+  Alcotest.(check string) "identity at limit 0"
+    (Jir.Pp.program_to_string (Jir.Program.program prog))
+    (Jir.Pp.program_to_string (Jir.Program.program inlined))
+
+let test_big_callee_not_inlined () =
+  let prog = parse src_calc in
+  let inlined = inline 2 prog in
+  (* double (3 instrs) exceeds limit 2: calls remain *)
+  let m = Jir.Program.get_method inlined { mclass = "Main"; mname = "apply" } in
+  Alcotest.(check bool) "call kept" true
+    (Array.exists (function Invoke _ -> true | _ -> false) m.code)
+
+let test_recursion_not_inlined_forever () =
+  let prog =
+    parse
+      {|
+class Main
+  static int out
+  method int fact (int) locals 1
+    iload 0
+    iconst 1
+    if_icmpgt rec
+    iconst 1
+    ireturn
+  rec:
+    iload 0
+    iload 0
+    iconst 1
+    isub
+    invoke Main.fact
+    imul
+    ireturn
+  end
+  method void main () locals 0
+    iconst 5
+    invoke Main.fact
+    putstatic Main.out
+    return
+  end
+end
+|}
+  in
+  let inlined = inline 100 prog in
+  (* the expansion terminates and the self-call survives somewhere *)
+  let m = Jir.Program.get_method inlined { mclass = "Main"; mname = "fact" } in
+  Alcotest.(check bool) "self call kept" true
+    (Array.exists
+       (function
+         | Invoke { mname = "fact"; _ } -> true
+         | _ -> false)
+       m.code)
+
+let test_callee_with_handlers_not_inlined () =
+  let prog =
+    parse
+      {|
+class Main
+  static int out
+  method int guarded () locals 0
+  t0:
+    iconst 1
+    iconst 0
+    idiv
+  t1:
+    ireturn
+  h:
+    iconst 5
+    ireturn
+    catch arith t0 t1 h
+  end
+  method void main () locals 0
+    invoke Main.guarded
+    putstatic Main.out
+    return
+  end
+end
+|}
+  in
+  let inlined = inline 100 prog in
+  let m = Jir.Program.get_method inlined { mclass = "Main"; mname = "main" } in
+  Alcotest.(check bool) "guarded call kept" true
+    (Array.exists (function Invoke _ -> true | _ -> false) m.code)
+
+let out_static (r : Jrt.Runner.report) =
+  match Hashtbl.find_opt r.machine.Jrt.Interp.statics ("Main", "out") with
+  | Some (Jrt.Value.Int n) -> n
+  | _ -> Alcotest.fail "no Main.out"
+
+let run prog =
+  Jrt.Runner.run prog ~entry:{ mclass = "Main"; mname = "main" }
+
+let test_behavior_preserved () =
+  let prog = parse src_calc in
+  let expected = out_static (run prog) in
+  Alcotest.(check int) "reference result" 41 expected;
+  List.iter
+    (fun limit ->
+      let r = run (inline limit prog) in
+      Alcotest.(check (list (pair int string)))
+        (Printf.sprintf "no errors at limit %d" limit)
+        [] r.thread_errors;
+      Alcotest.(check int)
+        (Printf.sprintf "same result at limit %d" limit)
+        expected (out_static r))
+    [ 0; 1; 3; 5; 100 ]
+
+let test_workload_behavior_preserved () =
+  (* every workload must produce identical heap statistics at limit 0 and
+     limit 100 (total allocations and executed-store counts are inlining
+     invariants) *)
+  List.iter
+    (fun (w : Workloads.Spec.t) ->
+      let totals limit =
+        let prog = inline limit (Workloads.Spec.parse w) in
+        let r = Jrt.Runner.run prog ~entry:w.entry in
+        Alcotest.(check (list (pair int string)))
+          (w.name ^ " no errors") [] r.thread_errors;
+        (r.machine.Jrt.Interp.heap.Jrt.Heap.total_allocated, r.dyn.total_execs)
+      in
+      let a0, s0 = totals 0 in
+      let a1, s1 = totals 100 in
+      Alcotest.(check int) (w.name ^ " allocations invariant") a0 a1;
+      Alcotest.(check int) (w.name ^ " stores invariant") s0 s1)
+    Workloads.Registry.table1
+
+let test_nested_inlining_locals_disjoint () =
+  (* regression: nested expansion must not double-shift callee temps; the
+     jess generation body exercised the bug *)
+  let prog = Workloads.Spec.parse Workloads.Jess.t in
+  let inlined = inline 100 prog in
+  List.iter
+    (fun (c, m) ->
+      Array.iter
+        (fun i ->
+          let check_local l =
+            if l >= m.max_locals then
+              Alcotest.failf "%s.%s: local %d >= max_locals %d" c.cname
+                m.mname l m.max_locals
+          in
+          match i with
+          | Iload l | Istore l | Aload l | Astore l | Iinc (l, _) ->
+              check_local l
+          | _ -> ())
+        m.code)
+    (Jir.Program.all_methods inlined)
+
+let prop_generated_behavior_preserved =
+  QCheck2.Test.make ~name:"inlining preserves generated-program behavior"
+    ~count:100 Gen.gen_program (fun p ->
+      let prog = Jir.Program.of_program p in
+      (* entry is Main.m; it returns nothing, so compare heap footprints
+         and store counts *)
+      let run prog =
+        let r = Jrt.Runner.run prog ~entry:{ mclass = "Main"; mname = "m" } in
+        ( r.machine.Jrt.Interp.heap.Jrt.Heap.total_allocated,
+          r.dyn.total_execs,
+          (* generated programs may legitimately die (e.g. a null deref on
+             an uninitialized static); inlining must preserve that too *)
+          List.map snd r.thread_errors )
+      in
+      run prog = run (inline 100 prog))
+
+let tests =
+  List.map
+    (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("small callee inlined", test_small_callee_inlined);
+      ("limit 0 identity", test_limit_zero_is_identity);
+      ("big callee kept", test_big_callee_not_inlined);
+      ("recursion bounded", test_recursion_not_inlined_forever);
+      ("handlers block inlining", test_callee_with_handlers_not_inlined);
+      ("behavior preserved", test_behavior_preserved);
+      ("workload behavior preserved", test_workload_behavior_preserved);
+      ("nested locals disjoint", test_nested_inlining_locals_disjoint);
+    ]
+  @ [ QCheck_alcotest.to_alcotest prop_generated_behavior_preserved ]

@@ -1,0 +1,245 @@
+(* Unit and property tests for the symbolic integer domain (paper §3.2,
+   Figure 1). *)
+
+module I = Satb_core.Intval
+
+let iv : I.t Alcotest.testable = Alcotest.testable I.pp I.equal
+
+let c = I.const
+let c0 = I.of_const_unknown 0
+let c1 = I.of_const_unknown 1
+let v0 = I.of_var_unknown 0
+
+(* ---- arithmetic -------------------------------------------------------- *)
+
+let test_add_consts () =
+  Alcotest.check iv "2 + 3" (c 5) (I.add (c 2) (c 3))
+
+let test_add_symbolic () =
+  Alcotest.check iv "c0 + c0 = 2c0" (I.scale 2 c0) (I.add c0 c0);
+  Alcotest.check iv "c0 + c1 commutes" (I.add c0 c1) (I.add c1 c0);
+  Alcotest.check iv "v0 + 1 - 1 = v0" v0 (I.add_const (-1) (I.add_const 1 v0))
+
+let test_add_two_vars_is_top () =
+  (* at most one variable-unknown term (§3.2) *)
+  Alcotest.check iv "v0 + v1 = ⊤" I.top
+    (I.add v0 (I.of_var_unknown 1))
+
+let test_var_cancellation () =
+  Alcotest.check iv "v0 - v0 = 0" (c 0) (I.sub v0 v0);
+  Alcotest.check iv "(v0+c0) - (v0) = c0" c0 (I.sub (I.add v0 c0) v0)
+
+let test_scale () =
+  Alcotest.check iv "3 * (c0 + 2)" (I.add (I.scale 3 c0) (c 6))
+    (I.scale 3 (I.add_const 2 c0));
+  Alcotest.check iv "0 * ⊤ = 0" (c 0) (I.scale 0 I.top);
+  Alcotest.check iv "1 * ⊤ = ⊤" I.top (I.scale 1 I.top)
+
+let test_mul () =
+  Alcotest.check iv "literal * symbolic" (I.scale 2 c0) (I.mul (c 2) c0);
+  Alcotest.check iv "symbolic * literal" (I.scale 2 c0) (I.mul c0 (c 2));
+  Alcotest.check iv "symbolic * symbolic = ⊤" I.top (I.mul c0 c1)
+
+let test_binop_div () =
+  Alcotest.check iv "6 / 2" (c 3) (I.binop Jir.Types.Div (c 6) (c 2));
+  Alcotest.check iv "x / 0 = ⊤" I.top (I.binop Jir.Types.Div (c 6) (c 0));
+  Alcotest.check iv "c0 / 2 = ⊤" I.top (I.binop Jir.Types.Div c0 (c 2));
+  Alcotest.check iv "7 rem 4" (c 3) (I.binop Jir.Types.Rem (c 7) (c 4))
+
+let test_literals () =
+  Alcotest.(check (option int)) "to_literal 5" (Some 5) (I.to_literal (c 5));
+  Alcotest.(check (option int)) "to_literal c0" None (I.to_literal c0);
+  Alcotest.(check bool) "provably_ge 5 3" true (I.provably_ge (c 5) (c 3));
+  Alcotest.(check bool) "provably_ge 3 5" false (I.provably_ge (c 3) (c 5));
+  Alcotest.(check bool) "provably_ge (v0+1) v0" true
+    (I.provably_ge (I.add_const 1 v0) v0);
+  Alcotest.(check bool) "not provably_ge v0 c0" false (I.provably_ge v0 c0);
+  Alcotest.(check bool) "provably_gt (c0+1) c0" true
+    (I.provably_gt (I.add_const 1 c0) c0)
+
+let test_subst () =
+  (* (2v0 + 3)[v0 := c0 + 1] = 2c0 + 5 *)
+  let e = I.add_const 3 (I.scale 2 v0) in
+  Alcotest.check iv "substitution"
+    (I.add_const 5 (I.scale 2 c0))
+    (I.subst_var e ~v:0 ~by:(I.add_const 1 c0))
+
+(* ---- merging (Figure 1) ------------------------------------------------ *)
+
+let fresh_ctx ?(widen = false) () =
+  I.Ctx.create ~widen (I.Gen.create ())
+
+let test_merge_equal () =
+  let ctx = fresh_ctx () in
+  Alcotest.check iv "merge x x = x" (I.add_const 2 c0)
+    (I.merge ctx (I.add_const 2 c0) (I.add_const 2 c0))
+
+let test_merge_top () =
+  let ctx = fresh_ctx () in
+  Alcotest.check iv "merge ⊤ x" I.top (I.merge ctx I.top (c 1));
+  Alcotest.check iv "merge x ⊤" I.top (I.merge ctx (c 1) I.top)
+
+let test_merge_two_constants_invents_variable () =
+  let ctx = fresh_ctx () in
+  match I.merge ctx (c 0) (c 1) with
+  | I.Lin { var = Some (1, _); consts = []; base = 0 } -> ()
+  | other -> Alcotest.failf "expected fresh variable, got %a" I.pp other
+
+let test_merge_shares_stride_variable () =
+  (* two components with the same stride pick up the same variable with
+     consistent offsets (paper §3.5 example) *)
+  let ctx = fresh_ctx () in
+  let m1 = I.merge ctx (c 0) (c 1) in
+  let m2 = I.merge ctx (c 0) (c 1) in
+  let m3 = I.merge ctx (c 5) (c 6) in
+  Alcotest.check iv "same component merges identically" m1 m2;
+  Alcotest.check iv "same stride, offset 5" (I.add_const 5 m1) m3
+
+let test_merge_different_strides_different_variables () =
+  let ctx = fresh_ctx () in
+  let m1 = I.merge ctx (c 0) (c 1) in
+  let m2 = I.merge ctx (c 0) (c 2) in
+  Alcotest.(check bool) "distinct variables" false (I.equal m1 m2)
+
+let test_merge_validation_iteration () =
+  (* second loop iteration (paper §3.5): merge (v, v+1) returns v via the
+     match substitution, then merging the range bound (v, v+1) again in
+     the same context also returns v *)
+  let ctx = fresh_ctx () in
+  let gen_v = I.merge ctx (c 0) (c 1) in
+  ignore gen_v;
+  let ctx2 = fresh_ctx () in
+  let r1 = I.merge ctx2 v0 (I.add_const 1 v0) in
+  Alcotest.check iv "merge (v, v+1) = v" v0 r1;
+  let r2 = I.merge ctx2 v0 (I.add_const 1 v0) in
+  Alcotest.check iv "consistent second component" v0 r2
+
+let test_merge_inconsistent_substitution_tops () =
+  (* μ2(v) fixed by the first component; a second component whose values
+     contradict it must go to ⊤ *)
+  let ctx = fresh_ctx () in
+  let r1 = I.merge ctx v0 (I.add_const 1 v0) in
+  Alcotest.check iv "first" v0 r1;
+  let r2 = I.merge ctx v0 (I.add_const 2 v0) in
+  Alcotest.check iv "inconsistent second" I.top r2
+
+let test_merge_variable_against_constant () =
+  (* generalized successor state (v) meeting a stale constant (0): must
+     keep v with μ2(v) = 0, not ⊤ (required by the paper's own example) *)
+  let ctx = fresh_ctx () in
+  Alcotest.check iv "merge (v, 0) = v" v0 (I.merge ctx v0 (c 0));
+  (* and a second component with consistent values survives too *)
+  Alcotest.check iv "merge (v+3, 3) = v+3" (I.add_const 3 v0)
+    (I.merge ctx (I.add_const 3 v0) (c 3))
+
+let test_merge_coefficient_mismatch () =
+  let ctx = fresh_ctx () in
+  Alcotest.check iv "merge (2v, v) = ⊤" I.top
+    (I.merge ctx (I.scale 2 v0) v0)
+
+let test_widen () =
+  let ctx = fresh_ctx ~widen:true () in
+  Alcotest.check iv "widening merges unequal to ⊤" I.top
+    (I.merge ctx (c 0) (c 1));
+  Alcotest.check iv "widening keeps equal" (c 3) (I.merge ctx (c 3) (c 3))
+
+let test_merge_flat () =
+  Alcotest.check iv "flat equal" c0 (I.merge_flat c0 c0);
+  Alcotest.check iv "flat unequal" I.top (I.merge_flat c0 c1)
+
+(* ---- properties -------------------------------------------------------- *)
+
+let prop_add_commutative =
+  QCheck2.Test.make ~name:"add commutative" ~count:500
+    (QCheck2.Gen.pair Gen.intval Gen.intval) (fun (a, b) ->
+      I.equal (I.add a b) (I.add b a))
+
+let prop_add_associative =
+  QCheck2.Test.make ~name:"add associative (up to ⊤)" ~count:500
+    (QCheck2.Gen.triple Gen.intval Gen.intval Gen.intval) (fun (a, b, c) ->
+      (* association order can change where an intermediate two-variable
+         sum overflows to ⊤, so equality is only required when neither
+         grouping hit ⊤ — both sides remain sound over-approximations *)
+      let l = I.add a (I.add b c) in
+      let r = I.add (I.add a b) c in
+      I.is_top l || I.is_top r || I.equal l r)
+
+let prop_sub_self_zero =
+  QCheck2.Test.make ~name:"x - x = 0 (non-top)" ~count:500 Gen.lin_intval
+    (fun a -> I.equal (I.sub a a) (I.const 0))
+
+let prop_scale_add_distributes =
+  QCheck2.Test.make ~name:"k(a+b) = ka + kb" ~count:500
+    (QCheck2.Gen.triple (QCheck2.Gen.int_range (-3) 3) Gen.intval Gen.intval)
+    (fun (k, a, b) ->
+      I.equal (I.scale k (I.add a b)) (I.add (I.scale k a) (I.scale k b)))
+
+let prop_merge_idempotent =
+  QCheck2.Test.make ~name:"merge x x = x" ~count:500 Gen.intval (fun a ->
+      let ctx = fresh_ctx () in
+      I.equal (I.merge ctx a a) a)
+
+let prop_merge_flat_sound =
+  QCheck2.Test.make ~name:"merge_flat is equal-or-top" ~count:500
+    (QCheck2.Gen.pair Gen.intval Gen.intval) (fun (a, b) ->
+      let m = I.merge_flat a b in
+      if I.equal a b then I.equal m a else I.is_top m)
+
+let prop_provably_ge_antisym =
+  QCheck2.Test.make ~name:"provably_ge both ways implies equal" ~count:500
+    (QCheck2.Gen.pair Gen.lin_intval Gen.lin_intval) (fun (a, b) ->
+      if I.provably_ge a b && I.provably_ge b a then I.equal a b else true)
+
+let prop_merge_substitution_covers_inputs =
+  (* after merge (c1, c2) of distinct literals, substituting μ1's and μ2's
+     recorded values for the invented variable recovers the inputs *)
+  QCheck2.Test.make ~name:"invented variable covers both inputs" ~count:200
+    (QCheck2.Gen.pair (QCheck2.Gen.int_range (-20) 20)
+       (QCheck2.Gen.int_range (-20) 20)) (fun (x, y) ->
+      QCheck2.assume (x <> y);
+      let ctx = fresh_ctx () in
+      match I.merge ctx (c x) (c y) with
+      | I.Lin { var = Some (1, v); consts = []; base } ->
+          let s1 = I.subst_var (I.of_var_unknown v) ~v ~by:(c (x - base)) in
+          let s2 = I.subst_var (I.of_var_unknown v) ~v ~by:(c (y - base)) in
+          I.equal (I.add_const base s1) (c x)
+          && I.equal (I.add_const base s2) (c y)
+      | _ -> false)
+
+let unit_tests =
+  [
+    ("add consts", test_add_consts);
+    ("add symbolic", test_add_symbolic);
+    ("two vars is top", test_add_two_vars_is_top);
+    ("var cancellation", test_var_cancellation);
+    ("scale", test_scale);
+    ("mul", test_mul);
+    ("div/rem", test_binop_div);
+    ("literals and comparisons", test_literals);
+    ("substitution", test_subst);
+    ("merge equal", test_merge_equal);
+    ("merge top", test_merge_top);
+    ("merge invents variable", test_merge_two_constants_invents_variable);
+    ("merge shares stride variable", test_merge_shares_stride_variable);
+    ("different strides", test_merge_different_strides_different_variables);
+    ("validation iteration", test_merge_validation_iteration);
+    ("inconsistent substitution", test_merge_inconsistent_substitution_tops);
+    ("variable against constant", test_merge_variable_against_constant);
+    ("coefficient mismatch", test_merge_coefficient_mismatch);
+    ("widening", test_widen);
+    ("merge_flat", test_merge_flat);
+  ]
+
+let tests =
+  List.map (fun (n, f) -> Alcotest.test_case n `Quick f) unit_tests
+  @ List.map QCheck_alcotest.to_alcotest
+      [
+        prop_add_commutative;
+        prop_add_associative;
+        prop_sub_self_zero;
+        prop_scale_add_distributes;
+        prop_merge_idempotent;
+        prop_merge_flat_sound;
+        prop_provably_ge_antisym;
+        prop_merge_substitution_covers_inputs;
+      ]

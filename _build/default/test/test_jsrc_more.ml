@@ -1,0 +1,214 @@
+(* Additional mini-Java coverage: parser corner cases (else-if chains,
+   parenthesized condition backtracking), semantics of nested control
+   flow, and frontend/backend integration details. *)
+
+let run src =
+  let prog = Jsrc.Compile.compile_source src in
+  Jir.Verifier.verify_exn prog;
+  Jrt.Runner.run prog ~entry:{ Jir.Types.mclass = "Main"; mname = "main" }
+
+let out_static (r : Jrt.Runner.report) =
+  match Hashtbl.find_opt r.machine.Jrt.Interp.statics ("Main", "out") with
+  | Some (Jrt.Value.Int n) -> n
+  | _ -> Alcotest.fail "no int Main.out"
+
+let check_out name src expected =
+  let r = run src in
+  Alcotest.(check (list (pair int string))) (name ^ " errors") []
+    r.thread_errors;
+  Alcotest.(check int) name expected (out_static r)
+
+let test_else_if_chain () =
+  check_out "else-if classification"
+    {|
+class Main {
+  static int out;
+  static int classify(int n) {
+    if (n < 10) { return 1; }
+    else if (n < 100) { return 2; }
+    else if (n < 1000) { return 3; }
+    else { return 4; }
+  }
+  static void main() {
+    Main.out = classify(5) * 1000 + classify(50) * 100
+             + classify(500) * 10 + classify(5000);
+  }
+}
+|}
+    1234
+
+let test_parenthesized_conditions () =
+  check_out "nested parens in conditions"
+    {|
+class Main {
+  static int out;
+  static void main() {
+    int a = 3;
+    int b = 4;
+    int x = 0;
+    if ((a < b) && !(a + 1 == b && b > 10)) { x = 1; }
+    if ((a + 1) * 2 > b) { x = x + 2; }
+    if (((a < b) || (b < a)) && a != b) { x = x + 4; }
+    Main.out = x;
+  }
+}
+|}
+    7
+
+let test_nested_loops () =
+  check_out "nested loops with shadowless scopes"
+    {|
+class Main {
+  static int out;
+  static void main() {
+    int acc = 0;
+    for (int i = 0; i < 4; i = i + 1) {
+      int inner = 0;
+      for (int j = 0; j < i; j = j + 1) { inner = inner + 1; }
+      while (inner > 0) { acc = acc + 1; inner = inner - 1; }
+    }
+    Main.out = acc;
+  }
+}
+|}
+    6
+
+let test_ref_equality_semantics () =
+  check_out "reference == is identity, not structure"
+    {|
+class Box { int v; }
+class Main {
+  static int out;
+  static void main() {
+    Box a = new Box();
+    Box b = new Box();
+    Box c = a;
+    int x = 0;
+    if (a == c) { x = x + 1; }
+    if (a != b) { x = x + 2; }
+    if (a == b) { x = x + 100; }
+    Main.out = x;
+  }
+}
+|}
+    3
+
+let test_field_chain () =
+  check_out "deep field chains"
+    {|
+class N { N next; int v; }
+class Main {
+  static int out;
+  static void main() {
+    N a = new N();
+    a.next = new N();
+    a.next.next = new N();
+    a.next.next.v = 42;
+    Main.out = a.next.next.v;
+  }
+}
+|}
+    42
+
+let test_negative_literals_and_unary () =
+  check_out "unary minus"
+    {|
+class Main {
+  static int out;
+  static void main() {
+    int a = -5;
+    int b = - (a * -2);
+    Main.out = b - a;   // -10 - (-5) = -5 ... then negate
+    Main.out = -Main.out;
+  }
+}
+|}
+    5
+
+let test_runtime_exception_kills_thread () =
+  let r =
+    run
+      {|
+class Main {
+  static int out;
+  static void main() {
+    int zero = 0;
+    Main.out = 10 / zero;
+  }
+}
+|}
+  in
+  match r.thread_errors with
+  | [ (0, "arith") ] -> ()
+  | other -> Alcotest.failf "expected arith death, got %d" (List.length other)
+
+let test_null_deref_from_source () =
+  let r =
+    run
+      {|
+class T { T f; }
+class Main {
+  static void main() {
+    T t = null;
+    t.f = null;
+  }
+}
+|}
+  in
+  match r.thread_errors with
+  | [ (0, "null") ] -> ()
+  | other -> Alcotest.failf "expected null death, got %d" (List.length other)
+
+let test_instance_method_unqualified_call () =
+  check_out "unqualified instance call resolves through this"
+    {|
+class Main {
+  static int out;
+  int base;
+  int bump(int k) { return this.base + k; }
+  int twice(int k) { return bump(k) + bump(k); }
+  static void main() {
+    Main m = new Main();
+    m.base = 10;
+    Main.out = m.twice(6);
+  }
+}
+|}
+    32
+
+let test_ctor_chains_to_helper () =
+  (* constructor calling an instance helper on this: the helper receives
+     the constructor's unescaped receiver *)
+  check_out "constructor calls instance method"
+    {|
+class P {
+  int a;
+  int b;
+  P(int x) { this.a = x; init2(x * 2); }
+  void init2(int y) { this.b = y; }
+}
+class Main {
+  static int out;
+  static void main() {
+    P p = new P(7);
+    Main.out = p.a + p.b;
+  }
+}
+|}
+    21
+
+let tests =
+  List.map
+    (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("else-if chain", test_else_if_chain);
+      ("parenthesized conditions", test_parenthesized_conditions);
+      ("nested loops", test_nested_loops);
+      ("reference equality", test_ref_equality_semantics);
+      ("field chains", test_field_chain);
+      ("unary minus", test_negative_literals_and_unary);
+      ("arith kills thread", test_runtime_exception_kills_thread);
+      ("null deref from source", test_null_deref_from_source);
+      ("unqualified instance call", test_instance_method_unqualified_call);
+      ("ctor calls helper", test_ctor_chains_to_helper);
+    ]

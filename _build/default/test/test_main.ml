@@ -1,0 +1,29 @@
+let () =
+  Alcotest.run "satb-wbe"
+    [
+      ("intval", Test_intval.tests);
+      ("intrange", Test_intrange.tests);
+      ("state", Test_state.tests);
+      ("parser", Test_parser.tests);
+      ("minijava", Test_jsrc.tests);
+      ("minijava-more", Test_jsrc_more.tests);
+      ("verifier", Test_verifier.tests);
+      ("cfg", Test_cfg.tests);
+      ("runtime-units", Test_runtime_units.tests);
+      ("types-units", Test_types_units.tests);
+      ("differential", Test_differential.tests);
+      ("field-analysis", Test_field_analysis.tests);
+      ("array-analysis", Test_array_analysis.tests);
+      ("null-or-same", Test_nullsame.tests);
+      ("move-down", Test_movedown.tests);
+      ("scan-direction", Test_scan_direction.tests);
+      ("inliner", Test_inliner.tests);
+      ("interp", Test_interp.tests);
+      ("gc", Test_gc.tests);
+      ("gc-edges", Test_gc_edges.tests);
+      ("soundness", Test_soundness.tests);
+      ("analysis-fuzz", Test_analysis_fuzz.tests);
+      ("workloads", Test_workloads.tests);
+      ("harness", Test_harness.tests);
+      ("smoke", Test_smoke.tests);
+    ]

@@ -1,0 +1,77 @@
+(* Unit tests for the small pure helpers: Jir.Types classification
+   functions and the harness table formatter. *)
+
+open Jir.Types
+
+let test_targets_and_terminal () =
+  Alcotest.(check (list int)) "goto target" [ 7 ] (targets (Goto 7));
+  Alcotest.(check (list int)) "branch target" [ 3 ]
+    (targets (If_icmp (Lt, 3)));
+  Alcotest.(check (list int)) "store no target" [] (targets (Istore 1));
+  Alcotest.(check bool) "goto terminal" true (is_terminal (Goto 0));
+  Alcotest.(check bool) "return terminal" true (is_terminal Return);
+  Alcotest.(check bool) "areturn terminal" true (is_terminal Areturn);
+  Alcotest.(check bool) "branch falls through" false
+    (is_terminal (If_i (Eq, 0)));
+  Alcotest.(check bool) "invoke falls through" false
+    (is_terminal (Invoke { mclass = "C"; mname = "m" }))
+
+let test_map_label () =
+  let shift = map_label (fun l -> l + 10) in
+  Alcotest.(check bool) "goto shifted" true (shift (Goto 1) = Goto 11);
+  Alcotest.(check bool) "cond shifted" true
+    (shift (If_null 2) = If_null 12);
+  Alcotest.(check bool) "non-branch untouched" true
+    (shift (Iconst 5) = Iconst 5)
+
+let test_eval_cond () =
+  Alcotest.(check bool) "lt" true (eval_cond Lt 1 2);
+  Alcotest.(check bool) "ge" true (eval_cond Ge 2 2);
+  Alcotest.(check bool) "ne" false (eval_cond Ne 3 3);
+  Alcotest.(check bool) "gt" false (eval_cond Gt 1 2);
+  Alcotest.(check bool) "le" true (eval_cond Le 1 2);
+  Alcotest.(check bool) "eq" true (eval_cond Eq 0 0)
+
+let test_cond_string_roundtrip () =
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "round-trip" true
+        (cond_of_string (string_of_cond c) = Some c))
+    [ Eq; Ne; Lt; Ge; Gt; Le ];
+  Alcotest.(check bool) "unknown" true (cond_of_string "zz" = None)
+
+let test_store_kinds () =
+  let fr = { fclass = "C"; fname = "f" } in
+  Alcotest.(check bool) "putfield" true
+    (store_kind_of_instr (Putfield fr) = Some Field_store);
+  Alcotest.(check bool) "putstatic" true
+    (store_kind_of_instr (Putstatic fr) = Some Static_store);
+  Alcotest.(check bool) "aastore" true
+    (store_kind_of_instr Aastore = Some Array_store);
+  Alcotest.(check bool) "iastore none" true
+    (store_kind_of_instr Iastore = None)
+
+let test_tablefmt () =
+  let s =
+    Harness.Tablefmt.render
+      ~header:[ "name"; "n" ]
+      ~align:[ Harness.Tablefmt.L; Harness.Tablefmt.R ]
+      [ [ "alpha"; "1" ]; [ "b"; "22" ] ]
+  in
+  Alcotest.(check (list string)) "layout"
+    [ "name    n"; "-----  --"; "alpha   1"; "b      22" ]
+    (String.split_on_char '\n' s);
+  Alcotest.(check string) "pct" "50.0" (Harness.Tablefmt.pct 1 2);
+  Alcotest.(check string) "pct zero denom" "-" (Harness.Tablefmt.pct 1 0)
+
+let tests =
+  List.map
+    (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("targets + terminal", test_targets_and_terminal);
+      ("map_label", test_map_label);
+      ("eval_cond", test_eval_cond);
+      ("cond strings", test_cond_string_roundtrip);
+      ("store kinds", test_store_kinds);
+      ("tablefmt", test_tablefmt);
+    ]

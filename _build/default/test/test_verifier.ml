@@ -1,0 +1,242 @@
+(* Verifier tests: the dataflow rules the analysis later relies on. *)
+
+let verify src =
+  Jir.Verifier.verify_program (Jir.Parser.parse_linked src)
+
+let expect_ok name src =
+  match verify src with
+  | Ok () -> ()
+  | Error (e :: _) ->
+      Alcotest.failf "%s: unexpected verify error: %a" name
+        Jir.Verifier.pp_error e
+  | Error [] -> assert false
+
+let expect_err name src frag =
+  match verify src with
+  | Ok () -> Alcotest.failf "%s: expected a verify error" name
+  | Error (e :: _) ->
+      let msg = Fmt.str "%a" Jir.Verifier.pp_error e in
+      let contains s sub =
+        let n = String.length sub in
+        let rec go i =
+          i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s mentions %S (got %S)" name frag msg)
+        true (contains msg frag)
+  | Error [] -> assert false
+
+let wrap body = "class C\n field ref r\n static ref s\n method void <init> (ref) locals 1 ctor\n  return\n end\n method void m () locals 3\n" ^ body ^ " end\nend\n"
+
+let test_accepts_all_workloads () =
+  List.iter
+    (fun (w : Workloads.Spec.t) ->
+      match Jir.Verifier.verify_program (Workloads.Spec.parse w) with
+      | Ok () -> ()
+      | Error (e :: _) ->
+          Alcotest.failf "%s: %a" w.name Jir.Verifier.pp_error e
+      | Error [] -> assert false)
+    Workloads.Registry.all
+
+let test_stack_underflow () =
+  expect_err "pop empty" (wrap "  pop\n  return\n") "underflow"
+
+let test_type_mismatch_int_ref () =
+  expect_err "iadd on refs" (wrap "  aconst_null\n  aconst_null\n  iadd\n  pop\n  return\n")
+    "expected int"
+
+let test_ref_where_int () =
+  expect_err "ifnull on int" (wrap "  iconst 1\n  ifnull out\n out:\n  return\n")
+    "expected initialized ref"
+
+let test_falls_off_end () =
+  expect_err "no return" (wrap "  iconst 1\n  pop\n") "falls off"
+
+let test_stack_depth_mismatch_at_join () =
+  expect_err "join depth"
+    (wrap
+       "  iconst 1\n  ifeq other\n  iconst 5\n  goto join\n other:\n join:\n  return\n")
+    "stack depth mismatch"
+
+let test_stack_type_mismatch_at_join () =
+  expect_err "join type"
+    (wrap
+       "  iconst 1\n\
+       \  ifeq other\n\
+       \  iconst 5\n\
+       \  goto join\n\
+       \ other:\n\
+       \  aconst_null\n\
+       \ join:\n\
+       \  pop\n\
+       \  return\n")
+    "type mismatch"
+
+let test_local_read_before_write () =
+  expect_err "unset local" (wrap "  iload 2\n  pop\n  return\n")
+    "read before write"
+
+let test_local_conflict_read () =
+  (* local 2 holds an int on one path and a ref on the other: reading it
+     after the join is an error, not reading it is fine *)
+  expect_err "conflicting local"
+    (wrap
+       "  iconst 1\n\
+       \  ifeq other\n\
+       \  iconst 5\n\
+       \  istore 2\n\
+       \  goto join\n\
+       \ other:\n\
+       \  aconst_null\n\
+       \  astore 2\n\
+       \ join:\n\
+       \  iload 2\n\
+       \  pop\n\
+       \  return\n")
+    "local 2";
+  expect_ok "conflict unread"
+    (wrap
+       "  iconst 1\n\
+       \  ifeq other\n\
+       \  iconst 5\n\
+       \  istore 2\n\
+       \  goto join\n\
+       \ other:\n\
+       \  aconst_null\n\
+       \  astore 2\n\
+       \ join:\n\
+       \  return\n")
+
+let test_uninitialized_object_discipline () =
+  (* using a fresh object before constructing it is rejected *)
+  expect_err "putfield on uninit"
+    (wrap "  new C\n  aconst_null\n  putfield C.r\n  return\n")
+    "expected initialized ref";
+  expect_err "store uninit to static"
+    (wrap "  new C\n  putstatic C.s\n  return\n")
+    "expected initialized ref";
+  expect_err "pass uninit as plain arg"
+    "class C\n\
+    \ method void <init> (ref) locals 1 ctor\n\
+    \  return\n\
+    \ end\n\
+    \ method void sp (ref) locals 1\n\
+    \  return\n\
+    \ end\n\
+    \ method void m () locals 1\n\
+    \  new C\n\
+    \  spawn C.sp\n\
+    \  return\n\
+    \ end\n\
+     end\n"
+    "expected initialized ref";
+  (* constructing through a dup'd copy initializes both copies *)
+  expect_ok "dup + init"
+    (wrap
+       "  new C\n  dup\n  invoke C.<init>\n  aconst_null\n  putfield C.r\n  return\n")
+
+let test_ctor_on_initialized_rejected () =
+  expect_err "ctor on initialized ref"
+    (wrap "  aconst_null\n  invoke C.<init>\n  return\n")
+    "receiver must be uninitialized"
+
+let test_initialization_joins_must_agree () =
+  (* merging two different uninitialized sites is rejected *)
+  expect_err "uninit merge"
+    (wrap
+       "  iconst 1\n\
+       \  ifeq other\n\
+       \  new C\n\
+       \  goto join\n\
+       \ other:\n\
+       \  new C\n\
+       \ join:\n\
+       \  invoke C.<init>\n\
+       \  return\n")
+    "stack type mismatch"
+
+let test_return_type_checked () =
+  expect_err "void returns value"
+    (wrap "  iconst 1\n  ireturn\n") "return type mismatch";
+  expect_err "wrong return kind"
+    ("class C\n method int m () locals 0\n  return\n end\nend\n")
+    "return type mismatch"
+
+let test_unknown_refs () =
+  expect_err "unknown field"
+    (wrap "  aconst_null\n  getfield C.nope\n  pop\n  return\n")
+    "unknown field";
+  expect_err "unknown method" (wrap "  invoke C.nope\n  return\n")
+    "unknown method"
+
+let test_branch_out_of_range () =
+  (* hand-built method with a bogus target (the parser can't produce one) *)
+  let m =
+    {
+      Jir.Types.mname = "m";
+      params = [];
+      ret = None;
+      is_constructor = false;
+      max_locals = 0;
+      code = [| Jir.Types.Goto 99; Jir.Types.Return |];
+      handlers = [];
+      labels = [];
+    }
+  in
+  let prog =
+    Jir.Program.of_program
+      { classes = [ { cname = "C"; fields = []; statics = []; methods = [ m ] } ] }
+  in
+  match Jir.Verifier.verify_program prog with
+  | Ok () -> Alcotest.fail "expected error"
+  | Error _ -> ()
+
+let test_handler_rules () =
+  expect_ok "handler with empty stack"
+    (wrap
+       " t0:\n\
+       \  iconst 1\n\
+       \  iconst 0\n\
+       \  idiv\n\
+       \  pop\n\
+       \ t1:\n\
+       \  return\n\
+       \ h:\n\
+       \  return\n\
+       \  catch arith t0 t1 h\n");
+  expect_err "spawning a constructor"
+    ("class C\n\
+     \ method void <init> (ref) locals 1 ctor\n\
+     \  return\n\
+     \ end\n\
+     \ method void m () locals 1\n\
+     \  aconst_null\n\
+     \  spawn C.<init>\n\
+     \  return\n\
+     \ end\n\
+      end\n")
+    "cannot spawn a constructor"
+
+let tests =
+  List.map
+    (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("accepts all workloads", test_accepts_all_workloads);
+      ("stack underflow", test_stack_underflow);
+      ("int/ref mismatch", test_type_mismatch_int_ref);
+      ("ref where int", test_ref_where_int);
+      ("falls off end", test_falls_off_end);
+      ("join depth mismatch", test_stack_depth_mismatch_at_join);
+      ("join type mismatch", test_stack_type_mismatch_at_join);
+      ("read before write", test_local_read_before_write);
+      ("local conflicts", test_local_conflict_read);
+      ("uninitialized discipline", test_uninitialized_object_discipline);
+      ("ctor on initialized", test_ctor_on_initialized_rejected);
+      ("uninit join", test_initialization_joins_must_agree);
+      ("return types", test_return_type_checked);
+      ("unknown refs", test_unknown_refs);
+      ("branch out of range", test_branch_out_of_range);
+      ("handlers and spawn", test_handler_rules);
+    ]

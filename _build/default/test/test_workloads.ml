@@ -1,0 +1,120 @@
+(* Table 1 shape regression tests: lock in that each workload's measured
+   store population keeps matching the paper's row (who wins, field/array
+   asymmetries, rough magnitudes).  Tolerances are generous — the claim is
+   shape, not exact numbers. *)
+
+let pct num den =
+  if den = 0 then 0.0 else 100.0 *. float_of_int num /. float_of_int den
+
+let measure (w : Workloads.Spec.t) = (Harness.Table1.measure w).dyn
+
+let within name ~got ~want ~tol =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %.1f within %.1f of paper's %.1f" name got tol want)
+    true
+    (Float.abs (got -. want) <= tol)
+
+let check_row (w : Workloads.Spec.t) =
+  let d = measure w in
+  match w.paper_row with
+  | None -> Alcotest.fail "paper row missing"
+  | Some p ->
+      within (w.name ^ " total elim%")
+        ~got:(pct d.elided_execs d.total_execs)
+        ~want:p.p_elim_pct ~tol:6.0;
+      within (w.name ^ " potentially pre-null%")
+        ~got:(pct d.pot_pre_null_execs d.total_execs)
+        ~want:p.p_pot_pre_null_pct ~tol:8.0;
+      within (w.name ^ " field share%")
+        ~got:(pct d.field_execs (d.field_execs + d.array_execs))
+        ~want:(float_of_int p.p_field_pct)
+        ~tol:8.0;
+      within (w.name ^ " field elim%")
+        ~got:(pct d.field_elided d.field_execs)
+        ~want:p.p_field_elim_pct ~tol:8.0;
+      within (w.name ^ " array elim%")
+        ~got:(pct d.array_elided d.array_execs)
+        ~want:p.p_array_elim_pct ~tol:6.0
+
+let test_row w () = check_row w
+
+let test_benchmark_ordering () =
+  (* the paper's qualitative ordering of total elimination rates:
+     mtrt > jess > jack > javac > jbb > db *)
+  let elim w =
+    let d = measure w in
+    pct d.elided_execs d.total_execs
+  in
+  let e_mtrt = elim Workloads.Mtrt.t
+  and e_jess = elim Workloads.Jess.t
+  and e_jack = elim Workloads.Jack.t
+  and e_javac = elim Workloads.Javac_like.t
+  and e_jbb = elim Workloads.Jbb.t
+  and e_db = elim Workloads.Db.t in
+  Alcotest.(check bool) "mtrt > jess" true (e_mtrt > e_jess);
+  Alcotest.(check bool) "jess > jack" true (e_jess > e_jack);
+  Alcotest.(check bool) "jack > javac" true (e_jack > e_javac);
+  Alcotest.(check bool) "javac > jbb" true (e_javac > e_jbb);
+  Alcotest.(check bool) "jbb > db" true (e_jbb > e_db)
+
+let test_only_mtrt_and_javac_elide_arrays () =
+  (* paper: array elimination is 0.0 for jess, db, jack, jbb *)
+  List.iter
+    (fun (w : Workloads.Spec.t) ->
+      let d = measure w in
+      let a = pct d.array_elided d.array_execs in
+      match w.name with
+      | "mtrt" | "javac" ->
+          Alcotest.(check bool) (w.name ^ " elides arrays") true (a > 10.0)
+      | _ -> Alcotest.(check bool) (w.name ^ " no array elim") true (a < 0.5))
+    Workloads.Registry.table1
+
+let test_elimination_bounded_by_potential () =
+  (* correctness check from §4.2: the analysis only eliminates at
+     potentially pre-null sites, so elim% ≤ potential% — except for the
+     null-or-same class, which is precisely NOT pre-null; so the bound
+     holds for the plain A analysis *)
+  List.iter
+    (fun (w : Workloads.Spec.t) ->
+      let d = measure w in
+      Alcotest.(check bool)
+        (w.name ^ ": elim ≤ potential")
+        true
+        (d.elided_execs <= d.pot_pre_null_execs))
+    Workloads.Registry.table1
+
+let test_compress_nearly_barrier_free () =
+  (* the paper omitted compress and mpegaudio for having "very little
+     heap or pointer manipulation" (§4.1): confirm our lookalikes execute
+     a handful of barriers while doing thousands of instructions of
+     int-array work *)
+  List.iter
+    (fun w ->
+      let cw = Harness.Exp.compile w in
+      let r = Harness.Exp.run cw in
+      Alcotest.(check bool)
+        ((w : Workloads.Spec.t).name ^ " substantial work")
+        true (r.steps > 5_000);
+      Alcotest.(check bool)
+        (w.name ^ " almost no barriers")
+        true (r.dyn.total_execs < 5))
+    Workloads.Registry.omitted
+
+let test_micro_expand_full_elimination () =
+  let d = measure Workloads.Micro.expand in
+  Alcotest.(check int) "all array stores elided" d.array_execs d.array_elided
+
+let tests =
+  List.map
+    (fun (w : Workloads.Spec.t) ->
+      Alcotest.test_case ("table1 shape: " ^ w.name) `Quick (test_row w))
+    Workloads.Registry.table1
+  @ List.map
+      (fun (n, f) -> Alcotest.test_case n `Quick f)
+      [
+        ("benchmark ordering", test_benchmark_ordering);
+        ("array elimination pattern", test_only_mtrt_and_javac_elide_arrays);
+        ("elim bounded by potential", test_elimination_bounded_by_potential);
+        ("micro-expand fully elided", test_micro_expand_full_elimination);
+        ("compress nearly barrier-free", test_compress_nearly_barrier_free);
+      ]
