@@ -1,0 +1,18 @@
+# Convenience targets; the canonical CI entry point is `make check`.
+
+.PHONY: all check test bench clean
+
+all:
+	dune build
+
+check: all
+	dune runtest
+
+test: check
+
+# full reproduction: every table/figure plus the bechamel timings
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

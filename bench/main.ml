@@ -23,6 +23,9 @@ let experiments =
       "E8: move-down (delete-by-shift) elision",
       Harness.Movedown.print );
     ("ablation", "E9: design-choice ablations", Harness.Ablation.print);
+    ( "retrace",
+      "E10: pairwise-swap elision under the retrace collector",
+      Harness.Retrace.print );
   ]
 
 (* --- bechamel microbenchmarks: one Test.make per table/figure --------- *)
@@ -76,6 +79,16 @@ let bench_tests =
       Test.make ~name:"movedown/analyze-A+md"
         (Staged.stage (fun () ->
              ignore (Harness.Exp.compile ~move_down:true Workloads.Jbb.t)));
+      (* E10: db under the retrace collector with swap elision *)
+      Test.make ~name:"retrace/run-db-swap"
+        (Staged.stage (fun () ->
+             let cw =
+               Harness.Exp.compile ~move_down:true ~swap:true Workloads.Db.t
+             in
+             ignore
+               (Harness.Exp.run
+                  ~gc:(Jrt.Runner.make_retrace ~trigger_allocs:24 ())
+                  cw)));
       (* E9: the cheapest ablation (single-name, no strong updates) *)
       Test.make ~name:"ablation/analyze-1-name"
         (Staged.stage (fun () ->

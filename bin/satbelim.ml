@@ -76,15 +76,25 @@ let movedown_arg =
            applied to single-mutator programs and requires the SATB \
            collector's descending array scan.")
 
+let swap_arg =
+  Arg.(
+    value & flag
+    & info [ "swap" ]
+        ~doc:
+          "Enable the pairwise-swap elision (§4.3); only applied to \
+           single-mutator programs and only sound under the retrace \
+           collector's tracing-state protocol (--gc retrace).")
+
 let debug_arg =
   Arg.(value & flag & info [ "debug" ] ~doc:"Trace abstract states on stderr.")
 
-let conf_of mode nos md debug =
+let conf_of mode nos md swap debug =
   {
     Satb_core.Analysis.default_config with
     mode;
     null_or_same = nos;
     move_down = md;
+    swap;
     debug;
   }
 
@@ -127,11 +137,11 @@ let disasm_cmd =
 (* analyze *)
 
 let analyze_cmd =
-  let run file limit mode nos md debug verbose =
+  let run file limit mode nos md swap debug verbose =
     let prog = or_die (load file) in
     let compiled =
       Satb_core.Driver.compile ~inline_limit:limit
-        ~conf:(conf_of mode nos md debug) prog
+        ~conf:(conf_of mode nos md swap debug) prog
     in
     List.iter
       (fun (r : Satb_core.Analysis.method_result) ->
@@ -163,15 +173,24 @@ let analyze_cmd =
     (Cmd.info "analyze" ~doc:"Run the barrier-removal analysis")
     Term.(
       const run $ file_arg $ inline_limit_arg $ mode_arg $ nos_arg
-      $ movedown_arg $ debug_arg $ verbose)
+      $ movedown_arg $ swap_arg $ debug_arg $ verbose)
 
 (* run *)
 
 let gc_arg =
   Arg.(
     value
-    & opt (enum [ ("none", `None); ("satb", `Satb); ("incr", `Incr) ]) `Satb
-    & info [ "gc" ] ~docv:"GC" ~doc:"Collector: none, satb, or incr.")
+    & opt
+        (enum
+           [
+             ("none", `None);
+             ("satb", `Satb);
+             ("incr", `Incr);
+             ("retrace", `Retrace);
+           ])
+        `Satb
+    & info [ "gc" ] ~docv:"GC"
+        ~doc:"Collector: none, satb, incr, or retrace.")
 
 let entry_arg =
   Arg.(
@@ -180,17 +199,28 @@ let entry_arg =
     & info [ "entry" ] ~docv:"C.M" ~doc:"Entry method.")
 
 let run_cmd =
-  let run file limit mode nos md gc entry no_elim =
+  let run file limit mode nos md swap gc entry no_elim =
     let prog = or_die (load file) in
     let compiled =
       Satb_core.Driver.compile ~inline_limit:limit
-        ~conf:(conf_of mode nos md false) prog
+        ~conf:(conf_of mode nos md swap false) prog
     in
     let policy c m pc =
       (not no_elim)
       && not
            (Satb_core.Driver.needs_barrier compiled
               { sk_class = c; sk_method = m; sk_pc = pc })
+    in
+    let retrace c m pc =
+      if no_elim then Jrt.Interp.No_check
+      else
+        match
+          Satb_core.Driver.retrace_check compiled
+            { sk_class = c; sk_method = m; sk_pc = pc }
+        with
+        | `Open -> Jrt.Interp.Check_open
+        | `Close -> Jrt.Interp.Check_close
+        | `None -> Jrt.Interp.No_check
     in
     let entry_ref =
       match String.index_opt entry '.' with
@@ -208,8 +238,9 @@ let run_cmd =
       | `None -> Jrt.Runner.No_gc
       | `Satb -> Jrt.Runner.make_satb ()
       | `Incr -> Jrt.Runner.make_incr ()
+      | `Retrace -> Jrt.Runner.make_retrace ()
     in
-    let cfg = { Jrt.Interp.default_config with policy } in
+    let cfg = { Jrt.Interp.default_config with policy; retrace } in
     let r = Jrt.Runner.run ~cfg ~gc:gc_choice compiled.program ~entry:entry_ref in
     Fmt.pr "steps: %d, cost units: %d (barriers: %d)@." r.steps r.cost_units
       r.barrier_units;
@@ -219,7 +250,11 @@ let run_cmd =
         Fmt.pr "gc: %d cycles, %d violations, final pauses: %a@." g.cycles
           g.total_violations
           Fmt.(list ~sep:comma int)
-          g.final_pause_works
+          g.final_pause_works;
+        let retraced = List.fold_left ( + ) 0 g.retraced in
+        if retraced > 0 || r.machine.Jrt.Interp.retrace_checks > 0 then
+          Fmt.pr "retrace: %d checks, %d forced re-scans@."
+            r.machine.Jrt.Interp.retrace_checks retraced
     | None -> ());
     List.iter
       (fun (tid, e) -> Fmt.pr "thread %d died: %s@." tid e)
@@ -232,7 +267,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Interpret the program with barrier instrumentation")
     Term.(
       const run $ file_arg $ inline_limit_arg $ mode_arg $ nos_arg
-      $ movedown_arg $ gc_arg $ entry_arg $ no_elim)
+      $ movedown_arg $ swap_arg $ gc_arg $ entry_arg $ no_elim)
 
 (* workloads *)
 

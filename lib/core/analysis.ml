@@ -38,6 +38,13 @@ type config = {
           applied when the program is single-mutator (no spawn) and
           requires the collector to scan object arrays in descending
           index order *)
+  swap : bool;
+      (** enable the §4.3 pairwise-swap (rearrangement) elision: both
+          stores of a same-block swap of two elements of a
+          must-identified array.  Only sound under the retrace
+          collector's tracing-state protocol ({!Retrace_gc}), so elided
+          pairs are surfaced as tracing-check sites rather than plain
+          elisions; gated on single-mutator like move-down *)
   two_names : bool;
       (** the paper's §2.4 precision: a unique [R_id/A] for the most
           recent allocation plus a summary [R_id/B].  Disabling it (for
@@ -54,6 +61,7 @@ let default_config =
     mode = A;
     null_or_same = false;
     move_down = false;
+    swap = false;
     two_names = true;
     max_visits = 24;
     debug = false;
@@ -68,6 +76,12 @@ type reason =
   | Move_down
       (** §4.3 extension: delete-by-shift store whose overwritten value is
           null or was re-stored at a lower index *)
+  | Swap_first
+      (** §4.3 extension: first store of an elided pairwise swap — the
+          displaced element is provably re-stored by the pair's second
+          store in the same basic block.  Requires the retrace
+          collector's tracing-state check in place of the barrier. *)
+  | Swap_second  (** second store of an elided pairwise swap *)
   | Dead_code  (** store unreachable in the analyzed method *)
 
 let string_of_reason = function
@@ -76,6 +90,8 @@ let string_of_reason = function
   | Pre_null_array -> "pre-null-array"
   | Null_or_same -> "null-or-same"
   | Move_down -> "move-down"
+  | Swap_first -> "swap-first"
+  | Swap_second -> "swap-second"
   | Dead_code -> "dead-code"
 
 type verdict = {
@@ -94,6 +110,24 @@ type method_result = {
 
 (** Analysis of one method. *)
 
+(** A pending first store of a pairwise swap (§4.3): slot [sp_lo] of the
+    array identified by [sp_src] was just overwritten with the element
+    loaded from [sp_hi]; the displaced element (provenance [sp_lo]) must
+    be re-stored at exactly [sp_hi] before the pending fact dies for the
+    pair to be elidable.  The fact only survives across simple
+    non-throwing instructions, so a matched pair sits in one basic block
+    with nothing in between that could trigger a safepoint — the window
+    contract the retrace collector relies on. *)
+type swap_pend = {
+  sp_src : State.must_src;
+  sp_lo : Intval.t;
+  sp_hi : Intval.t;
+  sp_pc : int;
+  sp_elided : bool;
+      (** the first store was already elided for another reason, so no
+          [Swap_first] verdict should overwrite it *)
+}
+
 type env = {
   conf : config;
   prog : Jir.Program.t;
@@ -107,6 +141,12 @@ type env = {
   track_ints : bool;
   move_down : bool;
       (** §4.3 move-down elision, already gated on single-mutator *)
+  swap : bool;
+      (** §4.3 swap elision, gated on single-mutator, mode [A], and the
+          absence of bounds handlers *)
+  mutable swap_pending : swap_pend option;
+      (** block-local: reset at block entry, killed by any instruction
+          outside the swap-window whitelist *)
 }
 
 (** Outcome of transferring one instruction. *)
@@ -240,6 +280,24 @@ let refine_on_null env (s : State.t) (ri : State.refinfo) : State.t =
 let transfer env ~record (s : State.t) (pc : int) (instr : int instr) :
     outcome =
   let track_arrays = env.conf.mode = A in
+  (* §4.3 swap: a pending first store survives only across simple,
+     non-throwing, non-heap-writing instructions — the safepoint-free
+     window contract the retrace collector relies on.  Anything else
+     (possible throwers, heap writes, calls, control transfers) kills it;
+     the [Aastore] case re-arms it. *)
+  let pending = env.swap_pending in
+  env.swap_pending <- None;
+  (match instr with
+  | Iconst _ | Aconst_null | Iload _ | Aload _ | Istore _ | Astore _
+  | Iinc _ | Ibin (Add | Sub | Mul) | Ineg | Dup | Pop | Swap | Getstatic _
+    ->
+      env.swap_pending <- pending
+  | Ibin (Div | Rem)
+  | Goto _ | If_i _ | If_icmp _ | If_null _ | If_nonnull _ | If_acmp _
+  | Putstatic _ | Getfield _ | Putfield _ | New _ | Newarray _ | Aaload
+  | Aastore | Iaload | Iastore | Arraylength | Invoke _ | Spawn _ | Return
+  | Ireturn | Areturn ->
+      ());
   match instr with
   | Iconst n -> Fall (push_int env (Intval.const n) s)
   | Aconst_null -> Fall (State.push State.null_v s)
@@ -313,9 +371,10 @@ let transfer env ~record (s : State.t) (pc : int) (instr : int instr) :
       match Jir.Program.static_ty env.prog fr with
       | R ->
           (* the loaded value is exactly the static's current content: a
-             must-alias source for the §4.3 move-down extension *)
+             must-alias source for the §4.3 rearrangement extensions *)
           let msrc =
-            if env.move_down then Some (State.Mstatic (fr.fclass, fr.fname))
+            if env.move_down || env.swap then
+              Some (State.Mstatic (fr.fclass, fr.fname))
             else None
           in
           Fall
@@ -482,11 +541,12 @@ let transfer env ~record (s : State.t) (pc : int) (instr : int instr) :
       let arr, s = State.pop_ref s in
       let ri = State.lookup_ref_field s arr.refs Field_id.Elems in
       (* remember where the element came from when the array itself is
-         must-identified (§4.3 move-down) *)
+         must-identified (§4.3 rearrangements) *)
       let eprov =
         match arr.State.msrc with
-        | Some m when env.move_down && not (Intval.is_top ind) ->
-            Some (m, ind)
+        | Some m
+          when (env.move_down || env.swap) && not (Intval.is_top ind) ->
+            Some { State.ep_src = m; ep_idx = ind; ep_displaced = false }
         | Some _ | None -> None
       in
       Fall (State.push (State.Ref { ri with eprov }) s)
@@ -504,8 +564,14 @@ let transfer env ~record (s : State.t) (pc : int) (instr : int instr) :
         && (not env.catches_bounds)
         &&
         match arr.State.msrc, value, s.State.shift with
-        | Some m, State.Ref { eprov = Some (m', idx_v); _ }, Some (ms, idx_s)
-          ->
+        | ( Some m,
+            State.Ref
+              {
+                eprov =
+                  Some { ep_src = m'; ep_idx = idx_v; ep_displaced = false };
+                _;
+              },
+            Some (ms, idx_s) ) ->
             State.equal_must_src m m'
             && State.equal_must_src m ms
             && Intval.equal ind idx_s
@@ -517,28 +583,88 @@ let transfer env ~record (s : State.t) (pc : int) (instr : int instr) :
         && (not env.catches_bounds)
         && array_store_elidable s arr.refs ind
       in
+      (* §4.3 swap, second store: a first store is pending and the value
+         is exactly the element it displaced, going to exactly the slot
+         the first store's value came from.  The displaced provenance
+         also witnesses an earlier successful load at [sp_hi], so this
+         store provably does not throw — the window cannot stay open. *)
+      let swap_close =
+        if not env.swap then None
+        else
+          match pending, arr.State.msrc, value with
+          | Some sp, Some m, State.Ref { eprov = Some ep; _ }
+            when State.equal_must_src m sp.sp_src
+                 && ep.State.ep_displaced
+                 && State.equal_must_src ep.State.ep_src sp.sp_src
+                 && Intval.equal ep.State.ep_idx sp.sp_lo
+                 && Intval.equal ind sp.sp_hi ->
+              Some sp
+          | _, _, _ -> None
+      in
       (* verdict against the pre-store state *)
       (if Rset.is_empty arr.refs then record pc Array_store true Dead_code
        else if pre_null_ok then record pc Array_store true Pre_null_array
        else if move_down_ok then record pc Array_store true Move_down
-       else record pc Array_store false Keep);
+       else
+         match swap_close with
+         | Some sp ->
+             (* both verdicts land in this same transfer, so a visit's
+                result is deterministic at the fixed point *)
+             if not sp.sp_elided then
+               record sp.sp_pc Array_store true Swap_first;
+             record pc Array_store true Swap_second
+         | None -> record pc Array_store false Keep);
+      (* §4.3 swap, first-store candidate: the stored value is the
+         current content of a provably different slot (nonzero constant
+         index delta) of the same must-identified array.  The displaced
+         element's provenance is flipped to "displaced" below. *)
+      let open_pending =
+        if (not env.swap) || Option.is_some swap_close then None
+        else
+          match arr.State.msrc, value with
+          | Some m, State.Ref { eprov = Some ep; _ }
+            when (not ep.State.ep_displaced)
+                 && State.equal_must_src ep.State.ep_src m
+                 && (not (Intval.is_top ind))
+                 && (match
+                       Intval.to_literal (Intval.sub ep.State.ep_idx ind)
+                     with
+                    | Some d -> d <> 0
+                    | None -> false) ->
+              Some
+                {
+                  sp_src = m;
+                  sp_lo = ind;
+                  sp_hi = ep.State.ep_idx;
+                  sp_pc = pc;
+                  sp_elided =
+                    Rset.is_empty arr.refs || pre_null_ok || move_down_ok;
+                }
+          | _, _ -> None
+      in
       (* shift-chain bookkeeping for the post-store state: a store of
          null through a must-identified array starts a chain (its barrier
          logged the overwritten value, or that value was null); the chain
-         store itself advances it; anything else ends it.  Element
-         provenances die on every array store (distinct sources may alias
-         the same concrete array). *)
+         store itself advances it; anything else ends it. *)
       let next_shift =
         match arr.State.msrc, value with
         | Some m, State.Ref { refs; _ }
           when Rset.is_empty refs && not (Intval.is_top ind) ->
             Some (m, ind)
-        | Some m, State.Ref { eprov = Some (_, idx_v); _ } when move_down_ok
-          ->
+        | Some m, State.Ref { eprov = Some { ep_idx = idx_v; _ }; _ }
+          when move_down_ok ->
             Some (m, idx_v)
         | _, _ -> None
       in
-      let s = State.kill_all_eprov s in
+      (* element provenances: facts about provably untouched slots of the
+         must-same array survive; a first swap store displaces the facts
+         for its slot; everything else (unknown or other sources may
+         alias this array) dies *)
+      let s =
+        State.eprov_after_store s ~src:arr.State.msrc ~idx:ind
+          ~displace:(Option.is_some open_pending)
+      in
+      env.swap_pending <- open_pending;
       let s = { s with State.shift = next_shift } in
       (* element update is always weak (§2.4) *)
       let store_val =
@@ -669,6 +795,12 @@ let analyze_method ?(conf = default_config) ?(single_mutator = false)
       iterations = 0;
     }
   else begin
+    let catches_bounds =
+      List.exists
+        (fun h ->
+          match h.kind with Bounds | Any -> true | Null_deref | Arith -> false)
+        meth.handlers
+    in
     let env =
       {
         conf;
@@ -677,12 +809,13 @@ let analyze_method ?(conf = default_config) ?(single_mutator = false)
         meth;
         gen = Intval.Gen.create ();
         in_ctor = meth.is_constructor;
-        catches_bounds =
-          List.exists
-            (fun h -> match h.kind with Bounds | Any -> true | Null_deref | Arith -> false)
-            meth.handlers;
+        catches_bounds;
         track_ints = conf.mode = A;
         move_down = conf.move_down && single_mutator && conf.mode = A;
+        swap =
+          conf.swap && single_mutator && conf.mode = A
+          && not catches_bounds;
+        swap_pending = None;
       }
     in
     let cfg = Jir.Cfg.build meth in
@@ -730,6 +863,8 @@ let analyze_method ?(conf = default_config) ?(single_mutator = false)
             Fmt.epr "@[<v2>-- %s.%s block %d (pc %d..%d) visit %d:@,%a@]@."
               cls.cname meth.mname id b.start_pc b.end_pc visits.(id)
               State.pp s0;
+          (* pending swap facts never cross a block boundary *)
+          env.swap_pending <- None;
           let rec go pc s =
             if pc >= b.end_pc then post_pc pc s
             else begin

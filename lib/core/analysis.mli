@@ -18,6 +18,11 @@ type config = {
       (** enable the §4.3 move-down elision; applied only to
           single-mutator programs, and requires the collector to scan
           object arrays in descending index order *)
+  swap : bool;
+      (** enable the §4.3 pairwise-swap elision; applied only to
+          single-mutator programs, and sound only under the retrace
+          collector's tracing-state protocol — elided pairs are surfaced
+          as tracing-check sites *)
   two_names : bool;
       (** §2.4 two-names-per-site precision; disable only for the
           ablation study *)
@@ -34,6 +39,11 @@ type reason =
   | Pre_null_array  (** §3: index within the array's null range *)
   | Null_or_same  (** §4.3: rewrites the field's value or fills a null *)
   | Move_down  (** §4.3: delete-by-shift copy store *)
+  | Swap_first
+      (** §4.3: first store of an elided pairwise swap; requires the
+          retrace collector's tracing-state check in place of the
+          barrier *)
+  | Swap_second  (** §4.3: second store of an elided pairwise swap *)
   | Dead_code
 
 val string_of_reason : reason -> string

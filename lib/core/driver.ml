@@ -71,6 +71,16 @@ let needs_barrier (c : compiled) (key : site_key) : bool =
 let verdict (c : compiled) (key : site_key) : Analysis.verdict option =
   Hashtbl.find_opt c.verdicts key
 
+(** Tracing-state check the retrace collector's code generator emits at a
+    swap-elided store: [`Open] at the pair's first store (also opens the
+    safepoint-free window), [`Close] at the second. *)
+let retrace_check (c : compiled) (key : site_key) :
+    [ `None | `Open | `Close ] =
+  match Hashtbl.find_opt c.verdicts key with
+  | Some { v_elide = true; v_reason = Analysis.Swap_first; _ } -> `Open
+  | Some { v_elide = true; v_reason = Analysis.Swap_second; _ } -> `Close
+  | Some _ | None -> `None
+
 let static_stats (c : compiled) : static_stats =
   let total = ref 0
   and elided = ref 0

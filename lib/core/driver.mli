@@ -42,6 +42,12 @@ val needs_barrier : compiled -> site_key -> bool
     sites conservatively do. *)
 
 val verdict : compiled -> site_key -> Analysis.verdict option
+
+val retrace_check : compiled -> site_key -> [ `None | `Open | `Close ]
+(** Tracing-state check emitted at a swap-elided store: [`Open] at the
+    pair's first store (also opens the safepoint-free window), [`Close]
+    at the second, [`None] everywhere else. *)
+
 val static_stats : compiled -> static_stats
 val pp_static_stats : static_stats Fmt.t
 

@@ -55,14 +55,23 @@ let equal_must_src (Mstatic (c1, f1)) (Mstatic (c2, f2)) =
 
 let pp_must_src ppf (Mstatic (c, f)) = Fmt.pf ppf "%s.%s" c f
 
+(** Element provenance, for the §4.3 rearrangement (move-down and swap)
+    extensions: the value was loaded from the array identified by
+    [ep_src] at index [ep_idx].  While [ep_displaced] is false, no store
+    to that array may have touched the slot since, so the value still
+    {e is} the current content of [ep_src\[ep_idx\]].  A {e displaced}
+    provenance (swap analysis) instead means the slot was just
+    overwritten by the first store of a pending swap: the value is no
+    longer in the array, but is known to be the unique element displaced
+    from [ep_idx]. *)
+type eprov = { ep_src : must_src; ep_idx : Intval.t; ep_displaced : bool }
+
 type refinfo = {
   refs : Rset.t;
   nos : Nos.t;
   msrc : must_src option;
       (** this value equals the current content of the source *)
-  eprov : (must_src * Intval.t) option;
-      (** this value was loaded from the array identified by the source,
-          at the given index, with no store to that array since *)
+  eprov : eprov option;
 }
 
 (** Abstract values: the ⊥ of the RefVal lattice, integer values, or sets
@@ -128,11 +137,16 @@ let equal_opt eq a b =
 let equal_shift (m1, i1) (m2, i2) =
   equal_must_src m1 m2 && Intval.equal i1 i2
 
+let equal_eprov a b =
+  equal_must_src a.ep_src b.ep_src
+  && Intval.equal a.ep_idx b.ep_idx
+  && Bool.equal a.ep_displaced b.ep_displaced
+
 let equal_refinfo a b =
   Rset.equal a.refs b.refs
   && Nos.equal a.nos b.nos
   && equal_opt equal_must_src a.msrc b.msrc
-  && equal_opt equal_shift a.eprov b.eprov
+  && equal_opt equal_eprov a.eprov b.eprov
 
 let equal_aval a b =
   match a, b with
@@ -347,14 +361,17 @@ let merge_msrc a b =
   | Some x, Some y when equal_must_src x y -> a
   | Some _, Some _ | None, _ | _, None -> None
 
-(** Merge element provenances: same array source, indices merged as
-    integer state components (they stride with loop counters). *)
+(** Merge element provenances: same array source and same displacement
+    status, indices merged as integer state components (they stride with
+    loop counters). *)
 let merge_eprov ctx a b =
   match a, b with
-  | Some (m1, i1), Some (m2, i2) when equal_must_src m1 m2 -> (
-      match Intval.merge ctx i1 i2 with
+  | Some e1, Some e2
+    when equal_must_src e1.ep_src e2.ep_src
+         && Bool.equal e1.ep_displaced e2.ep_displaced -> (
+      match Intval.merge ctx e1.ep_idx e2.ep_idx with
       | Intval.Top -> None
-      | i -> Some (m1, i))
+      | i -> Some { e1 with ep_idx = i })
   | Some _, Some _ | None, _ | _, None -> None
 
 let merge_aval (ctx : Intval.Ctx.ctx) (s1 : t) (s2 : t) (a : aval) (b : aval)
@@ -465,7 +482,9 @@ let kill_must_src (s : t) (pred : must_src -> bool) : t =
           match ri.msrc with Some m when pred m -> None | o -> o
         in
         let eprov =
-          match ri.eprov with Some (m, _) when pred m -> None | o -> o
+          match ri.eprov with
+          | Some { ep_src = m; _ } when pred m -> None
+          | o -> o
         in
         Ref { ri with msrc; eprov }
     | (Bot | Clash | Int _) as v -> v
@@ -492,6 +511,46 @@ let kill_all_must_src (s : t) : t = kill_must_src s (fun _ -> true)
 let kill_all_eprov (s : t) : t =
   let clean = function
     | Ref ({ eprov = Some _; _ } as ri) -> Ref { ri with eprov = None }
+    | (Bot | Clash | Int _ | Ref { eprov = None; _ }) as v -> v
+  in
+  {
+    s with
+    rho = Array.map clean s.rho;
+    stk = List.map clean s.stk;
+    sigma = Sigma.map clean s.sigma;
+  }
+
+(** Refine element provenances across an object-array store to index
+    [idx] of the array identified by [src].
+
+    A (non-displaced) provenance survives only when its array is
+    {e must}-the-same as the stored-to one and its index provably differs
+    from [idx] by a nonzero constant — the slot it describes was not
+    touched.  Facts about a different or unknown source always die: two
+    distinct sources may alias the same concrete array.  Displaced facts
+    are consumed by the swap-verdict logic {e before} the store's kill,
+    so any still present die here too.
+
+    With [displace], facts whose index provably {e equals} [idx] become
+    displaced instead of dying: the store is the first half of a swap,
+    and the fact's value is the unique element just pushed out of that
+    slot. *)
+let eprov_after_store (s : t) ~(src : must_src option) ~(idx : Intval.t)
+    ~(displace : bool) : t =
+  let clean = function
+    | Ref ({ eprov = Some ep; _ } as ri) ->
+        let eprov =
+          match src with
+          | Some m when equal_must_src ep.ep_src m && not ep.ep_displaced ->
+              if displace && Intval.equal ep.ep_idx idx then
+                Some { ep with ep_displaced = true }
+              else (
+                match Intval.to_literal (Intval.sub ep.ep_idx idx) with
+                | Some d when d <> 0 -> Some ep
+                | Some _ | None -> None)
+          | Some _ | None -> None
+        in
+        Ref { ri with eprov }
     | (Bot | Clash | Int _ | Ref { eprov = None; _ }) as v -> v
   in
   {

@@ -20,14 +20,21 @@ type must_src = Mstatic of Jir.Types.class_name * Jir.Types.field_name
 val equal_must_src : must_src -> must_src -> bool
 val pp_must_src : must_src Fmt.t
 
+type eprov = { ep_src : must_src; ep_idx : Intval.t; ep_displaced : bool }
+(** Element provenance (§4.3 rearrangements): the value was loaded from
+    the array identified by [ep_src] at [ep_idx] and, unless displaced,
+    still is that slot's current content.  A displaced provenance means
+    the slot was just overwritten by the first store of a pending swap:
+    the value is the unique element pushed out of [ep_idx]. *)
+
+val equal_eprov : eprov -> eprov -> bool
+
 type refinfo = {
   refs : Rset.t;  (** empty set = definitely null *)
   nos : Nos.t;
   msrc : must_src option;
       (** this value equals the current content of the source *)
-  eprov : (must_src * Intval.t) option;
-      (** loaded from the array identified by the source, at the given
-          index, with no store to any object array since *)
+  eprov : eprov option;
 }
 
 (** Abstract values; [Clash] covers locals holding different kinds on
@@ -47,11 +54,7 @@ type t = {
 }
 
 val mk_refinfo :
-  ?msrc:must_src ->
-  ?eprov:must_src * Intval.t ->
-  ?nos:Nos.t ->
-  Rset.t ->
-  refinfo
+  ?msrc:must_src -> ?eprov:eprov -> ?nos:Nos.t -> Rset.t -> refinfo
 
 val ref_of : Rset.t -> aval
 val null_v : aval
@@ -100,10 +103,9 @@ val merge_nos : t -> t -> refinfo -> refinfo -> Nos.t
 val merge_msrc : must_src option -> must_src option -> must_src option
 
 val merge_eprov :
-  Intval.Ctx.ctx ->
-  (must_src * Intval.t) option ->
-  (must_src * Intval.t) option ->
-  (must_src * Intval.t) option
+  Intval.Ctx.ctx -> eprov option -> eprov option -> eprov option
+(** Same source and displacement status; indices merged as integer state
+    components. *)
 
 val merge_aval : Intval.Ctx.ctx -> t -> t -> aval -> aval -> aval
 
@@ -121,6 +123,15 @@ val kill_nos : t -> (Refsym.t * Field_id.t) list -> t
 val kill_must_src : t -> (must_src -> bool) -> t
 val kill_all_must_src : t -> t
 val kill_all_eprov : t -> t
+
+val eprov_after_store :
+  t -> src:must_src option -> idx:Intval.t -> displace:bool -> t
+(** Refine element provenances across an object-array store: facts about
+    the must-same array at a provably different (nonzero constant delta)
+    index survive; with [displace], facts at provably the same index
+    become displaced (first half of a swap); everything else — including
+    facts about other or unknown sources, which may alias the stored-to
+    array — dies. *)
 
 (** {2 Stack and locals} *)
 

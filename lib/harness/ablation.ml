@@ -10,17 +10,22 @@
       widening every loop-head merge immediately ([max_visits = 0]), so
       no loop invariant over array null ranges survives;
     - {b field-only}: mode F (also one of the paper's own Figure 2
-      configurations, repeated here for comparison). *)
+      configurations, repeated here for comparison);
+    - {b rearrange}: the full analysis plus both §4.3 rearrangement
+      extensions (move-down and pairwise swap), run under the retrace
+      collector whose tracing-state protocol the swap elision
+      requires. *)
 
-type variant = Full | One_name | No_stride | Field_only
+type variant = Full | One_name | No_stride | Field_only | Rearrange
 
-let variants = [ Full; One_name; No_stride; Field_only ]
+let variants = [ Full; One_name; No_stride; Field_only; Rearrange ]
 
 let string_of_variant = function
   | Full -> "full"
   | One_name -> "1-name"
   | No_stride -> "no-stride"
   | Field_only -> "field-only"
+  | Rearrange -> "rearrange"
 
 let conf_of = function
   | Full -> Satb_core.Analysis.default_config
@@ -28,6 +33,8 @@ let conf_of = function
   | No_stride -> { Satb_core.Analysis.default_config with max_visits = 0 }
   | Field_only ->
       { Satb_core.Analysis.default_config with mode = Satb_core.Analysis.F }
+  | Rearrange ->
+      { Satb_core.Analysis.default_config with move_down = true; swap = true }
 
 type row = { bench : string; elim : (variant * float) list }
 
@@ -45,12 +52,24 @@ let measure_one (w : Workloads.Spec.t) : row =
         (Satb_core.Driver.needs_barrier compiled
            { sk_class = c; sk_method = m; sk_pc = pc })
     in
-    let cfg = { Jrt.Interp.default_config with policy } in
-    let r =
-      Jrt.Runner.run ~cfg
-        ~gc:(Jrt.Runner.make_satb ~trigger_allocs:24 ())
-        compiled.program ~entry:w.entry
+    let retrace c m pc =
+      match
+        Satb_core.Driver.retrace_check compiled
+          { sk_class = c; sk_method = m; sk_pc = pc }
+      with
+      | `Open -> Jrt.Interp.Check_open
+      | `Close -> Jrt.Interp.Check_close
+      | `None -> Jrt.Interp.No_check
     in
+    let cfg = { Jrt.Interp.default_config with policy; retrace } in
+    (* The swap elision is only sound under the retrace collector. *)
+    let gc =
+      match variant with
+      | Rearrange -> Jrt.Runner.make_retrace ~trigger_allocs:24 ()
+      | Full | One_name | No_stride | Field_only ->
+          Jrt.Runner.make_satb ~trigger_allocs:24 ()
+    in
+    let r = Jrt.Runner.run ~cfg ~gc compiled.program ~entry:w.entry in
     (match r.gc with
     | Some g when g.total_violations > 0 ->
         Fmt.failwith "%s/%s: marking violation" w.name
@@ -74,7 +93,7 @@ let render (rows : row list) : string =
   in
   Tablefmt.render
     ~header:("benchmark" :: List.map string_of_variant variants)
-    ~align:[ Tablefmt.L; R; R; R; R ]
+    ~align:[ Tablefmt.L; R; R; R; R; R ]
     body
 
 let print () = print_endline (render (measure ()))

@@ -1,8 +1,10 @@
 (** E9 — ablation study over the design choices DESIGN.md calls out:
     full analysis vs. single-name-per-site (no §2.4 precision) vs.
-    no stride discovery (immediate widening) vs. field-only. *)
+    no stride discovery (immediate widening) vs. field-only vs. full
+    plus the §4.3 rearrangement extensions under the retrace
+    collector. *)
 
-type variant = Full | One_name | No_stride | Field_only
+type variant = Full | One_name | No_stride | Field_only | Rearrange
 
 val variants : variant list
 val string_of_variant : variant -> string

@@ -7,11 +7,11 @@ type compiled_workload = {
 }
 
 let compile ?(inline_limit = 100) ?(mode = Satb_core.Analysis.A)
-    ?(null_or_same = false) ?(move_down = false) (w : Workloads.Spec.t) :
-    compiled_workload =
+    ?(null_or_same = false) ?(move_down = false) ?(swap = false)
+    (w : Workloads.Spec.t) : compiled_workload =
   let prog = Workloads.Spec.parse w in
   let conf =
-    { Satb_core.Analysis.default_config with mode; null_or_same; move_down }
+    { Satb_core.Analysis.default_config with mode; null_or_same; move_down; swap }
   in
   { workload = w; compiled = Satb_core.Driver.compile ~inline_limit ~conf prog }
 
@@ -22,13 +22,27 @@ let policy_of (cw : compiled_workload) : Jrt.Interp.barrier_policy =
     (Satb_core.Driver.needs_barrier cw.compiled
        { sk_class = c; sk_method = m; sk_pc = pc })
 
+(** Tracing-state-check sites from the analysis verdicts (swap pairs). *)
+let retrace_policy_of (cw : compiled_workload) : Jrt.Interp.retrace_policy =
+ fun c m pc ->
+  match
+    Satb_core.Driver.retrace_check cw.compiled
+      { sk_class = c; sk_method = m; sk_pc = pc }
+  with
+  | `Open -> Jrt.Interp.Check_open
+  | `Close -> Jrt.Interp.Check_close
+  | `None -> Jrt.Interp.No_check
+
 let run ?(gc = Jrt.Runner.No_gc) ?(satb_mode = Jrt.Barrier_cost.Conditional)
     ?(use_policy = true) ?(seed = 0) ?quantum ?gc_period
     (cw : compiled_workload) : Jrt.Runner.report =
   let policy =
     if use_policy then policy_of cw else Jrt.Interp.keep_all_policy
   in
-  let cfg = { Jrt.Interp.default_config with policy; satb_mode } in
+  let retrace =
+    if use_policy then retrace_policy_of cw else Jrt.Interp.no_retrace_checks
+  in
+  let cfg = { Jrt.Interp.default_config with policy; satb_mode; retrace } in
   let report =
     Jrt.Runner.run ~cfg ~gc ~seed ?quantum ?gc_period cw.compiled.program
       ~entry:cw.workload.entry

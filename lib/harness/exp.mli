@@ -11,11 +11,16 @@ val compile :
   ?mode:Satb_core.Analysis.mode ->
   ?null_or_same:bool ->
   ?move_down:bool ->
+  ?swap:bool ->
   Workloads.Spec.t ->
   compiled_workload
 
 val policy_of : compiled_workload -> Jrt.Interp.barrier_policy
 (** Barrier-elision policy from the analysis verdicts. *)
+
+val retrace_policy_of : compiled_workload -> Jrt.Interp.retrace_policy
+(** Tracing-state-check sites (swap-elided store pairs) from the analysis
+    verdicts; [no_retrace_checks] when the swap extension is off. *)
 
 val run :
   ?gc:Jrt.Runner.gc_choice ->

@@ -1,0 +1,21 @@
+(** E10 — the §4.3 pairwise-swap extension under the retrace collector:
+    additional array-store elimination with the swap analysis enabled,
+    the forced re-scan and tracing-state-check counts (the protocol's
+    runtime cost), and the SATB violation count proving the elision
+    sound under the tracing-state protocol. *)
+
+type row = {
+  bench : string;
+  elim_base_pct : float;
+  elim_swap_pct : float;
+  array_base_pct : float;
+  array_swap_pct : float;
+  retraces : int;
+  checks : int;
+  violations : int;
+}
+
+val measure_one : Workloads.Spec.t -> row
+val measure : unit -> row list
+val render : row list -> string
+val print : unit -> unit

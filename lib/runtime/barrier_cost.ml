@@ -47,6 +47,14 @@ let satb_cost ~(mode : satb_mode) ~(marking : bool) ~(pre_null : bool) : int =
 (** Cost of one executed card-marking barrier (incremental update). *)
 let card_mark_cost = 2
 
+(** Cost of the tracing-state check the retrace collector's compiler emits
+    at a swap-elided store in place of the full SATB barrier: load the
+    object's tracing state, compare, branch (§4.3).  The slow path — the
+    out-of-line retrace enqueue — only runs while the object is being
+    traced concurrently, unlike the SATB log which runs for the whole of
+    marking. *)
+let tracing_check_units = 3
+
 (** Average cost of one interpreted bytecode in RISC instructions — the
     base work the barrier overhead is measured against. *)
 let bytecode_units = 8

@@ -15,6 +15,10 @@ val log_out_of_line : int
 val satb_cost : mode:satb_mode -> marking:bool -> pre_null:bool -> int
 val card_mark_cost : int
 
+val tracing_check_units : int
+(** Inline cost of the retrace collector's tracing-state check compiled at
+    a swap-elided store (load state, compare, branch). *)
+
 val bytecode_units : int
 (** Average machine instructions per interpreted bytecode — the base work
     barrier overhead is measured against. *)

@@ -10,6 +10,13 @@ type t = {
   name : string;
   is_marking : unit -> bool;
   log_ref_store : obj:int -> pre:Value.t -> unit;
+  on_unlogged_store : obj:int -> unit;
+      (** tracing-state check compiled at swap-elided sites: the analysis
+          removed the logging barrier but the retrace protocol
+          ({!Retrace_gc}) still needs to know the object was mutated while
+          its scan may be in flight.  Collectors without the protocol
+          ignore it — which is exactly what the negative soundness tests
+          demonstrate to be unsafe. *)
   on_alloc : Heap.obj -> unit;
   step : unit -> unit;  (** perform a bounded increment of collector work *)
 }
@@ -20,6 +27,7 @@ let none : t =
     name = "none";
     is_marking = (fun () -> false);
     log_ref_store = (fun ~obj:_ ~pre:_ -> ());
+    on_unlogged_store = (fun ~obj:_ -> ());
     on_alloc = (fun _ -> ());
     step = (fun () -> ());
   }

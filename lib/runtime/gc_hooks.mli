@@ -7,6 +7,10 @@ type t = {
   is_marking : unit -> bool;
   log_ref_store : obj:int -> pre:Value.t -> unit;
       (** [obj] is the written object's id, [-1] for static stores *)
+  on_unlogged_store : obj:int -> unit;
+      (** tracing-state check at swap-elided sites: no pre-value is
+          logged, but a retrace collector may need to re-scan [obj].
+          No-op for collectors without the protocol. *)
   on_alloc : Heap.obj -> unit;
   step : unit -> unit;  (** one bounded increment of collector work *)
 }

@@ -10,6 +10,12 @@ type payload =
   | Ref_array of Value.t array
   | Int_array of int array
 
+(** Per-object tracing progress, maintained by collectors that expose it
+    to the mutator (the retrace protocol of {!Retrace_gc}).  [Being_traced]
+    is observable for object arrays, whose scan spans several collector
+    increments; plain objects go straight to [Traced]. *)
+type trace_state = Untraced | Being_traced | Traced
+
 type obj = {
   id : int;
   cls : Jir.Types.class_name;  (** class, or element class for arrays *)
@@ -18,6 +24,8 @@ type obj = {
   mutable born_during_mark : bool;
       (** allocated while marking was in progress (relevant to both
           collectors, with opposite consequences) *)
+  mutable trace : trace_state;
+      (** scan progress within the current marking cycle *)
   mutable dead : bool;  (** reclaimed by a sweep *)
 }
 
@@ -35,6 +43,7 @@ let dummy =
     payload = Fields [||];
     marked = false;
     born_during_mark = false;
+    trace = Untraced;
     dead = true;
   }
 
@@ -57,6 +66,7 @@ let alloc (h : t) (cls : Jir.Types.class_name) (payload : payload) : obj =
       payload;
       marked = false;
       born_during_mark = false;
+      trace = Untraced;
       dead = false;
     }
   in
@@ -93,7 +103,8 @@ let iter_live (h : t) (f : obj -> unit) =
 let clear_marks (h : t) =
   iter_live h (fun o ->
       o.marked <- false;
-      o.born_during_mark <- false)
+      o.born_during_mark <- false;
+      o.trace <- Untraced)
 
 (** Reclaim an object (sweep); accessing it afterwards is a bug that we
     make loud by poisoning its payload. *)

@@ -8,12 +8,18 @@ type payload =
   | Ref_array of Value.t array
   | Int_array of int array
 
+(** Per-object tracing progress within the current marking cycle, used by
+    the retrace protocol ({!Retrace_gc}); [Being_traced] is observable for
+    object arrays whose chunked scan spans collector increments. *)
+type trace_state = Untraced | Being_traced | Traced
+
 type obj = {
   id : int;
   cls : Jir.Types.class_name;  (** class, or element class for arrays *)
   payload : payload;
   mutable marked : bool;
   mutable born_during_mark : bool;
+  mutable trace : trace_state;
   mutable dead : bool;  (** reclaimed by a sweep *)
 }
 

@@ -205,6 +205,7 @@ let hooks (t : t) : Gc_hooks.t =
     Gc_hooks.name = "incremental-update";
     is_marking = (fun () -> is_marking t);
     log_ref_store = (fun ~obj ~pre -> log_ref_store t ~obj ~pre);
+    on_unlogged_store = (fun ~obj:_ -> ());
     on_alloc = (fun o -> on_alloc t o);
     step = (fun () -> step t);
   }

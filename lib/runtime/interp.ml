@@ -22,9 +22,17 @@ let bugf fmt = Fmt.kstr (fun s -> raise (Runtime_bug s)) fmt
 (** A barrier site in the compiled (inlined) program. *)
 type site = { s_class : class_name; s_method : method_name; s_pc : int }
 
+(** What the retrace collector's compiler emits at a swap-elided store:
+    nothing, or a tracing-state check that additionally opens (store 1 of
+    the pair) or closes (store 2) a safepoint-free window.  The scheduler
+    defers collector work while a window is open, so the collector never
+    observes a half-completed swap (see {!Retrace_gc}). *)
+type retrace_site = No_check | Check_open | Check_close
+
 type site_stats = {
   st_kind : store_kind;
   st_elided : bool;  (** the policy removed this site's barrier *)
+  st_check : retrace_site;  (** tracing-state check compiled in its place *)
   mutable execs : int;
   mutable pre_null_execs : int;
 }
@@ -33,10 +41,16 @@ type site_stats = {
     that site unnecessary. *)
 type barrier_policy = class_name -> method_name -> int -> bool
 
+(** Which elided sites carry a tracing-state check (swap-pair elisions
+    under the retrace collector). *)
+type retrace_policy = class_name -> method_name -> int -> retrace_site
+
 let keep_all_policy : barrier_policy = fun _ _ _ -> false
+let no_retrace_checks : retrace_policy = fun _ _ _ -> No_check
 
 type config = {
   policy : barrier_policy;
+  retrace : retrace_policy;
   satb_mode : Barrier_cost.satb_mode;
   barrier_flavor : [ `Satb | `Card ];
       (** which barrier body executes at non-elided sites: SATB pre-value
@@ -47,6 +61,7 @@ type config = {
 let default_config =
   {
     policy = keep_all_policy;
+    retrace = no_retrace_checks;
     satb_mode = Barrier_cost.Conditional;
     barrier_flavor = `Satb;
     max_steps = 50_000_000;
@@ -81,6 +96,9 @@ type t = {
   mutable barrier_units : int;
   mutable barriers_executed : int;
   mutable elided_barrier_execs : int;
+  mutable retrace_checks : int;  (** executed tracing-state checks *)
+  mutable in_no_safepoint : bool;
+      (** a swap window is open: collector work must be deferred *)
   field_index : (field_ref, int) Hashtbl.t;
 }
 
@@ -112,6 +130,8 @@ let create ?(cfg = default_config) (prog : Jir.Program.t) : t =
     barrier_units = 0;
     barriers_executed = 0;
     elided_barrier_execs = 0;
+    retrace_checks = 0;
+    in_no_safepoint = false;
     field_index = Hashtbl.create 64;
   }
 
@@ -170,6 +190,7 @@ let site_stats (m : t) (site : site) (kind : store_kind) : site_stats =
         {
           st_kind = kind;
           st_elided = m.cfg.policy site.s_class site.s_method site.s_pc;
+          st_check = m.cfg.retrace site.s_class site.s_method site.s_pc;
           execs = 0;
           pre_null_execs = 0;
         }
@@ -186,7 +207,18 @@ let ref_store_barrier (m : t) (fr : frame) ~(kind : store_kind) ~(obj : int)
   st.execs <- st.execs + 1;
   let pre_null = not (Value.is_ref pre) in
   if pre_null then st.pre_null_execs <- st.pre_null_execs + 1;
-  if st.st_elided then m.elided_barrier_execs <- m.elided_barrier_execs + 1
+  if st.st_elided then begin
+    m.elided_barrier_execs <- m.elided_barrier_execs + 1;
+    match st.st_check with
+    | No_check -> ()
+    | (Check_open | Check_close) as check ->
+        m.retrace_checks <- m.retrace_checks + 1;
+        let cost = Barrier_cost.tracing_check_units in
+        m.barrier_units <- m.barrier_units + cost;
+        m.cost_units <- m.cost_units + cost;
+        m.gc.on_unlogged_store ~obj;
+        m.in_no_safepoint <- check = Check_open
+  end
   else begin
     m.barriers_executed <- m.barriers_executed + 1;
     let cost =

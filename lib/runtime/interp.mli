@@ -12,9 +12,15 @@ type site = {
   s_pc : int;
 }
 
+type retrace_site = No_check | Check_open | Check_close
+(** What the retrace collector's compiler emits at a swap-elided store: a
+    tracing-state check that also opens (store 1) or closes (store 2) a
+    safepoint-free window around the swap. *)
+
 type site_stats = {
   st_kind : Jir.Types.store_kind;
   st_elided : bool;
+  st_check : retrace_site;
   mutable execs : int;
   mutable pre_null_execs : int;
 }
@@ -24,10 +30,17 @@ type barrier_policy =
 (** [policy cls meth pc = true] means the analysis removed that site's
     barrier. *)
 
+type retrace_policy =
+  Jir.Types.class_name -> Jir.Types.method_name -> int -> retrace_site
+(** Which elided sites carry a tracing-state check (swap-pair elisions
+    under the retrace collector). *)
+
 val keep_all_policy : barrier_policy
+val no_retrace_checks : retrace_policy
 
 type config = {
   policy : barrier_policy;
+  retrace : retrace_policy;
   satb_mode : Barrier_cost.satb_mode;
   barrier_flavor : [ `Satb | `Card ];
   max_steps : int;
@@ -64,6 +77,10 @@ type t = {
   mutable barrier_units : int;
   mutable barriers_executed : int;
   mutable elided_barrier_execs : int;
+  mutable retrace_checks : int;
+  mutable in_no_safepoint : bool;
+      (** a swap window is open: the scheduler must defer collector work
+          until the closing store's check clears this *)
   field_index : (Jir.Types.field_ref, int) Hashtbl.t;
 }
 

@@ -20,3 +20,14 @@ let reachable (heap : Heap.t) (roots : int list) : Iset.t =
           go seen (List.rev_append (Heap.out_edges o) todo)
   in
   go Iset.empty roots
+
+(** Snapshot-invariant check shared by the SATB-family collectors: members
+    of the marking-start snapshot that ended the cycle dead or unmarked.
+    Nonzero means a barrier (or a tracing-state check) that was actually
+    needed had been removed. *)
+let snapshot_violations (heap : Heap.t) (snapshot : Iset.t) : int =
+  Iset.fold
+    (fun id n ->
+      let o = Heap.get heap id in
+      if o.Heap.dead || not o.Heap.marked then n + 1 else n)
+    snapshot 0

@@ -5,3 +5,8 @@
 module Iset : Set.S with type elt = int
 
 val reachable : Heap.t -> int list -> Iset.t
+
+val snapshot_violations : Heap.t -> Iset.t -> int
+(** Members of a marking-start snapshot that are dead or unmarked at the
+    end of the cycle — the invariant every SATB-family collector (plain
+    SATB and the retrace variant) must satisfy. *)

@@ -1,0 +1,328 @@
+(** SATB concurrent marking with the optimistic tracing-state / retrace
+    protocol of the paper's §4.3.
+
+    Plain SATB ({!Satb_gc}) cannot support eliding the barriers of an
+    array {e rearrangement} (the pairwise swap in a sort): between the two
+    stores of a swap the displaced element lives only in mutator locals,
+    so a marker that scans the array inside that window — or that already
+    scanned the element's slot — misses it, and no pre-value was logged.
+
+    This collector closes the gap by exposing per-object {e tracing
+    state} ({!Heap.trace_state}: untraced / being-traced / traced,
+    observable mid-scan for chunked object arrays) and maintaining a
+    {e retrace list}.  Compiled code at a swap-elided store executes a
+    cheap tracing-state check instead of the logging barrier
+    ({!Gc_hooks.t.on_unlogged_store}): if marking is in progress and the
+    written object is not yet fully traced, the object is enqueued for a
+    whole-object re-scan.  Re-scans run during normal mark increments and
+    must reach a fixed point (an empty retrace list) before the remark
+    pause may end.
+
+    Soundness additionally relies on two contracts with the compiler and
+    scheduler, mirroring a real VM's no-safepoint regions:
+
+    - the analysis only elides swap pairs whose two stores sit in the
+      same basic block with only simple non-throwing instructions
+      between them ({!Satb_core.Analysis}), and
+    - the interpreter marks that window as safepoint-free, so collector
+      increments (and hence re-scans and the remark pause) never observe
+      a half-completed swap ({!Interp}, {!Runner}).
+
+    Under those contracts every re-scan sees a rearrangement-consistent
+    array, and a [Traced] object's current elements are all marked (an
+    elided store may only re-store a value loaded from the same array,
+    which a completed scan already visited).  Arrays are scanned in
+    descending index order, preserving the move-down contract of
+    {!Satb_gc}.  Every cycle is verified against the {!Oracle} exactly
+    like plain SATB. *)
+
+module Iset = Oracle.Iset
+
+type phase = Idle | Marking
+
+(** Gray-set entries: a whole object, or the remainder of a partially
+    scanned object array (slots [0..upto] still to visit, descending). *)
+type gray = Whole of int | Array_tail of { id : int; upto : int }
+
+type cycle_report = {
+  cycle : int;
+  snapshot_size : int;
+  marked : int;
+  logged : int;  (** SATB buffer entries processed *)
+  allocated_during : int;
+  increments : int;
+  retraces : int;  (** whole-object re-scans forced by unlogged stores *)
+  final_pause_work : int;
+  swept : int;
+  violations : int;  (** snapshot-reachable objects left unmarked *)
+}
+
+type t = {
+  heap : Heap.t;
+  roots : unit -> int list;
+  steps_per_increment : int;
+  buffer_capacity : int;
+  array_chunk : int;  (** array slots visited per gray-entry processing *)
+  mutable phase : phase;
+  mutable gray : gray list;
+  mutable satb_buffer : int list;  (** completed buffers (object ids) *)
+  mutable local_buffer : int list;  (** mutator-local, not yet handed over *)
+  mutable local_count : int;
+  mutable retrace : int list;  (** objects awaiting a re-scan *)
+  mutable in_retrace : Iset.t;  (** dedup for the retrace list *)
+  mutable snapshot : Iset.t;
+  mutable logged : int;
+  mutable allocated_during : int;
+  mutable increments : int;
+  mutable retraces : int;
+  mutable cycles : int;
+  mutable reports : cycle_report list;  (** most recent first *)
+  mutable sweep_enabled : bool;
+}
+
+let create ?(steps_per_increment = 64) ?(buffer_capacity = 32)
+    ?(array_chunk = 8) ?(sweep = true) (heap : Heap.t)
+    ~(roots : unit -> int list) : t =
+  {
+    heap;
+    roots;
+    steps_per_increment;
+    buffer_capacity;
+    array_chunk;
+    phase = Idle;
+    gray = [];
+    satb_buffer = [];
+    local_buffer = [];
+    local_count = 0;
+    retrace = [];
+    in_retrace = Iset.empty;
+    snapshot = Iset.empty;
+    logged = 0;
+    allocated_during = 0;
+    increments = 0;
+    retraces = 0;
+    cycles = 0;
+    reports = [];
+    sweep_enabled = sweep;
+  }
+
+let is_marking t = t.phase = Marking
+
+let mark_and_gray t id =
+  let o = Heap.get t.heap id in
+  if (not o.marked) && not o.dead then begin
+    o.marked <- true;
+    t.gray <- Whole id :: t.gray
+  end
+
+(** Begin a cycle: capture the root set (initial-mark pause) and the
+    oracle snapshot used for verification.  All tracing states are
+    [Untraced] here — {!Heap.clear_marks} reset them at the previous
+    cycle's end, and allocation starts objects untraced. *)
+let start_cycle (t : t) : unit =
+  assert (t.phase = Idle);
+  t.phase <- Marking;
+  t.gray <- [];
+  t.satb_buffer <- [];
+  t.local_buffer <- [];
+  t.local_count <- 0;
+  t.retrace <- [];
+  t.in_retrace <- Iset.empty;
+  t.logged <- 0;
+  t.allocated_during <- 0;
+  t.increments <- 0;
+  t.retraces <- 0;
+  let roots = t.roots () in
+  t.snapshot <- Oracle.reachable t.heap roots;
+  List.iter (mark_and_gray t) roots
+
+(** Mutator hooks. *)
+
+(** Identical to {!Satb_gc.log_ref_store}: mutator-local buffers, handed
+    over when full. *)
+let log_ref_store t ~obj:_ ~pre =
+  if t.phase = Marking then
+    match pre with
+    | Value.Ref id ->
+        t.local_buffer <- id :: t.local_buffer;
+        t.local_count <- t.local_count + 1;
+        t.logged <- t.logged + 1;
+        if t.local_count >= t.buffer_capacity then begin
+          t.satb_buffer <- List.rev_append t.local_buffer t.satb_buffer;
+          t.local_buffer <- [];
+          t.local_count <- 0
+        end
+    | Value.Null | Value.Int _ -> ()
+
+(** The tracing-state check compiled at a swap-elided store: nothing was
+    logged, so if the object's scan has not provably completed, schedule a
+    whole-object re-scan.  Objects allocated during marking are black and
+    never scanned, so rearrangements inside them need no retrace. *)
+let on_unlogged_store t ~obj =
+  if t.phase = Marking && obj >= 0 then begin
+    let o = Heap.get t.heap obj in
+    if (not o.dead) && not o.born_during_mark then
+      match o.trace with
+      | Heap.Traced -> ()
+      | Heap.Untraced | Heap.Being_traced ->
+          if not (Iset.mem obj t.in_retrace) then begin
+            t.in_retrace <- Iset.add obj t.in_retrace;
+            t.retrace <- obj :: t.retrace
+          end
+  end
+
+let on_alloc t (o : Heap.obj) =
+  if t.phase = Marking then begin
+    (* allocate black: implicitly marked, never examined *)
+    o.marked <- true;
+    o.born_during_mark <- true;
+    t.allocated_during <- t.allocated_during + 1
+  end
+
+(** Scan one chunk of an object array's slots, descending; the object is
+    [Being_traced] until the chunk reaching slot 0 promotes it. *)
+let scan_array_chunk (t : t) (id : int) ~(upto : int) : unit =
+  let o = Heap.get t.heap id in
+  if not o.dead then
+    match o.payload with
+    | Heap.Ref_array es ->
+        let upto = min upto (Array.length es - 1) in
+        let last = max 0 (upto - t.array_chunk + 1) in
+        for i = upto downto last do
+          match es.(i) with
+          | Value.Ref tgt -> mark_and_gray t tgt
+          | Value.Null | Value.Int _ -> ()
+        done;
+        if last > 0 then t.gray <- Array_tail { id; upto = last - 1 } :: t.gray
+        else o.trace <- Heap.Traced
+    | Heap.Fields _ | Heap.Int_array _ -> ()
+
+(** Re-scan a retraced object in one step.  Runs only at safepoints, so
+    the contents are rearrangement-consistent; the whole object is
+    visited, making it [Traced] again no matter how far the original scan
+    had progressed when the unlogged store hit. *)
+let rescan (t : t) (id : int) : unit =
+  let o = Heap.get t.heap id in
+  if not o.dead then begin
+    (match o.payload with
+    | Heap.Ref_array es ->
+        Array.iter
+          (function
+            | Value.Ref tgt -> mark_and_gray t tgt
+            | Value.Null | Value.Int _ -> ())
+          es
+    | Heap.Fields _ | Heap.Int_array _ ->
+        List.iter (mark_and_gray t) (Heap.out_edges o));
+    o.trace <- Heap.Traced
+  end
+
+(** Process up to [budget] work units: logged pre-values, then gray
+    entries; once the gray set is empty, retrace-list entries.  (Retrace
+    entries wait for an empty gray set so that at most one scan of an
+    object array is in flight at a time.) *)
+let drain (t : t) (budget : int) : int =
+  let processed = ref 0 in
+  while
+    !processed < budget
+    && (t.gray <> [] || t.satb_buffer <> [] || t.retrace <> [])
+  do
+    (match t.satb_buffer with
+    | id :: rest ->
+        t.satb_buffer <- rest;
+        mark_and_gray t id
+    | [] -> ());
+    match t.gray with
+    | Whole id :: rest ->
+        t.gray <- rest;
+        incr processed;
+        let o = Heap.get t.heap id in
+        if not o.dead then begin
+          match o.payload with
+          | Heap.Ref_array es ->
+              o.trace <- Heap.Being_traced;
+              scan_array_chunk t id ~upto:(Array.length es - 1)
+          | Heap.Fields _ | Heap.Int_array _ ->
+              List.iter (mark_and_gray t) (Heap.out_edges o);
+              o.trace <- Heap.Traced
+        end
+    | Array_tail { id; upto } :: rest ->
+        t.gray <- rest;
+        incr processed;
+        scan_array_chunk t id ~upto
+    | [] -> (
+        match t.retrace with
+        | id :: rest ->
+            t.retrace <- rest;
+            t.in_retrace <- Iset.remove id t.in_retrace;
+            t.retraces <- t.retraces + 1;
+            incr processed;
+            rescan t id
+        | [] -> ())
+  done;
+  !processed
+
+let step (t : t) : unit =
+  if t.phase = Marking then begin
+    t.increments <- t.increments + 1;
+    ignore (drain t t.steps_per_increment)
+  end
+
+(** Has the concurrent phase exhausted its known work?  The retrace list
+    counts: remark may not begin while a forced re-scan is pending — the
+    retrace fixed point is part of cycle termination. *)
+let quiescent (t : t) : bool =
+  t.phase = Marking && t.gray = [] && t.satb_buffer = [] && t.retrace = []
+
+(** The remark pause: flush the mutator-local buffer remnants, drain
+    everything — including late retrace entries — to the retrace fixed
+    point, verify the snapshot invariant, sweep. *)
+let finish_cycle (t : t) : cycle_report =
+  assert (t.phase = Marking);
+  t.satb_buffer <- List.rev_append t.local_buffer t.satb_buffer;
+  t.local_buffer <- [];
+  t.local_count <- 0;
+  let pause_work = ref 0 in
+  while t.gray <> [] || t.satb_buffer <> [] || t.retrace <> [] do
+    pause_work := !pause_work + drain t max_int
+  done;
+  assert (t.retrace = [] && Iset.is_empty t.in_retrace);
+  let violations = Oracle.snapshot_violations t.heap t.snapshot in
+  let marked = ref 0 in
+  Heap.iter_live t.heap (fun o -> if o.marked then incr marked);
+  let swept = ref 0 in
+  if t.sweep_enabled && violations = 0 then
+    Heap.iter_live t.heap (fun o ->
+        if not o.marked then begin
+          Heap.free t.heap o;
+          incr swept
+        end);
+  let report =
+    {
+      cycle = t.cycles;
+      snapshot_size = Iset.cardinal t.snapshot;
+      marked = !marked;
+      logged = t.logged;
+      allocated_during = t.allocated_during;
+      increments = t.increments;
+      retraces = t.retraces;
+      final_pause_work = !pause_work;
+      swept = !swept;
+      violations;
+    }
+  in
+  t.cycles <- t.cycles + 1;
+  t.reports <- report :: t.reports;
+  t.phase <- Idle;
+  Heap.clear_marks t.heap;
+  report
+
+(** Package as mutator-facing hooks. *)
+let hooks (t : t) : Gc_hooks.t =
+  {
+    Gc_hooks.name = "retrace";
+    is_marking = (fun () -> is_marking t);
+    log_ref_store = (fun ~obj ~pre -> log_ref_store t ~obj ~pre);
+    on_unlogged_store = (fun ~obj -> on_unlogged_store t ~obj);
+    on_alloc = (fun o -> on_alloc t o);
+    step = (fun () -> step t);
+  }

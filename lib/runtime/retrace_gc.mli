@@ -1,0 +1,86 @@
+(** SATB concurrent marking with the optimistic tracing-state / retrace
+    protocol (§4.3 rearrangement support).
+
+    Extends plain SATB ({!Satb_gc}) with per-object tracing state
+    ({!Heap.trace_state}) and a {e retrace list}: compiled code at a
+    swap-elided store runs a cheap tracing-state check instead of the
+    logging barrier ({!Gc_hooks.t.on_unlogged_store}); if the written
+    object is not yet fully traced it is enqueued for a whole-object
+    re-scan.  Remark may not end before the retrace list reaches a fixed
+    point.  Sound only together with the compiler's same-block swap-pair
+    contract and the interpreter's safepoint-free swap windows (see the
+    implementation's header comment for the full argument).
+
+    Arrays are scanned in bounded chunks, descending — the same contract
+    move-down elision relies on.  Every cycle is verified against the
+    {!Oracle}. *)
+
+type phase = Idle | Marking
+type gray = Whole of int | Array_tail of { id : int; upto : int }
+
+type cycle_report = {
+  cycle : int;
+  snapshot_size : int;
+  marked : int;
+  logged : int;
+  allocated_during : int;
+  increments : int;
+  retraces : int;  (** whole-object re-scans forced by unlogged stores *)
+  final_pause_work : int;  (** objects processed inside the remark pause *)
+  swept : int;
+  violations : int;  (** snapshot-reachable objects left unmarked *)
+}
+
+type t = {
+  heap : Heap.t;
+  roots : unit -> int list;
+  steps_per_increment : int;
+  buffer_capacity : int;
+  array_chunk : int;
+  mutable phase : phase;
+  mutable gray : gray list;
+  mutable satb_buffer : int list;
+  mutable local_buffer : int list;
+  mutable local_count : int;
+  mutable retrace : int list;
+  mutable in_retrace : Oracle.Iset.t;
+  mutable snapshot : Oracle.Iset.t;
+  mutable logged : int;
+  mutable allocated_during : int;
+  mutable increments : int;
+  mutable retraces : int;
+  mutable cycles : int;
+  mutable reports : cycle_report list;
+  mutable sweep_enabled : bool;
+}
+
+val create :
+  ?steps_per_increment:int ->
+  ?buffer_capacity:int ->
+  ?array_chunk:int ->
+  ?sweep:bool ->
+  Heap.t ->
+  roots:(unit -> int list) ->
+  t
+
+val is_marking : t -> bool
+val start_cycle : t -> unit
+val log_ref_store : t -> obj:int -> pre:Value.t -> unit
+
+val on_unlogged_store : t -> obj:int -> unit
+(** The tracing-state check at a swap-elided store: enqueue the object for
+    a re-scan unless it is already [Traced] (or was allocated black). *)
+
+val on_alloc : t -> Heap.obj -> unit
+val step : t -> unit
+
+val quiescent : t -> bool
+(** Has the concurrent phase exhausted its visible work?  Pending retrace
+    entries count as work: remark may not begin before the retrace fixed
+    point. *)
+
+val finish_cycle : t -> cycle_report
+(** The remark pause: flush buffer remnants, drain everything to the
+    retrace fixed point, verify the snapshot invariant, sweep. *)
+
+val hooks : t -> Gc_hooks.t

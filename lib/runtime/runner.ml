@@ -6,18 +6,28 @@
     seed-jittered) quantum; collector increments run every
     [gc_period] mutator instructions.  Everything is deterministic for a
     given seed, which the soundness property tests exploit to explore many
-    adversarial mutator/collector interleavings. *)
+    adversarial mutator/collector interleavings.
+
+    Collector work (increments, cycle starts, remark) only runs at
+    {e safepoints}: it is deferred while the interpreter is inside a
+    swap-elided store pair's safepoint-free window
+    ({!Interp.t.in_no_safepoint}) — the scheduling half of the retrace
+    protocol's soundness argument (see {!Retrace_gc}). *)
 
 type gc_choice =
   | No_gc
   | Satb of { steps_per_increment : int; trigger_allocs : int }
   | Incr of { steps_per_increment : int; trigger_allocs : int }
+  | Retrace of { steps_per_increment : int; trigger_allocs : int }
 
 let make_satb ?(steps_per_increment = 64) ?(trigger_allocs = 512) () =
   Satb { steps_per_increment; trigger_allocs }
 
 let make_incr ?(steps_per_increment = 64) ?(trigger_allocs = 512) () =
   Incr { steps_per_increment; trigger_allocs }
+
+let make_retrace ?(steps_per_increment = 64) ?(trigger_allocs = 512) () =
+  Retrace { steps_per_increment; trigger_allocs }
 
 type gc_summary = {
   cycles : int;
@@ -26,6 +36,8 @@ type gc_summary = {
   mark_increments : int list;
   logged_or_dirtied : int list;
       (** SATB buffer entries / dirty cards, per cycle *)
+  retraced : int list;
+      (** forced re-scans, per cycle; all zero except under [Retrace] *)
 }
 
 type report = {
@@ -37,6 +49,26 @@ type report = {
   gc : gc_summary option;
   thread_errors : (int * string) list;
 }
+
+(** A live collector behind a uniform closure interface, so the scheduling
+    loop is collector-agnostic. *)
+type live = {
+  l_marking : unit -> bool;
+  l_start : unit -> unit;
+  l_quiescent : unit -> bool;
+  l_finish : unit -> unit;  (** run the final pause, keep the report *)
+  l_summary : unit -> gc_summary;
+}
+
+let summary_of_cycles ~violations ~pause ~increments ~logged ~retraced rs =
+  {
+    cycles = List.length rs;
+    total_violations = List.fold_left (fun a r -> a + violations r) 0 rs;
+    final_pause_works = List.map pause rs;
+    mark_increments = List.map increments rs;
+    logged_or_dirtied = List.map logged rs;
+    retraced = List.map retraced rs;
+  }
 
 (** Simple deterministic PRNG for quantum jitter. *)
 let lcg seed =
@@ -53,46 +85,86 @@ let run ?(cfg = Interp.default_config) ?(gc = No_gc) ?(quantum = 50)
   let _main = Interp.spawn_thread m entry [] in
   let rand = lcg seed in
   (* collector wiring *)
-  let satb_state = ref None in
-  let incr_state = ref None in
+  let roots () = Interp.roots m in
+  let live =
+    match gc with
+    | No_gc -> None
+    | Satb { steps_per_increment; _ } ->
+        let t = Satb_gc.create ~steps_per_increment m.Interp.heap ~roots in
+        Interp.set_collector m (Satb_gc.hooks t);
+        let reports = ref [] in
+        Some
+          {
+            l_marking = (fun () -> Satb_gc.is_marking t);
+            l_start = (fun () -> Satb_gc.start_cycle t);
+            l_quiescent = (fun () -> Satb_gc.quiescent t);
+            l_finish =
+              (fun () -> reports := Satb_gc.finish_cycle t :: !reports);
+            l_summary =
+              (fun () ->
+                summary_of_cycles (List.rev !reports)
+                  ~violations:(fun (r : Satb_gc.cycle_report) -> r.violations)
+                  ~pause:(fun r -> r.Satb_gc.final_pause_work)
+                  ~increments:(fun r -> r.Satb_gc.increments)
+                  ~logged:(fun r -> r.Satb_gc.logged)
+                  ~retraced:(fun _ -> 0));
+          }
+    | Incr { steps_per_increment; _ } ->
+        let t = Incr_gc.create ~steps_per_increment m.Interp.heap ~roots in
+        Interp.set_collector m (Incr_gc.hooks t);
+        let reports = ref [] in
+        Some
+          {
+            l_marking = (fun () -> Incr_gc.is_marking t);
+            l_start = (fun () -> Incr_gc.start_cycle t);
+            l_quiescent = (fun () -> Incr_gc.quiescent t);
+            l_finish =
+              (fun () -> reports := Incr_gc.finish_cycle t :: !reports);
+            l_summary =
+              (fun () ->
+                summary_of_cycles (List.rev !reports)
+                  ~violations:(fun (r : Incr_gc.cycle_report) -> r.violations)
+                  ~pause:(fun r -> r.Incr_gc.final_pause_work)
+                  ~increments:(fun r -> r.Incr_gc.increments)
+                  ~logged:(fun r -> r.Incr_gc.dirty_cards)
+                  ~retraced:(fun _ -> 0));
+          }
+    | Retrace { steps_per_increment; _ } ->
+        let t = Retrace_gc.create ~steps_per_increment m.Interp.heap ~roots in
+        Interp.set_collector m (Retrace_gc.hooks t);
+        let reports = ref [] in
+        Some
+          {
+            l_marking = (fun () -> Retrace_gc.is_marking t);
+            l_start = (fun () -> Retrace_gc.start_cycle t);
+            l_quiescent = (fun () -> Retrace_gc.quiescent t);
+            l_finish =
+              (fun () -> reports := Retrace_gc.finish_cycle t :: !reports);
+            l_summary =
+              (fun () ->
+                summary_of_cycles (List.rev !reports)
+                  ~violations:(fun (r : Retrace_gc.cycle_report) ->
+                    r.violations)
+                  ~pause:(fun r -> r.Retrace_gc.final_pause_work)
+                  ~increments:(fun r -> r.Retrace_gc.increments)
+                  ~logged:(fun r -> r.Retrace_gc.logged)
+                  ~retraced:(fun r -> r.Retrace_gc.retraces));
+          }
+  in
   let trigger =
     match gc with
     | No_gc -> max_int
-    | Satb { trigger_allocs; _ } | Incr { trigger_allocs; _ } -> trigger_allocs
-  in
-  (match gc with
-  | No_gc -> ()
-  | Satb { steps_per_increment; _ } ->
-      let t =
-        Satb_gc.create ~steps_per_increment m.Interp.heap ~roots:(fun () ->
-            Interp.roots m)
-      in
-      satb_state := Some t;
-      Interp.set_collector m (Satb_gc.hooks t)
-  | Incr { steps_per_increment; _ } ->
-      let t =
-        Incr_gc.create ~steps_per_increment m.Interp.heap ~roots:(fun () ->
-            Interp.roots m)
-      in
-      incr_state := Some t;
-      Interp.set_collector m (Incr_gc.hooks t));
-  let satb_reports = ref [] in
-  let incr_reports = ref [] in
-  let marking_active () =
-    match !satb_state, !incr_state with
-    | Some t, _ -> Satb_gc.is_marking t
-    | _, Some t -> Incr_gc.is_marking t
-    | None, None -> false
+    | Satb { trigger_allocs; _ }
+    | Incr { trigger_allocs; _ }
+    | Retrace { trigger_allocs; _ } ->
+        trigger_allocs
   in
   let last_cycle_alloc = ref 0 in
-  let maybe_start_cycle () =
+  let maybe_start_cycle l =
     if
-      (not (marking_active ()))
+      (not (l.l_marking ()))
       && m.Interp.heap.Heap.total_allocated - !last_cycle_alloc >= trigger
-    then begin
-      (match !satb_state with Some t -> Satb_gc.start_cycle t | None -> ());
-      match !incr_state with Some t -> Incr_gc.start_cycle t | None -> ()
-    end
+    then l.l_start ()
   in
   (* main scheduling loop *)
   let since_gc = ref 0 in
@@ -109,74 +181,36 @@ let run ?(cfg = Interp.default_config) ?(gc = No_gc) ?(quantum = 50)
             ignore (Interp.step m th);
             incr k;
             incr since_gc;
-            if !since_gc >= gc_period then begin
+            (* safepoint: collector work is deferred while a swap-elided
+               store pair's window is open *)
+            if !since_gc >= gc_period && not m.Interp.in_no_safepoint then begin
               since_gc := 0;
               m.Interp.gc.Gc_hooks.step ();
-              maybe_start_cycle ();
-              (* finish once the concurrent phase has gone quiescent *)
-              (match !satb_state with
-              | Some t when Satb_gc.quiescent t ->
-                  satb_reports := Satb_gc.finish_cycle t :: !satb_reports;
-                  last_cycle_alloc := m.Interp.heap.Heap.total_allocated
-              | Some _ | None -> ());
-              match !incr_state with
-              | Some t when Incr_gc.quiescent t ->
-                  incr_reports := Incr_gc.finish_cycle t :: !incr_reports;
-                  last_cycle_alloc := m.Interp.heap.Heap.total_allocated
-              | Some _ | None -> ()
+              match live with
+              | None -> ()
+              | Some l ->
+                  maybe_start_cycle l;
+                  (* finish once the concurrent phase has gone quiescent *)
+                  if l.l_quiescent () then begin
+                    l.l_finish ();
+                    last_cycle_alloc := m.Interp.heap.Heap.total_allocated
+                  end
             end
           done)
         runnable
     end
   done;
   (* finish any in-flight cycle so its invariants still get checked *)
-  (match !satb_state with
-  | Some t when Satb_gc.is_marking t ->
-      satb_reports := Satb_gc.finish_cycle t :: !satb_reports
+  (match live with
+  | Some l when l.l_marking () -> l.l_finish ()
   | Some _ | None -> ());
-  (match !incr_state with
-  | Some t when Incr_gc.is_marking t ->
-      incr_reports := Incr_gc.finish_cycle t :: !incr_reports
-  | Some _ | None -> ());
-  let gc_summary =
-    match gc with
-    | No_gc -> None
-    | Satb _ ->
-        let rs = List.rev !satb_reports in
-        Some
-          {
-            cycles = List.length rs;
-            total_violations =
-              List.fold_left (fun a (r : Satb_gc.cycle_report) -> a + r.violations) 0 rs;
-            final_pause_works =
-              List.map (fun (r : Satb_gc.cycle_report) -> r.final_pause_work) rs;
-            mark_increments =
-              List.map (fun (r : Satb_gc.cycle_report) -> r.increments) rs;
-            logged_or_dirtied =
-              List.map (fun (r : Satb_gc.cycle_report) -> r.logged) rs;
-          }
-    | Incr _ ->
-        let rs = List.rev !incr_reports in
-        Some
-          {
-            cycles = List.length rs;
-            total_violations =
-              List.fold_left (fun a (r : Incr_gc.cycle_report) -> a + r.violations) 0 rs;
-            final_pause_works =
-              List.map (fun (r : Incr_gc.cycle_report) -> r.final_pause_work) rs;
-            mark_increments =
-              List.map (fun (r : Incr_gc.cycle_report) -> r.increments) rs;
-            logged_or_dirtied =
-              List.map (fun (r : Incr_gc.cycle_report) -> r.dirty_cards) rs;
-          }
-  in
   {
     machine = m;
     steps = m.Interp.instr_count;
     dyn = Interp.dyn_stats m;
     cost_units = m.Interp.cost_units;
     barrier_units = m.Interp.barrier_units;
-    gc = gc_summary;
+    gc = Option.map (fun l -> l.l_summary ()) live;
     thread_errors =
       List.filter_map
         (fun th ->

@@ -8,11 +8,15 @@ type gc_choice =
   | No_gc
   | Satb of { steps_per_increment : int; trigger_allocs : int }
   | Incr of { steps_per_increment : int; trigger_allocs : int }
+  | Retrace of { steps_per_increment : int; trigger_allocs : int }
 
 val make_satb :
   ?steps_per_increment:int -> ?trigger_allocs:int -> unit -> gc_choice
 
 val make_incr :
+  ?steps_per_increment:int -> ?trigger_allocs:int -> unit -> gc_choice
+
+val make_retrace :
   ?steps_per_increment:int -> ?trigger_allocs:int -> unit -> gc_choice
 
 type gc_summary = {
@@ -22,6 +26,8 @@ type gc_summary = {
   mark_increments : int list;
   logged_or_dirtied : int list;
       (** SATB log entries / dirty cards, per cycle *)
+  retraced : int list;
+      (** forced re-scans, per cycle; all zero except under [Retrace] *)
 }
 
 type report = {

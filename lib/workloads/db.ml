@@ -5,9 +5,14 @@
     the index is bubble-sorted: the sorting swaps are the paper's §4.3
     "array rearrangement" idiom — two aastores per swap whose pre-values
     are never null, so neither pre-null analysis nor the potentially
-    pre-null bound can touch them.  Periodic "snapshot" arrays are
-    published (escape) before being filled, so their stores stay
-    potentially pre-null yet unprovable.
+    pre-null bound can touch them.  Under the baseline analyses those
+    swaps keep their barriers (the paper's 0.0% array elimination for
+    db); with the pairwise-swap extension and the retrace collector's
+    tracing-state protocol ([--swap --gc retrace], experiment E10) both
+    stores of each swap lose their barriers, making db the showcase for
+    the retrace design.  Periodic "snapshot" arrays are published
+    (escape) before being filled, so their stores stay potentially
+    pre-null yet unprovable.
 
     Paper row: 30.1M barriers, 10.2% eliminated, 28.2% potentially
     pre-null, 10/90 field/array, field 99.4% / array 0.0% eliminated. *)
@@ -72,13 +77,14 @@ class Main
     getstatic Main.index
     iload 0
     aload 2
-    aastore             ; swap: pre-value never null, barrier kept
+    aastore             ; swap first store: pre-value never null; elided
+                        ; only by the swap extension (retrace collector)
     getstatic Main.index
     iload 0
     iconst 1
     iadd
     aload 1
-    aastore             ; swap: barrier kept
+    aastore             ; swap second store: closes the swap window
   skip:
     iinc 0 1
     goto loop

@@ -16,6 +16,7 @@ let () =
       ("array-analysis", Test_array_analysis.tests);
       ("null-or-same", Test_nullsame.tests);
       ("move-down", Test_movedown.tests);
+      ("retrace", Test_retrace.tests);
       ("scan-direction", Test_scan_direction.tests);
       ("inliner", Test_inliner.tests);
       ("interp", Test_interp.tests);
