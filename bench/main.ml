@@ -6,7 +6,8 @@
    produces each artifact.
 
    `dune exec bench/main.exe -- table1 fig2 ...` runs a subset;
-   `-- quick` skips the bechamel suite. *)
+   `-- quick` skips the bechamel suite; `-- --json` additionally writes
+   BENCH_table1.json / BENCH_table2.json machine-readable artifacts. *)
 
 let experiments =
   [
@@ -26,7 +27,84 @@ let experiments =
     ( "retrace",
       "E10: pairwise-swap elision under the retrace collector",
       Harness.Retrace.print );
+    ( "revoke",
+      "E11: guarded elision under chaos fault injection",
+      Harness.Revoke.print );
   ]
+
+(* --- machine-readable artifacts (--json) ------------------------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_file path content =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc content);
+  Printf.printf "wrote %s\n%!" path
+
+let pct num den =
+  if den = 0 then 0.0 else 100.0 *. float_of_int num /. float_of_int den
+
+let emit_json () =
+  let table1_rows =
+    List.map
+      (fun (w : Workloads.Spec.t) ->
+        let cw = Harness.Exp.compile w in
+        let row = Harness.Table1.measure w in
+        let d = row.Harness.Table1.dyn in
+        String.concat ""
+          [
+            "    {\n";
+            Printf.sprintf "      \"benchmark\": \"%s\",\n" (json_escape w.name);
+            Printf.sprintf "      \"total_execs\": %d,\n" d.total_execs;
+            Printf.sprintf "      \"elided_execs\": %d,\n" d.elided_execs;
+            Printf.sprintf "      \"elim_pct\": %.1f,\n"
+              (pct d.elided_execs d.total_execs);
+            Printf.sprintf "      \"field_execs\": %d,\n" d.field_execs;
+            Printf.sprintf "      \"field_elided\": %d,\n" d.field_elided;
+            Printf.sprintf "      \"array_execs\": %d,\n" d.array_execs;
+            Printf.sprintf "      \"array_elided\": %d,\n" d.array_elided;
+            Printf.sprintf "      \"static_execs\": %d,\n" d.static_execs;
+            Printf.sprintf "      \"analysis_seconds\": %.6f,\n"
+              cw.Harness.Exp.compiled.analysis_seconds;
+            Printf.sprintf "      \"inline_seconds\": %.6f\n"
+              cw.Harness.Exp.compiled.inline_seconds;
+            "    }";
+          ])
+      Workloads.Registry.table1
+  in
+  write_file "BENCH_table1.json"
+    (Printf.sprintf "{\n  \"table1\": [\n%s\n  ]\n}\n"
+       (String.concat ",\n" table1_rows));
+  let table2_rows =
+    List.map
+      (fun (r : Harness.Table2.row) ->
+        String.concat ""
+          [
+            "    {\n";
+            Printf.sprintf "      \"mode\": \"%s\",\n" (json_escape r.mode);
+            Printf.sprintf "      \"cost_units\": %d,\n" r.cost_units;
+            Printf.sprintf "      \"relative\": %.4f\n" r.relative;
+            "    }";
+          ])
+      (Harness.Table2.measure ())
+  in
+  write_file "BENCH_table2.json"
+    (Printf.sprintf "{\n  \"table2\": [\n%s\n  ]\n}\n"
+       (String.concat ",\n" table2_rows))
 
 (* --- bechamel microbenchmarks: one Test.make per table/figure --------- *)
 
@@ -89,6 +167,27 @@ let bench_tests =
                (Harness.Exp.run
                   ~gc:(Jrt.Runner.make_retrace ~trigger_allocs:24 ())
                   cw)));
+      (* E11: db under a late-spawn fault plan with guards wired, so the
+         timing includes revocation and snapshot repair *)
+      Test.make ~name:"revoke/run-db-late-spawn"
+        (Staged.stage (fun () ->
+             let cw =
+               Harness.Exp.compile ~move_down:true ~swap:true Workloads.Db.t
+             in
+             let chaos =
+               Jrt.Chaos.create
+                 {
+                   Jrt.Chaos.seed = 1;
+                   faults =
+                     [ Jrt.Chaos.Late_spawn { at_instr = 1000; stores = 4 } ];
+                   quantum = None;
+                   gc_period = None;
+                 }
+             in
+             ignore
+               (Harness.Exp.run
+                  ~gc:(Jrt.Runner.make_retrace ~trigger_allocs:24 ())
+                  ~guards:true ~chaos ~fail_on_thread_error:false cw)));
       (* E9: the cheapest ablation (single-name, no strong updates) *)
       Test.make ~name:"ablation/analyze-1-name"
         (Staged.stage (fun () ->
@@ -135,7 +234,8 @@ let run_bechamel () =
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let quick = List.mem "quick" args in
-  let selected = List.filter (fun a -> a <> "quick") args in
+  let json = List.mem "--json" args in
+  let selected = List.filter (fun a -> a <> "quick" && a <> "--json") args in
   let wanted name = selected = [] || List.mem name selected in
   List.iter
     (fun (name, title, print) ->
@@ -145,6 +245,7 @@ let () =
         print_newline ()
       end)
     experiments;
+  if json then emit_json ();
   if (not quick) && (selected = [] || List.mem "bechamel" selected) then begin
     Printf.printf "== bechamel: per-artifact timing ==\n%!";
     run_bechamel ()

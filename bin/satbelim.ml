@@ -198,9 +198,38 @@ let entry_arg =
     & opt string "Main.main"
     & info [ "entry" ] ~docv:"C.M" ~doc:"Entry method.")
 
+let assumption_to_runtime :
+    Satb_core.Driver.assumption -> Jrt.Interp.assumption = function
+  | Satb_core.Driver.Single_mutator -> Jrt.Interp.Single_mutator
+  | Satb_core.Driver.Retrace_collector -> Jrt.Interp.Retrace_collector
+  | Satb_core.Driver.Descending_scan -> Jrt.Interp.Descending_scan
+  | Satb_core.Driver.Mode_a -> Jrt.Interp.Mode_a
+
 let run_cmd =
-  let run file limit mode nos md swap gc entry no_elim =
+  let run file limit mode nos md swap gc entry no_elim chaos_seed
+      retrace_budget no_revoke allow_unsound =
     let prog = or_die (load file) in
+    (* Refuse statically-unsound elision/collector combinations: swap
+       verdicts depend on the retrace collector's tracing-state protocol,
+       and the §4.3 extensions assume a single mutator.  [--allow-unsound]
+       runs them anyway so the snapshot oracle can demonstrate the
+       breakage. *)
+    if not allow_unsound then begin
+      if swap && gc <> `Retrace then begin
+        Fmt.epr
+          "satbelim: --swap elision is only sound under the retrace \
+           collector (--gc retrace); pass --allow-unsound to run anyway \
+           and let the snapshot oracle report the violations@.";
+        exit 1
+      end;
+      if (swap || md) && Satb_core.Analysis.program_spawns prog then begin
+        Fmt.epr
+          "satbelim: --move-down/--swap elisions assume a single mutator \
+           but this program spawns threads; pass --allow-unsound to run \
+           anyway@.";
+        exit 1
+      end
+    end;
     let compiled =
       Satb_core.Driver.compile ~inline_limit:limit
         ~conf:(conf_of mode nos md swap false) prog
@@ -222,6 +251,13 @@ let run_cmd =
         | `Close -> Jrt.Interp.Check_close
         | `None -> Jrt.Interp.No_check
     in
+    let guards c m pc =
+      if no_elim then []
+      else
+        List.map assumption_to_runtime
+          (Satb_core.Driver.site_assumptions compiled
+             { sk_class = c; sk_method = m; sk_pc = pc })
+    in
     let entry_ref =
       match String.index_opt entry '.' with
       | Some i ->
@@ -240,8 +276,24 @@ let run_cmd =
       | `Incr -> Jrt.Runner.make_incr ()
       | `Retrace -> Jrt.Runner.make_retrace ()
     in
-    let cfg = { Jrt.Interp.default_config with policy; retrace } in
-    let r = Jrt.Runner.run ~cfg ~gc:gc_choice compiled.program ~entry:entry_ref in
+    let cfg =
+      {
+        Jrt.Interp.default_config with
+        policy;
+        retrace;
+        guards;
+        revoke = not no_revoke;
+      }
+    in
+    let chaos =
+      Option.map
+        (fun seed -> Jrt.Chaos.create (Jrt.Chaos.of_seed seed))
+        chaos_seed
+    in
+    let r =
+      Jrt.Runner.run ~cfg ~gc:gc_choice ?chaos ?retrace_budget
+        compiled.program ~entry:entry_ref
+    in
     Fmt.pr "steps: %d, cost units: %d (barriers: %d)@." r.steps r.cost_units
       r.barrier_units;
     Fmt.pr "%a@." Jrt.Interp.pp_dyn_stats r.dyn;
@@ -256,6 +308,22 @@ let run_cmd =
           Fmt.pr "retrace: %d checks, %d forced re-scans@."
             r.machine.Jrt.Interp.retrace_checks retraced
     | None -> ());
+    let m = r.machine in
+    if m.Jrt.Interp.revocation_events > 0 || m.Jrt.Interp.revoked_sites > 0 then
+      Fmt.pr "revocation: %d assumption failures, %d sites patched back@."
+        m.Jrt.Interp.revocation_events m.Jrt.Interp.revoked_sites;
+    if m.Jrt.Interp.degradations > 0 then
+      Fmt.pr "degraded: %d cycles, %d swap stores fell back to logging@."
+        m.Jrt.Interp.degradations m.Jrt.Interp.degraded_swap_execs;
+    (match chaos with
+    | Some c ->
+        let s = Jrt.Chaos.stats c in
+        Fmt.pr
+          "chaos: %d spawns, %d damage stores, %d preempted increments, %d \
+           forced remarks@."
+          s.Jrt.Chaos.spawns s.Jrt.Chaos.damage_stores
+          s.Jrt.Chaos.preempted_increments s.Jrt.Chaos.pressure_remarks
+    | None -> ());
     List.iter
       (fun (tid, e) -> Fmt.pr "thread %d died: %s@." tid e)
       r.thread_errors
@@ -263,11 +331,48 @@ let run_cmd =
   let no_elim =
     Arg.(value & flag & info [ "no-elim" ] ~doc:"Keep every barrier.")
   in
+  let chaos_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "chaos" ] ~docv:"SEED"
+          ~doc:
+            "Inject a deterministic benign fault plan (late spawn, marker \
+             preemption, heap pressure, adversarial pacing) derived from \
+             $(docv); guarded elisions revoke and repair at runtime.")
+  in
+  let budget_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "retrace-budget" ] ~docv:"N"
+          ~doc:
+            "Bound the retrace collector's per-cycle re-scan queue; on \
+             overflow the cycle degrades (swap elision falls back to \
+             logging) instead of delaying remark unboundedly.")
+  in
+  let no_revoke_arg =
+    Arg.(
+      value & flag
+      & info [ "no-revoke" ]
+          ~doc:
+            "Keep assumption guards wired but ignore their failures \
+             (diagnostics only; unsound under injected faults).")
+  in
+  let allow_unsound_arg =
+    Arg.(
+      value & flag
+      & info [ "allow-unsound" ]
+          ~doc:
+            "Run elision/collector combinations that are known to be \
+             unsound so the snapshot oracle can demonstrate the breakage.")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Interpret the program with barrier instrumentation")
     Term.(
       const run $ file_arg $ inline_limit_arg $ mode_arg $ nos_arg
-      $ movedown_arg $ swap_arg $ gc_arg $ entry_arg $ no_elim)
+      $ movedown_arg $ swap_arg $ gc_arg $ entry_arg $ no_elim $ chaos_arg
+      $ budget_arg $ no_revoke_arg $ allow_unsound_arg)
 
 (* workloads *)
 

@@ -12,10 +12,38 @@ type site_key = {
   sk_pc : int;  (** pc in the {e inlined} method *)
 }
 
+(** The runtime assumptions an elided verdict depends on.  Unconditional
+    verdicts (pre-null, null-or-same, dead code) carry none; the §4.3
+    extensions are conditional — on a single mutator, on the collector's
+    array-scan direction, on the retrace protocol, and on the array
+    analysis (mode A) that identified the arrays involved.  The runtime
+    ({!Jrt} [Interp]) mirrors this type and revokes dependent elisions
+    when an assumption is observed false. *)
+type assumption = Single_mutator | Retrace_collector | Descending_scan | Mode_a
+
+let string_of_assumption = function
+  | Single_mutator -> "single-mutator"
+  | Retrace_collector -> "retrace-collector"
+  | Descending_scan -> "descending-scan"
+  | Mode_a -> "mode-A"
+
+let assumptions_of_reason (r : Analysis.reason) : assumption list =
+  match r with
+  | Analysis.Keep | Analysis.Dead_code | Analysis.Pre_null_field
+  | Analysis.Null_or_same ->
+      []
+  | Analysis.Pre_null_array -> [ Mode_a ]
+  | Analysis.Move_down -> [ Mode_a; Single_mutator; Descending_scan ]
+  | Analysis.Swap_first | Analysis.Swap_second ->
+      [ Mode_a; Single_mutator; Retrace_collector ]
+
 type compiled = {
   program : Jir.Program.t;  (** after inlining *)
   results : Analysis.method_result list;
   verdicts : (site_key, Analysis.verdict) Hashtbl.t;
+  guards : (site_key, assumption list) Hashtbl.t;
+      (** per-program guard table: assumption set of every {e elided}
+          site whose verdict is conditional *)
   inline_limit : int;
   conf : Analysis.config;
   analysis_seconds : float;  (** CPU time spent in the analysis proper *)
@@ -43,19 +71,26 @@ let compile ?(verify = true) ?(inline_limit = 100)
   let results = Analysis.analyze_program ~conf program in
   let t2 = Sys.time () in
   let verdicts = Hashtbl.create 256 in
+  let guards = Hashtbl.create 16 in
   List.iter
     (fun (r : Analysis.method_result) ->
       List.iter
         (fun (v : Analysis.verdict) ->
-          Hashtbl.replace verdicts
+          let key =
             { sk_class = r.mr_class; sk_method = r.mr_method; sk_pc = v.v_pc }
-            v)
+          in
+          Hashtbl.replace verdicts key v;
+          if v.v_elide then
+            match assumptions_of_reason v.v_reason with
+            | [] -> ()
+            | assumptions -> Hashtbl.replace guards key assumptions)
         r.verdicts)
     results;
   {
     program;
     results;
     verdicts;
+    guards;
     inline_limit;
     conf;
     analysis_seconds = t2 -. t1;
@@ -80,6 +115,21 @@ let retrace_check (c : compiled) (key : site_key) :
   | Some { v_elide = true; v_reason = Analysis.Swap_first; _ } -> `Open
   | Some { v_elide = true; v_reason = Analysis.Swap_second; _ } -> `Close
   | Some _ | None -> `None
+
+(** The assumption set the elision at [key] depends on; empty for kept
+    sites and unconditional verdicts. *)
+let site_assumptions (c : compiled) (key : site_key) : assumption list =
+  Option.value (Hashtbl.find_opt c.guards key) ~default:[]
+
+(** Every assumption some elided site of the program depends on —
+    deduplicated, for CLI safety checks and reporting. *)
+let guarded_assumptions (c : compiled) : assumption list =
+  Hashtbl.fold
+    (fun _ assumptions acc ->
+      List.fold_left
+        (fun acc a -> if List.mem a acc then acc else a :: acc)
+        acc assumptions)
+    c.guards []
 
 let static_stats (c : compiled) : static_stats =
   let total = ref 0

@@ -9,10 +9,25 @@ type site_key = {
   sk_pc : int;  (** pc in the {e inlined} method *)
 }
 
+type assumption = Single_mutator | Retrace_collector | Descending_scan | Mode_a
+(** The runtime assumptions an elided verdict depends on; the runtime
+    mirrors this type and revokes dependent elisions when one is
+    observed false. *)
+
+val string_of_assumption : assumption -> string
+
+val assumptions_of_reason : Analysis.reason -> assumption list
+(** Unconditional verdicts (pre-null field, null-or-same, dead code)
+    carry no assumptions; §3 array verdicts record mode A; the §4.3
+    move-down and swap extensions additionally depend on a single
+    mutator and on the collector (scan direction / retrace protocol). *)
+
 type compiled = {
   program : Jir.Program.t;  (** after inlining *)
   results : Analysis.method_result list;
   verdicts : (site_key, Analysis.verdict) Hashtbl.t;
+  guards : (site_key, assumption list) Hashtbl.t;
+      (** guard table: assumption set of every elided conditional site *)
   inline_limit : int;
   conf : Analysis.config;
   analysis_seconds : float;  (** CPU time spent in the analysis proper *)
@@ -47,6 +62,13 @@ val retrace_check : compiled -> site_key -> [ `None | `Open | `Close ]
 (** Tracing-state check emitted at a swap-elided store: [`Open] at the
     pair's first store (also opens the safepoint-free window), [`Close]
     at the second, [`None] everywhere else. *)
+
+val site_assumptions : compiled -> site_key -> assumption list
+(** Assumption set the elision at the site depends on; empty for kept
+    sites and unconditional verdicts. *)
+
+val guarded_assumptions : compiled -> assumption list
+(** Deduplicated union of all sites' assumption sets. *)
 
 val static_stats : compiled -> static_stats
 val pp_static_stats : static_stats Fmt.t

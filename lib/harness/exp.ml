@@ -33,22 +33,52 @@ let retrace_policy_of (cw : compiled_workload) : Jrt.Interp.retrace_policy =
   | `Close -> Jrt.Interp.Check_close
   | `None -> Jrt.Interp.No_check
 
+let assumption_to_runtime :
+    Satb_core.Driver.assumption -> Jrt.Interp.assumption = function
+  | Satb_core.Driver.Single_mutator -> Jrt.Interp.Single_mutator
+  | Satb_core.Driver.Retrace_collector -> Jrt.Interp.Retrace_collector
+  | Satb_core.Driver.Descending_scan -> Jrt.Interp.Descending_scan
+  | Satb_core.Driver.Mode_a -> Jrt.Interp.Mode_a
+
+(** The per-site guard table from the compiler's assumption metadata. *)
+let guard_policy_of (cw : compiled_workload) : Jrt.Interp.guard_policy =
+ fun c m pc ->
+  List.map assumption_to_runtime
+    (Satb_core.Driver.site_assumptions cw.compiled
+       { sk_class = c; sk_method = m; sk_pc = pc })
+
 let run ?(gc = Jrt.Runner.No_gc) ?(satb_mode = Jrt.Barrier_cost.Conditional)
-    ?(use_policy = true) ?(seed = 0) ?quantum ?gc_period
-    (cw : compiled_workload) : Jrt.Runner.report =
+    ?(use_policy = true) ?(guards = false) ?(revoke = true) ?chaos
+    ?retrace_budget ?(fail_on_thread_error = true) ?(seed = 0) ?quantum
+    ?gc_period (cw : compiled_workload) : Jrt.Runner.report =
   let policy =
     if use_policy then policy_of cw else Jrt.Interp.keep_all_policy
   in
   let retrace =
     if use_policy then retrace_policy_of cw else Jrt.Interp.no_retrace_checks
   in
-  let cfg = { Jrt.Interp.default_config with policy; satb_mode; retrace } in
-  let report =
-    Jrt.Runner.run ~cfg ~gc ~seed ?quantum ?gc_period cw.compiled.program
-      ~entry:cw.workload.entry
+  (* Guards are opt-in: several negative soundness tests deliberately run
+     unsound policy/collector combinations to show the oracle catching
+     them, which wired guards would (correctly) neutralize. *)
+  let cfg =
+    if guards then
+      {
+        Jrt.Interp.default_config with
+        policy;
+        satb_mode;
+        retrace;
+        guards = guard_policy_of cw;
+        revoke;
+      }
+    else { Jrt.Interp.default_config with policy; satb_mode; retrace }
   in
-  (match report.thread_errors with
-  | [] -> ()
-  | (tid, e) :: _ ->
-      Fmt.failwith "workload %s: thread %d died: %s" cw.workload.name tid e);
+  let report =
+    Jrt.Runner.run ~cfg ~gc ~seed ?quantum ?gc_period ?chaos ?retrace_budget
+      cw.compiled.program ~entry:cw.workload.entry
+  in
+  (if fail_on_thread_error then
+     match report.thread_errors with
+     | [] -> ()
+     | (tid, e) :: _ ->
+         Fmt.failwith "workload %s: thread %d died: %s" cw.workload.name tid e);
   report

@@ -22,13 +22,26 @@ val retrace_policy_of : compiled_workload -> Jrt.Interp.retrace_policy
 (** Tracing-state-check sites (swap-elided store pairs) from the analysis
     verdicts; [no_retrace_checks] when the swap extension is off. *)
 
+val guard_policy_of : compiled_workload -> Jrt.Interp.guard_policy
+(** The per-site guard table from the compiler's assumption metadata. *)
+
 val run :
   ?gc:Jrt.Runner.gc_choice ->
   ?satb_mode:Jrt.Barrier_cost.satb_mode ->
   ?use_policy:bool ->
+  ?guards:bool ->
+  ?revoke:bool ->
+  ?chaos:Jrt.Chaos.t ->
+  ?retrace_budget:int ->
+  ?fail_on_thread_error:bool ->
   ?seed:int ->
   ?quantum:int ->
   ?gc_period:int ->
   compiled_workload ->
   Jrt.Runner.report
-(** Run under the instrumented runtime; fails on any thread error. *)
+(** Run under the instrumented runtime; fails on any thread error unless
+    [fail_on_thread_error:false] (chaos damage may legitimately kill
+    workload threads).  [guards] (default off — the negative soundness
+    tests depend on unguarded runs) wires the compiler's guard table so
+    assumption failures revoke dependent elisions; [revoke:false] keeps
+    the guards wired but ignores their failures. *)

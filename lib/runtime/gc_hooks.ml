@@ -6,8 +6,18 @@
     by the analysis — SATB logs the pre-write value, incremental-update
     card-marking dirties the target's card. *)
 
+type caps = {
+  retrace_protocol : bool;
+      (** the collector honours [on_unlogged_store] (tracing-state
+          protocol), so swap-elided stores are sound under it *)
+  descending_scan : bool;
+      (** object arrays are scanned from the highest index downwards, the
+          direction contract move-down elision depends on *)
+}
+
 type t = {
   name : string;
+  caps : caps;
   is_marking : unit -> bool;
   log_ref_store : obj:int -> pre:Value.t -> unit;
   on_unlogged_store : obj:int -> unit;
@@ -17,17 +27,26 @@ type t = {
           its scan may be in flight.  Collectors without the protocol
           ignore it — which is exactly what the negative soundness tests
           demonstrate to be unsafe. *)
+  on_revoke : objs:int list -> unit;
+      (** snapshot repair after elision revocation: [objs] are the ids of
+          every object written through a now-revoked site during the
+          current marking cycle.  A retrace collector enqueues them for
+          re-scan; plain SATB restarts the mark from a fresh snapshot;
+          collectors that never rely on elision may ignore it. *)
   on_alloc : Heap.obj -> unit;
   step : unit -> unit;  (** perform a bounded increment of collector work *)
 }
 
-(** No collector: barriers are pure instrumentation. *)
+(** No collector: barriers are pure instrumentation.  Capabilities are
+    vacuously [true] — with no marking there is nothing to violate. *)
 let none : t =
   {
     name = "none";
+    caps = { retrace_protocol = true; descending_scan = true };
     is_marking = (fun () -> false);
     log_ref_store = (fun ~obj:_ ~pre:_ -> ());
     on_unlogged_store = (fun ~obj:_ -> ());
+    on_revoke = (fun ~objs:_ -> ());
     on_alloc = (fun _ -> ());
     step = (fun () -> ());
   }

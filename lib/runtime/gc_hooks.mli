@@ -2,8 +2,16 @@
     collectors implement them.  [log_ref_store] is the write-barrier body
     and runs only at sites whose barrier the analysis kept. *)
 
+type caps = {
+  retrace_protocol : bool;
+      (** honours [on_unlogged_store]; swap elision is sound *)
+  descending_scan : bool;
+      (** object arrays scanned highest-index-first; move-down is sound *)
+}
+
 type t = {
   name : string;
+  caps : caps;  (** which elision assumptions this collector satisfies *)
   is_marking : unit -> bool;
   log_ref_store : obj:int -> pre:Value.t -> unit;
       (** [obj] is the written object's id, [-1] for static stores *)
@@ -11,6 +19,11 @@ type t = {
       (** tracing-state check at swap-elided sites: no pre-value is
           logged, but a retrace collector may need to re-scan [obj].
           No-op for collectors without the protocol. *)
+  on_revoke : objs:int list -> unit;
+      (** snapshot repair after elision revocation: [objs] are ids of
+          objects written through now-revoked sites this cycle.  Retrace
+          enqueues them; plain SATB restarts the mark from a fresh
+          snapshot. *)
   on_alloc : Heap.obj -> unit;
   step : unit -> unit;  (** one bounded increment of collector work *)
 }

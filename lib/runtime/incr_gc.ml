@@ -203,9 +203,15 @@ let finish_cycle (t : t) : cycle_report =
 let hooks (t : t) : Gc_hooks.t =
   {
     Gc_hooks.name = "incremental-update";
+    caps = { Gc_hooks.retrace_protocol = false; descending_scan = false };
     is_marking = (fun () -> is_marking t);
     log_ref_store = (fun ~obj ~pre -> log_ref_store t ~obj ~pre);
     on_unlogged_store = (fun ~obj:_ -> ());
+    (* repair by dirtying the written objects' cards: the final pause's
+       dirty-card rescan then re-examines their current fields *)
+    on_revoke =
+      (fun ~objs ->
+        List.iter (fun obj -> log_ref_store t ~obj ~pre:Value.Null) objs);
     on_alloc = (fun o -> on_alloc t o);
     step = (fun () -> step t);
   }

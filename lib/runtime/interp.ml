@@ -29,10 +29,27 @@ type site = { s_class : class_name; s_method : method_name; s_pc : int }
     observes a half-completed swap (see {!Retrace_gc}). *)
 type retrace_site = No_check | Check_open | Check_close
 
+(** The runtime assumptions an elided verdict may depend on.  Each elided
+    site carries its assumption set (its {e guards}); when an assumption
+    is observed false at runtime the dependent sites are {e revoked} —
+    atomically flipped back to full barriers at a safepoint, with snapshot
+    repair through {!Gc_hooks.t.on_revoke}. *)
+type assumption = Single_mutator | Retrace_collector | Descending_scan | Mode_a
+
+let string_of_assumption = function
+  | Single_mutator -> "single-mutator"
+  | Retrace_collector -> "retrace-collector"
+  | Descending_scan -> "descending-scan"
+  | Mode_a -> "mode-A"
+
 type site_stats = {
   st_kind : store_kind;
-  st_elided : bool;  (** the policy removed this site's barrier *)
-  st_check : retrace_site;  (** tracing-state check compiled in its place *)
+  mutable st_elided : bool;  (** the policy removed this site's barrier *)
+  mutable st_check : retrace_site;
+      (** tracing-state check compiled in its place *)
+  st_guards : assumption list;
+      (** assumptions this site's elision depends on; revocation of any
+          flips [st_elided] off *)
   mutable execs : int;
   mutable pre_null_execs : int;
 }
@@ -45,12 +62,25 @@ type barrier_policy = class_name -> method_name -> int -> bool
     under the retrace collector). *)
 type retrace_policy = class_name -> method_name -> int -> retrace_site
 
+(** The per-site guard table: which assumptions the site's verdict is
+    conditional on (empty for unconditionally sound verdicts). *)
+type guard_policy = class_name -> method_name -> int -> assumption list
+
 let keep_all_policy : barrier_policy = fun _ _ _ -> false
 let no_retrace_checks : retrace_policy = fun _ _ _ -> No_check
+
+(* A single shared closure so [guards_active] can recognise "no guard
+   table was wired" by physical equality. *)
+let no_guards : guard_policy = fun _ _ _ -> []
 
 type config = {
   policy : barrier_policy;
   retrace : retrace_policy;
+  guards : guard_policy;
+  revoke : bool;
+      (** honour guard failures by revoking dependent elisions; [false]
+          (--no-revoke) runs open-loop so the oracle can demonstrate the
+          failure the guards would have caught *)
   satb_mode : Barrier_cost.satb_mode;
   barrier_flavor : [ `Satb | `Card ];
       (** which barrier body executes at non-elided sites: SATB pre-value
@@ -62,6 +92,8 @@ let default_config =
   {
     policy = keep_all_policy;
     retrace = no_retrace_checks;
+    guards = no_guards;
+    revoke = true;
     satb_mode = Barrier_cost.Conditional;
     barrier_flavor = `Satb;
     max_steps = 50_000_000;
@@ -99,6 +131,21 @@ type t = {
   mutable retrace_checks : int;  (** executed tracing-state checks *)
   mutable in_no_safepoint : bool;
       (** a swap window is open: collector work must be deferred *)
+  mutable revoked : assumption list;  (** assumptions observed false *)
+  mutable pending_revocations : assumption list;
+      (** guard failures noticed mid-quantum, applied at the next
+          safepoint (or synchronously at a [Spawn]) *)
+  mutable revocation_events : int;  (** assumptions revoked so far *)
+  mutable revoked_sites : int;  (** sites flipped back to full barriers *)
+  mutable guarded_writes : int list;
+      (** objects written through guarded elided sites this marking
+          cycle — the repair set handed to [on_revoke] *)
+  mutable swap_degraded : bool;
+      (** retrace budget overflowed: swap-elided sites execute full
+          barriers for the remainder of the cycle *)
+  mutable degradations : int;  (** cycles that entered degraded mode *)
+  mutable degraded_swap_execs : int;
+      (** stores at swap-elided sites that fell back to full barriers *)
   field_index : (field_ref, int) Hashtbl.t;
 }
 
@@ -132,10 +179,82 @@ let create ?(cfg = default_config) (prog : Jir.Program.t) : t =
     elided_barrier_execs = 0;
     retrace_checks = 0;
     in_no_safepoint = false;
+    revoked = [];
+    pending_revocations = [];
+    revocation_events = 0;
+    revoked_sites = 0;
+    guarded_writes = [];
+    swap_degraded = false;
+    degradations = 0;
+    degraded_swap_execs = 0;
     field_index = Hashtbl.create 64;
   }
 
 let set_collector m gc = m.gc <- gc
+
+(* ---- guards and revocation -------------------------------------------- *)
+
+(** Was a guard table wired at all?  Default configs share the
+    [no_guards] closure, so physical inequality is the test. *)
+let guards_active (m : t) : bool = m.cfg.guards != no_guards
+
+(** Note an assumption observed false.  The revocation itself happens at
+    the next safepoint ({!apply_revocations}); deduplicated, and inert
+    unless guards are wired and revocation is enabled. *)
+let request_revoke (m : t) (a : assumption) : unit =
+  if
+    guards_active m && m.cfg.revoke
+    && (not (List.mem a m.revoked))
+    && not (List.mem a m.pending_revocations)
+  then m.pending_revocations <- a :: m.pending_revocations
+
+let revocation_pending (m : t) : bool = m.pending_revocations <> []
+
+(** Atomically flip every site depending on a failed assumption back to a
+    full barrier, then hand the cycle's guarded-write set to the
+    collector for snapshot repair.  Must run at a safepoint: the runner
+    calls it between quanta (never inside a swap window), and [Spawn]
+    calls it synchronously before the new thread can run. *)
+let apply_revocations (m : t) : unit =
+  if m.pending_revocations <> [] then begin
+    let failed = m.pending_revocations in
+    m.pending_revocations <- [];
+    m.revoked <- failed @ m.revoked;
+    m.revocation_events <- m.revocation_events + List.length failed;
+    Hashtbl.iter
+      (fun _ st ->
+        if st.st_elided && List.exists (fun a -> List.mem a failed) st.st_guards
+        then begin
+          st.st_elided <- false;
+          st.st_check <- No_check;
+          m.revoked_sites <- m.revoked_sites + 1
+        end)
+      m.stats;
+    (* Repair: every object written through a guarded elided site this
+       cycle may have had a pre-value go unlogged; the collector re-scans
+       them (retrace) or restarts from a fresh snapshot (plain SATB). *)
+    if m.gc.is_marking () then m.gc.on_revoke ~objs:m.guarded_writes;
+    m.guarded_writes <- []
+  end
+
+(** A chaos-injected second mutator was observed (late-spawn fault): the
+    single-mutator assumption is false from here on. *)
+let note_second_mutator (m : t) : unit = request_revoke m Single_mutator
+
+(** Marking-cycle lifecycle (called by the runner at cycle start/end):
+    the guarded-write repair set and the degradation flag are per-cycle. *)
+let reset_cycle_state (m : t) : unit =
+  m.guarded_writes <- [];
+  m.swap_degraded <- false
+
+(** Enter degraded mode: the retrace budget overflowed, so swap-elided
+    sites execute full logging barriers for the rest of the cycle.
+    Applied at safepoints only, so it never lands inside a swap window. *)
+let set_swap_degraded (m : t) : unit =
+  if not m.swap_degraded then begin
+    m.swap_degraded <- true;
+    m.degradations <- m.degradations + 1
+  end
 
 let field_index m fr =
   match Hashtbl.find_opt m.field_index fr with
@@ -160,6 +279,15 @@ let spawn_thread (m : t) (mr : method_ref) (args : Value.t list) : thread =
     }
   in
   m.next_tid <- m.next_tid + 1;
+  (* A second mutator falsifies the single-mutator assumption.  Revoke
+     synchronously — [Spawn] is never inside a swap window (the analysis
+     only whitelists simple non-throwing instructions there), and the new
+     thread may otherwise run up to a full quantum before the next
+     safepoint would apply the patch. *)
+  if m.threads <> [] then begin
+    request_revoke m Single_mutator;
+    apply_revocations m
+  end;
   m.threads <- m.threads @ [ th ];
   th
 
@@ -186,11 +314,23 @@ let site_stats (m : t) (site : site) (kind : store_kind) : site_stats =
   match Hashtbl.find_opt m.stats site with
   | Some st -> st
   | None ->
+      let guards = m.cfg.guards site.s_class site.s_method site.s_pc in
+      (* a site first reached after one of its assumptions was revoked
+         materializes already patched *)
+      let alive = not (List.exists (fun a -> List.mem a m.revoked) guards) in
+      let would_elide = m.cfg.policy site.s_class site.s_method site.s_pc in
+      let elided = alive && would_elide in
+      if would_elide && not alive then
+        m.revoked_sites <- m.revoked_sites + 1;
       let st =
         {
           st_kind = kind;
-          st_elided = m.cfg.policy site.s_class site.s_method site.s_pc;
-          st_check = m.cfg.retrace site.s_class site.s_method site.s_pc;
+          st_elided = elided;
+          st_check =
+            (if elided then
+               m.cfg.retrace site.s_class site.s_method site.s_pc
+             else No_check);
+          st_guards = guards;
           execs = 0;
           pre_null_execs = 0;
         }
@@ -207,8 +347,13 @@ let ref_store_barrier (m : t) (fr : frame) ~(kind : store_kind) ~(obj : int)
   st.execs <- st.execs + 1;
   let pre_null = not (Value.is_ref pre) in
   if pre_null then st.pre_null_execs <- st.pre_null_execs + 1;
-  if st.st_elided then begin
+  if st.st_elided && not (m.swap_degraded && st.st_check <> No_check) then begin
     m.elided_barrier_execs <- m.elided_barrier_execs + 1;
+    (* a write through a guarded site during marking joins the repair
+       set: if its guards later fail this cycle, the collector re-scans
+       (or re-snapshots) to make up for whatever went unlogged here *)
+    if st.st_guards <> [] && obj >= 0 && m.gc.is_marking () then
+      m.guarded_writes <- obj :: m.guarded_writes;
     match st.st_check with
     | No_check -> ()
     | (Check_open | Check_close) as check ->
@@ -220,6 +365,15 @@ let ref_store_barrier (m : t) (fr : frame) ~(kind : store_kind) ~(obj : int)
         m.in_no_safepoint <- check = Check_open
   end
   else begin
+    (* degraded swap sites fall back to the full logging barrier for the
+       rest of the cycle (retrace-budget overflow); a close store must
+       still dismiss any window its open store created before
+       degradation — it cannot have, since degradation is only applied
+       at safepoints, but clear defensively *)
+    if st.st_elided then begin
+      m.degraded_swap_execs <- m.degraded_swap_execs + 1;
+      if st.st_check = Check_close then m.in_no_safepoint <- false
+    end;
     m.barriers_executed <- m.barriers_executed + 1;
     let cost =
       match m.cfg.barrier_flavor with
@@ -238,6 +392,61 @@ let ref_store_barrier (m : t) (fr : frame) ~(kind : store_kind) ~(obj : int)
     in
     if active then m.gc.log_ref_store ~obj ~pre
   end
+
+(* ---- external (chaos-injected) mutator stores ------------------------- *)
+
+(** Does any materialized site still elide its barrier on the strength of
+    assumption [a]?  Used by {!external_guarded_store} to decide whether
+    a chaos-injected second mutator would be executing guarded elided
+    code at all. *)
+let has_live_guarded_elisions (m : t) (a : assumption) : bool =
+  Hashtbl.fold
+    (fun _ st acc -> acc || (st.st_elided && List.mem a st.st_guards))
+    m.stats false
+
+let external_slot_store (m : t) ~(obj : int) ~(idx : int) ~(v : Value.t)
+    ~(log : pre:Value.t -> unit) : unit =
+  if obj >= 0 && obj < m.heap.Heap.next_id then begin
+    let o = Heap.get m.heap obj in
+    if not o.Heap.dead then
+      let store slots i =
+        log ~pre:slots.(i);
+        slots.(i) <- v
+      in
+      match o.Heap.payload with
+      | Heap.Ref_array es ->
+          if idx >= 0 && idx < Array.length es then store es idx
+      | Heap.Fields fs -> if idx >= 0 && idx < Array.length fs then store fs idx
+      | Heap.Int_array _ -> ()
+  end
+
+(** A store performed by a chaos-injected second mutator through a
+    [Single_mutator]-guarded elided site: it takes the unlogged (elided)
+    path only while such sites are still live and the assumption stands
+    unrevoked — after a revocation the patched code executes the full
+    barrier, which is exactly the property the E11 experiment checks. *)
+let external_guarded_store (m : t) ~(obj : int) ~(idx : int) ~(v : Value.t) :
+    unit =
+  let elided =
+    (not (List.mem Single_mutator m.revoked))
+    && has_live_guarded_elisions m Single_mutator
+  in
+  external_slot_store m ~obj ~idx ~v ~log:(fun ~pre ->
+      if elided then begin
+        m.elided_barrier_execs <- m.elided_barrier_execs + 1;
+        if m.gc.is_marking () then m.guarded_writes <- obj :: m.guarded_writes
+      end
+      else begin
+        m.barriers_executed <- m.barriers_executed + 1;
+        m.gc.log_ref_store ~obj ~pre
+      end)
+
+(** A store with {e no} barrier at all — the deliberate barrier-skip
+    fault.  Nothing is logged and nothing can repair it; the oracle must
+    report the resulting snapshot violation (checker-of-the-checker). *)
+let external_unbarriered_store (m : t) ~(obj : int) ~(idx : int)
+    ~(v : Value.t) : unit =
+  external_slot_store m ~obj ~idx ~v ~log:(fun ~pre:_ -> ())
 
 (* ---- interpretation --------------------------------------------------- *)
 

@@ -17,10 +17,18 @@ type retrace_site = No_check | Check_open | Check_close
     tracing-state check that also opens (store 1) or closes (store 2) a
     safepoint-free window around the swap. *)
 
+type assumption = Single_mutator | Retrace_collector | Descending_scan | Mode_a
+(** The runtime assumptions an elided verdict may depend on; observing
+    one false revokes every dependent elision at a safepoint. *)
+
+val string_of_assumption : assumption -> string
+
 type site_stats = {
   st_kind : Jir.Types.store_kind;
-  st_elided : bool;
-  st_check : retrace_site;
+  mutable st_elided : bool;
+  mutable st_check : retrace_site;
+  st_guards : assumption list;
+      (** assumptions this site's elision depends on *)
   mutable execs : int;
   mutable pre_null_execs : int;
 }
@@ -35,12 +43,24 @@ type retrace_policy =
 (** Which elided sites carry a tracing-state check (swap-pair elisions
     under the retrace collector). *)
 
+type guard_policy =
+  Jir.Types.class_name -> Jir.Types.method_name -> int -> assumption list
+(** The per-site guard table (empty = unconditionally sound verdict). *)
+
 val keep_all_policy : barrier_policy
 val no_retrace_checks : retrace_policy
+
+val no_guards : guard_policy
+(** The shared "no guard table wired" closure; pass a {e different}
+    closure (even one returning [[]]) to activate guard bookkeeping. *)
 
 type config = {
   policy : barrier_policy;
   retrace : retrace_policy;
+  guards : guard_policy;
+  revoke : bool;
+      (** honour guard failures by revoking dependent elisions; [false]
+          runs open-loop so the oracle can catch what guards would have *)
   satb_mode : Barrier_cost.satb_mode;
   barrier_flavor : [ `Satb | `Card ];
   max_steps : int;
@@ -81,11 +101,58 @@ type t = {
   mutable in_no_safepoint : bool;
       (** a swap window is open: the scheduler must defer collector work
           until the closing store's check clears this *)
+  mutable revoked : assumption list;
+  mutable pending_revocations : assumption list;
+  mutable revocation_events : int;
+  mutable revoked_sites : int;
+  mutable guarded_writes : int list;
+  mutable swap_degraded : bool;
+  mutable degradations : int;
+  mutable degraded_swap_execs : int;
   field_index : (Jir.Types.field_ref, int) Hashtbl.t;
 }
 
 val create : ?cfg:config -> Jir.Program.t -> t
 val set_collector : t -> Gc_hooks.t -> unit
+
+val guards_active : t -> bool
+(** Was a guard table wired (i.e. [cfg.guards] is not {!no_guards})? *)
+
+val request_revoke : t -> assumption -> unit
+(** Note an assumption observed false; the revocation is applied at the
+    next safepoint.  Deduplicated; inert unless guards are wired and
+    [cfg.revoke] holds. *)
+
+val revocation_pending : t -> bool
+
+val apply_revocations : t -> unit
+(** Flip every site depending on a failed assumption back to a full
+    barrier and hand the cycle's guarded-write set to the collector for
+    snapshot repair.  Must be called at a safepoint. *)
+
+val note_second_mutator : t -> unit
+(** A chaos-injected second mutator exists: [Single_mutator] is false. *)
+
+val reset_cycle_state : t -> unit
+(** Reset the per-cycle guarded-write set and degradation flag; the
+    runner calls this when a marking cycle starts or ends. *)
+
+val set_swap_degraded : t -> unit
+(** Enter degraded mode (retrace budget overflow): swap-elided sites
+    execute full logging barriers for the remainder of the cycle.  Only
+    call at a safepoint. *)
+
+val external_guarded_store :
+  t -> obj:int -> idx:int -> v:Value.t -> unit
+(** A chaos-injected second mutator's store through a
+    [Single_mutator]-guarded elided site: unlogged while such sites are
+    live and the assumption unrevoked, a full barrier afterwards. *)
+
+val external_unbarriered_store :
+  t -> obj:int -> idx:int -> v:Value.t -> unit
+(** A store with no barrier at all (deliberate barrier-skip fault); the
+    oracle must catch the damage. *)
+
 val spawn_thread : t -> Jir.Types.method_ref -> Value.t list -> thread
 
 val roots : t -> int list

@@ -54,6 +54,12 @@ type cycle_report = {
   retraces : int;  (** whole-object re-scans forced by unlogged stores *)
   final_pause_work : int;
   swept : int;
+  budget_overflows : int;
+      (** tracing-state checks that found the retrace budget exhausted *)
+  degraded : bool;
+      (** the budget overflowed this cycle, so swap elision was disabled
+          for its remainder (graceful degradation, not an abort) *)
+  repair_enqueues : int;  (** retrace entries forced by revocation repair *)
   violations : int;  (** snapshot-reachable objects left unmarked *)
 }
 
@@ -63,6 +69,10 @@ type t = {
   steps_per_increment : int;
   buffer_capacity : int;
   array_chunk : int;  (** array slots visited per gray-entry processing *)
+  retrace_budget : int;
+      (** max retrace-list enqueues per cycle before the termination
+          watchdog degrades the cycle (swap elision falls back to
+          logging); [max_int] = unbounded *)
   mutable phase : phase;
   mutable gray : gray list;
   mutable satb_buffer : int list;  (** completed buffers (object ids) *)
@@ -75,20 +85,25 @@ type t = {
   mutable allocated_during : int;
   mutable increments : int;
   mutable retraces : int;
+  mutable enqueued : int;  (** retrace enqueues this cycle (budget basis) *)
+  mutable degraded : bool;
+  mutable budget_overflows : int;
+  mutable repair_enqueues : int;
   mutable cycles : int;
   mutable reports : cycle_report list;  (** most recent first *)
   mutable sweep_enabled : bool;
 }
 
 let create ?(steps_per_increment = 64) ?(buffer_capacity = 32)
-    ?(array_chunk = 8) ?(sweep = true) (heap : Heap.t)
-    ~(roots : unit -> int list) : t =
+    ?(array_chunk = 8) ?(retrace_budget = max_int) ?(sweep = true)
+    (heap : Heap.t) ~(roots : unit -> int list) : t =
   {
     heap;
     roots;
     steps_per_increment;
     buffer_capacity;
     array_chunk;
+    retrace_budget;
     phase = Idle;
     gray = [];
     satb_buffer = [];
@@ -101,12 +116,17 @@ let create ?(steps_per_increment = 64) ?(buffer_capacity = 32)
     allocated_during = 0;
     increments = 0;
     retraces = 0;
+    enqueued = 0;
+    degraded = false;
+    budget_overflows = 0;
+    repair_enqueues = 0;
     cycles = 0;
     reports = [];
     sweep_enabled = sweep;
   }
 
 let is_marking t = t.phase = Marking
+let is_degraded t = t.degraded
 
 let mark_and_gray t id =
   let o = Heap.get t.heap id in
@@ -132,6 +152,10 @@ let start_cycle (t : t) : unit =
   t.allocated_during <- 0;
   t.increments <- 0;
   t.retraces <- 0;
+  t.enqueued <- 0;
+  t.degraded <- false;
+  t.budget_overflows <- 0;
+  t.repair_enqueues <- 0;
   let roots = t.roots () in
   t.snapshot <- Oracle.reachable t.heap roots;
   List.iter (mark_and_gray t) roots
@@ -166,10 +190,43 @@ let on_unlogged_store t ~obj =
       | Heap.Traced -> ()
       | Heap.Untraced | Heap.Being_traced ->
           if not (Iset.mem obj t.in_retrace) then begin
+            (* Termination watchdog: past the budget the cycle is marked
+               degraded — the runner will disable swap elision for its
+               remainder, so no further checks arrive.  The entry itself
+               is still enqueued: its store already happened unlogged, and
+               dropping it would be unsound. *)
+            if t.enqueued >= t.retrace_budget then begin
+              t.degraded <- true;
+              t.budget_overflows <- t.budget_overflows + 1
+            end;
+            t.enqueued <- t.enqueued + 1;
             t.in_retrace <- Iset.add obj t.in_retrace;
             t.retrace <- obj :: t.retrace
           end
   end
+
+(** Snapshot repair after elision revocation: every object written
+    through a now-revoked site this cycle gets a whole-object re-scan,
+    regardless of tracing state — the revoked sites logged nothing, so a
+    completed scan proves nothing about what they overwrote.  Bypasses
+    the retrace budget: repair is mandatory. *)
+let on_revoke t ~objs =
+  if t.phase = Marking then
+    List.iter
+      (fun obj ->
+        if obj >= 0 then
+          let o = Heap.get t.heap obj in
+          if
+            (not o.dead)
+            && (not o.born_during_mark)
+            && not (Iset.mem obj t.in_retrace)
+          then begin
+            o.trace <- Heap.Untraced;
+            t.repair_enqueues <- t.repair_enqueues + 1;
+            t.in_retrace <- Iset.add obj t.in_retrace;
+            t.retrace <- obj :: t.retrace
+          end)
+      objs
 
 let on_alloc t (o : Heap.obj) =
   if t.phase = Marking then begin
@@ -307,12 +364,16 @@ let finish_cycle (t : t) : cycle_report =
       retraces = t.retraces;
       final_pause_work = !pause_work;
       swept = !swept;
+      budget_overflows = t.budget_overflows;
+      degraded = t.degraded;
+      repair_enqueues = t.repair_enqueues;
       violations;
     }
   in
   t.cycles <- t.cycles + 1;
   t.reports <- report :: t.reports;
   t.phase <- Idle;
+  t.degraded <- false;
   Heap.clear_marks t.heap;
   report
 
@@ -320,9 +381,11 @@ let finish_cycle (t : t) : cycle_report =
 let hooks (t : t) : Gc_hooks.t =
   {
     Gc_hooks.name = "retrace";
+    caps = { Gc_hooks.retrace_protocol = true; descending_scan = true };
     is_marking = (fun () -> is_marking t);
     log_ref_store = (fun ~obj ~pre -> log_ref_store t ~obj ~pre);
     on_unlogged_store = (fun ~obj -> on_unlogged_store t ~obj);
+    on_revoke = (fun ~objs -> on_revoke t ~objs);
     on_alloc = (fun o -> on_alloc t o);
     step = (fun () -> step t);
   }

@@ -28,6 +28,9 @@ type cycle_report = {
   retraces : int;  (** whole-object re-scans forced by unlogged stores *)
   final_pause_work : int;  (** objects processed inside the remark pause *)
   swept : int;
+  budget_overflows : int;  (** checks that found the budget exhausted *)
+  degraded : bool;  (** budget overflowed; swap elision disabled mid-cycle *)
+  repair_enqueues : int;  (** retrace entries forced by revocation repair *)
   violations : int;  (** snapshot-reachable objects left unmarked *)
 }
 
@@ -37,6 +40,7 @@ type t = {
   steps_per_increment : int;
   buffer_capacity : int;
   array_chunk : int;
+  retrace_budget : int;
   mutable phase : phase;
   mutable gray : gray list;
   mutable satb_buffer : int list;
@@ -49,6 +53,10 @@ type t = {
   mutable allocated_during : int;
   mutable increments : int;
   mutable retraces : int;
+  mutable enqueued : int;
+  mutable degraded : bool;
+  mutable budget_overflows : int;
+  mutable repair_enqueues : int;
   mutable cycles : int;
   mutable reports : cycle_report list;
   mutable sweep_enabled : bool;
@@ -58,18 +66,32 @@ val create :
   ?steps_per_increment:int ->
   ?buffer_capacity:int ->
   ?array_chunk:int ->
+  ?retrace_budget:int ->
   ?sweep:bool ->
   Heap.t ->
   roots:(unit -> int list) ->
   t
+(** [retrace_budget] bounds retrace-list enqueues per cycle (termination
+    watchdog); past it the cycle degrades — swap elision is disabled for
+    the remainder and stores fall back to logging.  Default unbounded. *)
 
 val is_marking : t -> bool
+
+val is_degraded : t -> bool
+(** The current cycle overflowed its retrace budget; the runner should
+    disable swap elision until the cycle ends. *)
+
 val start_cycle : t -> unit
 val log_ref_store : t -> obj:int -> pre:Value.t -> unit
 
 val on_unlogged_store : t -> obj:int -> unit
 (** The tracing-state check at a swap-elided store: enqueue the object for
     a re-scan unless it is already [Traced] (or was allocated black). *)
+
+val on_revoke : t -> objs:int list -> unit
+(** Revocation repair: force a whole-object re-scan of every object
+    written through a now-revoked site this cycle, regardless of tracing
+    state, bypassing the budget. *)
 
 val on_alloc : t -> Heap.obj -> unit
 val step : t -> unit

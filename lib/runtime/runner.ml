@@ -57,6 +57,9 @@ type live = {
   l_start : unit -> unit;
   l_quiescent : unit -> bool;
   l_finish : unit -> unit;  (** run the final pause, keep the report *)
+  l_degraded : unit -> bool;
+      (** the cycle overflowed its retrace budget; swap elision must be
+          disabled for its remainder *)
   l_summary : unit -> gc_summary;
 }
 
@@ -79,10 +82,19 @@ let lcg seed =
     1 + (v mod bound)
 
 let run ?(cfg = Interp.default_config) ?(gc = No_gc) ?(quantum = 50)
-    ?(seed = 0) ?(gc_period = 32) (prog : Jir.Program.t)
-    ~(entry : Jir.Types.method_ref) : report =
+    ?(seed = 0) ?(gc_period = 32) ?chaos ?retrace_budget
+    (prog : Jir.Program.t) ~(entry : Jir.Types.method_ref) : report =
   let m = Interp.create ~cfg prog in
   let _main = Interp.spawn_thread m entry [] in
+  (* an adversarial chaos plan may override the pacing *)
+  let quantum, gc_period =
+    match chaos with
+    | None -> quantum, gc_period
+    | Some c ->
+        let p = Chaos.plan c in
+        ( Option.value p.Chaos.quantum ~default:quantum,
+          Option.value p.Chaos.gc_period ~default:gc_period )
+  in
   let rand = lcg seed in
   (* collector wiring *)
   let roots () = Interp.roots m in
@@ -100,6 +112,7 @@ let run ?(cfg = Interp.default_config) ?(gc = No_gc) ?(quantum = 50)
             l_quiescent = (fun () -> Satb_gc.quiescent t);
             l_finish =
               (fun () -> reports := Satb_gc.finish_cycle t :: !reports);
+            l_degraded = (fun () -> false);
             l_summary =
               (fun () ->
                 summary_of_cycles (List.rev !reports)
@@ -120,6 +133,7 @@ let run ?(cfg = Interp.default_config) ?(gc = No_gc) ?(quantum = 50)
             l_quiescent = (fun () -> Incr_gc.quiescent t);
             l_finish =
               (fun () -> reports := Incr_gc.finish_cycle t :: !reports);
+            l_degraded = (fun () -> false);
             l_summary =
               (fun () ->
                 summary_of_cycles (List.rev !reports)
@@ -130,7 +144,10 @@ let run ?(cfg = Interp.default_config) ?(gc = No_gc) ?(quantum = 50)
                   ~retraced:(fun _ -> 0));
           }
     | Retrace { steps_per_increment; _ } ->
-        let t = Retrace_gc.create ~steps_per_increment m.Interp.heap ~roots in
+        let t =
+          Retrace_gc.create ~steps_per_increment ?retrace_budget
+            m.Interp.heap ~roots
+        in
         Interp.set_collector m (Retrace_gc.hooks t);
         let reports = ref [] in
         Some
@@ -140,6 +157,7 @@ let run ?(cfg = Interp.default_config) ?(gc = No_gc) ?(quantum = 50)
             l_quiescent = (fun () -> Retrace_gc.quiescent t);
             l_finish =
               (fun () -> reports := Retrace_gc.finish_cycle t :: !reports);
+            l_degraded = (fun () -> Retrace_gc.is_degraded t);
             l_summary =
               (fun () ->
                 summary_of_cycles (List.rev !reports)
@@ -159,12 +177,31 @@ let run ?(cfg = Interp.default_config) ?(gc = No_gc) ?(quantum = 50)
     | Retrace { trigger_allocs; _ } ->
         trigger_allocs
   in
+  (* Startup capability guards: the installed collector may lack
+     capabilities some verdicts assumed (e.g. swap verdicts under a
+     collector without the retrace protocol, move-down under an
+     ascending scan).  Revoke before the first mutator instruction —
+     inert unless a guard table was wired. *)
+  let caps = m.Interp.gc.Gc_hooks.caps in
+  if not caps.Gc_hooks.retrace_protocol then
+    Interp.request_revoke m Interp.Retrace_collector;
+  if not caps.Gc_hooks.descending_scan then
+    Interp.request_revoke m Interp.Descending_scan;
+  Interp.apply_revocations m;
   let last_cycle_alloc = ref 0 in
   let maybe_start_cycle l =
     if
       (not (l.l_marking ()))
       && m.Interp.heap.Heap.total_allocated - !last_cycle_alloc >= trigger
-    then l.l_start ()
+    then begin
+      l.l_start ();
+      Interp.reset_cycle_state m
+    end
+  in
+  let finish_cycle l =
+    l.l_finish ();
+    Interp.reset_cycle_state m;
+    last_cycle_alloc := m.Interp.heap.Heap.total_allocated
   in
   (* main scheduling loop *)
   let since_gc = ref 0 in
@@ -185,15 +222,35 @@ let run ?(cfg = Interp.default_config) ?(gc = No_gc) ?(quantum = 50)
                store pair's window is open *)
             if !since_gc >= gc_period && not m.Interp.in_no_safepoint then begin
               since_gc := 0;
-              m.Interp.gc.Gc_hooks.step ();
+              (* chaos faults fire first, so a late-spawn announcement's
+                 revocation is applied below, before the fault's damage
+                 stores (which run at later safepoints) *)
+              let action =
+                match chaos with
+                | Some c -> Chaos.at_safepoint c m
+                | None -> Chaos.no_action
+              in
+              (* guard failures noticed since the last safepoint patch
+                 their dependent sites atomically here *)
+              Interp.apply_revocations m;
+              (* retrace-budget watchdog: a degraded cycle disables swap
+                 elision for its remainder *)
+              (match live with
+              | Some l when l.l_degraded () -> Interp.set_swap_degraded m
+              | Some _ | None -> ());
+              if not action.Chaos.defer_increment then
+                m.Interp.gc.Gc_hooks.step ();
               match live with
               | None -> ()
               | Some l ->
-                  maybe_start_cycle l;
-                  (* finish once the concurrent phase has gone quiescent *)
-                  if l.l_quiescent () then begin
-                    l.l_finish ();
-                    last_cycle_alloc := m.Interp.heap.Heap.total_allocated
+                  if action.Chaos.force_remark && l.l_marking () then
+                    (* chaos heap pressure: emergency remark now *)
+                    finish_cycle l
+                  else begin
+                    maybe_start_cycle l;
+                    (* finish once the concurrent phase has gone
+                       quiescent *)
+                    if l.l_quiescent () then finish_cycle l
                   end
             end
           done)

@@ -46,6 +46,13 @@ val run :
   ?quantum:int ->
   ?seed:int ->
   ?gc_period:int ->
+  ?chaos:Chaos.t ->
+  ?retrace_budget:int ->
   Jir.Program.t ->
   entry:Jir.Types.method_ref ->
   report
+(** [chaos] injects the given fault plan at safepoints (its plan may
+    also override [quantum]/[gc_period]); [retrace_budget] bounds the
+    retrace collector's per-cycle re-scan queue (see {!Retrace_gc}).
+    Startup capability guards and mid-run guard failures revoke
+    dependent elisions when [cfg] wires a guard table. *)

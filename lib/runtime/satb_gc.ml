@@ -47,6 +47,8 @@ type cycle_report = {
   increments : int;  (** concurrent mark increments *)
   final_pause_work : int;  (** objects processed inside the remark pause *)
   swept : int;
+  restarts : int;
+      (** marks restarted from a fresh snapshot by elision revocation *)
   violations : int;
       (** snapshot-reachable objects left unmarked — 0 unless a needed
           barrier was removed *)
@@ -70,6 +72,7 @@ type t = {
   mutable logged : int;
   mutable allocated_during : int;
   mutable increments : int;
+  mutable restarts : int;  (** revocation-triggered restarts, this cycle *)
   mutable cycles : int;
   mutable reports : cycle_report list;  (** most recent first *)
   mutable sweep_enabled : bool;
@@ -94,6 +97,7 @@ let create ?(steps_per_increment = 64) ?(buffer_capacity = 32)
     logged = 0;
     allocated_during = 0;
     increments = 0;
+    restarts = 0;
     cycles = 0;
     reports = [];
     sweep_enabled = sweep;
@@ -120,6 +124,7 @@ let start_cycle (t : t) : unit =
   t.logged <- 0;
   t.allocated_during <- 0;
   t.increments <- 0;
+  t.restarts <- 0;
   let roots = t.roots () in
   t.snapshot <- Oracle.reachable t.heap roots;
   List.iter (mark_and_gray t) roots
@@ -224,6 +229,25 @@ let step (t : t) : unit =
     ignore (drain t t.steps_per_increment)
   end
 
+(** Snapshot repair after elision revocation.  Plain SATB has no record
+    of {e which} pre-values the revoked sites failed to log, so the only
+    sound recovery is wholesale: discard the cycle's progress and restart
+    the mark against a fresh snapshot taken {e now} — any object whose
+    last strong reference was overwritten through a revoked site is no
+    longer reachable and so no longer owed a visit. *)
+let restart_mark (t : t) : unit =
+  if t.phase = Marking then begin
+    Heap.clear_marks t.heap;
+    t.gray <- [];
+    t.satb_buffer <- [];
+    t.local_buffer <- [];
+    t.local_count <- 0;
+    t.restarts <- t.restarts + 1;
+    let roots = t.roots () in
+    t.snapshot <- Oracle.reachable t.heap roots;
+    List.iter (mark_and_gray t) roots
+  end
+
 (** Has the concurrent phase exhausted its known work? *)
 let quiescent (t : t) : bool =
   t.phase = Marking && t.gray = [] && t.satb_buffer = []
@@ -265,6 +289,7 @@ let finish_cycle (t : t) : cycle_report =
       increments = t.increments;
       final_pause_work = !pause_work;
       swept = !swept;
+      restarts = t.restarts;
       violations;
     }
   in
@@ -278,11 +303,19 @@ let finish_cycle (t : t) : cycle_report =
 let hooks (t : t) : Gc_hooks.t =
   {
     Gc_hooks.name = "satb";
+    caps =
+      {
+        Gc_hooks.retrace_protocol = false;
+        descending_scan = (t.direction = Descending);
+      };
     is_marking = (fun () -> is_marking t);
     log_ref_store = (fun ~obj ~pre -> log_ref_store t ~obj ~pre);
     (* no retrace protocol: an unlogged rearranging store is invisible to
        this collector (the negative soundness tests rely on this) *)
     on_unlogged_store = (fun ~obj:_ -> ());
+    (* repair by restarting against a fresh snapshot — the ids are not
+       needed, the new snapshot subsumes them *)
+    on_revoke = (fun ~objs:_ -> restart_mark t);
     on_alloc = (fun o -> on_alloc t o);
     step = (fun () -> step t);
   }

@@ -29,6 +29,7 @@ type cycle_report = {
   increments : int;
   final_pause_work : int;  (** objects processed inside the remark pause *)
   swept : int;
+  restarts : int;  (** revocation-triggered fresh-snapshot restarts *)
   violations : int;  (** snapshot-reachable objects left unmarked *)
 }
 
@@ -48,6 +49,7 @@ type t = {
   mutable logged : int;
   mutable allocated_during : int;
   mutable increments : int;
+  mutable restarts : int;
   mutable cycles : int;
   mutable reports : cycle_report list;
   mutable sweep_enabled : bool;
@@ -65,6 +67,11 @@ val create :
 
 val is_marking : t -> bool
 val start_cycle : t -> unit
+
+(** Snapshot repair after elision revocation: discard the cycle's
+    progress and restart against a fresh snapshot taken now.  No-op when
+    idle. *)
+val restart_mark : t -> unit
 val log_ref_store : t -> obj:int -> pre:Value.t -> unit
 val on_alloc : t -> Heap.obj -> unit
 val step : t -> unit

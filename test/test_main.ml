@@ -22,6 +22,8 @@ let () =
       ("interp", Test_interp.tests);
       ("gc", Test_gc.tests);
       ("gc-edges", Test_gc_edges.tests);
+      ("gc-hooks", Test_gc_hooks.tests);
+      ("chaos", Test_chaos.tests);
       ("soundness", Test_soundness.tests);
       ("analysis-fuzz", Test_analysis_fuzz.tests);
       ("workloads", Test_workloads.tests);
