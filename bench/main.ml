@@ -30,6 +30,9 @@ let experiments =
     ( "revoke",
       "E11: guarded elision under chaos fault injection",
       Harness.Revoke.print );
+    ( "summaries",
+      "E12: interprocedural callee summaries vs the inline limit",
+      Harness.Summaries.print );
   ]
 
 (* --- machine-readable artifacts (--json) ------------------------------ *)
@@ -104,7 +107,28 @@ let emit_json () =
   in
   write_file "BENCH_table2.json"
     (Printf.sprintf "{\n  \"table2\": [\n%s\n  ]\n}\n"
-       (String.concat ",\n" table2_rows))
+       (String.concat ",\n" table2_rows));
+  let fig2_rows =
+    List.map
+      (fun (p : Harness.Summaries.point) ->
+        String.concat ""
+          [
+            "    {\n";
+            Printf.sprintf "      \"benchmark\": \"%s\",\n" (json_escape p.bench);
+            Printf.sprintf "      \"inline_limit\": %d,\n" p.limit;
+            Printf.sprintf "      \"static_elided_havoc\": %d,\n" p.static_off;
+            Printf.sprintf "      \"static_elided_summaries\": %d,\n" p.static_on;
+            Printf.sprintf "      \"elim_pct_havoc\": %.1f,\n" p.elim_off;
+            Printf.sprintf "      \"elim_pct_summaries\": %.1f,\n" p.elim_on;
+            Printf.sprintf "      \"summary_methods\": %d,\n" p.sum_methods;
+            Printf.sprintf "      \"summary_havoced\": %d\n" p.sum_havoced;
+            "    }";
+          ])
+      (Harness.Summaries.measure ())
+  in
+  write_file "BENCH_fig2.json"
+    (Printf.sprintf "{\n  \"fig2_summaries\": [\n%s\n  ]\n}\n"
+       (String.concat ",\n" fig2_rows))
 
 (* --- bechamel microbenchmarks: one Test.make per table/figure --------- *)
 
@@ -188,6 +212,14 @@ let bench_tests =
                (Harness.Exp.run
                   ~gc:(Jrt.Runner.make_retrace ~trigger_allocs:24 ())
                   ~guards:true ~chaos ~fail_on_thread_error:false cw)));
+      (* E12: summary construction + summary-aware analysis, no inlining *)
+      Test.make ~name:"summaries/analyze-A-0+sum"
+        (Staged.stage (fun () ->
+             List.iter
+               (fun w ->
+                 ignore
+                   (Harness.Exp.compile ~inline_limit:0 ~summaries:true w))
+               Workloads.Registry.table1));
       (* E9: the cheapest ablation (single-name, no strong updates) *)
       Test.make ~name:"ablation/analyze-1-name"
         (Staged.stage (fun () ->

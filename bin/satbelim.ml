@@ -85,16 +85,27 @@ let swap_arg =
            single-mutator programs and only sound under the retrace \
            collector's tracing-state protocol (--gc retrace).")
 
+let summaries_arg =
+  Arg.(
+    value & flag
+    & info [ "summaries" ]
+        ~doc:
+          "Consult interprocedural callee summaries at non-inlined calls \
+           instead of the blanket havoc; elisions that depend on a \
+           summary are guarded by the closed-world assumption and revoke \
+           if a class load is observed.")
+
 let debug_arg =
   Arg.(value & flag & info [ "debug" ] ~doc:"Trace abstract states on stderr.")
 
-let conf_of mode nos md swap debug =
+let conf_of mode nos md swap summaries debug =
   {
     Satb_core.Analysis.default_config with
     mode;
     null_or_same = nos;
     move_down = md;
     swap;
+    summaries;
     debug;
   }
 
@@ -137,11 +148,11 @@ let disasm_cmd =
 (* analyze *)
 
 let analyze_cmd =
-  let run file limit mode nos md swap debug verbose =
+  let run file limit mode nos md swap summaries debug verbose =
     let prog = or_die (load file) in
     let compiled =
       Satb_core.Driver.compile ~inline_limit:limit
-        ~conf:(conf_of mode nos md swap debug) prog
+        ~conf:(conf_of mode nos md swap summaries debug) prog
     in
     List.iter
       (fun (r : Satb_core.Analysis.method_result) ->
@@ -159,11 +170,19 @@ let analyze_cmd =
             r.verdicts
         end)
       compiled.results;
-    if verbose then
+    if verbose then begin
       Fmt.pr "@.%a@.analysis: %.3fs, inlining: %.3fs@."
         Satb_core.Driver.pp_static_stats
         (Satb_core.Driver.static_stats compiled)
-        compiled.analysis_seconds compiled.inline_seconds
+        compiled.analysis_seconds compiled.inline_seconds;
+      match compiled.summaries with
+      | Some tbl ->
+          Fmt.pr "summaries: %d methods (%d havoced), %.3fs@."
+            (Satb_core.Summary.n_methods tbl)
+            (Satb_core.Summary.n_havoced tbl)
+            compiled.summary_seconds
+      | None -> ()
+    end
     else
       Fmt.pr "@.%a@." Satb_core.Driver.pp_static_stats
         (Satb_core.Driver.static_stats compiled)
@@ -173,7 +192,7 @@ let analyze_cmd =
     (Cmd.info "analyze" ~doc:"Run the barrier-removal analysis")
     Term.(
       const run $ file_arg $ inline_limit_arg $ mode_arg $ nos_arg
-      $ movedown_arg $ swap_arg $ debug_arg $ verbose)
+      $ movedown_arg $ swap_arg $ summaries_arg $ debug_arg $ verbose)
 
 (* run *)
 
@@ -204,9 +223,10 @@ let assumption_to_runtime :
   | Satb_core.Driver.Retrace_collector -> Jrt.Interp.Retrace_collector
   | Satb_core.Driver.Descending_scan -> Jrt.Interp.Descending_scan
   | Satb_core.Driver.Mode_a -> Jrt.Interp.Mode_a
+  | Satb_core.Driver.Closed_world -> Jrt.Interp.Closed_world
 
 let run_cmd =
-  let run file limit mode nos md swap gc entry no_elim chaos_seed
+  let run file limit mode nos md swap summaries gc entry no_elim chaos_seed
       retrace_budget no_revoke allow_unsound =
     let prog = or_die (load file) in
     (* Refuse statically-unsound elision/collector combinations: swap
@@ -232,7 +252,7 @@ let run_cmd =
     end;
     let compiled =
       Satb_core.Driver.compile ~inline_limit:limit
-        ~conf:(conf_of mode nos md swap false) prog
+        ~conf:(conf_of mode nos md swap summaries false) prog
     in
     let policy c m pc =
       (not no_elim)
@@ -320,9 +340,10 @@ let run_cmd =
         let s = Jrt.Chaos.stats c in
         Fmt.pr
           "chaos: %d spawns, %d damage stores, %d preempted increments, %d \
-           forced remarks@."
+           forced remarks, %d class loads@."
           s.Jrt.Chaos.spawns s.Jrt.Chaos.damage_stores
           s.Jrt.Chaos.preempted_increments s.Jrt.Chaos.pressure_remarks
+          s.Jrt.Chaos.class_loads
     | None -> ());
     List.iter
       (fun (tid, e) -> Fmt.pr "thread %d died: %s@." tid e)
@@ -371,8 +392,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Interpret the program with barrier instrumentation")
     Term.(
       const run $ file_arg $ inline_limit_arg $ mode_arg $ nos_arg
-      $ movedown_arg $ swap_arg $ gc_arg $ entry_arg $ no_elim $ chaos_arg
-      $ budget_arg $ no_revoke_arg $ allow_unsound_arg)
+      $ movedown_arg $ swap_arg $ summaries_arg $ gc_arg $ entry_arg
+      $ no_elim $ chaos_arg $ budget_arg $ no_revoke_arg $ allow_unsound_arg)
 
 (* workloads *)
 

@@ -53,6 +53,10 @@ type config = {
   max_visits : int;
       (** widening threshold: after this many visits of a block, integer
           components merge straight to ⊤ *)
+  summaries : bool;
+      (** consult interprocedural callee summaries ({!Summary}) at
+          non-inlined [Invoke]s instead of the blanket havoc; unknown
+          targets still havoc *)
   debug : bool;  (** trace block states and verdicts on stderr *)
 }
 
@@ -64,6 +68,7 @@ let default_config =
     swap = false;
     two_names = true;
     max_visits = 24;
+    summaries = false;
     debug = false;
   }
 
@@ -106,6 +111,10 @@ type method_result = {
   mr_method : method_name;
   verdicts : verdict list;  (** one per reference-store site, by pc *)
   iterations : int;  (** block visits until the fixed point *)
+  mr_summary_dependent : bool;
+      (** some callee summary was consulted while analyzing the method:
+          its elisions additionally depend on the closed-world assumption
+          (no late class loading changes callee behaviour) *)
 }
 
 (** Analysis of one method. *)
@@ -147,6 +156,10 @@ type env = {
   mutable swap_pending : swap_pend option;
       (** block-local: reset at block entry, killed by any instruction
           outside the swap-window whitelist *)
+  summary_tbl : Summary.table option;
+      (** callee summaries; [Some] only when [conf.summaries] *)
+  mutable used_summaries : bool;
+      (** a summary was consulted on some path through this method *)
 }
 
 (** Outcome of transferring one instruction. *)
@@ -273,6 +286,248 @@ let refine_on_null env (s : State.t) (ri : State.refinfo) : State.t =
           { s with sigma = State.Sigma.add (r, f) State.null_v s.State.sigma }
         else s)
       ri.nos s
+
+(* ---- calls ------------------------------------------------------------ *)
+
+(** Pop a callee's arguments off the stack, returned in parameter order. *)
+let pop_call_args (s : State.t) (params : ty list) :
+    State.aval list * State.t =
+  List.fold_left
+    (fun (args, s) _ty ->
+      let v, s = State.pop s in
+      (v :: args, s))
+    ([], s) params
+
+(** The blanket call havoc (§2.4): every reference argument — and
+    everything reachable from one — escapes, and every must-alias fact
+    dies.  Shared by [Invoke] (no summary available) and [Spawn] (a
+    spawned thread runs concurrently, so summaries never apply). *)
+let havoc_call (s : State.t) (args : State.aval list) : State.t =
+  State.kill_all_must_src (State.escape_args s args)
+
+let arg_refs (v : State.aval) : Rset.t =
+  match v with
+  | State.Ref ri -> ri.State.refs
+  | State.Bot | State.Clash | State.Int _ -> Rset.empty
+
+(** Summary-aware call transfer: apply the callee's summarized effects to
+    the caller state instead of havocking it.
+
+    Receiver candidates of a write through parameter [i] are the σ-closure
+    of the argument's references ({!State.reach_closure}): the summary's
+    parameter component covers anything reachable from the parameter.
+    Writes landing on a non-thread-local receiver escape the written
+    value instead (its σ is never consulted); writes with unknown field
+    sets degrade to the full havoc escape for all arguments (any of them
+    may have been stored into the written objects). *)
+let apply_summary env (s : State.t) pc (callee : meth) (sum : Summary.t)
+    (args : State.aval array) : State.t =
+  let closures = Array.map (fun v -> State.reach_closure s (arg_refs v)) args in
+  let shape_refs (s : State.t) (vs : Summary.vshape) : Rset.t =
+    let base =
+      if vs.Summary.vs_fresh || vs.Summary.vs_global then
+        Rset.singleton Refsym.Global
+      else Rset.empty
+    in
+    let rs =
+      Summary.Iset.fold
+        (fun p acc ->
+          if p < Array.length closures then Rset.union closures.(p) acc
+          else Rset.add Refsym.Global acc)
+        vs.Summary.vs_params base
+    in
+    (* a non-thread-local member's reachable set is not fully named by σ *)
+    if Rset.exists (fun r -> Rset.mem r s.State.nl) rs then
+      Rset.add Refsym.Global rs
+    else rs
+  in
+  (* 1. unknown-field writes force the full havoc escape: any argument may
+     have been stored into the written objects *)
+  let writes_top =
+    Array.exists
+      (fun (i, v) ->
+        sum.Summary.s_params.(i).Summary.ps_writes_top
+        && not (Rset.is_empty (arg_refs v)))
+      (Array.mapi (fun i v -> (i, v)) args)
+  in
+  let s = if writes_top then State.escape_args s (Array.to_list args) else s in
+  (* 2. per-parameter escapes *)
+  let s =
+    snd
+      (Array.fold_left
+         (fun (i, s) v ->
+           ( i + 1,
+             if sum.Summary.s_params.(i).Summary.ps_escapes then
+               State.all_non_tl s (arg_refs v)
+             else s ))
+         (0, s) args)
+  in
+  (* 3. per-field writes *)
+  let kill_eprov =
+    ref
+      (writes_top || sum.Summary.s_elems_public
+     || sum.Summary.s_calls_unknown)
+  in
+  let apply_write s i f (w : Summary.write) =
+    let receivers = closures.(i) in
+    if Rset.is_empty receivers then s
+    else begin
+      let mapped = shape_refs s w.Summary.w_val in
+      (* value stored into an escaped object escapes with it *)
+      let s =
+        if Rset.exists (fun r -> Rset.mem r s.State.nl) receivers then begin
+          (if Field_id.equal f Field_id.Elems && not (Rset.is_empty mapped)
+           then kill_eprov := true);
+          State.all_non_tl s mapped
+        end
+        else s
+      in
+      let locs = List.map (fun r -> (r, f)) (Rset.elements receivers) in
+      let s = State.kill_nos s locs in
+      (* strong update when the write provably targets the argument object
+         itself on every normal return; array elements always merge weakly
+         (one element written says nothing about the others) *)
+      let strong_sym =
+        match f, Rset.elements (arg_refs args.(i)) with
+        | Field_id.F _, [ r ]
+          when w.Summary.w_must && Refsym.unique ~in_ctor:env.in_ctor r ->
+            Some r
+        | _, _ -> None
+      in
+      let field_is_int =
+        match f with
+        | Field_id.F (c, fn) ->
+            Jir.Types.equal_ty
+              (Jir.Program.field_ty env.prog { fclass = c; fname = fn })
+              I
+        | Field_id.Elems -> false
+      in
+      let update s r =
+        if Rset.mem r s.State.nl then s
+        else if
+          match strong_sym with
+          | Some r' -> Refsym.equal r r'
+          | None -> false
+        then
+          let v = if field_is_int then int_top else State.ref_of mapped in
+          { s with State.sigma = State.Sigma.add (r, f) v s.State.sigma }
+        else
+          let old = State.lookup_field s r f in
+          let merged =
+            match old with
+            | State.Int _ -> if w.Summary.w_int then int_top else old
+            | State.Ref ri ->
+                if Rset.is_empty mapped then old
+                else State.Ref (State.mk_refinfo (Rset.union ri.State.refs mapped))
+            | State.Bot | State.Clash -> State.ref_of mapped
+          in
+          { s with State.sigma = State.Sigma.add (r, f) merged s.State.sigma }
+      in
+      let s = Rset.fold (fun r s -> update s r) receivers s in
+      (* a possibly-non-null element write at an unknown index empties the
+         array's null range *)
+      if Field_id.equal f Field_id.Elems && not (Rset.is_empty mapped) then
+        Rset.fold
+          (fun r s ->
+            if Rset.mem r s.State.nl then s
+            else { s with State.nr = State.Rmap.remove r s.State.nr })
+          receivers s
+      else s
+    end
+  in
+  let s =
+    snd
+      (Array.fold_left
+         (fun (i, s) _v ->
+           ( i + 1,
+             Summary.Fmap.fold
+               (fun f w s -> apply_write s i f w)
+               sum.Summary.s_params.(i).Summary.ps_writes s ))
+         (0, s) args)
+  in
+  (* 4. statics the callee writes invalidate must-alias facts derived from
+     them; everything else survives *)
+  let s =
+    match sum.Summary.s_statics with
+    | Summary.Sw_top -> State.kill_all_must_src s
+    | Summary.Sw_set [] -> s
+    | Summary.Sw_set frs ->
+        State.kill_must_src s (fun m ->
+            List.exists
+              (fun (fr : field_ref) ->
+                State.equal_must_src m (State.Mstatic (fr.fclass, fr.fname)))
+              frs)
+  in
+  (* 5. element writes to caller-visible arrays kill element provenances
+     and any active shift chain (the arrays may alias the must-source) *)
+  let s =
+    if !kill_eprov then { (State.kill_all_eprov s) with State.shift = None }
+    else s
+  in
+  (* 6. return value *)
+  match callee.ret with
+  | None -> s
+  | Some I -> State.push int_top s
+  | Some R -> (
+      match sum.Summary.s_ret with
+      | Summary.Ret_plain -> State.push State.global_v s
+      | Summary.Ret_shape vs -> State.push (State.ref_of (shape_refs s vs)) s
+      | Summary.Ret_fresh (cn, fields) -> (
+          match Jir.Program.find_class env.prog cn with
+          | None -> State.push State.global_v s
+          | Some c ->
+              (* the callee returns a fresh, unescaped object whose fields
+                 it summarized completely: bind a fresh symbol exactly as
+                 [New] would, seeded with the captured writes (unlisted
+                 reference fields are definitely null) *)
+              let sym, s = fresh_alloc env pc s in
+              let strong = Refsym.unique ~in_ctor:false sym in
+              let sigma =
+                List.fold_left
+                  (fun sg (fd : field_decl) ->
+                    let key = (sym, Field_id.F (cn, fd.fd_name)) in
+                    let fresh_v =
+                      match fd.fd_ty with
+                      | R ->
+                          let refs =
+                            match
+                              Summary.Fmap.find_opt
+                                (Field_id.F (cn, fd.fd_name))
+                                fields
+                            with
+                            | Some (vs, _) -> shape_refs s vs
+                            | None -> Rset.empty
+                          in
+                          State.ref_of refs
+                      | I -> (
+                          match
+                            Summary.Fmap.find_opt
+                              (Field_id.F (cn, fd.fd_name))
+                              fields
+                          with
+                          | Some _ -> int_top
+                          | None ->
+                              if env.track_ints && strong then
+                                State.Int (Intval.const 0)
+                              else int_top)
+                    in
+                    let v =
+                      if strong then fresh_v
+                      else
+                        match State.Sigma.find_opt key sg, fresh_v with
+                        | Some (State.Ref a), State.Ref b ->
+                            State.Ref
+                              (State.mk_refinfo
+                                 (Rset.union a.State.refs b.State.refs))
+                        | Some (State.Int _), _ | _, State.Int _ -> int_top
+                        | (Some _ | None), v -> v
+                    in
+                    State.Sigma.add key v sg)
+                  s.State.sigma c.fields
+              in
+              State.push
+                (State.ref_of (Rset.singleton sym))
+                { s with State.sigma }))
 
 (** The transfer function: abstract effect of one instruction (§2.4, §3.3),
     plus verdict recording for reference stores.  [record pc kind elide
@@ -732,41 +987,42 @@ let transfer env ~record (s : State.t) (pc : int) (instr : int instr) :
   | Arraylength ->
       let arr, s = State.pop_ref s in
       Fall (push_int env (State.lookup_len s arr.refs) s)
-  | Invoke mr ->
+  | Invoke mr -> (
       let callee = Jir.Program.get_method env.prog mr in
-      let args, s =
-        List.fold_left
-          (fun (args, s) _ty ->
-            let v, s = State.pop s in
-            (v :: args, s))
-          ([], s) callee.params
+      let args, s = pop_call_args s callee.params in
+      let summary =
+        match env.summary_tbl with
+        | Some tbl -> Summary.find tbl mr
+        | None -> None
       in
-      let s = State.escape_args s args in
-      let s = State.kill_all_must_src s in
-      let s =
-        match callee.ret with
-        | None -> s
-        | Some R -> State.push State.global_v s
-        | Some I -> State.push int_top s
-      in
-      Fall s
+      match summary with
+      | Some sum ->
+          env.used_summaries <- true;
+          Fall (apply_summary env s pc callee sum (Array.of_list args))
+      | None ->
+          let s = havoc_call s args in
+          let s =
+            match callee.ret with
+            | None -> s
+            | Some R -> State.push State.global_v s
+            | Some I -> State.push int_top s
+          in
+          Fall s)
   | Spawn mr ->
+      (* same argument path as [Invoke], but always the full havoc: the
+         spawned thread runs concurrently, so no summary of its
+         sequential effects can bound what it does from here on *)
       let callee = Jir.Program.get_method env.prog mr in
-      let args, s =
-        List.fold_left
-          (fun (args, s) _ty ->
-            let v, s = State.pop s in
-            (v :: args, s))
-          ([], s) callee.params
-      in
-      Fall (State.kill_all_must_src (State.escape_args s args))
+      let args, s = pop_call_args s callee.params in
+      Fall (havoc_call s args)
   | Return | Ireturn | Areturn -> Stop
 
 (** Run the analysis on one method to its fixed point.
     [single_mutator] gates the §4.3 move-down extension: the caller sets
     it when the whole program contains no [spawn]. *)
 let analyze_method ?(conf = default_config) ?(single_mutator = false)
-    (prog : Jir.Program.t) (cls : cls) (meth : meth) : method_result =
+    ?summaries (prog : Jir.Program.t) (cls : cls) (meth : meth) :
+    method_result =
   let n = Array.length meth.code in
   let store_pcs =
     (* every reference-store site in the method, for verdict reporting *)
@@ -793,6 +1049,7 @@ let analyze_method ?(conf = default_config) ?(single_mutator = false)
             { v_pc = pc; v_kind = kind; v_elide = false; v_reason = Keep })
           store_pcs;
       iterations = 0;
+      mr_summary_dependent = false;
     }
   else begin
     let catches_bounds =
@@ -816,6 +1073,8 @@ let analyze_method ?(conf = default_config) ?(single_mutator = false)
           conf.swap && single_mutator && conf.mode = A
           && not catches_bounds;
         swap_pending = None;
+        summary_tbl = (if conf.summaries then summaries else None);
+        used_summaries = false;
       }
     in
     let cfg = Jir.Cfg.build meth in
@@ -910,6 +1169,7 @@ let analyze_method ?(conf = default_config) ?(single_mutator = false)
       mr_method = meth.mname;
       verdicts;
       iterations = !iterations;
+      mr_summary_dependent = env.used_summaries;
     }
   end
 
@@ -924,10 +1184,17 @@ let program_spawns (prog : Jir.Program.t) : bool =
         m.code)
     (Jir.Program.all_methods prog)
 
-(** Analyze every method of a program. *)
-let analyze_program ?(conf = default_config) (prog : Jir.Program.t) :
-    method_result list =
+(** Analyze every method of a program.  With [conf.summaries], the
+    summary table is computed here (bottom-up over the call graph) unless
+    the caller already has one to share. *)
+let analyze_program ?(conf = default_config) ?summaries
+    (prog : Jir.Program.t) : method_result list =
   let single_mutator = not (program_spawns prog) in
+  let summaries =
+    match summaries with
+    | Some _ as t -> t
+    | None -> if conf.summaries then Some (Summary.of_program prog) else None
+  in
   List.map
-    (fun (c, m) -> analyze_method ~conf ~single_mutator prog c m)
+    (fun (c, m) -> analyze_method ~conf ~single_mutator ?summaries prog c m)
     (Jir.Program.all_methods prog)

@@ -27,6 +27,9 @@ type config = {
       (** §2.4 two-names-per-site precision; disable only for the
           ablation study *)
   max_visits : int;  (** per-block widening threshold *)
+  summaries : bool;
+      (** consult interprocedural callee summaries ({!Summary}) at
+          non-inlined [Invoke]s instead of the blanket havoc *)
   debug : bool;  (** trace block states and verdicts on stderr *)
 }
 
@@ -60,19 +63,31 @@ type method_result = {
   mr_method : Jir.Types.method_name;
   verdicts : verdict list;  (** one per reference-store site, by pc *)
   iterations : int;  (** block visits until the fixed point *)
+  mr_summary_dependent : bool;
+      (** a callee summary was consulted: elisions in this method also
+          depend on the closed-world assumption *)
 }
 
 val analyze_method :
   ?conf:config ->
   ?single_mutator:bool ->
+  ?summaries:Summary.table ->
   Jir.Program.t ->
   Jir.Types.cls ->
   Jir.Types.meth ->
   method_result
 (** Analyze one (already inlined) method to its fixed point.
-    [single_mutator] gates the move-down extension. *)
+    [single_mutator] gates the move-down extension; [summaries] (used
+    only under [conf.summaries]) replaces the blanket [Invoke] havoc with
+    the callee's summarized effects. *)
 
 val program_spawns : Jir.Program.t -> bool
 (** Does the program ever start a second thread? *)
 
-val analyze_program : ?conf:config -> Jir.Program.t -> method_result list
+val analyze_program :
+  ?conf:config ->
+  ?summaries:Summary.table ->
+  Jir.Program.t ->
+  method_result list
+(** Analyze every method.  With [conf.summaries] and no table supplied,
+    the summary table is computed here first. *)

@@ -19,13 +19,19 @@ type site_key = {
     analysis (mode A) that identified the arrays involved.  The runtime
     ({!Jrt} [Interp]) mirrors this type and revokes dependent elisions
     when an assumption is observed false. *)
-type assumption = Single_mutator | Retrace_collector | Descending_scan | Mode_a
+type assumption =
+  | Single_mutator
+  | Retrace_collector
+  | Descending_scan
+  | Mode_a
+  | Closed_world
 
 let string_of_assumption = function
   | Single_mutator -> "single-mutator"
   | Retrace_collector -> "retrace-collector"
   | Descending_scan -> "descending-scan"
   | Mode_a -> "mode-A"
+  | Closed_world -> "closed-world"
 
 let assumptions_of_reason (r : Analysis.reason) : assumption list =
   match r with
@@ -46,8 +52,11 @@ type compiled = {
           site whose verdict is conditional *)
   inline_limit : int;
   conf : Analysis.config;
+  summaries : Summary.table option;
+      (** the interprocedural summary table, when [conf.summaries] *)
   analysis_seconds : float;  (** CPU time spent in the analysis proper *)
   inline_seconds : float;
+  summary_seconds : float;  (** CPU time computing callee summaries *)
 }
 
 (** Statistics over static store sites (tech-report-style static counts). *)
@@ -68,8 +77,12 @@ let compile ?(verify = true) ?(inline_limit = 100)
   let t0 = Sys.time () in
   let program = Inliner.inline_program ~conf:(Inliner.config inline_limit) prog in
   let t1 = Sys.time () in
-  let results = Analysis.analyze_program ~conf program in
+  let summaries =
+    if conf.Analysis.summaries then Some (Summary.of_program program) else None
+  in
   let t2 = Sys.time () in
+  let results = Analysis.analyze_program ~conf ?summaries program in
+  let t3 = Sys.time () in
   let verdicts = Hashtbl.create 256 in
   let guards = Hashtbl.create 16 in
   List.iter
@@ -81,7 +94,15 @@ let compile ?(verify = true) ?(inline_limit = 100)
           in
           Hashtbl.replace verdicts key v;
           if v.v_elide then
-            match assumptions_of_reason v.v_reason with
+            (* Every elision in a method whose analysis consulted a callee
+               summary additionally rests on the closed world: "loading" a
+               class later invalidates the summaries, so the runtime must
+               be able to revoke these sites. *)
+            let assumptions =
+              assumptions_of_reason v.v_reason
+              @ (if r.mr_summary_dependent then [ Closed_world ] else [])
+            in
+            match assumptions with
             | [] -> ()
             | assumptions -> Hashtbl.replace guards key assumptions)
         r.verdicts)
@@ -93,8 +114,10 @@ let compile ?(verify = true) ?(inline_limit = 100)
     guards;
     inline_limit;
     conf;
-    analysis_seconds = t2 -. t1;
+    summaries;
+    analysis_seconds = t3 -. t2;
     inline_seconds = t1 -. t0;
+    summary_seconds = t2 -. t1;
   }
 
 (** Does the store at [key] still need its SATB barrier? *)
@@ -122,7 +145,8 @@ let site_assumptions (c : compiled) (key : site_key) : assumption list =
   Option.value (Hashtbl.find_opt c.guards key) ~default:[]
 
 (** Every assumption some elided site of the program depends on —
-    deduplicated, for CLI safety checks and reporting. *)
+    deduplicated and in declaration order, for CLI safety checks and
+    reporting. *)
 let guarded_assumptions (c : compiled) : assumption list =
   Hashtbl.fold
     (fun _ assumptions acc ->
@@ -130,6 +154,7 @@ let guarded_assumptions (c : compiled) : assumption list =
         (fun acc a -> if List.mem a acc then acc else a :: acc)
         acc assumptions)
     c.guards []
+  |> List.sort compare
 
 let static_stats (c : compiled) : static_stats =
   let total = ref 0
@@ -163,7 +188,9 @@ let static_stats (c : compiled) : static_stats =
     array_sites = !array;
     array_elided = !array_e;
     static_sites = !static_;
-    by_reason = Hashtbl.fold (fun k n acc -> (k, n) :: acc) reasons [];
+    by_reason =
+      Hashtbl.fold (fun k n acc -> (k, n) :: acc) reasons []
+      |> List.sort compare;
   }
 
 let pp_static_stats ppf (s : static_stats) =

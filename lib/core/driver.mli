@@ -9,7 +9,14 @@ type site_key = {
   sk_pc : int;  (** pc in the {e inlined} method *)
 }
 
-type assumption = Single_mutator | Retrace_collector | Descending_scan | Mode_a
+type assumption =
+  | Single_mutator
+  | Retrace_collector
+  | Descending_scan
+  | Mode_a
+  | Closed_world
+      (** the callee summaries consulted during analysis remain valid —
+          no class is loaded after compilation *)
 (** The runtime assumptions an elided verdict depends on; the runtime
     mirrors this type and revokes dependent elisions when one is
     observed false. *)
@@ -30,8 +37,11 @@ type compiled = {
       (** guard table: assumption set of every elided conditional site *)
   inline_limit : int;
   conf : Analysis.config;
+  summaries : Summary.table option;
+      (** the interprocedural summary table, when [conf.summaries] *)
   analysis_seconds : float;  (** CPU time spent in the analysis proper *)
   inline_seconds : float;
+  summary_seconds : float;  (** CPU time computing callee summaries *)
 }
 
 type static_stats = {
@@ -68,7 +78,8 @@ val site_assumptions : compiled -> site_key -> assumption list
     sites and unconditional verdicts. *)
 
 val guarded_assumptions : compiled -> assumption list
-(** Deduplicated union of all sites' assumption sets. *)
+(** Deduplicated union of all sites' assumption sets, in declaration
+    order. *)
 
 val static_stats : compiled -> static_stats
 val pp_static_stats : static_stats Fmt.t

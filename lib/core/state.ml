@@ -254,6 +254,35 @@ let all_non_tl (s : t) (rs : Rset.t) : t =
   in
   { s with nl = close s.nl rs }
 
+(** Every symbol reachable from [rs] through explicit σ entries, [rs]
+    included — the universe of objects a callee can reach from an
+    argument.  The same walk as {!all_non_tl}, but nothing is marked
+    non-thread-local.  Sound because a thread-local symbol's absent σ
+    entries denote never-stored (hence initial, null) locations, and
+    entries of non-thread-local members only over-approximate. *)
+let reach_closure (s : t) (rs : Rset.t) : Rset.t =
+  let rec close seen frontier =
+    match Rset.choose_opt frontier with
+    | None -> seen
+    | Some r ->
+        let frontier = Rset.remove r frontier in
+        if Rset.mem r seen then close seen frontier
+        else
+          let seen = Rset.add r seen in
+          let reachable =
+            Sigma.fold
+              (fun (r', _) v acc ->
+                if Refsym.equal r' r then
+                  match v with
+                  | Ref { refs; _ } -> Rset.union refs acc
+                  | Bot | Clash | Int _ -> acc
+                else acc)
+              s.sigma Rset.empty
+          in
+          close seen (Rset.union frontier (Rset.diff reachable seen))
+  in
+  close Rset.empty rs
+
 (** AllNonTLCond(NL, RS, val, σ): if any possible receiver is already
     non-thread-local, the stored value (and everything reachable from it)
     escapes. *)

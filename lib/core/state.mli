@@ -91,6 +91,12 @@ val all_non_tl_cond : t -> objs:Rset.t -> value:aval -> t
 val escape_args : t -> aval list -> t
 (** nAllNonTL over call arguments. *)
 
+val reach_closure : t -> Rset.t -> Rset.t
+(** Every symbol reachable from the set through explicit σ entries, the
+    set included — without marking anything non-thread-local.  Used by
+    the summary-aware call transfer to find the possible receivers of a
+    callee's writes through a parameter. *)
+
 (** {2 Allocation-site symbol recycling (§2.4 newinstance)} *)
 
 val retire_site : t -> int -> t

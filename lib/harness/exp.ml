@@ -8,10 +8,17 @@ type compiled_workload = {
 
 let compile ?(inline_limit = 100) ?(mode = Satb_core.Analysis.A)
     ?(null_or_same = false) ?(move_down = false) ?(swap = false)
-    (w : Workloads.Spec.t) : compiled_workload =
+    ?(summaries = false) (w : Workloads.Spec.t) : compiled_workload =
   let prog = Workloads.Spec.parse w in
   let conf =
-    { Satb_core.Analysis.default_config with mode; null_or_same; move_down; swap }
+    {
+      Satb_core.Analysis.default_config with
+      mode;
+      null_or_same;
+      move_down;
+      swap;
+      summaries;
+    }
   in
   { workload = w; compiled = Satb_core.Driver.compile ~inline_limit ~conf prog }
 
@@ -39,6 +46,7 @@ let assumption_to_runtime :
   | Satb_core.Driver.Retrace_collector -> Jrt.Interp.Retrace_collector
   | Satb_core.Driver.Descending_scan -> Jrt.Interp.Descending_scan
   | Satb_core.Driver.Mode_a -> Jrt.Interp.Mode_a
+  | Satb_core.Driver.Closed_world -> Jrt.Interp.Closed_world
 
 (** The per-site guard table from the compiler's assumption metadata. *)
 let guard_policy_of (cw : compiled_workload) : Jrt.Interp.guard_policy =

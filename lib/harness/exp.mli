@@ -12,6 +12,7 @@ val compile :
   ?null_or_same:bool ->
   ?move_down:bool ->
   ?swap:bool ->
+  ?summaries:bool ->
   Workloads.Spec.t ->
   compiled_workload
 

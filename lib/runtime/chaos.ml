@@ -43,6 +43,10 @@ type fault =
   | Barrier_skip of { at_instr : int; victims : int }
       (** from [at_instr] on, overwrite the sole reference to [victims]
           snapshot objects with no barrier at all *)
+  | Class_load of { at_instr : int }
+      (** announce a class load once [at_instr] instructions have run:
+          the closed-world assumption behind the interprocedural callee
+          summaries fails, and summary-dependent elisions revoke *)
 
 type plan = {
   seed : int;
@@ -57,6 +61,7 @@ type stats = {
   skipped_barriers : int;  (** barrier-skip stores performed *)
   preempted_increments : int;  (** collector increments withheld *)
   pressure_remarks : int;  (** emergency remarks forced *)
+  class_loads : int;  (** class-load announcements *)
 }
 
 (** What the runner must do at this safepoint. *)
@@ -70,6 +75,7 @@ type armed =
   | Apreempt of { at_alloc : int; mutable skips_left : int }
   | Apressure of { at_alloc : int; mutable fired : bool }
   | Askip of { at_instr : int; mutable victims_left : int }
+  | Aload of { at_instr : int; mutable loaded : bool }
 
 type t = {
   plan : plan;
@@ -80,6 +86,7 @@ type t = {
   mutable skipped_barriers : int;
   mutable preempted_increments : int;
   mutable pressure_remarks : int;
+  mutable class_loads : int;
 }
 
 (** Same deterministic LCG as {!Runner}'s quantum jitter. *)
@@ -102,7 +109,8 @@ let create (plan : plan) : t =
               Apreempt { at_alloc; skips_left = skips }
           | Heap_pressure { at_alloc } -> Apressure { at_alloc; fired = false }
           | Barrier_skip { at_instr; victims } ->
-              Askip { at_instr; victims_left = victims })
+              Askip { at_instr; victims_left = victims }
+          | Class_load { at_instr } -> Aload { at_instr; loaded = false })
         plan.faults;
     rand = lcg (plan.seed lxor 0x5bd1e995);
     spawns = 0;
@@ -110,6 +118,7 @@ let create (plan : plan) : t =
     skipped_barriers = 0;
     preempted_increments = 0;
     pressure_remarks = 0;
+    class_loads = 0;
   }
 
 (** A deterministic benign plan for [--chaos <seed>]: late spawn plus
@@ -123,7 +132,8 @@ let of_seed (seed : int) : plan =
     @ (if r 4 > 1 then
          [ Preempt_marker { at_alloc = 32 + r 512; skips = 2 + r 12 } ]
        else [])
-    @ if r 4 > 1 then [ Heap_pressure { at_alloc = 64 + r 768 } ] else []
+    @ (if r 4 > 1 then [ Heap_pressure { at_alloc = 64 + r 768 } ] else [])
+    @ if r 4 > 1 then [ Class_load { at_instr = 300 + r 3000 } ] else []
   in
   {
     seed;
@@ -141,6 +151,7 @@ let stats (t : t) : stats =
     skipped_barriers = t.skipped_barriers;
     preempted_increments = t.preempted_increments;
     pressure_remarks = t.pressure_remarks;
+    class_loads = t.class_loads;
   }
 
 (* ---- victim selection -------------------------------------------------- *)
@@ -257,6 +268,12 @@ let at_safepoint (t : t) (m : Interp.t) : action =
             then begin
               a.victims_left <- a.victims_left - 1;
               t.skipped_barriers <- t.skipped_barriers + 1
-            end)
+            end
+      | Aload a ->
+          if (not a.loaded) && instr >= a.at_instr then begin
+            a.loaded <- true;
+            t.class_loads <- t.class_loads + 1;
+            Interp.note_class_load m
+          end)
     t.armed;
   { defer_increment = !defer; force_remark = !remark }

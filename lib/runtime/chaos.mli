@@ -16,6 +16,10 @@ type fault =
   | Barrier_skip of { at_instr : int; victims : int }
       (** unsound by design: sever [victims] snapshot objects with no
           barrier at all — the oracle must catch it *)
+  | Class_load of { at_instr : int }
+      (** announce a class load at [at_instr]: the closed-world
+          assumption behind the callee summaries fails, revoking every
+          summary-dependent elision *)
 
 type plan = {
   seed : int;
@@ -30,6 +34,7 @@ type stats = {
   skipped_barriers : int;
   preempted_increments : int;
   pressure_remarks : int;
+  class_loads : int;
 }
 
 type action = { defer_increment : bool; force_remark : bool }
@@ -43,8 +48,8 @@ val create : plan -> t
 
 val of_seed : int -> plan
 (** A deterministic benign plan for [--chaos <seed>]: late spawn plus a
-    seed-dependent mix of preemption, heap pressure, and pacing; never a
-    barrier skip. *)
+    seed-dependent mix of preemption, heap pressure, class loading, and
+    pacing; never a barrier skip. *)
 
 val plan : t -> plan
 val stats : t -> stats

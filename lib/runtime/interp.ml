@@ -34,13 +34,19 @@ type retrace_site = No_check | Check_open | Check_close
     is observed false at runtime the dependent sites are {e revoked} —
     atomically flipped back to full barriers at a safepoint, with snapshot
     repair through {!Gc_hooks.t.on_revoke}. *)
-type assumption = Single_mutator | Retrace_collector | Descending_scan | Mode_a
+type assumption =
+  | Single_mutator
+  | Retrace_collector
+  | Descending_scan
+  | Mode_a
+  | Closed_world
 
 let string_of_assumption = function
   | Single_mutator -> "single-mutator"
   | Retrace_collector -> "retrace-collector"
   | Descending_scan -> "descending-scan"
   | Mode_a -> "mode-A"
+  | Closed_world -> "closed-world"
 
 type site_stats = {
   st_kind : store_kind;
@@ -240,6 +246,11 @@ let apply_revocations (m : t) : unit =
 (** A chaos-injected second mutator was observed (late-spawn fault): the
     single-mutator assumption is false from here on. *)
 let note_second_mutator (m : t) : unit = request_revoke m Single_mutator
+
+(** A chaos-injected class load was observed: the closed-world assumption
+    behind the callee summaries is false from here on, so every
+    summary-dependent elision must revoke. *)
+let note_class_load (m : t) : unit = request_revoke m Closed_world
 
 (** Marking-cycle lifecycle (called by the runner at cycle start/end):
     the guarded-write repair set and the degradation flag are per-cycle. *)

@@ -17,7 +17,12 @@ type retrace_site = No_check | Check_open | Check_close
     tracing-state check that also opens (store 1) or closes (store 2) a
     safepoint-free window around the swap. *)
 
-type assumption = Single_mutator | Retrace_collector | Descending_scan | Mode_a
+type assumption =
+  | Single_mutator
+  | Retrace_collector
+  | Descending_scan
+  | Mode_a
+  | Closed_world
 (** The runtime assumptions an elided verdict may depend on; observing
     one false revokes every dependent elision at a safepoint. *)
 
@@ -132,6 +137,10 @@ val apply_revocations : t -> unit
 
 val note_second_mutator : t -> unit
 (** A chaos-injected second mutator exists: [Single_mutator] is false. *)
+
+val note_class_load : t -> unit
+(** A chaos-injected class load happened: [Closed_world] is false, so
+    summary-dependent elisions must revoke. *)
 
 val reset_cycle_state : t -> unit
 (** Reset the per-cycle guarded-write set and degradation flag; the

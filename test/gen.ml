@@ -94,6 +94,52 @@ let class_def =
           handlers = [];
           labels = [];
         };
+        (* helpers the snippets may call, exercising the interprocedural
+           summary transfer when the inline limit keeps them out of line *)
+        {
+          mname = "set";
+          params = [ R; R ];
+          ret = None;
+          is_constructor = false;
+          max_locals = 2;
+          code =
+            [|
+              Aload 0; Aload 1; Putfield { fclass = "C"; fname = "r" }; Return;
+            |];
+          handlers = [];
+          labels = [];
+        };
+        {
+          mname = "leak";
+          params = [ R ];
+          ret = None;
+          is_constructor = false;
+          max_locals = 1;
+          code = [| Aload 0; Putstatic { fclass = "C"; fname = "s" }; Return |];
+          handlers = [];
+          labels = [];
+        };
+        {
+          mname = "get";
+          params = [ R ];
+          ret = Some R;
+          is_constructor = false;
+          max_locals = 1;
+          code = [| Aload 0; Getfield { fclass = "C"; fname = "r" }; Areturn |];
+          handlers = [];
+          labels = [];
+        };
+        {
+          mname = "mk";
+          params = [];
+          ret = Some R;
+          is_constructor = false;
+          max_locals = 0;
+          code =
+            [| New "C"; Dup; Invoke { mclass = "C"; mname = "<init>" }; Areturn |];
+          handlers = [];
+          labels = [];
+        };
       ];
   }
 
@@ -115,6 +161,12 @@ let snippets : string instr list list =
     [ Iload 0; Ineg; Istore 0 ];
     [ Iconst 2; Iconst 5; Ibin Mul; Istore 0 ];
     [ Aconst_null; Astore 1 ];
+    (* calls: out-of-line at small inline limits *)
+    [ Aload 1; Aconst_null; Invoke { mclass = "C"; mname = "set" } ];
+    [ Aload 1; Aload 1; Invoke { mclass = "C"; mname = "set" } ];
+    [ Aload 1; Invoke { mclass = "C"; mname = "leak" } ];
+    [ Aload 1; Invoke { mclass = "C"; mname = "get" }; Astore 1 ];
+    [ Invoke { mclass = "C"; mname = "mk" }; Astore 1 ];
   ]
 
 let gen_method : meth Q.t =

@@ -66,6 +66,102 @@ let test_big_callee_not_inlined () =
   Alcotest.(check bool) "call kept" true
     (Array.exists (function Invoke _ -> true | _ -> false) m.code)
 
+let out_static (r : Jrt.Runner.report) =
+  match Hashtbl.find_opt r.machine.Jrt.Interp.statics ("Main", "out") with
+  | Some (Jrt.Value.Int n) -> n
+  | _ -> Alcotest.fail "no Main.out"
+
+let run prog =
+  Jrt.Runner.run prog ~entry:{ mclass = "Main"; mname = "main" }
+
+let test_callee_exactly_at_limit () =
+  (* the limit is inclusive: a callee whose size equals the limit is
+     inlined; one instruction less and it is kept *)
+  let prog = parse src_calc in
+  let callee_size = method_size prog ~cls:"Main" ~meth:"double" in
+  let has_call limit meth =
+    let m =
+      Jir.Program.get_method (inline limit prog) { mclass = "Main"; mname = meth }
+    in
+    Array.exists
+      (function Invoke { mname = "double"; _ } -> true | _ -> false)
+      m.code
+  in
+  Alcotest.(check bool) "inlined at exactly the limit" false
+    (has_call callee_size "apply");
+  Alcotest.(check bool) "kept one below the limit" true
+    (has_call (callee_size - 1) "apply")
+
+let src_mutual =
+  {|
+class Main
+  static int out
+  method int even (int) locals 1
+    iload 0
+    iconst 0
+    if_icmpgt e1
+    iconst 1
+    ireturn
+  e1:
+    iload 0
+    iconst 1
+    isub
+    invoke Main.odd
+    ireturn
+  end
+  method int odd (int) locals 1
+    iload 0
+    iconst 0
+    if_icmpgt o1
+    iconst 0
+    ireturn
+  o1:
+    iload 0
+    iconst 1
+    isub
+    invoke Main.even
+    ireturn
+  end
+  method void main () locals 0
+    iconst 7
+    invoke Main.even
+    putstatic Main.out
+    return
+  end
+end
+|}
+
+let test_mutual_recursion_bounded () =
+  (* even/odd call each other: expansion must terminate (depth bound) and
+     the program must still compute the same answer at every limit *)
+  let prog = parse src_mutual in
+  let expected = out_static (run prog) in
+  Alcotest.(check int) "7 is odd" 0 expected;
+  List.iter
+    (fun limit ->
+      let inlined = inline limit prog in
+      let r = run inlined in
+      Alcotest.(check (list (pair int string)))
+        (Printf.sprintf "no errors at limit %d" limit)
+        [] r.thread_errors;
+      Alcotest.(check int)
+        (Printf.sprintf "same result at limit %d" limit)
+        expected (out_static r))
+    [ 0; 6; 100 ];
+  (* a cross-call survives somewhere: the cycle cannot be dissolved *)
+  let inlined = inline 100 prog in
+  let cross =
+    List.exists
+      (fun (_, (m : meth)) ->
+        Array.exists
+          (function
+            | Invoke { mname = "even" | "odd"; _ } -> true
+            | _ -> false)
+          m.code)
+      (List.map (fun (c, m) -> (c.cname, m)) (Jir.Program.all_methods inlined))
+  in
+  Alcotest.(check bool) "mutual call kept" true cross
+
 let test_recursion_not_inlined_forever () =
   let prog =
     parse
@@ -136,14 +232,6 @@ end
   let m = Jir.Program.get_method inlined { mclass = "Main"; mname = "main" } in
   Alcotest.(check bool) "guarded call kept" true
     (Array.exists (function Invoke _ -> true | _ -> false) m.code)
-
-let out_static (r : Jrt.Runner.report) =
-  match Hashtbl.find_opt r.machine.Jrt.Interp.statics ("Main", "out") with
-  | Some (Jrt.Value.Int n) -> n
-  | _ -> Alcotest.fail "no Main.out"
-
-let run prog =
-  Jrt.Runner.run prog ~entry:{ mclass = "Main"; mname = "main" }
 
 let test_behavior_preserved () =
   let prog = parse src_calc in
@@ -223,6 +311,8 @@ let tests =
       ("small callee inlined", test_small_callee_inlined);
       ("limit 0 identity", test_limit_zero_is_identity);
       ("big callee kept", test_big_callee_not_inlined);
+      ("callee exactly at limit", test_callee_exactly_at_limit);
+      ("mutual recursion bounded", test_mutual_recursion_bounded);
       ("recursion bounded", test_recursion_not_inlined_forever);
       ("handlers block inlining", test_callee_with_handlers_not_inlined);
       ("behavior preserved", test_behavior_preserved);

@@ -25,6 +25,7 @@ let () =
       ("gc-hooks", Test_gc_hooks.tests);
       ("chaos", Test_chaos.tests);
       ("soundness", Test_soundness.tests);
+      ("summary", Test_summary.tests);
       ("analysis-fuzz", Test_analysis_fuzz.tests);
       ("workloads", Test_workloads.tests);
       ("harness", Test_harness.tests);
