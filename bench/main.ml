@@ -37,20 +37,6 @@ let experiments =
 
 (* --- machine-readable artifacts (--json) ------------------------------ *)
 
-let json_escape s =
-  let b = Buffer.create (String.length s) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
 let write_file path content =
   let oc = open_out path in
   Fun.protect
@@ -58,77 +44,22 @@ let write_file path content =
     (fun () -> output_string oc content);
   Printf.printf "wrote %s\n%!" path
 
-let pct num den =
-  if den = 0 then 0.0 else 100.0 *. float_of_int num /. float_of_int den
-
+(* The artifacts are serialized from the telemetry row tables the measure
+   functions populate, so the rendered tables, the harness output and the
+   BENCH_*.json files all share one source of truth. *)
 let emit_json () =
-  let table1_rows =
-    List.map
-      (fun (w : Workloads.Spec.t) ->
-        let cw = Harness.Exp.compile w in
-        let row = Harness.Table1.measure w in
-        let d = row.Harness.Table1.dyn in
-        String.concat ""
-          [
-            "    {\n";
-            Printf.sprintf "      \"benchmark\": \"%s\",\n" (json_escape w.name);
-            Printf.sprintf "      \"total_execs\": %d,\n" d.total_execs;
-            Printf.sprintf "      \"elided_execs\": %d,\n" d.elided_execs;
-            Printf.sprintf "      \"elim_pct\": %.1f,\n"
-              (pct d.elided_execs d.total_execs);
-            Printf.sprintf "      \"field_execs\": %d,\n" d.field_execs;
-            Printf.sprintf "      \"field_elided\": %d,\n" d.field_elided;
-            Printf.sprintf "      \"array_execs\": %d,\n" d.array_execs;
-            Printf.sprintf "      \"array_elided\": %d,\n" d.array_elided;
-            Printf.sprintf "      \"static_execs\": %d,\n" d.static_execs;
-            Printf.sprintf "      \"analysis_seconds\": %.6f,\n"
-              cw.Harness.Exp.compiled.analysis_seconds;
-            Printf.sprintf "      \"inline_seconds\": %.6f\n"
-              cw.Harness.Exp.compiled.inline_seconds;
-            "    }";
-          ])
-      Workloads.Registry.table1
+  let emit path table =
+    write_file path
+      (Telemetry.json_to_string_pretty
+         (Telemetry.Obj [ (table, Telemetry.table_to_json table) ])
+      ^ "\n")
   in
-  write_file "BENCH_table1.json"
-    (Printf.sprintf "{\n  \"table1\": [\n%s\n  ]\n}\n"
-       (String.concat ",\n" table1_rows));
-  let table2_rows =
-    List.map
-      (fun (r : Harness.Table2.row) ->
-        String.concat ""
-          [
-            "    {\n";
-            Printf.sprintf "      \"mode\": \"%s\",\n" (json_escape r.mode);
-            Printf.sprintf "      \"cost_units\": %d,\n" r.cost_units;
-            Printf.sprintf "      \"relative\": %.4f\n" r.relative;
-            "    }";
-          ])
-      (Harness.Table2.measure ())
-  in
-  write_file "BENCH_table2.json"
-    (Printf.sprintf "{\n  \"table2\": [\n%s\n  ]\n}\n"
-       (String.concat ",\n" table2_rows));
-  let fig2_rows =
-    List.map
-      (fun (p : Harness.Summaries.point) ->
-        String.concat ""
-          [
-            "    {\n";
-            Printf.sprintf "      \"benchmark\": \"%s\",\n" (json_escape p.bench);
-            Printf.sprintf "      \"inline_limit\": %d,\n" p.limit;
-            Printf.sprintf "      \"static_elided_havoc\": %d,\n" p.static_off;
-            Printf.sprintf "      \"static_elided_summaries\": %d,\n" p.static_on;
-            Printf.sprintf "      \"elim_pct_havoc\": %.1f,\n" p.elim_off;
-            Printf.sprintf "      \"elim_pct_summaries\": %.1f,\n" p.elim_on;
-            Printf.sprintf "      \"summary_methods\": %d,\n" p.sum_methods;
-            Printf.sprintf "      \"summary_havoced\": %d\n" p.sum_havoced;
-            "    }";
-          ])
-      (Harness.Summaries.measure ())
-  in
-  write_file "BENCH_fig2.json"
-    (Printf.sprintf "{\n  \"fig2_summaries\": [\n%s\n  ]\n}\n"
-       (String.concat ",\n" fig2_rows))
+  ignore (Harness.Table1.rows ());
+  emit "BENCH_table1.json" "table1";
+  ignore (Harness.Table2.measure ());
+  emit "BENCH_table2.json" "table2";
+  ignore (Harness.Summaries.measure ());
+  emit "BENCH_fig2.json" "fig2_summaries"
 
 (* --- bechamel microbenchmarks: one Test.make per table/figure --------- *)
 

@@ -115,6 +115,49 @@ let or_die = function
       Fmt.epr "satbelim: %s@." msg;
       exit 1
 
+(* telemetry plumbing shared by analyze and run *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Stream telemetry events (GC phases, revocations, chaos faults, \
+           analysis passes) to $(docv) as JSON lines.")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write the final metrics snapshot (all counters, gauges and \
+           histograms, sorted) to $(docv) as JSON.")
+
+let chrome_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "chrome-trace" ] ~docv:"FILE"
+        ~doc:
+          "Also export the event stream as a Chrome trace-event file \
+           (load in about://tracing or Perfetto).")
+
+(** Run [f] with the requested telemetry outputs armed; the files are
+    written however [f] exits.  The registry is reset first so the
+    snapshot covers exactly this invocation. *)
+let with_telemetry ~trace ~metrics ~chrome f =
+  Telemetry.reset ();
+  let sink = Option.map open_out trace in
+  Option.iter Telemetry.attach_sink sink;
+  if chrome <> None then Telemetry.set_recording true;
+  Fun.protect f ~finally:(fun () ->
+      Telemetry.detach_sink ();
+      Option.iter close_out sink;
+      Option.iter Telemetry.write_metrics metrics;
+      Option.iter Telemetry.write_chrome chrome)
+
 (* verify *)
 
 let verify_cmd =
@@ -148,12 +191,21 @@ let disasm_cmd =
 (* analyze *)
 
 let analyze_cmd =
-  let run file limit mode nos md swap summaries debug verbose =
+  let run file limit mode nos md swap summaries debug verbose explain trace
+      metrics chrome =
     let prog = or_die (load file) in
+    with_telemetry ~trace ~metrics ~chrome @@ fun () ->
     let compiled =
       Satb_core.Driver.compile ~inline_limit:limit
         ~conf:(conf_of mode nos md swap summaries debug) prog
     in
+    if explain then begin
+      (* provenance of every elided site, in site-id order *)
+      List.iter
+        (fun p -> Fmt.pr "%a@." Satb_core.Driver.pp_provenance p)
+        (Satb_core.Driver.explanations compiled);
+      Fmt.pr "@."
+    end;
     List.iter
       (fun (r : Satb_core.Analysis.method_result) ->
         if r.verdicts <> [] then begin
@@ -188,11 +240,21 @@ let analyze_cmd =
         (Satb_core.Driver.static_stats compiled)
   in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"More detail.") in
+  let explain =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:
+            "Print the elision provenance of every removed barrier: the \
+             rule that fired, the abstract facts it rests on, and the \
+             runtime guards it depends on.")
+  in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Run the barrier-removal analysis")
     Term.(
       const run $ file_arg $ inline_limit_arg $ mode_arg $ nos_arg
-      $ movedown_arg $ swap_arg $ summaries_arg $ debug_arg $ verbose)
+      $ movedown_arg $ swap_arg $ summaries_arg $ debug_arg $ verbose
+      $ explain $ trace_arg $ metrics_arg $ chrome_arg)
 
 (* run *)
 
@@ -227,7 +289,7 @@ let assumption_to_runtime :
 
 let run_cmd =
   let run file limit mode nos md swap summaries gc entry no_elim chaos_seed
-      retrace_budget no_revoke allow_unsound =
+      retrace_budget no_revoke allow_unsound gc_trigger trace metrics chrome =
     let prog = or_die (load file) in
     (* Refuse statically-unsound elision/collector combinations: swap
        verdicts depend on the retrace collector's tracing-state protocol,
@@ -250,6 +312,7 @@ let run_cmd =
         exit 1
       end
     end;
+    with_telemetry ~trace ~metrics ~chrome @@ fun () ->
     let compiled =
       Satb_core.Driver.compile ~inline_limit:limit
         ~conf:(conf_of mode nos md swap summaries false) prog
@@ -292,9 +355,15 @@ let run_cmd =
     let gc_choice =
       match gc with
       | `None -> Jrt.Runner.No_gc
-      | `Satb -> Jrt.Runner.make_satb ()
-      | `Incr -> Jrt.Runner.make_incr ()
-      | `Retrace -> Jrt.Runner.make_retrace ()
+      | `Satb -> Jrt.Runner.make_satb ~trigger_allocs:gc_trigger ()
+      | `Incr -> Jrt.Runner.make_incr ~trigger_allocs:gc_trigger ()
+      | `Retrace -> Jrt.Runner.make_retrace ~trigger_allocs:gc_trigger ()
+    in
+    (* revocation events name the original justification of the site
+       they patch *)
+    let explain c m pc =
+      Satb_core.Driver.justification compiled
+        { sk_class = c; sk_method = m; sk_pc = pc }
     in
     let cfg =
       {
@@ -302,6 +371,7 @@ let run_cmd =
         policy;
         retrace;
         guards;
+        explain;
         revoke = not no_revoke;
       }
     in
@@ -388,12 +458,76 @@ let run_cmd =
             "Run elision/collector combinations that are known to be \
              unsound so the snapshot oracle can demonstrate the breakage.")
   in
+  let gc_trigger_arg =
+    Arg.(
+      value
+      & opt int 512
+      & info [ "gc-trigger" ] ~docv:"N"
+          ~doc:
+            "Start a marking cycle every $(docv) allocations (the bundled \
+             workloads allocate little; lower this to exercise the \
+             collector).")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Interpret the program with barrier instrumentation")
     Term.(
       const run $ file_arg $ inline_limit_arg $ mode_arg $ nos_arg
       $ movedown_arg $ swap_arg $ summaries_arg $ gc_arg $ entry_arg
-      $ no_elim $ chaos_arg $ budget_arg $ no_revoke_arg $ allow_unsound_arg)
+      $ no_elim $ chaos_arg $ budget_arg $ no_revoke_arg $ allow_unsound_arg
+      $ gc_trigger_arg $ trace_arg $ metrics_arg $ chrome_arg)
+
+(* validate-trace *)
+
+let trace_file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"JSONL trace file (from --trace)")
+
+let validate_trace_cmd =
+  let run file chrome =
+    let lines = String.split_on_char '\n' (read_file file) in
+    match Telemetry.validate_trace_lines lines with
+    | Error (line, msg) ->
+        Fmt.epr "%s:%d: %s@." file line msg;
+        exit 1
+    | Ok n -> (
+        Fmt.pr "%s: %d events, schema OK@." file n;
+        match chrome with
+        | None -> ()
+        | Some out ->
+            let events =
+              List.filter_map
+                (fun l ->
+                  if String.trim l = "" then None
+                  else
+                    match Telemetry.json_of_string l with
+                    | Ok j -> (
+                        match Telemetry.event_of_json j with
+                        | Ok e -> Some e
+                        | Error _ -> None)
+                    | Error _ -> None)
+                lines
+            in
+            Telemetry.write_file out
+              (Telemetry.json_to_string (Telemetry.chrome_of_events events));
+            Fmt.pr "%s: wrote Chrome trace (%d events)@." out
+              (List.length events))
+  in
+  let chrome =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome" ] ~docv:"FILE"
+          ~doc:"Also convert the validated trace to a Chrome trace-event file.")
+  in
+  Cmd.v
+    (Cmd.info "validate-trace"
+       ~doc:
+         "Check that a --trace JSONL file is schema-valid (monotonic \
+          timestamps, strictly increasing sequence numbers, well-formed \
+          events)")
+    Term.(const run $ trace_file_arg $ chrome)
 
 (* workloads *)
 
@@ -431,4 +565,11 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "satbelim" ~doc)
-          [ verify_cmd; disasm_cmd; analyze_cmd; run_cmd; workloads_cmd ]))
+          [
+            verify_cmd;
+            disasm_cmd;
+            analyze_cmd;
+            run_cmd;
+            workloads_cmd;
+            validate_trace_cmd;
+          ]))

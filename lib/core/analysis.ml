@@ -302,7 +302,10 @@ let pop_call_args (s : State.t) (params : ty list) :
     everything reachable from one — escapes, and every must-alias fact
     dies.  Shared by [Invoke] (no summary available) and [Spawn] (a
     spawned thread runs concurrently, so summaries never apply). *)
+let c_invoke_havocs = Telemetry.counter "analysis.invoke_havocs"
+
 let havoc_call (s : State.t) (args : State.aval list) : State.t =
+  Telemetry.incr c_invoke_havocs;
   State.kill_all_must_src (State.escape_args s args)
 
 let arg_refs (v : State.aval) : Rset.t =

@@ -54,9 +54,11 @@ type compiled = {
   conf : Analysis.config;
   summaries : Summary.table option;
       (** the interprocedural summary table, when [conf.summaries] *)
-  analysis_seconds : float;  (** CPU time spent in the analysis proper *)
+  analysis_seconds : float;
+      (** monotonic wall-clock seconds in the analysis proper
+          ({!Telemetry.now_s}, so traces and verbose timings agree) *)
   inline_seconds : float;
-  summary_seconds : float;  (** CPU time computing callee summaries *)
+  summary_seconds : float;  (** wall-clock seconds computing summaries *)
 }
 
 (** Statistics over static store sites (tech-report-style static counts). *)
@@ -71,18 +73,31 @@ type static_stats = {
   by_reason : (Analysis.reason * int) list;
 }
 
+(** One compilation pass, timed on the telemetry clock ({!Telemetry.time}
+    observes the [compile.<pass>_s] histogram) and mirrored as an
+    [analysis.pass] trace event. *)
+let timed_pass (name : string) (f : unit -> 'a) : 'a * float =
+  let r, dt = Telemetry.time ("compile." ^ name ^ "_s") f in
+  Telemetry.emit "analysis.pass"
+    [ ("pass", Telemetry.Str name); ("seconds", Telemetry.Float dt) ];
+  (r, dt)
+
 let compile ?(verify = true) ?(inline_limit = 100)
     ?(conf = Analysis.default_config) (prog : Jir.Program.t) : compiled =
   if verify then Jir.Verifier.verify_exn prog;
-  let t0 = Sys.time () in
-  let program = Inliner.inline_program ~conf:(Inliner.config inline_limit) prog in
-  let t1 = Sys.time () in
-  let summaries =
-    if conf.Analysis.summaries then Some (Summary.of_program program) else None
+  let program, inline_seconds =
+    timed_pass "inline" (fun () ->
+        Inliner.inline_program ~conf:(Inliner.config inline_limit) prog)
   in
-  let t2 = Sys.time () in
-  let results = Analysis.analyze_program ~conf ?summaries program in
-  let t3 = Sys.time () in
+  let summaries, summary_seconds =
+    timed_pass "summary" (fun () ->
+        if conf.Analysis.summaries then Some (Summary.of_program program)
+        else None)
+  in
+  let results, analysis_seconds =
+    timed_pass "analysis" (fun () ->
+        Analysis.analyze_program ~conf ?summaries program)
+  in
   let verdicts = Hashtbl.create 256 in
   let guards = Hashtbl.create 16 in
   List.iter
@@ -107,6 +122,28 @@ let compile ?(verify = true) ?(inline_limit = 100)
             | assumptions -> Hashtbl.replace guards key assumptions)
         r.verdicts)
     results;
+  Telemetry.incr ~by:(List.length results) (Telemetry.counter "analysis.methods");
+  Telemetry.incr
+    ~by:
+      (List.fold_left
+         (fun acc (r : Analysis.method_result) -> acc + r.iterations)
+         0 results)
+    (Telemetry.counter "analysis.fixpoint_iterations");
+  Telemetry.incr ~by:(Hashtbl.length verdicts)
+    (Telemetry.counter "analysis.sites.total");
+  Telemetry.incr
+    ~by:
+      (Hashtbl.fold
+         (fun _ (v : Analysis.verdict) n -> if v.v_elide then n + 1 else n)
+         verdicts 0)
+    (Telemetry.counter "analysis.sites.elided");
+  (match summaries with
+  | Some tbl ->
+      Telemetry.incr ~by:(Summary.n_methods tbl)
+        (Telemetry.counter "summary.methods");
+      Telemetry.incr ~by:(Summary.n_havoced tbl)
+        (Telemetry.counter "summary.havoced")
+  | None -> ());
   {
     program;
     results;
@@ -115,9 +152,9 @@ let compile ?(verify = true) ?(inline_limit = 100)
     inline_limit;
     conf;
     summaries;
-    analysis_seconds = t3 -. t2;
-    inline_seconds = t1 -. t0;
-    summary_seconds = t2 -. t1;
+    analysis_seconds;
+    inline_seconds;
+    summary_seconds;
   }
 
 (** Does the store at [key] still need its SATB barrier? *)
@@ -155,6 +192,154 @@ let guarded_assumptions (c : compiled) : assumption list =
         acc assumptions)
     c.guards []
   |> List.sort compare
+
+(* ---- elision provenance ("explain") ------------------------------------ *)
+
+let string_of_site_key (k : site_key) : string =
+  Printf.sprintf "%s.%s@%d" k.sk_class k.sk_method k.sk_pc
+
+(** Why a site's barrier was removed, as an inspectable artifact: the
+    rule (abstract fact) that fired, the chain of sub-facts it rests on,
+    and the runtime guards the verdict depends on.  This is what
+    [analyze --explain] prints and what revocation events carry, so a
+    revoked site can name its original justification. *)
+type provenance = {
+  pv_key : site_key;
+  pv_kind : Jir.Types.store_kind;
+  pv_reason : Analysis.reason;
+  pv_rule : string;  (** short rule name, e.g. ["pre-null-field"] *)
+  pv_facts : string list;  (** the abstract-fact chain, outermost first *)
+  pv_guards : assumption list;
+  pv_summary_dependent : bool;
+}
+
+let rule_of_reason : Analysis.reason -> string = function
+  | Analysis.Keep -> "keep"
+  | Analysis.Dead_code -> "dead-code"
+  | Analysis.Pre_null_field -> "pre-null-field"
+  | Analysis.Pre_null_array -> "pre-null-array"
+  | Analysis.Null_or_same -> "null-or-same"
+  | Analysis.Move_down -> "move-down"
+  | Analysis.Swap_first -> "swap-first"
+  | Analysis.Swap_second -> "swap-second"
+
+let facts_of_reason : Analysis.reason -> string list = function
+  | Analysis.Keep -> [ "no elision rule applied; the SATB barrier stays" ]
+  | Analysis.Dead_code -> [ "the store is unreachable (dead code, §2.4)" ]
+  | Analysis.Pre_null_field ->
+      [
+        "receiver is a unique thread-local object (R_id uniqueness, \
+         §2.4 two-names precision)";
+        "the stored-to field is definitely null on every path to the \
+         store (§2 abstract nullness)";
+      ]
+  | Analysis.Pre_null_array ->
+      [
+        "the array identity is tracked by the mode-A array analysis (§3)";
+        "the store index lies inside the array's null range NR (§3.1)";
+      ]
+  | Analysis.Null_or_same ->
+      [
+        "the overwritten slot is null or already holds the stored value \
+         (null-or-same, §4.3)";
+      ]
+  | Analysis.Move_down ->
+      [
+        "delete-by-shift copy store: the value was loaded from the same \
+         array at a higher index (§4.3 move-down)";
+        "the collector scans object arrays in descending index order, so \
+         the source slot is visited before the destination";
+        "a single mutator: no concurrent store can interleave the shift";
+      ]
+  | Analysis.Swap_first ->
+      [
+        "first store of an elided pairwise swap: both stores sit in one \
+         basic block with only whitelisted instructions between (§4.3)";
+        "a tracing-state check is compiled in place of the barrier and \
+         opens the safepoint-free window";
+        "the retrace collector re-scans the object if its scan was in \
+         flight when the unlogged store hit";
+      ]
+  | Analysis.Swap_second ->
+      [
+        "second store of an elided pairwise swap (§4.3)";
+        "its tracing-state check closes the safepoint-free window opened \
+         by the first store";
+      ]
+
+(** Provenance for the verdict at [key]; [None] for unknown sites. *)
+let explain (c : compiled) (key : site_key) : provenance option =
+  match Hashtbl.find_opt c.verdicts key with
+  | None -> None
+  | Some v ->
+      let summary_dependent =
+        List.exists
+          (fun (r : Analysis.method_result) ->
+            r.mr_summary_dependent && r.mr_class = key.sk_class
+            && r.mr_method = key.sk_method)
+          c.results
+      in
+      let facts =
+        facts_of_reason v.v_reason
+        @
+        if v.v_elide && summary_dependent then
+          [
+            "the analysis consulted interprocedural callee summaries: \
+             valid only while no class loads after compilation \
+             (closed world)";
+          ]
+        else []
+      in
+      Some
+        {
+          pv_key = key;
+          pv_kind = v.v_kind;
+          pv_reason = v.v_reason;
+          pv_rule = rule_of_reason v.v_reason;
+          pv_facts = facts;
+          pv_guards =
+            (if v.v_elide then
+               Option.value (Hashtbl.find_opt c.guards key) ~default:[]
+             else []);
+          pv_summary_dependent = summary_dependent;
+        }
+
+(** Provenance of every {e elided} site, sorted by site id
+    (class, method, pc) so the output is deterministic. *)
+let explanations (c : compiled) : provenance list =
+  Hashtbl.fold
+    (fun key (v : Analysis.verdict) acc ->
+      if v.v_elide then
+        match explain c key with Some p -> p :: acc | None -> acc
+      else acc)
+    c.verdicts []
+  |> List.sort (fun a b -> compare a.pv_key b.pv_key)
+
+let pp_provenance ppf (p : provenance) =
+  Fmt.pf ppf "%s %s %s"
+    (string_of_site_key p.pv_key)
+    (match p.pv_kind with
+    | Jir.Types.Field_store -> "putfield"
+    | Jir.Types.Array_store -> "aastore"
+    | Jir.Types.Static_store -> "putstatic")
+    p.pv_rule;
+  List.iter (fun f -> Fmt.pf ppf "@.    - %s" f) p.pv_facts;
+  match p.pv_guards with
+  | [] -> Fmt.pf ppf "@.    guards: none (unconditional)"
+  | gs ->
+      Fmt.pf ppf "@.    guards: %s"
+        (String.concat ", " (List.map string_of_assumption gs))
+
+(** One-line justification string attached to runtime revocation events. *)
+let justification (c : compiled) (key : site_key) : string option =
+  match explain c key with
+  | Some p when p.pv_guards <> [] || p.pv_reason <> Analysis.Keep ->
+      Some
+        (Printf.sprintf "%s (guards: %s)" p.pv_rule
+           (match p.pv_guards with
+           | [] -> "none"
+           | gs -> String.concat ", " (List.map string_of_assumption gs)))
+  | Some _ | None -> None
 
 let static_stats (c : compiled) : static_stats =
   let total = ref 0

@@ -39,9 +39,11 @@ type compiled = {
   conf : Analysis.config;
   summaries : Summary.table option;
       (** the interprocedural summary table, when [conf.summaries] *)
-  analysis_seconds : float;  (** CPU time spent in the analysis proper *)
+  analysis_seconds : float;
+      (** monotonic wall-clock seconds in the analysis proper
+          ({!Telemetry.now_s}, so traces and verbose timings agree) *)
   inline_seconds : float;
-  summary_seconds : float;  (** CPU time computing callee summaries *)
+  summary_seconds : float;  (** wall-clock seconds computing summaries *)
 }
 
 type static_stats = {
@@ -80,6 +82,36 @@ val site_assumptions : compiled -> site_key -> assumption list
 val guarded_assumptions : compiled -> assumption list
 (** Deduplicated union of all sites' assumption sets, in declaration
     order. *)
+
+val string_of_site_key : site_key -> string
+(** ["Class.method\@pc"], the site id used in traces and [--explain]. *)
+
+(** Why a site's barrier was removed: the rule that fired, the chain of
+    abstract facts it rests on, and the runtime guards the verdict
+    depends on.  What [analyze --explain] prints, and what revocation
+    events carry so a revoked site names its original justification. *)
+type provenance = {
+  pv_key : site_key;
+  pv_kind : Jir.Types.store_kind;
+  pv_reason : Analysis.reason;
+  pv_rule : string;  (** short rule name, e.g. ["pre-null-field"] *)
+  pv_facts : string list;  (** the abstract-fact chain, outermost first *)
+  pv_guards : assumption list;
+  pv_summary_dependent : bool;
+}
+
+val explain : compiled -> site_key -> provenance option
+(** Provenance for the verdict at the site; [None] for unknown sites. *)
+
+val explanations : compiled -> provenance list
+(** Provenance of every {e elided} site, sorted by site id
+    (class, method, pc) so the output is deterministic. *)
+
+val pp_provenance : provenance Fmt.t
+
+val justification : compiled -> site_key -> string option
+(** One-line justification string attached to runtime revocation
+    events. *)
 
 val static_stats : compiled -> static_stats
 val pp_static_stats : static_stats Fmt.t

@@ -55,6 +55,13 @@ let guard_policy_of (cw : compiled_workload) : Jrt.Interp.guard_policy =
     (Satb_core.Driver.site_assumptions cw.compiled
        { sk_class = c; sk_method = m; sk_pc = pc })
 
+(** Elision provenance, so runtime revocation events can name the
+    original justification of each site they patch. *)
+let explain_policy_of (cw : compiled_workload) : Jrt.Interp.explain_policy =
+ fun c m pc ->
+  Satb_core.Driver.justification cw.compiled
+    { sk_class = c; sk_method = m; sk_pc = pc }
+
 let run ?(gc = Jrt.Runner.No_gc) ?(satb_mode = Jrt.Barrier_cost.Conditional)
     ?(use_policy = true) ?(guards = false) ?(revoke = true) ?chaos
     ?retrace_budget ?(fail_on_thread_error = true) ?(seed = 0) ?quantum
@@ -76,6 +83,7 @@ let run ?(gc = Jrt.Runner.No_gc) ?(satb_mode = Jrt.Barrier_cost.Conditional)
         satb_mode;
         retrace;
         guards = guard_policy_of cw;
+        explain = explain_policy_of cw;
         revoke;
       }
     else { Jrt.Interp.default_config with policy; satb_mode; retrace }

@@ -112,16 +112,34 @@ let run_one ~revoke ~plan_name ~faults ~budget ?steps_per_increment ~seed
     retraces;
   }
 
+let add_row (r : row) : row =
+  Telemetry.add_row ~table:"revoke"
+    [
+      ("plan", Telemetry.Str r.plan);
+      ("collector", Telemetry.Str r.collector);
+      ("benchmark", Telemetry.Str r.bench);
+      ("violations", Telemetry.Int r.violations);
+      ("revocations", Telemetry.Int r.revocations);
+      ("revoked_sites", Telemetry.Int r.revoked_sites);
+      ("degradations", Telemetry.Int r.degradations);
+      ("damage", Telemetry.Int r.damage);
+      ("retraces", Telemetry.Int r.retraces);
+    ];
+  r
+
 (** The revocation-enabled sweep: every row must report 0 violations. *)
 let measure () : row list =
+  Telemetry.clear_table "revoke";
   let compiled = compile_all () in
   List.concat_map
     (fun (plan_name, faults, budget, steps_per_increment) ->
       List.concat_map
         (fun coll ->
           List.map
-            (run_one ~revoke:true ~plan_name ~faults ~budget
-               ~steps_per_increment ~seed:1 ~coll)
+            (fun cw ->
+              add_row
+                (run_one ~revoke:true ~plan_name ~faults ~budget
+                   ~steps_per_increment ~seed:1 ~coll cw))
             compiled)
         [ Csatb; Cretrace ])
     plans
@@ -130,6 +148,7 @@ let measure () : row list =
     elisions: the oracle must catch the late spawn somewhere, and must
     catch every barrier skip (no guard covers it). *)
 let measure_caught ?(seeds = [ 1; 2 ]) () : caught_row list =
+  Telemetry.clear_table "revoke_caught";
   let guarded =
     List.filter
       (fun (cw : Exp.compiled_workload) ->
@@ -154,6 +173,14 @@ let measure_caught ?(seeds = [ 1; 2 ]) () : caught_row list =
                     run_one ~revoke:false ~plan_name ~faults ~budget:None
                       ~seed ~coll cw
                   in
+                  Telemetry.add_row ~table:"revoke_caught"
+                    [
+                      ("plan", Telemetry.Str plan_name);
+                      ("collector", Telemetry.Str r.collector);
+                      ("benchmark", Telemetry.Str r.bench);
+                      ("seed", Telemetry.Int seed);
+                      ("violations", Telemetry.Int r.violations);
+                    ];
                   {
                     c_plan = plan_name;
                     c_collector = r.collector;

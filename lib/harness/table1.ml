@@ -14,6 +14,9 @@ type row = {
   paper : Workloads.Spec.paper_row option;
 }
 
+let pct num den =
+  if den = 0 then 0.0 else 100.0 *. float_of_int num /. float_of_int den
+
 let measure ?(inline_limit = 100) (w : Workloads.Spec.t) : row =
   let cw = Exp.compile ~inline_limit w in
   let report = Exp.run ~gc:(Jrt.Runner.make_satb ()) cw in
@@ -21,9 +24,27 @@ let measure ?(inline_limit = 100) (w : Workloads.Spec.t) : row =
   | Some g when g.total_violations > 0 ->
       Fmt.failwith "%s: SATB invariant violated under analysis policy" w.name
   | Some _ | None -> ());
+  let d = report.dyn in
+  (* the shared row table is the single source of truth behind both the
+     rendered table and the BENCH_table1.json artifact *)
+  Telemetry.add_row ~table:"table1"
+    [
+      ("benchmark", Telemetry.Str w.name);
+      ("total_execs", Telemetry.Int d.total_execs);
+      ("elided_execs", Telemetry.Int d.elided_execs);
+      ("elim_pct", Telemetry.Float (pct d.elided_execs d.total_execs));
+      ("field_execs", Telemetry.Int d.field_execs);
+      ("field_elided", Telemetry.Int d.field_elided);
+      ("array_execs", Telemetry.Int d.array_execs);
+      ("array_elided", Telemetry.Int d.array_elided);
+      ("static_execs", Telemetry.Int d.static_execs);
+      ("analysis_seconds", Telemetry.Float cw.Exp.compiled.analysis_seconds);
+      ("inline_seconds", Telemetry.Float cw.Exp.compiled.inline_seconds);
+    ];
   { name = w.name; dyn = report.dyn; paper = w.paper_row }
 
 let rows ?inline_limit () : row list =
+  Telemetry.clear_table "table1";
   List.map (measure ?inline_limit) Workloads.Registry.table1
 
 let render (rows : row list) : string =

@@ -34,15 +34,28 @@ let measure ?(workload = Workloads.Jbb.t) () : row list =
     run ~satb_mode:Jrt.Barrier_cost.Always_log ~use_policy:true
   in
   let rel c = float_of_int no_barrier /. float_of_int c in
-  [
-    { mode = "no-barrier"; cost_units = no_barrier; relative = rel no_barrier };
-    { mode = "always-log"; cost_units = always_log; relative = rel always_log };
-    {
-      mode = "always-log-elim";
-      cost_units = always_log_elim;
-      relative = rel always_log_elim;
-    };
-  ]
+  let rows =
+    [
+      { mode = "no-barrier"; cost_units = no_barrier; relative = rel no_barrier };
+      { mode = "always-log"; cost_units = always_log; relative = rel always_log };
+      {
+        mode = "always-log-elim";
+        cost_units = always_log_elim;
+        relative = rel always_log_elim;
+      };
+    ]
+  in
+  Telemetry.clear_table "table2";
+  List.iter
+    (fun r ->
+      Telemetry.add_row ~table:"table2"
+        [
+          ("mode", Telemetry.Str r.mode);
+          ("cost_units", Telemetry.Int r.cost_units);
+          ("relative", Telemetry.Float r.relative);
+        ])
+    rows;
+  rows
 
 let render (rows : row list) : string =
   let body =

@@ -222,6 +222,20 @@ let damage_one (t : t) (m : Interp.t)
 
 (* ---- the safepoint hook ------------------------------------------------ *)
 
+(* Each injected fault bumps a chaos.* counter and emits a chaos.fault
+   event naming the fault kind, so a trace shows what was injected when
+   (and the fuzz suite can reconcile telemetry against [stats]). *)
+let c_spawns = Telemetry.counter "chaos.spawns"
+let c_damage = Telemetry.counter "chaos.damage_stores"
+let c_skips = Telemetry.counter "chaos.skipped_barriers"
+let c_preempts = Telemetry.counter "chaos.preempted_increments"
+let c_pressure = Telemetry.counter "chaos.pressure_remarks"
+let c_loads = Telemetry.counter "chaos.class_loads"
+
+let fault_event (kind : string) (fields : (string * Telemetry.json) list) :
+    unit =
+  Telemetry.emit "chaos.fault" (("fault", Telemetry.Str kind) :: fields)
+
 let at_safepoint (t : t) (m : Interp.t) : action =
   let marking = m.Interp.gc.Gc_hooks.is_marking () in
   let allocated = m.Interp.heap.Heap.total_allocated in
@@ -238,6 +252,8 @@ let at_safepoint (t : t) (m : Interp.t) : action =
                sites when revocation is enabled *)
             a.announced <- true;
             t.spawns <- t.spawns + 1;
+            Telemetry.incr c_spawns;
+            fault_event "late-spawn" [ ("at_instr", Telemetry.Int instr) ];
             Interp.note_second_mutator m
           end
           else if a.announced && a.stores_left > 0 && marking then
@@ -246,18 +262,24 @@ let at_safepoint (t : t) (m : Interp.t) : action =
                   Interp.external_guarded_store m ~obj ~idx ~v)
             then begin
               a.stores_left <- a.stores_left - 1;
-              t.damage_stores <- t.damage_stores + 1
+              t.damage_stores <- t.damage_stores + 1;
+              Telemetry.incr c_damage;
+              fault_event "damage-store" [ ("at_instr", Telemetry.Int instr) ]
             end
       | Apreempt a ->
           if allocated >= a.at_alloc && a.skips_left > 0 && marking then begin
             a.skips_left <- a.skips_left - 1;
             t.preempted_increments <- t.preempted_increments + 1;
+            Telemetry.incr c_preempts;
+            fault_event "preempt-marker" [ ("at_alloc", Telemetry.Int allocated) ];
             defer := true
           end
       | Apressure a ->
           if (not a.fired) && allocated >= a.at_alloc && marking then begin
             a.fired <- true;
             t.pressure_remarks <- t.pressure_remarks + 1;
+            Telemetry.incr c_pressure;
+            fault_event "heap-pressure" [ ("at_alloc", Telemetry.Int allocated) ];
             remark := true
           end
       | Askip a ->
@@ -267,12 +289,16 @@ let at_safepoint (t : t) (m : Interp.t) : action =
                   Interp.external_unbarriered_store m ~obj ~idx ~v)
             then begin
               a.victims_left <- a.victims_left - 1;
-              t.skipped_barriers <- t.skipped_barriers + 1
+              t.skipped_barriers <- t.skipped_barriers + 1;
+              Telemetry.incr c_skips;
+              fault_event "barrier-skip" [ ("at_instr", Telemetry.Int instr) ]
             end
       | Aload a ->
           if (not a.loaded) && instr >= a.at_instr then begin
             a.loaded <- true;
             t.class_loads <- t.class_loads + 1;
+            Telemetry.incr c_loads;
+            fault_event "class-load" [ ("at_instr", Telemetry.Int instr) ];
             Interp.note_class_load m
           end)
     t.armed;

@@ -65,6 +65,10 @@ let create ?(steps_per_increment = 64) ?(sweep = true) (heap : Heap.t)
 
 let is_marking t = t.phase = Marking
 
+(* telemetry: gc.* counters shared with the SATB collectors *)
+let c_cycles = Telemetry.counter "gc.cycles"
+let c_violations = Telemetry.counter "gc.violations"
+
 let mark_and_gray t id =
   let o = Heap.get t.heap id in
   if (not o.marked) && not o.dead then begin
@@ -80,7 +84,13 @@ let start_cycle (t : t) : unit =
   t.dirtied_total <- 0;
   t.allocated_during <- 0;
   t.increments <- 0;
-  List.iter (mark_and_gray t) (t.roots ())
+  List.iter (mark_and_gray t) (t.roots ());
+  Telemetry.emit "gc.cycle.start"
+    [
+      ("collector", Telemetry.Str "incremental-update");
+      ("cycle", Telemetry.Int t.cycles);
+      ("phase", Telemetry.Str "marking");
+    ]
 
 let log_ref_store t ~obj ~pre:_ =
   if t.phase = Marking && obj >= 0 then begin
@@ -198,6 +208,20 @@ let finish_cycle (t : t) : cycle_report =
   t.reports <- report :: t.reports;
   t.phase <- Idle;
   Heap.clear_marks t.heap;
+  Telemetry.incr c_cycles;
+  Telemetry.incr c_violations ~by:violations;
+  Telemetry.emit "gc.cycle.finish"
+    [
+      ("collector", Telemetry.Str "incremental-update");
+      ("cycle", Telemetry.Int report.cycle);
+      ("phase", Telemetry.Str "idle");
+      ("marked", Telemetry.Int report.marked);
+      ("dirty_cards", Telemetry.Int report.dirty_cards);
+      ("final_pause_work", Telemetry.Int report.final_pause_work);
+      ("rescan_rounds", Telemetry.Int report.rescan_rounds);
+      ("swept", Telemetry.Int report.swept);
+      ("violations", Telemetry.Int report.violations);
+    ];
   report
 
 let hooks (t : t) : Gc_hooks.t =

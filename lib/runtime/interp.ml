@@ -79,10 +79,18 @@ let no_retrace_checks : retrace_policy = fun _ _ _ -> No_check
    table was wired" by physical equality. *)
 let no_guards : guard_policy = fun _ _ _ -> []
 
+(** Original justification of a site's elision (the analysis-side
+    provenance), attached to revocation events so a revoked site can
+    print why its barrier was removed in the first place. *)
+type explain_policy = class_name -> method_name -> int -> string option
+
+let no_explain : explain_policy = fun _ _ _ -> None
+
 type config = {
   policy : barrier_policy;
   retrace : retrace_policy;
   guards : guard_policy;
+  explain : explain_policy;
   revoke : bool;
       (** honour guard failures by revoking dependent elisions; [false]
           (--no-revoke) runs open-loop so the oracle can demonstrate the
@@ -99,6 +107,7 @@ let default_config =
     policy = keep_all_policy;
     retrace = no_retrace_checks;
     guards = no_guards;
+    explain = no_explain;
     revoke = true;
     satb_mode = Barrier_cost.Conditional;
     barrier_flavor = `Satb;
@@ -198,6 +207,45 @@ let create ?(cfg = default_config) (prog : Jir.Program.t) : t =
 
 let set_collector m gc = m.gc <- gc
 
+(* ---- telemetry -------------------------------------------------------- *)
+
+(* Mirrors of the legacy mutable counters above, bumped at exactly the
+   same program points so a metrics snapshot reconciles with
+   [Interp] statistics to the unit (the invariant the telemetry test
+   suite fuzzes).  Module-level handles: a counter bump on the barrier
+   hot path is one int-ref increment. *)
+let c_barriers = Telemetry.counter "jrt.barriers_executed"
+let c_elided = Telemetry.counter "jrt.elided_barrier_execs"
+let c_retrace_checks = Telemetry.counter "jrt.retrace_checks"
+let c_revocation_events = Telemetry.counter "jrt.revocation_events"
+let c_revoked_sites = Telemetry.counter "jrt.revoked_sites"
+let c_degradations = Telemetry.counter "jrt.degradations"
+let c_degraded_swap = Telemetry.counter "jrt.degraded_swap_execs"
+
+let site_id (site : site) : string =
+  Printf.sprintf "%s.%s@%d" site.s_class site.s_method site.s_pc
+
+(** [revoke.site] event: the runtime patched one elided site back to a
+    full barrier; carries the site id, its guard set, and — when the
+    driver wired an explain policy — the original justification. *)
+let emit_revoked_site (m : t) (site : site) (st : site_stats)
+    ~(materialized : bool) : unit =
+  if Telemetry.armed () then
+    Telemetry.emit "revoke.site"
+      ([
+         ("site", Telemetry.Str (site_id site));
+         ( "guards",
+           Telemetry.List
+             (List.map
+                (fun a -> Telemetry.Str (string_of_assumption a))
+                st.st_guards) );
+         ("materialized", Telemetry.Bool materialized);
+       ]
+      @
+      match m.cfg.explain site.s_class site.s_method site.s_pc with
+      | Some j -> [ ("justification", Telemetry.Str j) ]
+      | None -> [])
+
 (* ---- guards and revocation -------------------------------------------- *)
 
 (** Was a guard table wired at all?  Default configs share the
@@ -212,7 +260,11 @@ let request_revoke (m : t) (a : assumption) : unit =
     guards_active m && m.cfg.revoke
     && (not (List.mem a m.revoked))
     && not (List.mem a m.pending_revocations)
-  then m.pending_revocations <- a :: m.pending_revocations
+  then begin
+    m.pending_revocations <- a :: m.pending_revocations;
+    Telemetry.emit "revoke.request"
+      [ ("assumption", Telemetry.Str (string_of_assumption a)) ]
+  end
 
 let revocation_pending (m : t) : bool = m.pending_revocations <> []
 
@@ -227,13 +279,25 @@ let apply_revocations (m : t) : unit =
     m.pending_revocations <- [];
     m.revoked <- failed @ m.revoked;
     m.revocation_events <- m.revocation_events + List.length failed;
+    Telemetry.incr c_revocation_events ~by:(List.length failed);
+    Telemetry.emit "revoke.apply"
+      [
+        ( "assumptions",
+          Telemetry.List
+            (List.map
+               (fun a -> Telemetry.Str (string_of_assumption a))
+               failed) );
+        ("repair_set", Telemetry.Int (List.length m.guarded_writes));
+      ];
     Hashtbl.iter
-      (fun _ st ->
+      (fun site st ->
         if st.st_elided && List.exists (fun a -> List.mem a failed) st.st_guards
         then begin
           st.st_elided <- false;
           st.st_check <- No_check;
-          m.revoked_sites <- m.revoked_sites + 1
+          m.revoked_sites <- m.revoked_sites + 1;
+          Telemetry.incr c_revoked_sites;
+          emit_revoked_site m site st ~materialized:false
         end)
       m.stats;
     (* Repair: every object written through a guarded elided site this
@@ -264,7 +328,10 @@ let reset_cycle_state (m : t) : unit =
 let set_swap_degraded (m : t) : unit =
   if not m.swap_degraded then begin
     m.swap_degraded <- true;
-    m.degradations <- m.degradations + 1
+    m.degradations <- m.degradations + 1;
+    Telemetry.incr c_degradations;
+    Telemetry.emit "runtime.degraded"
+      [ ("reason", Telemetry.Str "retrace-budget-overflow") ]
   end
 
 let field_index m fr =
@@ -331,8 +398,10 @@ let site_stats (m : t) (site : site) (kind : store_kind) : site_stats =
       let alive = not (List.exists (fun a -> List.mem a m.revoked) guards) in
       let would_elide = m.cfg.policy site.s_class site.s_method site.s_pc in
       let elided = alive && would_elide in
-      if would_elide && not alive then
+      if would_elide && not alive then begin
         m.revoked_sites <- m.revoked_sites + 1;
+        Telemetry.incr c_revoked_sites
+      end;
       let st =
         {
           st_kind = kind;
@@ -347,6 +416,8 @@ let site_stats (m : t) (site : site) (kind : store_kind) : site_stats =
         }
       in
       Hashtbl.replace m.stats site st;
+      if would_elide && not alive then
+        emit_revoked_site m site st ~materialized:true;
       st
 
 (** Execute the write-barrier protocol for a reference store.
@@ -360,6 +431,7 @@ let ref_store_barrier (m : t) (fr : frame) ~(kind : store_kind) ~(obj : int)
   if pre_null then st.pre_null_execs <- st.pre_null_execs + 1;
   if st.st_elided && not (m.swap_degraded && st.st_check <> No_check) then begin
     m.elided_barrier_execs <- m.elided_barrier_execs + 1;
+    Telemetry.incr c_elided;
     (* a write through a guarded site during marking joins the repair
        set: if its guards later fail this cycle, the collector re-scans
        (or re-snapshots) to make up for whatever went unlogged here *)
@@ -369,6 +441,7 @@ let ref_store_barrier (m : t) (fr : frame) ~(kind : store_kind) ~(obj : int)
     | No_check -> ()
     | (Check_open | Check_close) as check ->
         m.retrace_checks <- m.retrace_checks + 1;
+        Telemetry.incr c_retrace_checks;
         let cost = Barrier_cost.tracing_check_units in
         m.barrier_units <- m.barrier_units + cost;
         m.cost_units <- m.cost_units + cost;
@@ -383,9 +456,11 @@ let ref_store_barrier (m : t) (fr : frame) ~(kind : store_kind) ~(obj : int)
        at safepoints, but clear defensively *)
     if st.st_elided then begin
       m.degraded_swap_execs <- m.degraded_swap_execs + 1;
+      Telemetry.incr c_degraded_swap;
       if st.st_check = Check_close then m.in_no_safepoint <- false
     end;
     m.barriers_executed <- m.barriers_executed + 1;
+    Telemetry.incr c_barriers;
     let cost =
       match m.cfg.barrier_flavor with
       | `Satb ->
@@ -445,10 +520,12 @@ let external_guarded_store (m : t) ~(obj : int) ~(idx : int) ~(v : Value.t) :
   external_slot_store m ~obj ~idx ~v ~log:(fun ~pre ->
       if elided then begin
         m.elided_barrier_execs <- m.elided_barrier_execs + 1;
+        Telemetry.incr c_elided;
         if m.gc.is_marking () then m.guarded_writes <- obj :: m.guarded_writes
       end
       else begin
         m.barriers_executed <- m.barriers_executed + 1;
+        Telemetry.incr c_barriers;
         m.gc.log_ref_store ~obj ~pre
       end)
 

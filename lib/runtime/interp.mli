@@ -59,10 +59,19 @@ val no_guards : guard_policy
 (** The shared "no guard table wired" closure; pass a {e different}
     closure (even one returning [[]]) to activate guard bookkeeping. *)
 
+type explain_policy =
+  Jir.Types.class_name -> Jir.Types.method_name -> int -> string option
+(** Original justification of a site's elision (analysis-side
+    provenance), attached to [revoke.site] telemetry events so a revoked
+    site prints why its barrier was removed in the first place. *)
+
+val no_explain : explain_policy
+
 type config = {
   policy : barrier_policy;
   retrace : retrace_policy;
   guards : guard_policy;
+  explain : explain_policy;
   revoke : bool;
       (** honour guard failures by revoking dependent elisions; [false]
           runs open-loop so the oracle can catch what guards would have *)

@@ -128,6 +128,15 @@ let create ?(steps_per_increment = 64) ?(buffer_capacity = 32)
 let is_marking t = t.phase = Marking
 let is_degraded t = t.degraded
 
+(* telemetry: the gc.* counters are shared with [Satb_gc]/[Incr_gc];
+   retrace.* are this collector's own *)
+let c_cycles = Telemetry.counter "gc.cycles"
+let c_violations = Telemetry.counter "gc.violations"
+let c_retraces = Telemetry.counter "retrace.rescans"
+let c_enqueues = Telemetry.counter "retrace.enqueues"
+let c_repair_enqueues = Telemetry.counter "retrace.repair_enqueues"
+let c_budget_overflows = Telemetry.counter "retrace.budget_overflows"
+
 let mark_and_gray t id =
   let o = Heap.get t.heap id in
   if (not o.marked) && not o.dead then begin
@@ -158,7 +167,14 @@ let start_cycle (t : t) : unit =
   t.repair_enqueues <- 0;
   let roots = t.roots () in
   t.snapshot <- Oracle.reachable t.heap roots;
-  List.iter (mark_and_gray t) roots
+  List.iter (mark_and_gray t) roots;
+  Telemetry.emit "gc.cycle.start"
+    [
+      ("collector", Telemetry.Str "retrace");
+      ("cycle", Telemetry.Int t.cycles);
+      ("phase", Telemetry.Str "marking");
+      ("snapshot_size", Telemetry.Int (Iset.cardinal t.snapshot));
+    ]
 
 (** Mutator hooks. *)
 
@@ -197,9 +213,18 @@ let on_unlogged_store t ~obj =
                dropping it would be unsound. *)
             if t.enqueued >= t.retrace_budget then begin
               t.degraded <- true;
-              t.budget_overflows <- t.budget_overflows + 1
+              t.budget_overflows <- t.budget_overflows + 1;
+              Telemetry.incr c_budget_overflows;
+              Telemetry.emit "gc.degraded"
+                [
+                  ("collector", Telemetry.Str "retrace");
+                  ("cycle", Telemetry.Int t.cycles);
+                  ("enqueued", Telemetry.Int t.enqueued);
+                  ("budget", Telemetry.Int t.retrace_budget);
+                ]
             end;
             t.enqueued <- t.enqueued + 1;
+            Telemetry.incr c_enqueues;
             t.in_retrace <- Iset.add obj t.in_retrace;
             t.retrace <- obj :: t.retrace
           end
@@ -223,6 +248,7 @@ let on_revoke t ~objs =
           then begin
             o.trace <- Heap.Untraced;
             t.repair_enqueues <- t.repair_enqueues + 1;
+            Telemetry.incr c_repair_enqueues;
             t.in_retrace <- Iset.add obj t.in_retrace;
             t.retrace <- obj :: t.retrace
           end)
@@ -312,6 +338,7 @@ let drain (t : t) (budget : int) : int =
             t.retrace <- rest;
             t.in_retrace <- Iset.remove id t.in_retrace;
             t.retraces <- t.retraces + 1;
+            Telemetry.incr c_retraces;
             incr processed;
             rescan t id
         | [] -> ())
@@ -375,6 +402,23 @@ let finish_cycle (t : t) : cycle_report =
   t.phase <- Idle;
   t.degraded <- false;
   Heap.clear_marks t.heap;
+  Telemetry.incr c_cycles;
+  Telemetry.incr c_violations ~by:violations;
+  Telemetry.emit "gc.cycle.finish"
+    [
+      ("collector", Telemetry.Str "retrace");
+      ("cycle", Telemetry.Int report.cycle);
+      ("phase", Telemetry.Str "idle");
+      ("marked", Telemetry.Int report.marked);
+      ("logged", Telemetry.Int report.logged);
+      ("retraces", Telemetry.Int report.retraces);
+      ("final_pause_work", Telemetry.Int report.final_pause_work);
+      ("swept", Telemetry.Int report.swept);
+      ("budget_overflows", Telemetry.Int report.budget_overflows);
+      ("degraded", Telemetry.Bool report.degraded);
+      ("repair_enqueues", Telemetry.Int report.repair_enqueues);
+      ("violations", Telemetry.Int report.violations);
+    ];
   report
 
 (** Package as mutator-facing hooks. *)

@@ -86,6 +86,19 @@ let run ?(cfg = Interp.default_config) ?(gc = No_gc) ?(quantum = 50)
     (prog : Jir.Program.t) ~(entry : Jir.Types.method_ref) : report =
   let m = Interp.create ~cfg prog in
   let _main = Interp.spawn_thread m entry [] in
+  Telemetry.emit "run.start"
+    [
+      ("entry", Telemetry.Str (entry.Jir.Types.mclass ^ "." ^ entry.Jir.Types.mname));
+      ( "gc",
+        Telemetry.Str
+          (match gc with
+          | No_gc -> "none"
+          | Satb _ -> "satb"
+          | Incr _ -> "incremental-update"
+          | Retrace _ -> "retrace") );
+      ("seed", Telemetry.Int seed);
+      ("chaos", Telemetry.Bool (chaos <> None));
+    ];
   (* an adversarial chaos plan may override the pacing *)
   let quantum, gc_period =
     match chaos with
@@ -261,6 +274,15 @@ let run ?(cfg = Interp.default_config) ?(gc = No_gc) ?(quantum = 50)
   (match live with
   | Some l when l.l_marking () -> l.l_finish ()
   | Some _ | None -> ());
+  Telemetry.emit "run.finish"
+    [
+      ("steps", Telemetry.Int m.Interp.instr_count);
+      ("cost_units", Telemetry.Int m.Interp.cost_units);
+      ("barriers_executed", Telemetry.Int m.Interp.barriers_executed);
+      ("elided_barrier_execs", Telemetry.Int m.Interp.elided_barrier_execs);
+      ("revocation_events", Telemetry.Int m.Interp.revocation_events);
+      ("revoked_sites", Telemetry.Int m.Interp.revoked_sites);
+    ];
   {
     machine = m;
     steps = m.Interp.instr_count;

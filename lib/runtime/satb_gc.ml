@@ -105,6 +105,12 @@ let create ?(steps_per_increment = 64) ?(buffer_capacity = 32)
 
 let is_marking t = t.phase = Marking
 
+(* telemetry: shared with [Incr_gc]/[Retrace_gc] (same names, the
+   [collector] field tells the streams apart) *)
+let c_cycles = Telemetry.counter "gc.cycles"
+let c_restarts = Telemetry.counter "gc.restarts"
+let c_violations = Telemetry.counter "gc.violations"
+
 let mark_and_gray t id =
   let o = Heap.get t.heap id in
   if (not o.marked) && not o.dead then begin
@@ -127,7 +133,14 @@ let start_cycle (t : t) : unit =
   t.restarts <- 0;
   let roots = t.roots () in
   t.snapshot <- Oracle.reachable t.heap roots;
-  List.iter (mark_and_gray t) roots
+  List.iter (mark_and_gray t) roots;
+  Telemetry.emit "gc.cycle.start"
+    [
+      ("collector", Telemetry.Str "satb");
+      ("cycle", Telemetry.Int t.cycles);
+      ("phase", Telemetry.Str "marking");
+      ("snapshot_size", Telemetry.Int (Iset.cardinal t.snapshot));
+    ]
 
 (** Mutator hooks. *)
 
@@ -243,9 +256,16 @@ let restart_mark (t : t) : unit =
     t.local_buffer <- [];
     t.local_count <- 0;
     t.restarts <- t.restarts + 1;
+    Telemetry.incr c_restarts;
     let roots = t.roots () in
     t.snapshot <- Oracle.reachable t.heap roots;
-    List.iter (mark_and_gray t) roots
+    List.iter (mark_and_gray t) roots;
+    Telemetry.emit "gc.restart"
+      [
+        ("collector", Telemetry.Str "satb");
+        ("cycle", Telemetry.Int t.cycles);
+        ("snapshot_size", Telemetry.Int (Iset.cardinal t.snapshot));
+      ]
   end
 
 (** Has the concurrent phase exhausted its known work? *)
@@ -297,6 +317,20 @@ let finish_cycle (t : t) : cycle_report =
   t.reports <- report :: t.reports;
   t.phase <- Idle;
   Heap.clear_marks t.heap;
+  Telemetry.incr c_cycles;
+  Telemetry.incr c_violations ~by:violations;
+  Telemetry.emit "gc.cycle.finish"
+    [
+      ("collector", Telemetry.Str "satb");
+      ("cycle", Telemetry.Int report.cycle);
+      ("phase", Telemetry.Str "idle");
+      ("marked", Telemetry.Int report.marked);
+      ("logged", Telemetry.Int report.logged);
+      ("final_pause_work", Telemetry.Int report.final_pause_work);
+      ("swept", Telemetry.Int report.swept);
+      ("restarts", Telemetry.Int report.restarts);
+      ("violations", Telemetry.Int report.violations);
+    ];
   report
 
 (** Package as mutator-facing hooks. *)

@@ -1,0 +1,157 @@
+(** Unified telemetry: a process-wide registry of counters, gauges and
+    histograms, a structured JSONL event stream with monotonic
+    timestamps, a Chrome trace-event exporter, and shared row tables —
+    the single measurement surface behind [--trace]/[--metrics], the
+    harness experiments and the bench JSON artifacts.
+
+    Counters are always live; events are recorded only while a recorder
+    or sink is armed, so hot paths pay nothing by default. *)
+
+(** {2 JSON} *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+val json_to_string : json -> string
+(** Compact, single-line. *)
+
+val json_to_string_pretty : json -> string
+(** 2-space indented, trailing newline. *)
+
+val json_of_string : string -> (json, string) result
+(** Minimal parser — enough to validate and re-read our own output. *)
+
+(** {2 Monotonic clock} *)
+
+val now_s : unit -> float
+(** Monotonic wall-clock seconds since process start
+    ([Unix.gettimeofday] clamped to never decrease). *)
+
+(** {2 Metrics registry} *)
+
+type counter
+type gauge
+type histogram
+
+type histo_stats = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;  (** 0. when empty *)
+  h_max : float;  (** 0. when empty *)
+}
+
+val counter : string -> counter
+(** Find-or-register; handles stay valid across {!reset}. *)
+
+val incr : ?by:int -> counter -> unit
+val counter_value : counter -> int
+val counter_name : counter -> string
+
+val get_counter : string -> int
+(** Value of the named counter; 0 if never registered. *)
+
+val gauge : string -> gauge
+val set_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+val get_gauge : string -> float
+
+val histogram : string -> histogram
+val observe : histogram -> float -> unit
+val histo_stats : histogram -> histo_stats
+
+val time : string -> (unit -> 'a) -> 'a * float
+(** Run the thunk, record its duration ({!now_s}) in the named
+    histogram, return the result and the duration in seconds. *)
+
+(** {2 Event stream} *)
+
+type event = {
+  ev_seq : int;  (** process-wide, strictly increasing *)
+  ev_ts : float;  (** monotonic seconds since process start *)
+  ev_kind : string;
+  ev_fields : (string * json) list;
+}
+
+val set_recording : bool -> unit
+(** Keep emitted events in memory (for {!events} / {!write_chrome}). *)
+
+val attach_sink : out_channel -> unit
+(** Stream every emitted event to the channel as one JSONL line. *)
+
+val detach_sink : unit -> unit
+(** Flush and stop streaming (does not close the channel). *)
+
+val armed : unit -> bool
+(** Is anything listening?  Use to skip building expensive fields. *)
+
+val emit : string -> (string * json) list -> unit
+(** [emit kind fields] — a no-op unless {!armed}.  [ts], [seq] and
+    [kind] are reserved keys added by the stream. *)
+
+val events : unit -> event list
+(** Recorded events, oldest first. *)
+
+val event_to_json : event -> json
+val event_of_json : json -> (event, string) result
+
+(** {2 JSONL schema validation} *)
+
+val validate_event_line : string -> (unit, string) result
+(** One line: a JSON object with a non-negative number ["ts"], a
+    non-negative integer ["seq"], a non-empty string ["kind"], and no
+    duplicate keys. *)
+
+val validate_trace_lines : string list -> (int, int * string) result
+(** Whole trace (blank lines skipped): every line schema-valid,
+    timestamps non-decreasing, sequence numbers strictly increasing.
+    [Ok n] is the event count; [Error (line, msg)] names the first
+    offender. *)
+
+(** {2 Chrome trace-event exporter} *)
+
+val chrome_of_events : event list -> json
+(** Trace-event format (load in about://tracing or Perfetto). *)
+
+(** {2 Row tables} *)
+
+type row = (string * json) list
+
+val clear_table : string -> unit
+val add_row : table:string -> row -> unit
+
+val rows : table:string -> row list
+(** Insertion order. *)
+
+val table_to_json : string -> json
+val table_names : unit -> string list
+
+(** {2 Snapshots} *)
+
+type snapshot = {
+  sn_counters : (string * int) list;  (** sorted by name *)
+  sn_gauges : (string * float) list;  (** sorted by name *)
+  sn_histograms : (string * histo_stats) list;  (** sorted by name *)
+}
+
+val snapshot : unit -> snapshot
+val snapshot_to_json : snapshot -> json
+val pp_snapshot : snapshot Fmt.t
+
+(** {2 Files} *)
+
+val write_file : string -> string -> unit
+val write_metrics : string -> unit
+(** Deterministic (sorted) metrics snapshot as pretty JSON. *)
+
+val write_chrome : string -> unit
+(** Recorded events as a Chrome trace-event file. *)
+
+val reset : unit -> unit
+(** Zero all metrics (handles stay valid), drop events and tables,
+    restart the sequence counter. *)

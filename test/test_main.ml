@@ -29,5 +29,6 @@ let () =
       ("analysis-fuzz", Test_analysis_fuzz.tests);
       ("workloads", Test_workloads.tests);
       ("harness", Test_harness.tests);
+      ("telemetry", Test_telemetry.tests);
       ("smoke", Test_smoke.tests);
     ]

@@ -1,0 +1,327 @@
+(* Tests for the unified telemetry layer: registry units, the JSONL
+   event stream and its schema validator, the Chrome exporter, and the
+   reconciliation invariants that tie the global counters to the
+   interpreter's legacy per-machine statistics — under chaos fuzz.
+   Also the provenance ("explain") contract: every elided site names a
+   rule chain and its guards on all six benchmark workloads. *)
+
+let reset () = Telemetry.reset ()
+
+(* --- registry units ---------------------------------------------------- *)
+
+let test_counter_basics () =
+  reset ();
+  let c = Telemetry.counter "test.counter" in
+  Alcotest.(check int) "starts at zero" 0 (Telemetry.counter_value c);
+  Telemetry.incr c;
+  Telemetry.incr c ~by:41;
+  Alcotest.(check int) "incr + by" 42 (Telemetry.counter_value c);
+  Alcotest.(check int) "by name" 42 (Telemetry.get_counter "test.counter");
+  Alcotest.(check int) "unknown name reads 0" 0
+    (Telemetry.get_counter "test.never-registered");
+  Alcotest.(check string) "name" "test.counter" (Telemetry.counter_name c)
+
+let test_reset_keeps_handles () =
+  reset ();
+  let c = Telemetry.counter "test.survivor" in
+  Telemetry.incr c ~by:7;
+  Telemetry.reset ();
+  Alcotest.(check int) "zeroed in place" 0 (Telemetry.counter_value c);
+  (* the cached handle must still be the registered counter *)
+  Telemetry.incr c;
+  Alcotest.(check int) "handle still live" 1
+    (Telemetry.get_counter "test.survivor")
+
+let test_gauge_histogram () =
+  reset ();
+  let g = Telemetry.gauge "test.gauge" in
+  Telemetry.set_gauge g 2.5;
+  Alcotest.(check (float 1e-9)) "gauge" 2.5 (Telemetry.gauge_value g);
+  let h = Telemetry.histogram "test.histo" in
+  List.iter (Telemetry.observe h) [ 1.0; 3.0; 2.0 ];
+  let s = Telemetry.histo_stats h in
+  Alcotest.(check int) "count" 3 s.Telemetry.h_count;
+  Alcotest.(check (float 1e-9)) "sum" 6.0 s.Telemetry.h_sum;
+  Alcotest.(check (float 1e-9)) "min" 1.0 s.Telemetry.h_min;
+  Alcotest.(check (float 1e-9)) "max" 3.0 s.Telemetry.h_max
+
+let test_time_records () =
+  reset ();
+  let x, dt = Telemetry.time "test.timed" (fun () -> 1 + 1) in
+  Alcotest.(check int) "thunk result" 2 x;
+  Alcotest.(check bool) "non-negative duration" true (dt >= 0.0);
+  let s = Telemetry.histo_stats (Telemetry.histogram "test.timed") in
+  Alcotest.(check int) "one observation" 1 s.Telemetry.h_count
+
+let test_snapshot_sorted () =
+  reset ();
+  Telemetry.incr (Telemetry.counter "z.last");
+  Telemetry.incr (Telemetry.counter "a.first");
+  let s = Telemetry.snapshot () in
+  let names = List.map fst s.Telemetry.sn_counters in
+  Alcotest.(check (list string)) "deterministic order" (List.sort compare names)
+    names
+
+(* --- event stream ------------------------------------------------------ *)
+
+let test_events_noop_unless_armed () =
+  reset ();
+  Alcotest.(check bool) "disarmed by default" false (Telemetry.armed ());
+  Telemetry.emit "test.dropped" [];
+  Alcotest.(check int) "nothing recorded" 0 (List.length (Telemetry.events ()))
+
+let with_recording f =
+  Telemetry.set_recording true;
+  Fun.protect f ~finally:(fun () -> Telemetry.set_recording false)
+
+let test_event_ordering_and_roundtrip () =
+  reset ();
+  with_recording (fun () ->
+      for i = 1 to 5 do
+        Telemetry.emit "test.tick" [ ("i", Telemetry.Int i) ]
+      done);
+  let evs = Telemetry.events () in
+  Alcotest.(check int) "all recorded" 5 (List.length evs);
+  let rec check_order = function
+    | a :: (b : Telemetry.event) :: rest ->
+        Alcotest.(check bool) "seq strictly increasing" true
+          (b.ev_seq > a.Telemetry.ev_seq);
+        Alcotest.(check bool) "ts non-decreasing" true
+          (b.ev_ts >= a.Telemetry.ev_ts);
+        check_order (b :: rest)
+    | _ -> ()
+  in
+  check_order evs;
+  List.iter
+    (fun (ev : Telemetry.event) ->
+      match Telemetry.event_of_json (Telemetry.event_to_json ev) with
+      | Ok ev' ->
+          Alcotest.(check string) "kind round-trips" ev.ev_kind
+            ev'.Telemetry.ev_kind;
+          Alcotest.(check int) "seq round-trips" ev.ev_seq ev'.Telemetry.ev_seq
+      | Error e -> Alcotest.failf "round-trip failed: %s" e)
+    evs
+
+let test_validate_event_line () =
+  let ok = {|{"ts": 0.5, "seq": 3, "kind": "gc.cycle.start", "cycle": 1}|} in
+  (match Telemetry.validate_event_line ok with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "valid line rejected: %s" e);
+  List.iter
+    (fun (what, line) ->
+      match Telemetry.validate_event_line line with
+      | Ok () -> Alcotest.failf "accepted %s" what
+      | Error _ -> ())
+    [
+      ("junk", "not json");
+      ("non-object", "[1,2]");
+      ("missing kind", {|{"ts": 0.5, "seq": 3}|});
+      ("empty kind", {|{"ts": 0.5, "seq": 3, "kind": ""}|});
+      ("negative ts", {|{"ts": -1, "seq": 3, "kind": "x"}|});
+    ]
+
+let test_chrome_export_shape () =
+  reset ();
+  with_recording (fun () ->
+      Telemetry.emit "test.a" [];
+      Telemetry.emit "test.b" [ ("n", Telemetry.Int 1) ]);
+  match Telemetry.chrome_of_events (Telemetry.events ()) with
+  | Telemetry.Obj fields -> (
+      match List.assoc_opt "traceEvents" fields with
+      | Some (Telemetry.List evs) ->
+          Alcotest.(check bool) "one trace event per event" true
+            (List.length evs >= 2)
+      | _ -> Alcotest.fail "traceEvents missing or not a list")
+  | _ -> Alcotest.fail "chrome trace is not an object"
+
+(* --- a real run streams a schema-valid trace --------------------------- *)
+
+let compile_full w =
+  Harness.Exp.compile ~null_or_same:true ~move_down:true ~swap:true w
+
+let test_run_trace_schema_valid () =
+  reset ();
+  let path = Filename.temp_file "satbelim-trace" ".jsonl" in
+  let oc = open_out path in
+  Telemetry.attach_sink oc;
+  let chaos =
+    Jrt.Chaos.create
+      {
+        Jrt.Chaos.seed = 1;
+        faults = [ Jrt.Chaos.Late_spawn { at_instr = 1000; stores = 4 } ];
+        quantum = None;
+        gc_period = None;
+      }
+  in
+  ignore
+    (Harness.Exp.run
+       ~gc:(Jrt.Runner.make_satb ~trigger_allocs:24 ~steps_per_increment:8 ())
+       ~guards:true ~chaos ~fail_on_thread_error:false
+       (compile_full Workloads.Db.t));
+  Telemetry.detach_sink ();
+  close_out oc;
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove path;
+  let lines = List.rev !lines in
+  match Telemetry.validate_trace_lines lines with
+  | Ok n ->
+      Alcotest.(check bool) "trace is non-trivial" true (n > 0);
+      let kind_of line =
+        match Telemetry.json_of_string line with
+        | Ok (Telemetry.Obj fields) -> (
+            match List.assoc_opt "kind" fields with
+            | Some (Telemetry.Str k) -> k
+            | _ -> "")
+        | _ -> ""
+      in
+      let kinds = List.map kind_of lines in
+      List.iter
+        (fun k ->
+          Alcotest.(check bool) (k ^ " event present") true (List.mem k kinds))
+        [ "run.start"; "gc.cycle.start"; "chaos.fault"; "revoke.apply";
+          "run.finish" ]
+  | Error (line, msg) -> Alcotest.failf "line %d: %s" line msg
+
+(* --- reconciliation: global counters == legacy machine stats ----------- *)
+
+let check_reconciled (r : Jrt.Runner.report) =
+  let m = r.machine in
+  let same what counter legacy =
+    if Telemetry.get_counter counter <> legacy then
+      QCheck2.Test.fail_reportf "%s: telemetry %d <> legacy %d" what
+        (Telemetry.get_counter counter)
+        legacy
+  in
+  same "barriers" "jrt.barriers_executed" m.Jrt.Interp.barriers_executed;
+  same "elided" "jrt.elided_barrier_execs" m.Jrt.Interp.elided_barrier_execs;
+  same "retrace checks" "jrt.retrace_checks" m.Jrt.Interp.retrace_checks;
+  same "revocation events" "jrt.revocation_events"
+    m.Jrt.Interp.revocation_events;
+  same "revoked sites" "jrt.revoked_sites" m.Jrt.Interp.revoked_sites;
+  same "degradations" "jrt.degradations" m.Jrt.Interp.degradations;
+  same "degraded swap execs" "jrt.degraded_swap_execs"
+    m.Jrt.Interp.degraded_swap_execs;
+  true
+
+let reconciliation_prop =
+  QCheck2.Test.make
+    ~name:"telemetry counters reconcile with machine stats under chaos"
+    ~count:20
+    (QCheck2.Gen.triple
+       (QCheck2.Gen.oneofl Workloads.Registry.table1)
+       (QCheck2.Gen.int_range 1 500)
+       QCheck2.Gen.bool)
+    (fun (w, seed, use_retrace) ->
+      let cw = compile_full w in
+      let gc =
+        if use_retrace then
+          Jrt.Runner.make_retrace ~trigger_allocs:24 ~steps_per_increment:8 ()
+        else Jrt.Runner.make_satb ~trigger_allocs:24 ~steps_per_increment:8 ()
+      in
+      let chaos = Jrt.Chaos.create (Jrt.Chaos.of_seed seed) in
+      Telemetry.reset ();
+      let r =
+        Harness.Exp.run ~gc ~guards:true ~chaos ~fail_on_thread_error:false
+          ~seed cw
+      in
+      check_reconciled r)
+
+let test_reconciliation_budget_overflow () =
+  (* the degraded-mode path (budget overflow) is rare under of_seed plans;
+     pin it down deterministically *)
+  let chaos =
+    Jrt.Chaos.create
+      {
+        Jrt.Chaos.seed = 1;
+        faults = [ Jrt.Chaos.Preempt_marker { at_alloc = 24; skips = 700 } ];
+        quantum = None;
+        gc_period = None;
+      }
+  in
+  Telemetry.reset ();
+  let r =
+    Harness.Exp.run
+      ~gc:(Jrt.Runner.make_retrace ~trigger_allocs:24 ~steps_per_increment:1 ())
+      ~guards:true ~chaos ~retrace_budget:0 ~fail_on_thread_error:false
+      (compile_full Workloads.Db.t)
+  in
+  Alcotest.(check bool) "degradation exercised" true
+    (r.machine.Jrt.Interp.degradations > 0);
+  Alcotest.(check bool) "reconciled" true (check_reconciled r)
+
+(* --- provenance: every elided site explains itself ---------------------- *)
+
+let test_explain_covers_all_elided_sites () =
+  List.iter
+    (fun (w : Workloads.Spec.t) ->
+      let cw =
+        Harness.Exp.compile ~null_or_same:true ~move_down:true ~swap:true
+          ~summaries:true w
+      in
+      let compiled = cw.Harness.Exp.compiled in
+      let stats = Satb_core.Driver.static_stats compiled in
+      let exps = Satb_core.Driver.explanations compiled in
+      Alcotest.(check int)
+        (w.name ^ ": one explanation per elided site")
+        stats.Satb_core.Driver.elided_sites (List.length exps);
+      List.iter
+        (fun (p : Satb_core.Driver.provenance) ->
+          let site = Satb_core.Driver.string_of_site_key p.pv_key in
+          Alcotest.(check bool)
+            (w.name ^ "/" ^ site ^ ": names a rule")
+            true
+            (p.pv_rule <> "" && p.pv_rule <> "keep");
+          Alcotest.(check bool)
+            (w.name ^ "/" ^ site ^ ": has a fact chain")
+            true
+            (p.pv_facts <> []);
+          match Satb_core.Driver.justification compiled p.pv_key with
+          | Some j ->
+              Alcotest.(check bool)
+                (w.name ^ "/" ^ site ^ ": justification names the rule")
+                true
+                (String.length j >= String.length p.pv_rule)
+          | None ->
+              Alcotest.failf "%s/%s: no runtime justification" w.name site)
+        exps)
+    Workloads.Registry.table1
+
+let test_explanations_sorted () =
+  let cw = compile_full Workloads.Db.t in
+  let exps = Satb_core.Driver.explanations cw.Harness.Exp.compiled in
+  let keys = List.map (fun (p : Satb_core.Driver.provenance) -> p.pv_key) exps in
+  Alcotest.(check bool) "deterministic site order" true
+    (List.sort compare keys = keys)
+
+let tests =
+  [
+    Alcotest.test_case "counter basics" `Quick test_counter_basics;
+    Alcotest.test_case "reset keeps handles live" `Quick
+      test_reset_keeps_handles;
+    Alcotest.test_case "gauge and histogram" `Quick test_gauge_histogram;
+    Alcotest.test_case "time records a duration" `Quick test_time_records;
+    Alcotest.test_case "snapshot is sorted" `Quick test_snapshot_sorted;
+    Alcotest.test_case "events drop when disarmed" `Quick
+      test_events_noop_unless_armed;
+    Alcotest.test_case "event ordering and JSON round-trip" `Quick
+      test_event_ordering_and_roundtrip;
+    Alcotest.test_case "JSONL schema validator" `Quick test_validate_event_line;
+    Alcotest.test_case "chrome trace export shape" `Quick
+      test_chrome_export_shape;
+    Alcotest.test_case "chaos run streams a schema-valid trace" `Quick
+      test_run_trace_schema_valid;
+    QCheck_alcotest.to_alcotest reconciliation_prop;
+    Alcotest.test_case "budget overflow reconciles" `Quick
+      test_reconciliation_budget_overflow;
+    Alcotest.test_case "explain covers every elided site (six workloads)"
+      `Quick test_explain_covers_all_elided_sites;
+    Alcotest.test_case "explanations are deterministically ordered" `Quick
+      test_explanations_sorted;
+  ]
