@@ -1,14 +1,24 @@
 # Convenience targets; the canonical CI entry point is `make check`.
 
-.PHONY: all check test bench clean
+.PHONY: all check test bench profile-smoke clean
 
 all:
 	dune build
 
 check: all
 	dune runtest
+	$(MAKE) profile-smoke
 
 test: check
+
+# profiler smoke: profile a micro workload, then gate the result against
+# itself (must be a clean no-regression pass)
+profile-smoke:
+	dune exec bin/satbelim.exe -- profile --workload micro-expand \
+	  --gc-trigger 8 --json PROFILE_micro.json
+	dune exec bin/satbelim.exe -- profile --workload micro-expand \
+	  --gc-trigger 8 --baseline PROFILE_micro.json
+	dune exec bench/main.exe -- diff PROFILE_micro.json PROFILE_micro.json
 
 # full reproduction: every table/figure plus the bechamel timings
 bench:

@@ -33,6 +33,9 @@ let experiments =
     ( "summaries",
       "E12: interprocedural callee summaries vs the inline limit",
       Harness.Summaries.print );
+    ( "profile",
+      "E14: per-site hot-path attribution, plain vs full analysis on db",
+      Harness.Profiler.print );
   ]
 
 (* --- machine-readable artifacts (--json) ------------------------------ *)
@@ -59,7 +62,63 @@ let emit_json () =
   ignore (Harness.Table2.measure ());
   emit "BENCH_table2.json" "table2";
   ignore (Harness.Summaries.measure ());
-  emit "BENCH_fig2.json" "fig2_summaries"
+  emit "BENCH_fig2.json" "fig2_summaries";
+  ignore (Harness.Pause.measure ());
+  emit "BENCH_pause.json" "pause";
+  ignore (Harness.Profiler.measure ());
+  emit "BENCH_profile.json" "profile"
+
+(* --- regression gate (`bench diff OLD.json NEW.json`) ----------------- *)
+
+let diff_usage =
+  "usage: bench diff OLD.json NEW.json [--max-elision-drop POINTS] \
+   [--max-pause-increase PCT] [--max-cost-increase PCT] [--max-mmu-drop ABS]"
+
+let run_diff (args : string list) : unit =
+  let float_arg flag v k =
+    match float_of_string_opt v with
+    | Some f -> k f
+    | None ->
+        Printf.eprintf "bench diff: %s expects a number, got %S\n" flag v;
+        exit 2
+  in
+  let rec parse th files = function
+    | [] -> (th, List.rev files)
+    | "--max-elision-drop" :: v :: rest ->
+        float_arg "--max-elision-drop" v (fun f ->
+            parse { th with Profile.Gate.max_elision_drop = f } files rest)
+    | "--max-pause-increase" :: v :: rest ->
+        float_arg "--max-pause-increase" v (fun f ->
+            parse { th with Profile.Gate.max_pause_increase_pct = f } files rest)
+    | "--max-cost-increase" :: v :: rest ->
+        float_arg "--max-cost-increase" v (fun f ->
+            parse { th with Profile.Gate.max_cost_increase_pct = f } files rest)
+    | "--max-mmu-drop" :: v :: rest ->
+        float_arg "--max-mmu-drop" v (fun f ->
+            parse { th with Profile.Gate.max_mmu_drop = f } files rest)
+    | a :: rest when String.length a > 0 && a.[0] <> '-' ->
+        parse th (a :: files) rest
+    | a :: _ ->
+        Printf.eprintf "bench diff: unknown flag %s\n%s\n" a diff_usage;
+        exit 2
+  in
+  match parse Profile.Gate.default_thresholds [] args with
+  | thresholds, [ old_path; new_path ] -> (
+      match Profile.Gate.diff_files ~thresholds ~old_path new_path with
+      | Error e ->
+          Printf.eprintf "bench diff: %s\n" e;
+          exit 2
+      | Ok o ->
+          print_string (Profile.Gate.render o);
+          if Profile.Gate.regressed o then begin
+            Printf.printf "FAIL: %d regression(s)\n"
+              (List.length o.Profile.Gate.o_regressions);
+            exit 1
+          end
+          else print_endline "OK: no regressions")
+  | _ ->
+      prerr_endline diff_usage;
+      exit 2
 
 (* --- bechamel microbenchmarks: one Test.make per table/figure --------- *)
 
@@ -196,6 +255,9 @@ let run_bechamel () =
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | "diff" :: rest -> run_diff rest
+  | _ ->
   let quick = List.mem "quick" args in
   let json = List.mem "--json" args in
   let selected = List.filter (fun a -> a <> "quick" && a <> "--json") args in

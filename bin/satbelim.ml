@@ -9,7 +9,10 @@
     - [analyze FILE] — run the barrier-removal analysis; print per-site
       verdicts and static statistics
     - [run FILE]     — interpret the program under a chosen collector and
-      print dynamic barrier statistics *)
+      print dynamic barrier statistics
+    - [profile FILE | --workload NAME] — run and report per-site barrier
+      attribution, pause percentiles and MMU; [--json] saves the profile,
+      [--baseline] gates against a saved one *)
 
 open Cmdliner
 
@@ -476,6 +479,244 @@ let run_cmd =
       $ no_elim $ chaos_arg $ budget_arg $ no_revoke_arg $ allow_unsound_arg
       $ gc_trigger_arg $ trace_arg $ metrics_arg $ chrome_arg)
 
+(* profile *)
+
+let entry_ref_of_string (entry : string) : Jir.Types.method_ref =
+  match String.index_opt entry '.' with
+  | Some i ->
+      {
+        Jir.Types.mclass = String.sub entry 0 i;
+        mname = String.sub entry (i + 1) (String.length entry - i - 1);
+      }
+  | None ->
+      Fmt.epr "satbelim: entry must be Class.method@.";
+      exit 1
+
+let profile_cmd =
+  let run file workload limit mode nos md swap summaries gc gc_trigger entry
+      json top baseline max_elision_drop max_pause_increase max_cost_increase
+      allow_unsound trace metrics chrome =
+    let name, prog, entry_ref =
+      match (file, workload) with
+      | Some _, Some _ ->
+          Fmt.epr "satbelim: pass either FILE or --workload, not both@.";
+          exit 1
+      | None, None ->
+          Fmt.epr
+            "satbelim: pass a FILE or --workload NAME (try 'workloads' for \
+             the list)@.";
+          exit 1
+      | Some f, None ->
+          ( Filename.remove_extension (Filename.basename f),
+            or_die (load f),
+            entry_ref_of_string entry )
+      | None, Some n -> (
+          match Workloads.Registry.find n with
+          | Some w -> (w.name, Workloads.Spec.parse w, w.entry)
+          | None ->
+              Fmt.epr "satbelim: unknown workload %S (try 'workloads')@." n;
+              exit 1)
+    in
+    (* same static-soundness refusals as `run` *)
+    if not allow_unsound then begin
+      if swap && gc <> `Retrace then begin
+        Fmt.epr
+          "satbelim: --swap elision is only sound under the retrace \
+           collector (--gc retrace); pass --allow-unsound to profile anyway@.";
+        exit 1
+      end;
+      if (swap || md) && Satb_core.Analysis.program_spawns prog then begin
+        Fmt.epr
+          "satbelim: --move-down/--swap elisions assume a single mutator \
+           but this program spawns threads; pass --allow-unsound to profile \
+           anyway@.";
+        exit 1
+      end
+    end;
+    with_telemetry ~trace ~metrics ~chrome @@ fun () ->
+    let compiled =
+      Satb_core.Driver.compile ~inline_limit:limit
+        ~conf:(conf_of mode nos md swap summaries false) prog
+    in
+    let policy c m pc =
+      not
+        (Satb_core.Driver.needs_barrier compiled
+           { sk_class = c; sk_method = m; sk_pc = pc })
+    in
+    let retrace c m pc =
+      match
+        Satb_core.Driver.retrace_check compiled
+          { sk_class = c; sk_method = m; sk_pc = pc }
+      with
+      | `Open -> Jrt.Interp.Check_open
+      | `Close -> Jrt.Interp.Check_close
+      | `None -> Jrt.Interp.No_check
+    in
+    let guards c m pc =
+      List.map assumption_to_runtime
+        (Satb_core.Driver.site_assumptions compiled
+           { sk_class = c; sk_method = m; sk_pc = pc })
+    in
+    let explain c m pc =
+      Satb_core.Driver.justification compiled
+        { sk_class = c; sk_method = m; sk_pc = pc }
+    in
+    let gc_name, gc_choice =
+      match gc with
+      | `None -> ("none", Jrt.Runner.No_gc)
+      | `Satb -> ("satb", Jrt.Runner.make_satb ~trigger_allocs:gc_trigger ())
+      | `Incr -> ("incr", Jrt.Runner.make_incr ~trigger_allocs:gc_trigger ())
+      | `Retrace ->
+          ("retrace", Jrt.Runner.make_retrace ~trigger_allocs:gc_trigger ())
+    in
+    let cfg =
+      { Jrt.Interp.default_config with policy; retrace; guards; explain }
+    in
+    let r =
+      Jrt.Runner.run ~cfg ~gc:gc_choice compiled.program ~entry:entry_ref
+    in
+    List.iter
+      (fun (tid, e) -> Fmt.pr "thread %d died: %s@." tid e)
+      r.thread_errors;
+    let p = Profile.Attr.of_report ~workload:name ~gc:gc_name ~explain r in
+    (* the profile must reconcile exactly with the interpreter's global
+       counters (also what --metrics reports); a mismatch is a bug in the
+       attribution accounting, not in the user's input *)
+    (match Profile.Attr.reconciles p r with
+    | Ok () -> ()
+    | Error e ->
+        Fmt.epr "satbelim: profile does not reconcile with counters: %s@." e;
+        exit 3);
+    print_string (Profile.Attr.render ~top p);
+    Option.iter
+      (fun path ->
+        Telemetry.write_file path
+          (Telemetry.json_to_string_pretty (Profile.Attr.to_json p));
+        Fmt.pr "wrote %s@." path)
+      json;
+    match baseline with
+    | None -> ()
+    | Some path -> (
+        let parsed =
+          match Telemetry.json_of_string (read_file path) with
+          | Error e -> Error (Fmt.str "%s: %s" path e)
+          | Ok j -> (
+              match Profile.Attr.of_json j with
+              | Error e -> Error (Fmt.str "%s: %s" path e)
+              | Ok b -> Ok b)
+        in
+        match parsed with
+        | Error e ->
+            Fmt.epr "satbelim: %s@." e;
+            exit 2
+        | Ok baseline ->
+            let d =
+              Profile.Attr.diff ~max_elision_drop
+                ~max_pause_increase_pct:max_pause_increase
+                ~max_cost_increase_pct:max_cost_increase ~baseline p
+            in
+            Fmt.pr "@.-- vs baseline %s --@." path;
+            print_string (Profile.Attr.render_diff d);
+            if Profile.Attr.regressed d then begin
+              Fmt.pr "FAIL: %d regression(s)@."
+                (List.length d.Profile.Attr.df_regressions);
+              exit 1
+            end
+            else Fmt.pr "OK: no regressions@.")
+  in
+  let file_opt_arg =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:"jasm or mini-Java source file (or use --workload).")
+  in
+  let workload_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "workload" ] ~docv:"NAME"
+          ~doc:"Profile a bundled workload instead of a source file.")
+  in
+  let gc_trigger_arg =
+    Arg.(
+      value
+      & opt int 64
+      & info [ "gc-trigger" ] ~docv:"N"
+          ~doc:
+            "Start a marking cycle every $(docv) allocations (default 64, \
+             low enough that the bundled workloads exercise the collector).")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write the profile as deterministic JSON (sorted keys, sites in \
+             site-id order) — the format `profile --baseline` and `bench \
+             diff` consume.")
+  in
+  let top_arg =
+    Arg.(
+      value
+      & opt int 10
+      & info [ "top" ] ~docv:"N" ~doc:"Hot sites to show (default 10).")
+  in
+  let baseline_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:
+            "Compare against a previously saved profile JSON and exit \
+             nonzero on regression.")
+  in
+  let elision_drop_arg =
+    Arg.(
+      value
+      & opt float 2.0
+      & info [ "max-elision-drop" ] ~docv:"POINTS"
+          ~doc:
+            "Allowed drop of the dynamic elision rate vs the baseline, in \
+             percentage points (default 2.0).")
+  in
+  let pause_increase_arg =
+    Arg.(
+      value
+      & opt float 25.0
+      & info [ "max-pause-increase" ] ~docv:"PCT"
+          ~doc:
+            "Allowed growth of the p99/max pause vs the baseline, in \
+             percent (default 25).")
+  in
+  let cost_increase_arg =
+    Arg.(
+      value
+      & opt float 10.0
+      & info [ "max-cost-increase" ] ~docv:"PCT"
+          ~doc:
+            "Allowed growth of the modelled barrier cost per kilostep vs \
+             the baseline, in percent (default 10).")
+  in
+  let allow_unsound_arg =
+    Arg.(
+      value & flag
+      & info [ "allow-unsound" ]
+          ~doc:"Profile statically-unsound elision/collector combinations.")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run a workload and report per-site barrier attribution, pause \
+          percentiles and MMU; optionally gate against a baseline profile")
+    Term.(
+      const run $ file_opt_arg $ workload_arg $ inline_limit_arg $ mode_arg
+      $ nos_arg $ movedown_arg $ swap_arg $ summaries_arg $ gc_arg
+      $ gc_trigger_arg $ entry_arg $ json_arg $ top_arg $ baseline_arg
+      $ elision_drop_arg $ pause_increase_arg $ cost_increase_arg
+      $ allow_unsound_arg $ trace_arg $ metrics_arg $ chrome_arg)
+
 (* validate-trace *)
 
 let trace_file_arg =
@@ -570,6 +811,7 @@ let () =
             disasm_cmd;
             analyze_cmd;
             run_cmd;
+            profile_cmd;
             workloads_cmd;
             validate_trace_cmd;
           ]))

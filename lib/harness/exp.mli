@@ -26,6 +26,10 @@ val retrace_policy_of : compiled_workload -> Jrt.Interp.retrace_policy
 val guard_policy_of : compiled_workload -> Jrt.Interp.guard_policy
 (** The per-site guard table from the compiler's assumption metadata. *)
 
+val explain_policy_of : compiled_workload -> Jrt.Interp.explain_policy
+(** Elision provenance: the analysis-side justification of each elided
+    site, for revocation events and the profiler's hot-site report. *)
+
 val run :
   ?gc:Jrt.Runner.gc_choice ->
   ?satb_mode:Jrt.Barrier_cost.satb_mode ->

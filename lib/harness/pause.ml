@@ -1,22 +1,27 @@
-(** E5 — SATB vs incremental-update final pause work (§1 and §4.5).
+(** E5 — pause distribution and mutator utilization for all three
+    collectors (§1 and §4.5).
 
-    Both collectors run with the same concurrent-increment budget on the
-    same workload; we compare the work done inside the final
-    stop-the-world pause.  The paper's claim: SATB remark pauses (drain
-    the leftover log buffers) are often an order of magnitude smaller than
+    All collectors run with the same concurrent-increment budget on the
+    same workload; we compare the work done inside the stop-the-world
+    pauses.  The paper's claim: SATB remark pauses (drain the leftover
+    log buffers) are often an order of magnitude smaller than
     incremental-update final pauses (rescan roots + dirty cards + trace
-    everything allocated during the cycle). *)
+    everything allocated during the cycle).  The retrace collector rides
+    along so its swap-elision re-scans show up in the same distribution
+    view. *)
 
-type row = {
-  bench : string;
-  satb_cycles : int;
-  satb_max_pause : int;
-  incr_cycles : int;
-  incr_max_pause : int;
-  ratio : float;  (** incr / satb max pause work *)
+type coll = {
+  collector : string;
+  cycles : int;
+  pauses : Profile.Stats.dist;
+  mmu_10 : float;
+  utilization : float;
 }
 
-let max_or_zero = function [] -> 0 | l -> List.fold_left max 0 l
+type row = { bench : string; collectors : coll list; ratio : float }
+
+let find (r : row) (name : string) : coll =
+  List.find (fun c -> c.collector = name) r.collectors
 
 let measure_one ?(trigger_allocs = 16) ?(steps_per_increment = 16)
     (w : Workloads.Spec.t) : row =
@@ -24,65 +29,132 @@ let measure_one ?(trigger_allocs = 16) ?(steps_per_increment = 16)
      incremental-update run keeps every barrier, because pre-null elision
      is an SATB-specific optimization: a card-marking collector must hear
      about stores of fresh pointers into already-scanned objects even when
-     the overwritten value was null. *)
-  let go ~use_policy gc =
-    let cw = Exp.compile w in
+     the overwritten value was null.  The retrace run adds the §4.3
+     swap/move-down elisions the retrace protocol exists for. *)
+  let go ~use_policy ~swap name gc =
+    let cw =
+      if swap then Exp.compile ~move_down:true ~swap:true w else Exp.compile w
+    in
     let r = Exp.run ~use_policy ~gc cw in
-    match r.gc with
+    match r.Jrt.Runner.gc with
     | Some g ->
-        if g.total_violations > 0 then
-          Fmt.failwith "%s: marking invariant violated" w.name;
-        (g.cycles, max_or_zero g.final_pause_works)
-    | None -> (0, 0)
+        if g.Jrt.Runner.total_violations > 0 then
+          Fmt.failwith "%s/%s: marking invariant violated" w.name name;
+        let tl =
+          Profile.Stats.timeline_of_summary ~steps:r.Jrt.Runner.steps
+            r.Jrt.Runner.gc
+        in
+        let w10 = max 1 (Profile.Stats.total_time tl / 10) in
+        {
+          collector = name;
+          cycles = g.Jrt.Runner.cycles;
+          pauses = Profile.Stats.dist_of g.Jrt.Runner.final_pause_works;
+          mmu_10 = Profile.Stats.mmu tl ~window:w10;
+          utilization = Profile.Stats.utilization tl;
+        }
+    | None ->
+        {
+          collector = name;
+          cycles = 0;
+          pauses = Profile.Stats.dist_of [];
+          mmu_10 = 1.0;
+          utilization = 1.0;
+        }
   in
-  let satb_cycles, satb_max_pause =
-    go ~use_policy:true (Jrt.Runner.Satb { steps_per_increment; trigger_allocs })
+  let satb =
+    go ~use_policy:true ~swap:false "satb"
+      (Jrt.Runner.Satb { steps_per_increment; trigger_allocs })
   in
-  let incr_cycles, incr_max_pause =
-    go ~use_policy:false
+  let incr =
+    go ~use_policy:false ~swap:false "incr"
       (Jrt.Runner.Incr { steps_per_increment; trigger_allocs })
+  in
+  let retrace =
+    go ~use_policy:true ~swap:true "retrace"
+      (Jrt.Runner.Retrace { steps_per_increment; trigger_allocs })
   in
   {
     bench = w.name;
-    satb_cycles;
-    satb_max_pause;
-    incr_cycles;
-    incr_max_pause;
+    collectors = [ satb; incr; retrace ];
     ratio =
       (* a zero SATB pause is reported as if it cost one unit *)
-      float_of_int incr_max_pause /. float_of_int (max 1 satb_max_pause);
+      float_of_int incr.pauses.Profile.Stats.d_max
+      /. float_of_int (max 1 satb.pauses.Profile.Stats.d_max);
   }
 
 let measure ?trigger_allocs ?steps_per_increment () : row list =
-  List.map
-    (measure_one ?trigger_allocs ?steps_per_increment)
-    Workloads.Registry.table1
+  (* the shared row table is the single source of truth behind the
+     rendered table, BENCH_pause.json and the regression gate *)
+  Telemetry.clear_table "pause";
+  let rows =
+    List.map
+      (measure_one ?trigger_allocs ?steps_per_increment)
+      Workloads.Registry.table1
+  in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun c ->
+          let d = c.pauses in
+          Telemetry.add_row ~table:"pause"
+            [
+              ("bench", Telemetry.Str r.bench);
+              ("collector", Telemetry.Str c.collector);
+              ("cycles", Telemetry.Int c.cycles);
+              ("pauses", Telemetry.Int d.Profile.Stats.d_count);
+              ("p50", Telemetry.Int d.Profile.Stats.d_p50);
+              ("p90", Telemetry.Int d.Profile.Stats.d_p90);
+              ("p99", Telemetry.Int d.Profile.Stats.d_p99);
+              ("max", Telemetry.Int d.Profile.Stats.d_max);
+              ("mmu_10", Telemetry.Float c.mmu_10);
+              ("utilization", Telemetry.Float c.utilization);
+            ])
+        r.collectors)
+    rows;
+  rows
 
 let render (rows : row list) : string =
   let body =
-    List.map
+    List.concat_map
       (fun r ->
-        [
-          r.bench;
-          string_of_int r.satb_cycles;
-          string_of_int r.satb_max_pause;
-          string_of_int r.incr_cycles;
-          string_of_int r.incr_max_pause;
-          (if Float.is_nan r.ratio then "-" else Printf.sprintf "%.1fx" r.ratio);
-        ])
+        List.map
+          (fun c ->
+            let d = c.pauses in
+            [
+              r.bench;
+              c.collector;
+              string_of_int c.cycles;
+              string_of_int d.Profile.Stats.d_count;
+              string_of_int d.Profile.Stats.d_p50;
+              string_of_int d.Profile.Stats.d_p90;
+              string_of_int d.Profile.Stats.d_p99;
+              string_of_int d.Profile.Stats.d_max;
+              Printf.sprintf "%.3f" c.mmu_10;
+              Printf.sprintf "%.3f" c.utilization;
+              (if c.collector = "incr" then
+                 if Float.is_nan r.ratio then "-"
+                 else Printf.sprintf "%.1fx" r.ratio
+               else "");
+            ])
+          r.collectors)
       rows
   in
   Tablefmt.render
     ~header:
       [
         "benchmark";
-        "satb cycles";
-        "satb max pause";
-        "incr cycles";
-        "incr max pause";
+        "collector";
+        "cycles";
+        "pauses";
+        "p50";
+        "p90";
+        "p99";
+        "max";
+        "mmu@10%";
+        "util";
         "incr/satb";
       ]
-    ~align:[ Tablefmt.L; R; R; R; R; R ]
+    ~align:[ Tablefmt.L; L; R; R; R; R; R; R; R; R; R ]
     body
 
 let print () = print_endline (render (measure ()))

@@ -1,21 +1,39 @@
-(** E5 — SATB vs incremental-update final pause work under equal
-    concurrent budgets (the paper's §1 motivation).  The incremental run
-    keeps every barrier: pre-null elision is SATB-specific. *)
+(** E5 — pause distribution and mutator utilization across all three
+    collectors under equal concurrent budgets (the paper's §1
+    motivation).
+
+    Each benchmark runs under SATB (analysis-directed elision),
+    incremental update (every barrier kept — pre-null elision is
+    SATB-specific) and the retrace collector (swap + move-down
+    elision).  Instead of the old max-only view, each run reports the
+    full pause distribution (p50/p90/p99/max), MMU at a 10% window and
+    overall mutator utilization, via the shared [Profile.Stats] code.
+    Rows feed the ["pause"] telemetry table behind BENCH_pause.json and
+    the bench regression gate. *)
+
+type coll = {
+  collector : string;  (** ["satb"], ["incr"] or ["retrace"] *)
+  cycles : int;
+  pauses : Profile.Stats.dist;  (** final-pause work distribution *)
+  mmu_10 : float;  (** MMU at a window of 10% of the run *)
+  utilization : float;
+}
 
 type row = {
   bench : string;
-  satb_cycles : int;
-  satb_max_pause : int;
-  incr_cycles : int;
-  incr_max_pause : int;
-  ratio : float;
+  collectors : coll list;  (** satb, incr, retrace — in that order *)
+  ratio : float;  (** incr / satb max pause work (the paper's claim) *)
 }
+
+val find : row -> string -> coll
+(** The named collector's measurement; raises [Not_found] otherwise. *)
 
 val measure_one :
   ?trigger_allocs:int -> ?steps_per_increment:int -> Workloads.Spec.t -> row
 
 val measure :
   ?trigger_allocs:int -> ?steps_per_increment:int -> unit -> row list
+(** All Table-1 workloads; repopulates the ["pause"] telemetry table. *)
 
 val render : row list -> string
 val print : unit -> unit

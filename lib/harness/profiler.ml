@@ -1,0 +1,70 @@
+(** E14 — hot-site walkthrough on [db] — see profiler.mli. *)
+
+type result = {
+  workload : string;
+  baseline : Profile.Attr.t;
+  full : Profile.Attr.t;
+  diff : Profile.Attr.diff;
+}
+
+let profile_run ~(label : string) ~(gc : Jrt.Runner.gc_choice)
+    (cw : Exp.compiled_workload) : Profile.Attr.t =
+  let r = Exp.run ~gc ~guards:true cw in
+  (match r.Jrt.Runner.gc with
+  | Some g when g.Jrt.Runner.total_violations > 0 ->
+      Fmt.failwith "%s/%s: marking invariant violated" cw.Exp.workload.name
+        label
+  | Some _ | None -> ());
+  let p =
+    Profile.Attr.of_report ~workload:cw.Exp.workload.name ~gc:"retrace"
+      ~explain:(Exp.explain_policy_of cw) r
+  in
+  (match Profile.Attr.reconciles p r with
+  | Ok () -> ()
+  | Error e ->
+      Fmt.failwith "%s/%s: profile does not reconcile: %s"
+        cw.Exp.workload.name label e);
+  p
+
+let measure ?(workload = Workloads.Db.t) () : result =
+  let gc = Jrt.Runner.make_retrace ~trigger_allocs:24 () in
+  let baseline = profile_run ~label:"plain" ~gc (Exp.compile workload) in
+  let full =
+    profile_run ~label:"full" ~gc
+      (Exp.compile ~null_or_same:true ~move_down:true ~swap:true
+         ~summaries:true workload)
+  in
+  (* the "diff" direction is full-vs-baseline, so an *improvement* shows
+     up as a (desired) elision-rate gain, not a regression *)
+  let diff = Profile.Attr.diff ~baseline full in
+  Telemetry.clear_table "profile";
+  List.iter
+    (fun (variant, p) ->
+      Telemetry.add_row ~table:"profile"
+        [
+          ("workload", Telemetry.Str workload.Workloads.Spec.name);
+          ("variant", Telemetry.Str variant);
+          ("elision_pct", Telemetry.Float (Profile.Attr.elision_rate p));
+          ("barrier_units", Telemetry.Int p.Profile.Attr.p_totals.t_barrier_units);
+          ("units_per_kstep", Telemetry.Float (Profile.Attr.units_per_kstep p));
+          ("pause_p99", Telemetry.Int p.Profile.Attr.p_pauses.Profile.Stats.d_p99);
+          ("pause_max", Telemetry.Int p.Profile.Attr.p_pauses.Profile.Stats.d_max);
+          ("utilization", Telemetry.Float p.Profile.Attr.p_utilization);
+        ])
+    [ ("plain", baseline); ("full", full) ];
+  { workload = workload.Workloads.Spec.name; baseline; full; diff }
+
+let render (r : result) : string =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Printf.sprintf "-- %s: plain mode-A analysis --\n" r.workload);
+  Buffer.add_string b (Profile.Attr.render ~top:5 r.baseline);
+  Buffer.add_string b
+    (Printf.sprintf "\n-- %s: + null-or-same, move-down, swap, summaries --\n"
+       r.workload);
+  Buffer.add_string b (Profile.Attr.render ~top:5 r.full);
+  Buffer.add_string b "\n-- full vs plain --\n";
+  Buffer.add_string b (Profile.Attr.render_diff r.diff);
+  Buffer.contents b
+
+let print () = print_endline (render (measure ()))

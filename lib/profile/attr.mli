@@ -1,0 +1,105 @@
+(** Per-site barrier attribution: turns a run report into a profile —
+    one row per static store site with dynamic execution counts, the
+    elided-vs-paid split, modelled barrier cost and revocations — plus
+    run-level pause percentiles and the MMU curve.
+
+    The profile reconciles {e exactly} with the interpreter's global
+    counters: per-site paid/elided sums plus the external (chaos) rows
+    equal [barriers_executed]/[elided_barrier_execs], and per-site
+    [barrier_units] sum to the machine total.  {!reconciles} checks
+    this; the CLI runs it as a self-check on every [profile] run. *)
+
+type site_row = {
+  r_site : string;  (** ["Class.method\@pc"] *)
+  r_kind : string;  (** ["field"], ["array"] or ["static"] *)
+  r_elided : bool;  (** final elision state (after any revocation) *)
+  r_execs : int;
+  r_elided_execs : int;
+  r_paid_execs : int;
+  r_barrier_units : int;
+  r_revocations : int;
+  r_guards : string list;
+  r_why : string option;  (** analysis provenance, when [--explain]-able *)
+}
+
+type totals = {
+  t_execs : int;
+  t_elided_execs : int;
+  t_paid_execs : int;
+  t_barrier_units : int;
+  t_external_paid : int;  (** chaos stores that ran a barrier (siteless) *)
+  t_external_elided : int;  (** chaos stores through guarded elisions *)
+  t_revocation_events : int;
+  t_revoked_sites : int;
+}
+
+type t = {
+  p_workload : string;
+  p_gc : string;
+  p_steps : int;
+  p_cycles : int;
+  p_violations : int;
+  p_sites : site_row list;  (** sorted by site id *)
+  p_totals : totals;
+  p_pauses : Stats.dist;
+  p_mmu : (int * float) list;  (** (window, mmu), ascending windows *)
+  p_utilization : float;
+}
+
+val of_report :
+  workload:string ->
+  gc:string ->
+  ?explain:Jrt.Interp.explain_policy ->
+  Jrt.Runner.report ->
+  t
+
+val elision_rate : t -> float
+(** Dynamic elision rate in percent over {e all} reference stores,
+    external ones included; 0 when nothing executed. *)
+
+val units_per_kstep : t -> float
+(** Modelled barrier cost per 1000 mutator instructions. *)
+
+val reconciles : t -> Jrt.Runner.report -> (unit, string) result
+(** Check the profile's sums against the interpreter counters; the
+    error names the first mismatching quantity. *)
+
+val hot : ?top:int -> t -> site_row list
+(** Top-[top] (default 10) sites by modelled cost; ties broken by paid
+    executions (descending) then site id (ascending) so the order is
+    deterministic. *)
+
+val to_json : t -> Telemetry.json
+(** Deterministic: object keys emitted in sorted order, sites sorted by
+    id, so equal profiles serialize byte-identically. *)
+
+val of_json : Telemetry.json -> (t, string) result
+
+val render : ?top:int -> t -> string
+(** Human-readable report: run header, pause percentiles, MMU curve and
+    the hot-site table, with provenance inlined under each of the top
+    offenders that has one. *)
+
+(** {2 Baseline comparison} *)
+
+type diff = {
+  df_lines : string list;  (** full comparison, one metric per line *)
+  df_regressions : string list;  (** threshold breaches, subset of above *)
+}
+
+val diff :
+  ?max_elision_drop:float ->
+  ?max_pause_increase_pct:float ->
+  ?max_cost_increase_pct:float ->
+  baseline:t ->
+  t ->
+  diff
+(** Compare against a baseline profile.  Regressions: dynamic elision
+    rate dropping more than [max_elision_drop] percentage points
+    (default 2.0), pause p99 or max growing more than
+    [max_pause_increase_pct] percent (default 25.0), or modelled cost
+    per kilostep growing more than [max_cost_increase_pct] percent
+    (default 10.0). *)
+
+val regressed : diff -> bool
+val render_diff : diff -> string

@@ -1,0 +1,218 @@
+(** The bench regression gate — see gate.mli. *)
+
+module J = Telemetry
+
+type thresholds = {
+  max_elision_drop : float;
+  max_pause_increase_pct : float;
+  max_cost_increase_pct : float;
+  max_mmu_drop : float;
+}
+
+let default_thresholds =
+  {
+    max_elision_drop = 2.0;
+    max_pause_increase_pct = 25.0;
+    max_cost_increase_pct = 10.0;
+    max_mmu_drop = 0.05;
+  }
+
+type outcome = { o_lines : string list; o_regressions : string list }
+
+let regressed (o : outcome) : bool = o.o_regressions <> []
+
+let render (o : outcome) : string =
+  String.concat "" (List.map (fun l -> l ^ "\n") o.o_lines)
+
+(* How a gated metric regresses: an elimination percentage dropping by
+   points, a cost/pause growing by percent, a utilization dropping in
+   absolute terms. *)
+type direction =
+  | Points_drop of (thresholds -> float)
+  | Pct_increase of (thresholds -> float)
+  | Abs_drop of (thresholds -> float)
+
+(* (table, key fields, gated metrics) *)
+let known_tables : (string * string list * (string * direction) list) list =
+  [
+    ( "table1",
+      [ "benchmark" ],
+      [ ("elim_pct", Points_drop (fun t -> t.max_elision_drop)) ] );
+    ( "fig2_summaries",
+      [ "benchmark"; "inline_limit" ],
+      [
+        ("elim_pct_havoc", Points_drop (fun t -> t.max_elision_drop));
+        ("elim_pct_summaries", Points_drop (fun t -> t.max_elision_drop));
+      ] );
+    ( "table2",
+      [ "mode" ],
+      [ ("cost_units", Pct_increase (fun t -> t.max_cost_increase_pct)) ] );
+    ( "pause",
+      [ "bench"; "collector" ],
+      [
+        ("p99", Pct_increase (fun t -> t.max_pause_increase_pct));
+        ("max", Pct_increase (fun t -> t.max_pause_increase_pct));
+        ("mmu_10", Abs_drop (fun t -> t.max_mmu_drop));
+      ] );
+  ]
+
+let scalar_string = function
+  | J.Str s -> s
+  | J.Int i -> string_of_int i
+  | J.Float f -> string_of_float f
+  | J.Bool b -> string_of_bool b
+  | J.Null -> "null"
+  | J.List _ | J.Obj _ -> "<composite>"
+
+let as_number = function
+  | J.Int i -> Some (float_of_int i)
+  | J.Float f -> Some f
+  | _ -> None
+
+let row_key (key_fields : string list) (row : (string * J.json) list) : string =
+  String.concat "/"
+    (List.map
+       (fun k ->
+         match List.assoc_opt k row with
+         | Some v -> scalar_string v
+         | None -> "?")
+       key_fields)
+
+let fmt_value v =
+  if Float.is_integer v && Float.abs v < 1e9 then
+    string_of_int (int_of_float v)
+  else Printf.sprintf "%.2f" v
+
+(* ---- BENCH table files -------------------------------------------------- *)
+
+let diff_tables ~(th : thresholds) (old_tables : (string * J.json) list)
+    (new_tables : (string * J.json) list) : outcome =
+  let lines = ref [] in
+  let regressions = ref [] in
+  let note fmt = Printf.ksprintf (fun s -> lines := s :: !lines) fmt in
+  let regress fmt =
+    Printf.ksprintf
+      (fun s ->
+        lines := ("REGRESSION: " ^ s) :: !lines;
+        regressions := s :: !regressions)
+      fmt
+  in
+  let rows_of = function
+    | J.List rows ->
+        List.filter_map (function J.Obj o -> Some o | _ -> None) rows
+    | _ -> []
+  in
+  List.iter
+    (fun (table, old_json) ->
+      match List.find_opt (fun (t, _, _) -> t = table) known_tables with
+      | None -> note "table %s: not gated, skipped" table
+      | Some (_, key_fields, metrics) -> (
+          match List.assoc_opt table new_tables with
+          | None -> regress "table %s missing from the new file" table
+          | Some new_json ->
+              let old_rows = rows_of old_json and new_rows = rows_of new_json in
+              let find_new key =
+                List.find_opt (fun r -> row_key key_fields r = key) new_rows
+              in
+              List.iter
+                (fun old_row ->
+                  let key = row_key key_fields old_row in
+                  match find_new key with
+                  | None -> regress "%s/%s: missing from the new file" table key
+                  | Some new_row ->
+                      List.iter
+                        (fun (metric, dir) ->
+                          match
+                            ( Option.bind (List.assoc_opt metric old_row)
+                                as_number,
+                              Option.bind (List.assoc_opt metric new_row)
+                                as_number )
+                          with
+                          | Some old_v, Some new_v -> (
+                              let name =
+                                Printf.sprintf "%s/%s %s" table key metric
+                              in
+                              match dir with
+                              | Points_drop limit ->
+                                  let drop = old_v -. new_v in
+                                  if drop > limit th then
+                                    regress
+                                      "%s fell %.1f points (%.1f -> %.1f, \
+                                       allowed %.1f)"
+                                      name drop old_v new_v (limit th)
+                                  else
+                                    note "%s %.1f -> %.1f ok" name old_v new_v
+                              | Pct_increase limit ->
+                                  let pct =
+                                    100.0 *. (new_v -. old_v)
+                                    /. Float.max 1e-9 old_v
+                                  in
+                                  if new_v > old_v && pct > limit th then
+                                    regress
+                                      "%s grew %.0f%% (%s -> %s, allowed \
+                                       %.0f%%)"
+                                      name pct (fmt_value old_v)
+                                      (fmt_value new_v) (limit th)
+                                  else
+                                    note "%s %s -> %s ok" name
+                                      (fmt_value old_v) (fmt_value new_v)
+                              | Abs_drop limit ->
+                                  let drop = old_v -. new_v in
+                                  if drop > limit th then
+                                    regress
+                                      "%s dropped %.3f (%.3f -> %.3f, allowed \
+                                       %.3f)"
+                                      name drop old_v new_v (limit th)
+                                  else
+                                    note "%s %.3f -> %.3f ok" name old_v new_v)
+                          | _, _ ->
+                              note "%s/%s %s: not numeric in both files, \
+                                    skipped"
+                                table key metric)
+                        metrics)
+                old_rows))
+    old_tables;
+  { o_lines = List.rev !lines; o_regressions = List.rev !regressions }
+
+(* ---- dispatch ----------------------------------------------------------- *)
+
+let is_profile = function
+  | J.Obj o -> List.mem_assoc "sites" o
+  | _ -> false
+
+let diff_json ?(thresholds = default_thresholds) ~(old_ : J.json)
+    (new_ : J.json) : (outcome, string) result =
+  match (is_profile old_, is_profile new_) with
+  | true, true -> (
+      match (Attr.of_json old_, Attr.of_json new_) with
+      | Ok baseline, Ok p ->
+          let d =
+            Attr.diff ~max_elision_drop:thresholds.max_elision_drop
+              ~max_pause_increase_pct:thresholds.max_pause_increase_pct
+              ~max_cost_increase_pct:thresholds.max_cost_increase_pct ~baseline
+              p
+          in
+          Ok { o_lines = d.Attr.df_lines; o_regressions = d.Attr.df_regressions }
+      | Error e, _ -> Error ("old profile: " ^ e)
+      | _, Error e -> Error ("new profile: " ^ e))
+  | true, false | false, true ->
+      Error "cannot compare a profiler file with a BENCH table file"
+  | false, false -> (
+      match (old_, new_) with
+      | J.Obj old_tables, J.Obj new_tables ->
+          Ok (diff_tables ~th:thresholds old_tables new_tables)
+      | _ -> Error "expected top-level JSON objects")
+
+let diff_files ?thresholds ~(old_path : string) (new_path : string) :
+    (outcome, string) result =
+  let read path =
+    match In_channel.with_open_text path In_channel.input_all with
+    | contents -> (
+        match J.json_of_string contents with
+        | Ok j -> Ok j
+        | Error e -> Error (Printf.sprintf "%s: %s" path e))
+    | exception Sys_error e -> Error e
+  in
+  match (read old_path, read new_path) with
+  | Ok o, Ok n -> diff_json ?thresholds ~old_:o n
+  | Error e, _ | _, Error e -> Error e

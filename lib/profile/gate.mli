@@ -1,0 +1,50 @@
+(** The bench regression gate: compare two machine-readable artifacts —
+    either BENCH table files ([{"table1": [rows]}] as written by
+    [bench --json]) or profiler JSON files (as written by
+    [satbelim profile --json]) — and flag threshold breaches.
+
+    Known tables and their gated metrics:
+    - [table1]: [elim_pct] per benchmark (points drop);
+    - [fig2_summaries]: [elim_pct_havoc] / [elim_pct_summaries] per
+      (benchmark, inline limit) (points drop);
+    - [table2]: [cost_units] per mode (percent increase);
+    - [pause]: [p99] / [max] per (bench, collector) (percent increase)
+      and [mmu_10] (absolute drop).
+
+    A key present in the old file but missing from the new one is a
+    regression (a benchmark or collector silently disappearing must not
+    pass the gate); unknown tables are noted and skipped. *)
+
+type thresholds = {
+  max_elision_drop : float;
+      (** allowed drop in any elimination percentage, in points *)
+  max_pause_increase_pct : float;  (** allowed growth of p99/max pauses *)
+  max_cost_increase_pct : float;  (** allowed growth of modelled cost *)
+  max_mmu_drop : float;  (** allowed absolute drop of MMU\@10% *)
+}
+
+val default_thresholds : thresholds
+(** 2.0 points, 25%, 10%, 0.05. *)
+
+type outcome = {
+  o_lines : string list;  (** full comparison log *)
+  o_regressions : string list;  (** threshold breaches, subset *)
+}
+
+val regressed : outcome -> bool
+
+val diff_json :
+  ?thresholds:thresholds ->
+  old_:Telemetry.json ->
+  Telemetry.json ->
+  (outcome, string) result
+(** [diff_json ~old_ new_] dispatches on shape: a top-level ["sites"]
+    key means profiler files (delegates to {!Attr.diff}); otherwise
+    BENCH table files. *)
+
+val diff_files :
+  ?thresholds:thresholds -> old_path:string -> string -> (outcome, string) result
+(** [diff_files ~old_path new_path] reads, parses and compares two
+    artifact files. *)
+
+val render : outcome -> string

@@ -58,6 +58,13 @@ type site_stats = {
           flips [st_elided] off *)
   mutable execs : int;
   mutable pre_null_execs : int;
+  mutable paid_execs : int;
+      (** executions that ran a full barrier (kept, revoked or degraded) *)
+  mutable elided_execs : int;  (** executions that skipped the barrier *)
+  mutable barrier_units : int;
+      (** modelled RISC units charged at this site (barriers + checks) *)
+  mutable revocations : int;
+      (** times this site was patched back to a full barrier *)
 }
 
 (** [policy cls meth pc = true] means the analysis proved the barrier at
@@ -161,6 +168,11 @@ type t = {
   mutable degradations : int;  (** cycles that entered degraded mode *)
   mutable degraded_swap_execs : int;
       (** stores at swap-elided sites that fell back to full barriers *)
+  mutable external_paid_execs : int;
+      (** chaos-injected external stores that ran a full barrier; no site
+          of their own, attributed to the profiler's "external" row *)
+  mutable external_elided_execs : int;
+      (** chaos-injected external stores through live guarded elisions *)
   field_index : (field_ref, int) Hashtbl.t;
 }
 
@@ -202,6 +214,8 @@ let create ?(cfg = default_config) (prog : Jir.Program.t) : t =
     swap_degraded = false;
     degradations = 0;
     degraded_swap_execs = 0;
+    external_paid_execs = 0;
+    external_elided_execs = 0;
     field_index = Hashtbl.create 64;
   }
 
@@ -295,6 +309,7 @@ let apply_revocations (m : t) : unit =
         then begin
           st.st_elided <- false;
           st.st_check <- No_check;
+          st.revocations <- st.revocations + 1;
           m.revoked_sites <- m.revoked_sites + 1;
           Telemetry.incr c_revoked_sites;
           emit_revoked_site m site st ~materialized:false
@@ -413,6 +428,10 @@ let site_stats (m : t) (site : site) (kind : store_kind) : site_stats =
           st_guards = guards;
           execs = 0;
           pre_null_execs = 0;
+          paid_execs = 0;
+          elided_execs = 0;
+          barrier_units = 0;
+          revocations = (if would_elide && not alive then 1 else 0);
         }
       in
       Hashtbl.replace m.stats site st;
@@ -431,6 +450,7 @@ let ref_store_barrier (m : t) (fr : frame) ~(kind : store_kind) ~(obj : int)
   if pre_null then st.pre_null_execs <- st.pre_null_execs + 1;
   if st.st_elided && not (m.swap_degraded && st.st_check <> No_check) then begin
     m.elided_barrier_execs <- m.elided_barrier_execs + 1;
+    st.elided_execs <- st.elided_execs + 1;
     Telemetry.incr c_elided;
     (* a write through a guarded site during marking joins the repair
        set: if its guards later fail this cycle, the collector re-scans
@@ -445,6 +465,7 @@ let ref_store_barrier (m : t) (fr : frame) ~(kind : store_kind) ~(obj : int)
         let cost = Barrier_cost.tracing_check_units in
         m.barrier_units <- m.barrier_units + cost;
         m.cost_units <- m.cost_units + cost;
+        st.barrier_units <- st.barrier_units + cost;
         m.gc.on_unlogged_store ~obj;
         m.in_no_safepoint <- check = Check_open
   end
@@ -460,6 +481,7 @@ let ref_store_barrier (m : t) (fr : frame) ~(kind : store_kind) ~(obj : int)
       if st.st_check = Check_close then m.in_no_safepoint <- false
     end;
     m.barriers_executed <- m.barriers_executed + 1;
+    st.paid_execs <- st.paid_execs + 1;
     Telemetry.incr c_barriers;
     let cost =
       match m.cfg.barrier_flavor with
@@ -470,6 +492,7 @@ let ref_store_barrier (m : t) (fr : frame) ~(kind : store_kind) ~(obj : int)
     in
     m.barrier_units <- m.barrier_units + cost;
     m.cost_units <- m.cost_units + cost;
+    st.barrier_units <- st.barrier_units + cost;
     let active =
       match m.cfg.satb_mode, m.cfg.barrier_flavor with
       | Barrier_cost.No_barrier, _ -> false
@@ -520,11 +543,13 @@ let external_guarded_store (m : t) ~(obj : int) ~(idx : int) ~(v : Value.t) :
   external_slot_store m ~obj ~idx ~v ~log:(fun ~pre ->
       if elided then begin
         m.elided_barrier_execs <- m.elided_barrier_execs + 1;
+        m.external_elided_execs <- m.external_elided_execs + 1;
         Telemetry.incr c_elided;
         if m.gc.is_marking () then m.guarded_writes <- obj :: m.guarded_writes
       end
       else begin
         m.barriers_executed <- m.barriers_executed + 1;
+        m.external_paid_execs <- m.external_paid_execs + 1;
         Telemetry.incr c_barriers;
         m.gc.log_ref_store ~obj ~pre
       end)

@@ -12,6 +12,10 @@ type site = {
   s_pc : int;
 }
 
+val site_id : site -> string
+(** ["Class.method\@pc"] — the site id used in traces, [--explain] output
+    and the profiler's attribution rows. *)
+
 type retrace_site = No_check | Check_open | Check_close
 (** What the retrace collector's compiler emits at a swap-elided store: a
     tracing-state check that also opens (store 1) or closes (store 2) a
@@ -36,6 +40,15 @@ type site_stats = {
       (** assumptions this site's elision depends on *)
   mutable execs : int;
   mutable pre_null_execs : int;
+  mutable paid_execs : int;
+      (** executions that ran a full barrier (kept, revoked or degraded);
+          [execs = paid_execs + elided_execs] always holds *)
+  mutable elided_execs : int;  (** executions that skipped the barrier *)
+  mutable barrier_units : int;
+      (** modelled RISC units charged at this site (barriers + tracing
+          checks); sums to [t.barrier_units] over all sites *)
+  mutable revocations : int;
+      (** times this site was patched back to a full barrier *)
 }
 
 type barrier_policy =
@@ -123,6 +136,12 @@ type t = {
   mutable swap_degraded : bool;
   mutable degradations : int;
   mutable degraded_swap_execs : int;
+  mutable external_paid_execs : int;
+      (** chaos-injected external stores that ran a full barrier — no site
+          of their own; the profiler attributes them to an "external" row
+          so per-site totals still reconcile with the global counters *)
+  mutable external_elided_execs : int;
+      (** chaos-injected external stores through live guarded elisions *)
   field_index : (Jir.Types.field_ref, int) Hashtbl.t;
 }
 

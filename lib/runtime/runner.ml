@@ -33,6 +33,9 @@ type gc_summary = {
   cycles : int;
   total_violations : int;
   final_pause_works : int list;  (** per cycle, oldest first *)
+  pause_steps : int list;
+      (** mutator instruction count at which each final pause began,
+          parallel to [final_pause_works] — the profiler's MMU timeline *)
   mark_increments : int list;
   logged_or_dirtied : int list;
       (** SATB buffer entries / dirty cards, per cycle *)
@@ -56,18 +59,21 @@ type live = {
   l_marking : unit -> bool;
   l_start : unit -> unit;
   l_quiescent : unit -> bool;
-  l_finish : unit -> unit;  (** run the final pause, keep the report *)
+  l_finish : unit -> int;
+      (** run the final pause, keep the report, return the pause's work *)
   l_degraded : unit -> bool;
       (** the cycle overflowed its retrace budget; swap elision must be
           disabled for its remainder *)
   l_summary : unit -> gc_summary;
 }
 
-let summary_of_cycles ~violations ~pause ~increments ~logged ~retraced rs =
+let summary_of_cycles ~violations ~pause ~increments ~logged ~retraced
+    ~pause_steps rs =
   {
     cycles = List.length rs;
     total_violations = List.fold_left (fun a r -> a + violations r) 0 rs;
     final_pause_works = List.map pause rs;
+    pause_steps;
     mark_increments = List.map increments rs;
     logged_or_dirtied = List.map logged rs;
     retraced = List.map retraced rs;
@@ -86,19 +92,23 @@ let run ?(cfg = Interp.default_config) ?(gc = No_gc) ?(quantum = 50)
     (prog : Jir.Program.t) ~(entry : Jir.Types.method_ref) : report =
   let m = Interp.create ~cfg prog in
   let _main = Interp.spawn_thread m entry [] in
+  let gc_name =
+    match gc with
+    | No_gc -> "none"
+    | Satb _ -> "satb"
+    | Incr _ -> "incremental-update"
+    | Retrace _ -> "retrace"
+  in
   Telemetry.emit "run.start"
     [
       ("entry", Telemetry.Str (entry.Jir.Types.mclass ^ "." ^ entry.Jir.Types.mname));
-      ( "gc",
-        Telemetry.Str
-          (match gc with
-          | No_gc -> "none"
-          | Satb _ -> "satb"
-          | Incr _ -> "incremental-update"
-          | Retrace _ -> "retrace") );
+      ("gc", Telemetry.Str gc_name);
       ("seed", Telemetry.Int seed);
       ("chaos", Telemetry.Bool (chaos <> None));
     ];
+  (* mutator step at which each final (remark) pause began, oldest first
+     once reversed — the profiler's MMU/pause timeline *)
+  let pause_steps = ref [] in
   (* an adversarial chaos plan may override the pacing *)
   let quantum, gc_period =
     match chaos with
@@ -124,7 +134,10 @@ let run ?(cfg = Interp.default_config) ?(gc = No_gc) ?(quantum = 50)
             l_start = (fun () -> Satb_gc.start_cycle t);
             l_quiescent = (fun () -> Satb_gc.quiescent t);
             l_finish =
-              (fun () -> reports := Satb_gc.finish_cycle t :: !reports);
+              (fun () ->
+                let r = Satb_gc.finish_cycle t in
+                reports := r :: !reports;
+                r.Satb_gc.final_pause_work);
             l_degraded = (fun () -> false);
             l_summary =
               (fun () ->
@@ -133,7 +146,8 @@ let run ?(cfg = Interp.default_config) ?(gc = No_gc) ?(quantum = 50)
                   ~pause:(fun r -> r.Satb_gc.final_pause_work)
                   ~increments:(fun r -> r.Satb_gc.increments)
                   ~logged:(fun r -> r.Satb_gc.logged)
-                  ~retraced:(fun _ -> 0));
+                  ~retraced:(fun _ -> 0)
+                  ~pause_steps:(List.rev !pause_steps));
           }
     | Incr { steps_per_increment; _ } ->
         let t = Incr_gc.create ~steps_per_increment m.Interp.heap ~roots in
@@ -145,7 +159,10 @@ let run ?(cfg = Interp.default_config) ?(gc = No_gc) ?(quantum = 50)
             l_start = (fun () -> Incr_gc.start_cycle t);
             l_quiescent = (fun () -> Incr_gc.quiescent t);
             l_finish =
-              (fun () -> reports := Incr_gc.finish_cycle t :: !reports);
+              (fun () ->
+                let r = Incr_gc.finish_cycle t in
+                reports := r :: !reports;
+                r.Incr_gc.final_pause_work);
             l_degraded = (fun () -> false);
             l_summary =
               (fun () ->
@@ -154,7 +171,8 @@ let run ?(cfg = Interp.default_config) ?(gc = No_gc) ?(quantum = 50)
                   ~pause:(fun r -> r.Incr_gc.final_pause_work)
                   ~increments:(fun r -> r.Incr_gc.increments)
                   ~logged:(fun r -> r.Incr_gc.dirty_cards)
-                  ~retraced:(fun _ -> 0));
+                  ~retraced:(fun _ -> 0)
+                  ~pause_steps:(List.rev !pause_steps));
           }
     | Retrace { steps_per_increment; _ } ->
         let t =
@@ -169,7 +187,10 @@ let run ?(cfg = Interp.default_config) ?(gc = No_gc) ?(quantum = 50)
             l_start = (fun () -> Retrace_gc.start_cycle t);
             l_quiescent = (fun () -> Retrace_gc.quiescent t);
             l_finish =
-              (fun () -> reports := Retrace_gc.finish_cycle t :: !reports);
+              (fun () ->
+                let r = Retrace_gc.finish_cycle t in
+                reports := r :: !reports;
+                r.Retrace_gc.final_pause_work);
             l_degraded = (fun () -> Retrace_gc.is_degraded t);
             l_summary =
               (fun () ->
@@ -179,7 +200,8 @@ let run ?(cfg = Interp.default_config) ?(gc = No_gc) ?(quantum = 50)
                   ~pause:(fun r -> r.Retrace_gc.final_pause_work)
                   ~increments:(fun r -> r.Retrace_gc.increments)
                   ~logged:(fun r -> r.Retrace_gc.logged)
-                  ~retraced:(fun r -> r.Retrace_gc.retraces));
+                  ~retraced:(fun r -> r.Retrace_gc.retraces)
+                  ~pause_steps:(List.rev !pause_steps));
           }
   in
   let trigger =
@@ -207,12 +229,30 @@ let run ?(cfg = Interp.default_config) ?(gc = No_gc) ?(quantum = 50)
       (not (l.l_marking ()))
       && m.Interp.heap.Heap.total_allocated - !last_cycle_alloc >= trigger
     then begin
+      Telemetry.emit "gc.cycle.begin"
+        [
+          ("collector", Telemetry.Str gc_name);
+          ("at_step", Telemetry.Int m.Interp.instr_count);
+        ];
       l.l_start ();
       Interp.reset_cycle_state m
     end
   in
+  (* run the final (remark) pause, stamping when it happened on the
+     mutator's instruction timeline — the profiler's MMU input *)
+  let record_pause l =
+    let at_step = m.Interp.instr_count in
+    let work = l.l_finish () in
+    pause_steps := at_step :: !pause_steps;
+    Telemetry.emit "gc.pause"
+      [
+        ("collector", Telemetry.Str gc_name);
+        ("at_step", Telemetry.Int at_step);
+        ("work", Telemetry.Int work);
+      ]
+  in
   let finish_cycle l =
-    l.l_finish ();
+    record_pause l;
     Interp.reset_cycle_state m;
     last_cycle_alloc := m.Interp.heap.Heap.total_allocated
   in
@@ -272,7 +312,7 @@ let run ?(cfg = Interp.default_config) ?(gc = No_gc) ?(quantum = 50)
   done;
   (* finish any in-flight cycle so its invariants still get checked *)
   (match live with
-  | Some l when l.l_marking () -> l.l_finish ()
+  | Some l when l.l_marking () -> record_pause l
   | Some _ | None -> ());
   Telemetry.emit "run.finish"
     [

@@ -23,6 +23,10 @@ type gc_summary = {
   cycles : int;
   total_violations : int;
   final_pause_works : int list;  (** per cycle, oldest first *)
+  pause_steps : int list;
+      (** mutator instruction count at which each final pause began,
+          parallel to [final_pause_works] — the profiler's MMU/pause
+          timeline (also emitted as [gc.pause] trace events) *)
   mark_increments : int list;
   logged_or_dirtied : int list;
       (** SATB log entries / dirty cards, per cycle *)

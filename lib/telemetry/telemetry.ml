@@ -496,11 +496,13 @@ let event_of_json (j : json) : (event, string) result =
   | _ -> Error "not a JSON object"
 
 (** Validate a whole trace: every line schema-valid, timestamps
-    non-decreasing, sequence numbers strictly increasing.  Returns the
-    number of events on success, or [(line_number, message)] for the
-    first offending line. *)
+    non-decreasing, sequence numbers strictly increasing, and run
+    envelopes well-bracketed (every [run.finish] closes a distinct
+    preceding [run.start] — a duplicated or orphaned finish envelope is
+    rejected).  Returns the number of events on success, or
+    [(line_number, message)] for the first offending line. *)
 let validate_trace_lines (lines : string list) : (int, int * string) result =
-  let rec go i prev_ts prev_seq = function
+  let rec go i prev_ts prev_seq ~starts ~finishes = function
     | [] -> Ok (i - 1)
     | line :: rest -> (
         match validate_event_line line with
@@ -516,9 +518,24 @@ let validate_trace_lines (lines : string list) : (int, int * string) result =
                       Error (i, "timestamp went backwards")
                     else if e.ev_seq <= prev_seq then
                       Error (i, "sequence number did not increase")
-                    else go (i + 1) e.ev_ts e.ev_seq rest)))
+                    else
+                      let starts =
+                        if e.ev_kind = "run.start" then starts + 1 else starts
+                      in
+                      if e.ev_kind = "run.finish" && finishes >= starts then
+                        Error
+                          ( i,
+                            "duplicate \"run.finish\" envelope (no matching \
+                             \"run.start\")" )
+                      else
+                        let finishes =
+                          if e.ev_kind = "run.finish" then finishes + 1
+                          else finishes
+                        in
+                        go (i + 1) e.ev_ts e.ev_seq ~starts ~finishes rest)))
   in
-  go 1 0.0 (-1) (List.filter (fun l -> String.trim l <> "") lines)
+  go 1 0.0 (-1) ~starts:0 ~finishes:0
+    (List.filter (fun l -> String.trim l <> "") lines)
 
 (* ---- chrome trace-event exporter ---------------------------------------- *)
 

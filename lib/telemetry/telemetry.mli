@@ -109,7 +109,9 @@ val validate_event_line : string -> (unit, string) result
 
 val validate_trace_lines : string list -> (int, int * string) result
 (** Whole trace (blank lines skipped): every line schema-valid,
-    timestamps non-decreasing, sequence numbers strictly increasing.
+    timestamps non-decreasing, sequence numbers strictly increasing, and
+    run envelopes well-bracketed — a [run.finish] with no distinct
+    preceding [run.start] (duplicated or orphaned) is rejected.
     [Ok n] is the event count; [Error (line, msg)] names the first
     offender. *)
 

@@ -70,11 +70,30 @@ let test_table2_ordering () =
 let test_pause_ordering () =
   List.iter
     (fun (r : Harness.Pause.row) ->
+      let satb = Harness.Pause.find r "satb"
+      and incr = Harness.Pause.find r "incr" in
+      let satb_max = satb.pauses.Profile.Stats.d_max
+      and incr_max = incr.pauses.Profile.Stats.d_max in
       Alcotest.(check bool)
         (Printf.sprintf "%s: incr pause (%d) ≥ 10x satb pause (%d)" r.bench
-           r.incr_max_pause r.satb_max_pause)
+           incr_max satb_max)
         true
-        (r.incr_max_pause >= 10 * max 1 r.satb_max_pause))
+        (incr_max >= 10 * max 1 satb_max);
+      (* the dist view must agree with itself: percentiles ordered and
+         bounded by max, and the paused fraction consistent with MMU *)
+      List.iter
+        (fun (c : Harness.Pause.coll) ->
+          let d = c.pauses in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s: p50 ≤ p90 ≤ p99 ≤ max" r.bench c.collector)
+            true
+            Profile.Stats.(
+              d.d_p50 <= d.d_p90 && d.d_p90 <= d.d_p99 && d.d_p99 <= d.d_max);
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s: mmu ≤ utilization" r.bench c.collector)
+            true
+            (c.mmu_10 <= c.utilization +. 1e-9))
+        r.collectors)
     (Harness.Pause.measure ())
 
 let test_nullsame_deltas () =

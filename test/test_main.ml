@@ -30,5 +30,6 @@ let () =
       ("workloads", Test_workloads.tests);
       ("harness", Test_harness.tests);
       ("telemetry", Test_telemetry.tests);
+      ("profile", Test_profile.tests);
       ("smoke", Test_smoke.tests);
     ]

@@ -1,0 +1,255 @@
+(* The profiler layer: percentile units, MMU windowing edge cases, the
+   per-site-sums-reconcile-exactly property under chaos, deterministic
+   JSON round-trips, and the regression gate's thresholds. *)
+
+module Stats = Profile.Stats
+module Attr = Profile.Attr
+module Gate = Profile.Gate
+
+(* --- percentiles -------------------------------------------------------- *)
+
+let test_percentiles () =
+  let d = Stats.dist_of [] in
+  Alcotest.(check (list int))
+    "empty dist is all zero" [ 0; 0; 0; 0; 0; 0 ]
+    [ d.d_count; d.d_total; d.d_p50; d.d_p90; d.d_p99; d.d_max ];
+  let d = Stats.dist_of [ 7 ] in
+  Alcotest.(check (list int))
+    "singleton dist" [ 1; 7; 7; 7; 7; 7 ]
+    [ d.d_count; d.d_total; d.d_p50; d.d_p90; d.d_p99; d.d_max ];
+  (* nearest-rank on 1..100 is the identity *)
+  let xs = List.init 100 (fun i -> 100 - i) in
+  List.iter
+    (fun p ->
+      Alcotest.(check int)
+        (Printf.sprintf "p%d of 1..100" p)
+        p
+        (Stats.percentile xs (float_of_int p)))
+    [ 1; 50; 90; 99; 100 ];
+  let d = Stats.dist_of (List.init 10 (fun i -> i + 1)) in
+  Alcotest.(check (list int))
+    "1..10 percentiles" [ 5; 9; 10; 10 ]
+    [ d.d_p50; d.d_p90; d.d_p99; d.d_max ]
+
+(* --- MMU windowing edge cases ------------------------------------------- *)
+
+let test_mmu_zero_pause () =
+  let t = { Stats.steps = 100; pauses = [] } in
+  Alcotest.(check int) "total time" 100 (Stats.total_time t);
+  List.iter
+    (fun w ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "mmu@%d of a zero-pause run" w)
+        1.0
+        (Stats.mmu t ~window:w))
+    [ 1; 10; 100; 1000 ];
+  List.iter
+    (fun (_, u) ->
+      Alcotest.(check (float 1e-9)) "curve point" 1.0 u)
+    (Stats.mmu_curve t)
+
+let test_mmu_window_longer_than_run () =
+  (* a window longer than the whole run clamps to it, so MMU degrades to
+     overall utilization *)
+  let t = { Stats.steps = 10; pauses = [ { Stats.at = 5; work = 10 } ] } in
+  Alcotest.(check int) "total time" 20 (Stats.total_time t);
+  Alcotest.(check (float 1e-9)) "clamped window = utilization" 0.5
+    (Stats.mmu t ~window:1000);
+  Alcotest.(check (float 1e-9)) "utilization agrees" 0.5 (Stats.utilization t)
+
+let test_mmu_exact_worst_window () =
+  let t = { Stats.steps = 90; pauses = [ { Stats.at = 50; work = 10 } ] } in
+  (* a window the size of the pause can sit entirely inside it *)
+  Alcotest.(check (float 1e-9)) "window = pause -> 0" 0.0
+    (Stats.mmu t ~window:10);
+  (* a window twice the pause is at worst half paused *)
+  Alcotest.(check (float 1e-9)) "window = 2x pause -> 0.5" 0.5
+    (Stats.mmu t ~window:20);
+  (* the full run sees 10/100 pause time *)
+  Alcotest.(check (float 1e-9)) "window = run" 0.9 (Stats.mmu t ~window:100)
+
+let test_mmu_degenerate () =
+  let empty = { Stats.steps = 0; pauses = [] } in
+  Alcotest.(check (float 1e-9)) "empty run" 1.0 (Stats.mmu empty ~window:10);
+  Alcotest.(check bool) "empty curve" true (Stats.mmu_curve empty = []);
+  let t = { Stats.steps = 100; pauses = [ { Stats.at = 10; work = 5 } ] } in
+  Alcotest.(check (float 1e-9)) "window 0" 1.0 (Stats.mmu t ~window:0);
+  (* ascending deduped windows, each at least one unit *)
+  let ws = List.map fst (Stats.mmu_curve t) in
+  Alcotest.(check bool) "windows ascending" true (List.sort_uniq compare ws = ws);
+  Alcotest.(check bool) "windows positive" true (List.for_all (fun w -> w >= 1) ws)
+
+(* --- per-site sums reconcile exactly with the interpreter --------------- *)
+
+let compile_full w =
+  Harness.Exp.compile ~null_or_same:true ~move_down:true ~swap:true w
+
+let profile_of_report ~(cw : Harness.Exp.compiled_workload) ~gc r =
+  Attr.of_report ~workload:cw.Harness.Exp.workload.name ~gc
+    ~explain:(Harness.Exp.explain_policy_of cw) r
+
+let reconcile_prop =
+  QCheck2.Test.make
+    ~name:"per-site profile sums reconcile with interpreter counters under chaos"
+    ~count:20
+    (QCheck2.Gen.triple
+       (QCheck2.Gen.oneofl Workloads.Registry.table1)
+       (QCheck2.Gen.int_range 1 500)
+       QCheck2.Gen.bool)
+    (fun (w, seed, use_retrace) ->
+      let cw = compile_full w in
+      let gc, gc_name =
+        if use_retrace then
+          ( Jrt.Runner.make_retrace ~trigger_allocs:24 ~steps_per_increment:8 (),
+            "retrace" )
+        else
+          ( Jrt.Runner.make_satb ~trigger_allocs:24 ~steps_per_increment:8 (),
+            "satb" )
+      in
+      let chaos = Jrt.Chaos.create (Jrt.Chaos.of_seed seed) in
+      let r =
+        Harness.Exp.run ~gc ~guards:true ~chaos ~fail_on_thread_error:false
+          ~seed cw
+      in
+      let p = profile_of_report ~cw ~gc:gc_name r in
+      (match Attr.reconciles p r with
+      | Ok () -> ()
+      | Error e -> QCheck2.Test.fail_reportf "%s (seed %d): %s" w.name seed e);
+      (* and the machine-level split is the legacy dyn_stats split *)
+      let m = r.Jrt.Runner.machine in
+      if
+        p.Attr.p_totals.t_elided_execs + p.Attr.p_totals.t_external_elided
+        <> m.Jrt.Interp.elided_barrier_execs
+      then QCheck2.Test.fail_reportf "elided split diverged";
+      true)
+
+(* --- JSON round-trip is exact and deterministic -------------------------- *)
+
+let db_profile () =
+  let cw = compile_full Workloads.Db.t in
+  let r =
+    Harness.Exp.run
+      ~gc:(Jrt.Runner.make_retrace ~trigger_allocs:24 ())
+      ~guards:true cw
+  in
+  profile_of_report ~cw ~gc:"retrace" r
+
+let test_json_roundtrip () =
+  let p = db_profile () in
+  let s = Telemetry.json_to_string (Attr.to_json p) in
+  match Telemetry.json_of_string s with
+  | Error e -> Alcotest.failf "re-parse failed: %s" e
+  | Ok j -> (
+      match Attr.of_json j with
+      | Error e -> Alcotest.failf "of_json failed: %s" e
+      | Ok p' ->
+          Alcotest.(check string)
+            "byte-identical after a round-trip" s
+            (Telemetry.json_to_string (Attr.to_json p'));
+          Alcotest.(check int)
+            "sites survive" (List.length p.p_sites)
+            (List.length p'.Attr.p_sites))
+
+let test_hot_deterministic () =
+  let p = db_profile () in
+  let sites = Attr.hot ~top:5 p in
+  Alcotest.(check bool) "at most five" true (List.length sites <= 5);
+  let units = List.map (fun s -> s.Attr.r_barrier_units) sites in
+  Alcotest.(check bool) "sorted by units desc" true
+    (List.sort (fun a b -> compare b a) units = units);
+  (* ties broken by site id: re-running gives the identical order *)
+  let again = Attr.hot ~top:5 (db_profile ()) in
+  Alcotest.(check (list string))
+    "stable across runs"
+    (List.map (fun s -> s.Attr.r_site) sites)
+    (List.map (fun s -> s.Attr.r_site) again)
+
+(* --- profile diff and the bench gate ------------------------------------- *)
+
+let test_profile_diff_regression () =
+  let cw_plain = Harness.Exp.compile Workloads.Db.t in
+  let gc = Jrt.Runner.make_retrace ~trigger_allocs:24 () in
+  let plain =
+    profile_of_report ~cw:cw_plain ~gc:"retrace"
+      (Harness.Exp.run ~gc ~guards:true cw_plain)
+  in
+  let full = db_profile () in
+  (* losing the extension stack drops the elision rate by ~70 points *)
+  let d = Attr.diff ~baseline:full plain in
+  Alcotest.(check bool) "plain-vs-full regresses" true (Attr.regressed d);
+  (* the other direction is an improvement, not a regression *)
+  let d = Attr.diff ~baseline:plain full in
+  Alcotest.(check bool) "full-vs-plain passes" false (Attr.regressed d);
+  (* self-diff is clean *)
+  let d = Attr.diff ~baseline:full full in
+  Alcotest.(check bool) "self-diff passes" false (Attr.regressed d)
+
+let table1_json elim_pct =
+  Telemetry.Obj
+    [
+      ( "table1",
+        Telemetry.List
+          [
+            Telemetry.Obj
+              [
+                ("benchmark", Telemetry.Str "db");
+                ("elim_pct", Telemetry.Float elim_pct);
+              ];
+          ] );
+    ]
+
+let test_gate_five_point_drop () =
+  (match Gate.diff_json ~old_:(table1_json 9.0) (table1_json 4.0) with
+  | Ok o -> Alcotest.(check bool) "5-point drop fails" true (Gate.regressed o)
+  | Error e -> Alcotest.fail e);
+  (match Gate.diff_json ~old_:(table1_json 9.0) (table1_json 8.5) with
+  | Ok o ->
+      Alcotest.(check bool) "0.5-point drop passes" false (Gate.regressed o)
+  | Error e -> Alcotest.fail e);
+  (* a benchmark silently disappearing must not pass *)
+  match
+    Gate.diff_json ~old_:(table1_json 9.0)
+      (Telemetry.Obj [ ("table1", Telemetry.List []) ])
+  with
+  | Ok o -> Alcotest.(check bool) "missing row fails" true (Gate.regressed o)
+  | Error e -> Alcotest.fail e
+
+let test_gate_profile_files () =
+  let full = db_profile () in
+  let cw_plain = Harness.Exp.compile Workloads.Db.t in
+  let plain =
+    profile_of_report ~cw:cw_plain ~gc:"retrace"
+      (Harness.Exp.run
+         ~gc:(Jrt.Runner.make_retrace ~trigger_allocs:24 ())
+         ~guards:true cw_plain)
+  in
+  (match Gate.diff_json ~old_:(Attr.to_json full) (Attr.to_json plain) with
+  | Ok o ->
+      Alcotest.(check bool) "gate sees profile regression" true
+        (Gate.regressed o)
+  | Error e -> Alcotest.fail e);
+  match Gate.diff_json ~old_:(Attr.to_json full) (table1_json 9.0) with
+  | Ok _ -> Alcotest.fail "mixed formats must not compare"
+  | Error _ -> ()
+
+let tests =
+  [
+    Alcotest.test_case "nearest-rank percentiles" `Quick test_percentiles;
+    Alcotest.test_case "MMU of a zero-pause run" `Quick test_mmu_zero_pause;
+    Alcotest.test_case "MMU window longer than the run" `Quick
+      test_mmu_window_longer_than_run;
+    Alcotest.test_case "MMU finds the worst window exactly" `Quick
+      test_mmu_exact_worst_window;
+    Alcotest.test_case "MMU degenerate inputs" `Quick test_mmu_degenerate;
+    QCheck_alcotest.to_alcotest reconcile_prop;
+    Alcotest.test_case "profile JSON round-trips byte-identically" `Quick
+      test_json_roundtrip;
+    Alcotest.test_case "hot-site ranking is deterministic" `Quick
+      test_hot_deterministic;
+    Alcotest.test_case "profile diff flags a lost extension stack" `Quick
+      test_profile_diff_regression;
+    Alcotest.test_case "gate fails a doctored 5-point elision drop" `Quick
+      test_gate_five_point_drop;
+    Alcotest.test_case "gate handles profiler files and format mixing" `Quick
+      test_gate_profile_files;
+  ]

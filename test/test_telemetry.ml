@@ -120,6 +120,56 @@ let test_validate_event_line () =
       ("negative ts", {|{"ts": -1, "seq": 3, "kind": "x"}|});
     ]
 
+(* --- whole-trace validation on hand-broken traces ----------------------- *)
+
+let test_validate_trace_rejects_broken () =
+  let line ~ts ~seq kind =
+    Printf.sprintf {|{"ts": %g, "seq": %d, "kind": %S}|} ts seq kind
+  in
+  (* a well-bracketed two-run trace is fine *)
+  (match
+     Telemetry.validate_trace_lines
+       [
+         line ~ts:0.1 ~seq:0 "run.start";
+         line ~ts:0.2 ~seq:1 "run.finish";
+         line ~ts:0.3 ~seq:2 "run.start";
+         line ~ts:0.4 ~seq:3 "run.finish";
+       ]
+   with
+  | Ok n -> Alcotest.(check int) "two runs accepted" 4 n
+  | Error (l, msg) -> Alcotest.failf "valid trace rejected at %d: %s" l msg);
+  let broken =
+    [
+      ( "non-monotonic timestamps",
+        3,
+        [
+          line ~ts:0.1 ~seq:0 "run.start";
+          line ~ts:0.5 ~seq:1 "gc.cycle.start";
+          line ~ts:0.2 ~seq:2 "run.finish";
+        ] );
+      ( "non-increasing sequence numbers",
+        2,
+        [ line ~ts:0.1 ~seq:3 "run.start"; line ~ts:0.2 ~seq:3 "run.finish" ]
+      );
+      ( "duplicate run.finish",
+        3,
+        [
+          line ~ts:0.1 ~seq:0 "run.start";
+          line ~ts:0.2 ~seq:1 "run.finish";
+          line ~ts:0.3 ~seq:2 "run.finish";
+        ] );
+      ("orphan run.finish", 1, [ line ~ts:0.1 ~seq:0 "run.finish" ]);
+    ]
+  in
+  List.iter
+    (fun (what, want_line, lines) ->
+      match Telemetry.validate_trace_lines lines with
+      | Ok _ -> Alcotest.failf "accepted %s" what
+      | Error (l, _) ->
+          Alcotest.(check int) (what ^ " flagged on the right line") want_line
+            l)
+    broken
+
 let test_chrome_export_shape () =
   reset ();
   with_recording (fun () ->
@@ -313,6 +363,8 @@ let tests =
     Alcotest.test_case "event ordering and JSON round-trip" `Quick
       test_event_ordering_and_roundtrip;
     Alcotest.test_case "JSONL schema validator" `Quick test_validate_event_line;
+    Alcotest.test_case "trace validator rejects hand-broken traces" `Quick
+      test_validate_trace_rejects_broken;
     Alcotest.test_case "chrome trace export shape" `Quick
       test_chrome_export_shape;
     Alcotest.test_case "chaos run streams a schema-valid trace" `Quick
