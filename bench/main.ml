@@ -36,6 +36,10 @@ let experiments =
     ( "profile",
       "E14: per-site hot-path attribution, plain vs full analysis on db",
       Harness.Profiler.print );
+    ( "hybrid",
+      "E15: hybrid write barrier, per-collector per-half elision + chaos \
+       soundness",
+      Harness.Hybrid.print );
   ]
 
 (* --- machine-readable artifacts (--json) ------------------------------ *)
@@ -51,22 +55,30 @@ let write_file path content =
    functions populate, so the rendered tables, the harness output and the
    BENCH_*.json files all share one source of truth. *)
 let emit_json () =
-  let emit path table =
+  (* every artifact carries the table-file schema version so the gate
+     refuses to compare baselines written at a different layout *)
+  let emit path tables =
     write_file path
       (Telemetry.json_to_string_pretty
-         (Telemetry.Obj [ (table, Telemetry.table_to_json table) ])
+         (Telemetry.Obj
+            (( "schema_version",
+               Telemetry.Int Profile.Gate.bench_schema_version )
+            :: List.map (fun t -> (t, Telemetry.table_to_json t)) tables))
       ^ "\n")
   in
   ignore (Harness.Table1.rows ());
-  emit "BENCH_table1.json" "table1";
+  emit "BENCH_table1.json" [ "table1" ];
   ignore (Harness.Table2.measure ());
-  emit "BENCH_table2.json" "table2";
+  emit "BENCH_table2.json" [ "table2" ];
   ignore (Harness.Summaries.measure ());
-  emit "BENCH_fig2.json" "fig2_summaries";
+  emit "BENCH_fig2.json" [ "fig2_summaries" ];
   ignore (Harness.Pause.measure ());
-  emit "BENCH_pause.json" "pause";
+  emit "BENCH_pause.json" [ "pause" ];
   ignore (Harness.Profiler.measure ());
-  emit "BENCH_profile.json" "profile"
+  emit "BENCH_profile.json" [ "profile" ];
+  ignore (Harness.Hybrid.measure ());
+  ignore (Harness.Hybrid.measure_chaos ());
+  emit "BENCH_hybrid.json" [ "hybrid"; "hybrid_chaos" ]
 
 (* --- regression gate (`bench diff OLD.json NEW.json`) ----------------- *)
 

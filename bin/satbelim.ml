@@ -271,10 +271,11 @@ let gc_arg =
              ("satb", `Satb);
              ("incr", `Incr);
              ("retrace", `Retrace);
+             ("hybrid", `Hybrid);
            ])
         `Satb
     & info [ "gc" ] ~docv:"GC"
-        ~doc:"Collector: none, satb, incr, or retrace.")
+        ~doc:"Collector: none, satb, incr, retrace, or hybrid.")
 
 let entry_arg =
   Arg.(
@@ -290,21 +291,72 @@ let assumption_to_runtime :
   | Satb_core.Driver.Mode_a -> Jrt.Interp.Mode_a
   | Satb_core.Driver.Closed_world -> Jrt.Interp.Closed_world
 
+(* Split verdicts for --gc hybrid: each half of the barrier elides (and
+   revokes) independently, carrying its own guard set. *)
+let half_policy_of ?(no_elim = false) (compiled : Satb_core.Driver.compiled) :
+    Jrt.Interp.half_policy =
+ fun c m pc ->
+  if no_elim then Jrt.Interp.keep_both
+  else
+    let key =
+      { Satb_core.Driver.sk_class = c; sk_method = m; sk_pc = pc }
+    in
+    match Satb_core.Driver.hybrid_verdict compiled key with
+    | `Keep -> Jrt.Interp.keep_both
+    | (`Elide_deletion | `Elide_insertion | `Elide_both) as hv ->
+        let del = hv = `Elide_deletion || hv = `Elide_both in
+        let ins = hv = `Elide_insertion || hv = `Elide_both in
+        {
+          Jrt.Interp.hs_del_elide = del;
+          hs_ins_elide = ins;
+          hs_ins_repair = ins && Satb_core.Driver.ins_repair_needed compiled key;
+          hs_del_guards =
+            (if del then
+               List.map assumption_to_runtime
+                 (Satb_core.Driver.site_assumptions compiled key)
+             else []);
+          hs_ins_guards =
+            (if ins then
+               List.map assumption_to_runtime
+                 (Satb_core.Driver.ins_site_assumptions compiled key)
+             else []);
+        }
+
 let run_cmd =
   let run file limit mode nos md swap summaries gc entry no_elim chaos_seed
       retrace_budget no_revoke allow_unsound gc_trigger trace metrics chrome =
     let prog = or_die (load file) in
-    (* Refuse statically-unsound elision/collector combinations: swap
-       verdicts depend on the retrace collector's tracing-state protocol,
-       and the §4.3 extensions assume a single mutator.  [--allow-unsound]
-       runs them anyway so the snapshot oracle can demonstrate the
-       breakage. *)
+    let gc_choice =
+      match gc with
+      | `None -> Jrt.Runner.No_gc
+      | `Satb -> Jrt.Runner.make_satb ~trigger_allocs:gc_trigger ()
+      | `Incr -> Jrt.Runner.make_incr ~trigger_allocs:gc_trigger ()
+      | `Retrace -> Jrt.Runner.make_retrace ~trigger_allocs:gc_trigger ()
+      | `Hybrid -> Jrt.Runner.make_hybrid ~trigger_allocs:gc_trigger ()
+    in
+    (* Refuse statically-unsound elision/collector combinations, judged
+       against the chosen collector's declared capabilities (the same
+       record {!Jrt.Runner.run} asserts against the installed collector at
+       start-up): swap verdicts need the tracing-state protocol, move-down
+       needs a descending array scan, and both assume a single mutator.
+       [--gc none] never marks, so every elision is vacuously sound under
+       it.  [--allow-unsound] runs the combination anyway so the snapshot
+       oracle can demonstrate the breakage. *)
+    let caps = Jrt.Runner.caps_of_choice gc_choice in
     if not allow_unsound then begin
-      if swap && gc <> `Retrace then begin
+      if swap && not caps.Jrt.Gc_hooks.retrace_protocol then begin
         Fmt.epr
-          "satbelim: --swap elision is only sound under the retrace \
-           collector (--gc retrace); pass --allow-unsound to run anyway \
-           and let the snapshot oracle report the violations@.";
+          "satbelim: --swap elision is only sound under a collector with \
+           the tracing-state protocol (--gc retrace); pass --allow-unsound \
+           to run anyway and let the snapshot oracle report the \
+           violations@.";
+        exit 1
+      end;
+      if md && not caps.Jrt.Gc_hooks.descending_scan then begin
+        Fmt.epr
+          "satbelim: --move-down elision is only sound under a collector \
+           that scans object arrays in descending index order (--gc satb \
+           or --gc retrace); pass --allow-unsound to run anyway@.";
         exit 1
       end;
       if (swap || md) && Satb_core.Analysis.program_spawns prog then begin
@@ -355,19 +407,13 @@ let run_cmd =
           Fmt.epr "satbelim: entry must be Class.method@.";
           exit 1
     in
-    let gc_choice =
-      match gc with
-      | `None -> Jrt.Runner.No_gc
-      | `Satb -> Jrt.Runner.make_satb ~trigger_allocs:gc_trigger ()
-      | `Incr -> Jrt.Runner.make_incr ~trigger_allocs:gc_trigger ()
-      | `Retrace -> Jrt.Runner.make_retrace ~trigger_allocs:gc_trigger ()
-    in
     (* revocation events name the original justification of the site
        they patch *)
     let explain c m pc =
       Satb_core.Driver.justification compiled
         { sk_class = c; sk_method = m; sk_pc = pc }
     in
+    let halves = half_policy_of ~no_elim compiled in
     let cfg =
       {
         Jrt.Interp.default_config with
@@ -376,6 +422,11 @@ let run_cmd =
         guards;
         explain;
         revoke = not no_revoke;
+        barrier_flavor =
+          (if gc = `Hybrid then `Hybrid
+           else Jrt.Interp.default_config.barrier_flavor);
+        halves =
+          (if gc = `Hybrid then halves else Jrt.Interp.no_halves);
       }
     in
     let chaos =
@@ -390,6 +441,26 @@ let run_cmd =
     Fmt.pr "steps: %d, cost units: %d (barriers: %d)@." r.steps r.cost_units
       r.barrier_units;
     Fmt.pr "%a@." Jrt.Interp.pp_dyn_stats r.dyn;
+    (* under hybrid, "elided" above means both halves; show the split *)
+    if gc = `Hybrid then begin
+      let sum f =
+        Hashtbl.fold
+          (fun _ st acc -> acc + f st)
+          r.machine.Jrt.Interp.stats 0
+      in
+      let del_e = sum (fun st -> st.Jrt.Interp.del_elided_execs)
+      and del_p = sum (fun st -> st.Jrt.Interp.del_paid_execs)
+      and ins_e = sum (fun st -> st.Jrt.Interp.ins_elided_execs)
+      and ins_p = sum (fun st -> st.Jrt.Interp.ins_paid_execs) in
+      let pc e p =
+        if e + p = 0 then 0.0
+        else 100.0 *. float_of_int e /. float_of_int (e + p)
+      in
+      Fmt.pr
+        "hybrid halves: deletion %d elided / %d paid (%.1f%%), insertion %d \
+         elided / %d paid (%.1f%%)@."
+        del_e del_p (pc del_e del_p) ins_e ins_p (pc ins_e ins_p)
+    end;
     (match r.gc with
     | Some g ->
         Fmt.pr "gc: %d cycles, %d violations, final pauses: %a@." g.cycles
@@ -517,12 +588,31 @@ let profile_cmd =
               Fmt.epr "satbelim: unknown workload %S (try 'workloads')@." n;
               exit 1)
     in
-    (* same static-soundness refusals as `run` *)
+    let gc_name, gc_choice =
+      match gc with
+      | `None -> ("none", Jrt.Runner.No_gc)
+      | `Satb -> ("satb", Jrt.Runner.make_satb ~trigger_allocs:gc_trigger ())
+      | `Incr -> ("incr", Jrt.Runner.make_incr ~trigger_allocs:gc_trigger ())
+      | `Retrace ->
+          ("retrace", Jrt.Runner.make_retrace ~trigger_allocs:gc_trigger ())
+      | `Hybrid ->
+          ("hybrid", Jrt.Runner.make_hybrid ~trigger_allocs:gc_trigger ())
+    in
+    (* same capability-driven static-soundness refusals as `run` *)
+    let caps = Jrt.Runner.caps_of_choice gc_choice in
     if not allow_unsound then begin
-      if swap && gc <> `Retrace then begin
+      if swap && not caps.Jrt.Gc_hooks.retrace_protocol then begin
         Fmt.epr
-          "satbelim: --swap elision is only sound under the retrace \
-           collector (--gc retrace); pass --allow-unsound to profile anyway@.";
+          "satbelim: --swap elision is only sound under a collector with \
+           the tracing-state protocol (--gc retrace); pass --allow-unsound \
+           to profile anyway@.";
+        exit 1
+      end;
+      if md && not caps.Jrt.Gc_hooks.descending_scan then begin
+        Fmt.epr
+          "satbelim: --move-down elision is only sound under a collector \
+           that scans object arrays in descending index order (--gc satb \
+           or --gc retrace); pass --allow-unsound to profile anyway@.";
         exit 1
       end;
       if (swap || md) && Satb_core.Analysis.program_spawns prog then begin
@@ -561,16 +651,20 @@ let profile_cmd =
       Satb_core.Driver.justification compiled
         { sk_class = c; sk_method = m; sk_pc = pc }
     in
-    let gc_name, gc_choice =
-      match gc with
-      | `None -> ("none", Jrt.Runner.No_gc)
-      | `Satb -> ("satb", Jrt.Runner.make_satb ~trigger_allocs:gc_trigger ())
-      | `Incr -> ("incr", Jrt.Runner.make_incr ~trigger_allocs:gc_trigger ())
-      | `Retrace ->
-          ("retrace", Jrt.Runner.make_retrace ~trigger_allocs:gc_trigger ())
-    in
     let cfg =
-      { Jrt.Interp.default_config with policy; retrace; guards; explain }
+      {
+        Jrt.Interp.default_config with
+        policy;
+        retrace;
+        guards;
+        explain;
+        barrier_flavor =
+          (if gc = `Hybrid then `Hybrid
+           else Jrt.Interp.default_config.barrier_flavor);
+        halves =
+          (if gc = `Hybrid then half_policy_of compiled
+           else Jrt.Interp.no_halves);
+      }
     in
     let r =
       Jrt.Runner.run ~cfg ~gc:gc_choice compiled.program ~entry:entry_ref

@@ -99,11 +99,41 @@ let string_of_reason = function
   | Swap_second -> "swap-second"
   | Dead_code -> "dead-code"
 
+(** Why the {e insertion} (Dijkstra) half of a hybrid barrier was removed
+    (or kept).  The deletion-half verdict above proves facts about the
+    {e overwritten} value; these prove facts about the {e stored} value —
+    the two halves are independent, which is what lets a hybrid-barrier
+    collector elide one without the other. *)
+type ins_reason =
+  | Ins_keep
+  | Ins_null  (** stored value is provably null: nothing to shade *)
+  | Ins_fresh
+      (** stored value was allocated in the analyzed method, so it is
+          black when allocated during marking and the destination's
+          remark re-scan covers it otherwise *)
+  | Ins_summary_fresh
+      (** fresh via a callee summary's [Ret_fresh]: additionally rests on
+          the closed-world assumption *)
+  | Ins_dead  (** store unreachable in the analyzed method *)
+
+let string_of_ins_reason = function
+  | Ins_keep -> "ins-keep"
+  | Ins_null -> "ins-null"
+  | Ins_fresh -> "ins-fresh"
+  | Ins_summary_fresh -> "ins-summary-fresh"
+  | Ins_dead -> "ins-dead"
+
+let ins_elides = function
+  | Ins_keep -> false
+  | Ins_null | Ins_fresh | Ins_summary_fresh | Ins_dead -> true
+
 type verdict = {
   v_pc : int;
   v_kind : store_kind;
   v_elide : bool;
   v_reason : reason;
+  v_ins_elide : bool;  (** the insertion half alone is removable *)
+  v_ins_reason : ins_reason;
 }
 
 type method_result = {
@@ -160,6 +190,10 @@ type env = {
       (** callee summaries; [Some] only when [conf.summaries] *)
   mutable used_summaries : bool;
       (** a summary was consulted on some path through this method *)
+  summary_fresh_sites : (int, unit) Hashtbl.t;
+      (** pcs whose allocation symbol was minted for a summary-proven
+          fresh return ([Ret_fresh]) rather than a literal [New]:
+          insertion-half freshness through them is [Ins_summary_fresh] *)
 }
 
 (** Outcome of transferring one instruction. *)
@@ -271,6 +305,31 @@ let null_or_same_elidable env (s : State.t) (objs : Rset.t)
       && (not (Rset.mem r s.State.nl))
       && State.Nos.mem (r, f) value.State.nos
   | [] | _ :: _ :: _ -> false
+
+(** Insertion-half verdict for the stored value: provably null (nothing
+    to shade), or every reference it may denote is an in-method
+    allocation — literal [New] sites, or summary-proven fresh returns,
+    which additionally rest on the closed world.  The verdict is about
+    the {e value}, so it applies uniformly to field, array and static
+    stores (the deletion half of a static store is never elidable, its
+    insertion half is). *)
+let ins_verdict env (value : State.aval) : ins_reason =
+  match value with
+  | State.Ref { refs; _ } when Rset.is_empty refs -> Ins_null
+  | State.Ref { refs; _ }
+    when Rset.for_all
+           (function Refsym.Alloc _ -> true | Refsym.Global | Refsym.Arg _ -> false)
+           refs ->
+      if
+        Rset.exists
+          (function
+            | Refsym.Alloc { site; _ } ->
+                Hashtbl.mem env.summary_fresh_sites site
+            | Refsym.Global | Refsym.Arg _ -> false)
+          refs
+      then Ins_summary_fresh
+      else Ins_fresh
+  | State.Ref _ | State.Bot | State.Clash | State.Int _ -> Ins_keep
 
 (** On the branch where a tested value is known null, every null-or-same
     fact it carries implies the named field is currently null: refine σ.
@@ -484,6 +543,7 @@ let apply_summary env (s : State.t) pc (callee : meth) (sum : Summary.t)
                  [New] would, seeded with the captured writes (unlisted
                  reference fields are definitely null) *)
               let sym, s = fresh_alloc env pc s in
+              Hashtbl.replace env.summary_fresh_sites pc ();
               let strong = Refsym.unique ~in_ctor:false sym in
               let sigma =
                 List.fold_left
@@ -534,7 +594,10 @@ let apply_summary env (s : State.t) pc (callee : meth) (sum : Summary.t)
 
 (** The transfer function: abstract effect of one instruction (§2.4, §3.3),
     plus verdict recording for reference stores.  [record pc kind elide
-    reason] is called for each store site visit. *)
+    reason ins] is called for each store site visit; [ins] is the
+    insertion-half verdict for the stored value ([None] re-records a
+    deletion verdict for another pc — a swap pair's first store — without
+    disturbing that pc's own insertion verdict). *)
 let transfer env ~record (s : State.t) (pc : int) (instr : int instr) :
     outcome =
   let track_arrays = env.conf.mode = A in
@@ -645,8 +708,10 @@ let transfer env ~record (s : State.t) (pc : int) (instr : int instr) :
       let v, s = State.pop s in
       if Jir.Types.equal_ty (Jir.Program.static_ty env.prog fr) R then begin
         (* static stores always escape the value and always need their
-           barrier (the receiver is GlobalRef) *)
-        record pc Static_store false Keep;
+           deletion half (the receiver is GlobalRef, the overwritten
+           value unknowable); the insertion half judges the stored value
+           and may still go *)
+        record pc Static_store false Keep (Some (ins_verdict env v));
         let s =
           match v with
           | State.Ref { refs; _ } -> State.all_non_tl s refs
@@ -691,14 +756,15 @@ let transfer env ~record (s : State.t) (pc : int) (instr : int instr) :
           | State.Bot | State.Clash | State.Int _ ->
               State.mk_refinfo (Rset.singleton Refsym.Global)
         in
+        let ins = Some (ins_verdict env value) in
         if Rset.is_empty obj.refs then
           (* receiver definitely null: the store always raises NPE *)
-          record pc Field_store true Dead_code
+          record pc Field_store true Dead_code (Some Ins_dead)
         else if field_store_elidable s obj.refs f then
-          record pc Field_store true Pre_null_field
+          record pc Field_store true Pre_null_field ins
         else if null_or_same_elidable env s obj.refs vri f then
-          record pc Field_store true Null_or_same
-        else record pc Field_store false Keep
+          record pc Field_store true Null_or_same ins
+        else record pc Field_store false Keep ins
       end;
       (* σ update: strong for a unique singleton receiver, weak merge
          otherwise (§2.4) *)
@@ -860,18 +926,21 @@ let transfer env ~record (s : State.t) (pc : int) (instr : int instr) :
           | _, _, _ -> None
       in
       (* verdict against the pre-store state *)
-      (if Rset.is_empty arr.refs then record pc Array_store true Dead_code
-       else if pre_null_ok then record pc Array_store true Pre_null_array
-       else if move_down_ok then record pc Array_store true Move_down
+      (let ins = Some (ins_verdict env value) in
+       if Rset.is_empty arr.refs then
+         record pc Array_store true Dead_code (Some Ins_dead)
+       else if pre_null_ok then record pc Array_store true Pre_null_array ins
+       else if move_down_ok then record pc Array_store true Move_down ins
        else
          match swap_close with
          | Some sp ->
              (* both verdicts land in this same transfer, so a visit's
-                result is deterministic at the fixed point *)
+                result is deterministic at the fixed point; [None] keeps
+                the first store's own insertion verdict *)
              if not sp.sp_elided then
-               record sp.sp_pc Array_store true Swap_first;
-             record pc Array_store true Swap_second
-         | None -> record pc Array_store false Keep);
+               record sp.sp_pc Array_store true Swap_first None;
+             record pc Array_store true Swap_second ins
+         | None -> record pc Array_store false Keep ins);
       (* §4.3 swap, first-store candidate: the stored value is the
          current content of a provably different slot (nonzero constant
          index delta) of the same must-identified array.  The displaced
@@ -1049,7 +1118,14 @@ let analyze_method ?(conf = default_config) ?(single_mutator = false)
       verdicts =
         List.map
           (fun (pc, kind) ->
-            { v_pc = pc; v_kind = kind; v_elide = false; v_reason = Keep })
+            {
+              v_pc = pc;
+              v_kind = kind;
+              v_elide = false;
+              v_reason = Keep;
+              v_ins_elide = false;
+              v_ins_reason = Ins_keep;
+            })
           store_pcs;
       iterations = 0;
       mr_summary_dependent = false;
@@ -1078,6 +1154,7 @@ let analyze_method ?(conf = default_config) ?(single_mutator = false)
         swap_pending = None;
         summary_tbl = (if conf.summaries then summaries else None);
         used_summaries = false;
+        summary_fresh_sites = Hashtbl.create 8;
       }
     in
     let cfg = Jir.Cfg.build meth in
@@ -1087,13 +1164,28 @@ let analyze_method ?(conf = default_config) ?(single_mutator = false)
     let queued = Array.make nb false in
     let work = Queue.create () in
     let iterations = ref 0 in
-    let verdict_tbl : (int, bool * reason) Hashtbl.t = Hashtbl.create 16 in
-    let record pc _kind elide reason =
+    let verdict_tbl : (int, bool * reason * ins_reason) Hashtbl.t =
+      Hashtbl.create 16
+    in
+    let record pc _kind elide reason ins =
+      let ins =
+        match ins with
+        | Some i -> i
+        | None -> (
+            (* re-recording another pc's deletion verdict (swap pairing):
+               leave that pc's own insertion verdict alone *)
+            match Hashtbl.find_opt verdict_tbl pc with
+            | Some (_, _, i) -> i
+            | None -> Ins_keep)
+      in
       if conf.debug then
-        Fmt.epr "   verdict %s.%s@@%d: %s (%s)@." cls.cname meth.mname pc
+        Fmt.epr "   verdict %s.%s@@%d: %s (%s) / ins %s (%s)@." cls.cname
+          meth.mname pc
           (if elide then "elide" else "keep")
-          (string_of_reason reason);
-      Hashtbl.replace verdict_tbl pc (elide, reason)
+          (string_of_reason reason)
+          (if ins_elides ins then "elide" else "keep")
+          (string_of_ins_reason ins);
+      Hashtbl.replace verdict_tbl pc (elide, reason, ins)
     in
     let enqueue id =
       if not queued.(id) then begin
@@ -1160,11 +1252,25 @@ let analyze_method ?(conf = default_config) ?(single_mutator = false)
       List.map
         (fun (pc, kind) ->
           match Hashtbl.find_opt verdict_tbl pc with
-          | Some (elide, reason) ->
-              { v_pc = pc; v_kind = kind; v_elide = elide; v_reason = reason }
+          | Some (elide, reason, ins) ->
+              {
+                v_pc = pc;
+                v_kind = kind;
+                v_elide = elide;
+                v_reason = reason;
+                v_ins_elide = ins_elides ins;
+                v_ins_reason = ins;
+              }
           | None ->
               (* never visited: unreachable code *)
-              { v_pc = pc; v_kind = kind; v_elide = true; v_reason = Dead_code })
+              {
+                v_pc = pc;
+                v_kind = kind;
+                v_elide = true;
+                v_reason = Dead_code;
+                v_ins_elide = true;
+                v_ins_reason = Ins_dead;
+              })
         store_pcs
     in
     {

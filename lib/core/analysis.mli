@@ -51,11 +51,29 @@ type reason =
 
 val string_of_reason : reason -> string
 
+(** Why the insertion (Dijkstra) half of a hybrid barrier was removed (or
+    kept): facts about the {e stored} value, independent of the
+    deletion-half facts about the overwritten one. *)
+type ins_reason =
+  | Ins_keep
+  | Ins_null  (** stored value provably null *)
+  | Ins_fresh  (** every possible value is an in-method allocation *)
+  | Ins_summary_fresh
+      (** fresh via a callee summary ([Ret_fresh]); additionally rests on
+          the closed-world assumption *)
+  | Ins_dead
+
+val string_of_ins_reason : ins_reason -> string
+
+val ins_elides : ins_reason -> bool
+
 type verdict = {
   v_pc : int;
   v_kind : Jir.Types.store_kind;
   v_elide : bool;
   v_reason : reason;
+  v_ins_elide : bool;  (** the insertion half alone is removable *)
+  v_ins_reason : ins_reason;
 }
 
 type method_result = {

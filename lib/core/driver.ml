@@ -43,6 +43,17 @@ let assumptions_of_reason (r : Analysis.reason) : assumption list =
   | Analysis.Swap_first | Analysis.Swap_second ->
       [ Mode_a; Single_mutator; Retrace_collector ]
 
+(** Guards of the {e insertion}-half verdict alone.  Null and literal
+    in-method freshness are unconditional (the collector's allocate-black
+    plus remark re-scan cover them); freshness proved through a callee
+    summary stands on the closed world. *)
+let ins_assumptions_of_reason (r : Analysis.ins_reason) : assumption list =
+  match r with
+  | Analysis.Ins_keep | Analysis.Ins_null | Analysis.Ins_fresh
+  | Analysis.Ins_dead ->
+      []
+  | Analysis.Ins_summary_fresh -> [ Closed_world ]
+
 type compiled = {
   program : Jir.Program.t;  (** after inlining *)
   results : Analysis.method_result list;
@@ -50,6 +61,11 @@ type compiled = {
   guards : (site_key, assumption list) Hashtbl.t;
       (** per-program guard table: assumption set of every {e elided}
           site whose verdict is conditional *)
+  ins_guards : (site_key, assumption list) Hashtbl.t;
+      (** insertion-half guard table: assumption set of every site whose
+          {e insertion}-half elision is conditional — kept apart from
+          [guards] so a hybrid collector can revoke one half of a barrier
+          while the other stays elided *)
   inline_limit : int;
   conf : Analysis.config;
   summaries : Summary.table option;
@@ -71,6 +87,11 @@ type static_stats = {
   array_elided : int;
   static_sites : int;
   by_reason : (Analysis.reason * int) list;
+  ins_elided_sites : int;
+      (** sites whose {e insertion} (Dijkstra) half is removable — only a
+          hybrid collector can cash these in *)
+  both_elided_sites : int;  (** sites with both halves removable *)
+  by_ins_reason : (Analysis.ins_reason * int) list;
 }
 
 (** One compilation pass, timed on the telemetry clock ({!Telemetry.time}
@@ -100,6 +121,7 @@ let compile ?(verify = true) ?(inline_limit = 100)
   in
   let verdicts = Hashtbl.create 256 in
   let guards = Hashtbl.create 16 in
+  let ins_guards = Hashtbl.create 16 in
   List.iter
     (fun (r : Analysis.method_result) ->
       List.iter
@@ -108,18 +130,23 @@ let compile ?(verify = true) ?(inline_limit = 100)
             { sk_class = r.mr_class; sk_method = r.mr_method; sk_pc = v.v_pc }
           in
           Hashtbl.replace verdicts key v;
-          if v.v_elide then
-            (* Every elision in a method whose analysis consulted a callee
-               summary additionally rests on the closed world: "loading" a
-               class later invalidates the summaries, so the runtime must
-               be able to revoke these sites. *)
-            let assumptions =
-              assumptions_of_reason v.v_reason
-              @ (if r.mr_summary_dependent then [ Closed_world ] else [])
-            in
-            match assumptions with
+          (* Every elision in a method whose analysis consulted a callee
+             summary additionally rests on the closed world: "loading" a
+             class later invalidates the summaries, so the runtime must
+             be able to revoke these sites.  The method-level flag cannot
+             tell which half's proof leaned on a summary, so both halves
+             carry the guard. *)
+          let closed = if r.mr_summary_dependent then [ Closed_world ] else [] in
+          (if v.v_elide then
+             match assumptions_of_reason v.v_reason @ closed with
+             | [] -> ()
+             | assumptions -> Hashtbl.replace guards key assumptions);
+          if v.v_ins_elide then
+            match ins_assumptions_of_reason v.v_ins_reason @ closed with
             | [] -> ()
-            | assumptions -> Hashtbl.replace guards key assumptions)
+            | assumptions ->
+                Hashtbl.replace ins_guards key
+                  (List.sort_uniq compare assumptions))
         r.verdicts)
     results;
   Telemetry.incr ~by:(List.length results) (Telemetry.counter "analysis.methods");
@@ -149,6 +176,7 @@ let compile ?(verify = true) ?(inline_limit = 100)
     results;
     verdicts;
     guards;
+    ins_guards;
     inline_limit;
     conf;
     summaries;
@@ -180,6 +208,50 @@ let retrace_check (c : compiled) (key : site_key) :
     sites and unconditional verdicts. *)
 let site_assumptions (c : compiled) (key : site_key) : assumption list =
   Option.value (Hashtbl.find_opt c.guards key) ~default:[]
+
+(** The assumption set of the insertion-half elision at [key] alone. *)
+let ins_site_assumptions (c : compiled) (key : site_key) : assumption list =
+  Option.value (Hashtbl.find_opt c.ins_guards key) ~default:[]
+
+(** The half-verdict lattice a hybrid-barrier code generator compiles
+    from: the deletion verdict ([v_elide], overwritten-value facts) and
+    the insertion verdict ([v_ins_elide], stored-value facts) combine
+    pointwise. *)
+type hybrid_verdict =
+  [ `Keep  (** both halves stay *)
+  | `Elide_deletion  (** only the Yuasa half proved removable *)
+  | `Elide_insertion  (** only the Dijkstra half proved removable *)
+  | `Elide_both ]
+
+let string_of_hybrid_verdict : hybrid_verdict -> string = function
+  | `Keep -> "keep"
+  | `Elide_deletion -> "elide-deletion"
+  | `Elide_insertion -> "elide-insertion"
+  | `Elide_both -> "elide-both"
+
+let hybrid_verdict (c : compiled) (key : site_key) : hybrid_verdict =
+  match Hashtbl.find_opt c.verdicts key with
+  | None -> `Keep
+  | Some v -> (
+      match v.Analysis.v_elide, v.Analysis.v_ins_elide with
+      | false, false -> `Keep
+      | true, false -> `Elide_deletion
+      | false, true -> `Elide_insertion
+      | true, true -> `Elide_both)
+
+(** Does the insertion-half elision at [key] need its destination
+    re-scanned at remark?  Freshness proofs do (the value may predate the
+    cycle and be white); a proven-null store shades nothing either way. *)
+let ins_repair_needed (c : compiled) (key : site_key) : bool =
+  match Hashtbl.find_opt c.verdicts key with
+  | Some
+      {
+        Analysis.v_ins_elide = true;
+        v_ins_reason = Analysis.Ins_fresh | Analysis.Ins_summary_fresh;
+        _;
+      } ->
+      true
+  | Some _ | None -> false
 
 (** Every assumption some elided site of the program depends on —
     deduplicated and in declaration order, for CLI safety checks and
@@ -267,6 +339,24 @@ let facts_of_reason : Analysis.reason -> string list = function
          by the first store";
       ]
 
+let facts_of_ins_reason : Analysis.ins_reason -> string list = function
+  | Analysis.Ins_keep -> []
+  | Analysis.Ins_null ->
+      [ "insertion half: the stored value is provably null (nothing to shade)" ]
+  | Analysis.Ins_fresh ->
+      [
+        "insertion half: every possible stored value is an in-method \
+         allocation — black if allocated during marking, covered by the \
+         destination's remark re-scan otherwise";
+      ]
+  | Analysis.Ins_summary_fresh ->
+      [
+        "insertion half: the stored value is fresh by a callee summary's \
+         Ret_fresh — valid only while the world stays closed";
+      ]
+  | Analysis.Ins_dead ->
+      [ "insertion half: the store is unreachable (dead code)" ]
+
 (** Provenance for the verdict at [key]; [None] for unknown sites. *)
 let explain (c : compiled) (key : site_key) : provenance option =
   match Hashtbl.find_opt c.verdicts key with
@@ -281,6 +371,7 @@ let explain (c : compiled) (key : site_key) : provenance option =
       in
       let facts =
         facts_of_reason v.v_reason
+        @ (if v.v_ins_elide then facts_of_ins_reason v.v_ins_reason else [])
         @
         if v.v_elide && summary_dependent then
           [
@@ -348,12 +439,21 @@ let static_stats (c : compiled) : static_stats =
   and field_e = ref 0
   and array = ref 0
   and array_e = ref 0
-  and static_ = ref 0 in
+  and static_ = ref 0
+  and ins_elided = ref 0
+  and both_elided = ref 0 in
   let reasons = Hashtbl.create 8 in
+  let ins_reasons = Hashtbl.create 8 in
   Hashtbl.iter
     (fun _ (v : Analysis.verdict) ->
       incr total;
       if v.v_elide then incr elided;
+      if v.v_ins_elide then incr ins_elided;
+      if v.v_elide && v.v_ins_elide then incr both_elided;
+      (if v.v_ins_elide then
+         let k = v.v_ins_reason in
+         Hashtbl.replace ins_reasons k
+           (1 + Option.value ~default:0 (Hashtbl.find_opt ins_reasons k)));
       (match v.v_kind with
       | Field_store ->
           incr field;
@@ -376,6 +476,11 @@ let static_stats (c : compiled) : static_stats =
     by_reason =
       Hashtbl.fold (fun k n acc -> (k, n) :: acc) reasons []
       |> List.sort compare;
+    ins_elided_sites = !ins_elided;
+    both_elided_sites = !both_elided;
+    by_ins_reason =
+      Hashtbl.fold (fun k n acc -> (k, n) :: acc) ins_reasons []
+      |> List.sort compare;
   }
 
 let pp_static_stats ppf (s : static_stats) =
@@ -394,7 +499,19 @@ let pp_static_stats ppf (s : static_stats) =
       Fmt.(
         list ~sep:comma (fun ppf (r, n) ->
             pf ppf "%s %d" (Analysis.string_of_reason r) n))
-      interesting
+      interesting;
+  if s.ins_elided_sites > 0 then (
+    Fmt.pf ppf "; insertion-half %d elided (%d both)" s.ins_elided_sites
+      s.both_elided_sites;
+    let ins_interesting =
+      List.filter (fun (r, _) -> r <> Analysis.Ins_keep) s.by_ins_reason
+    in
+    if ins_interesting <> [] then
+      Fmt.pf ppf "; by ins reason: %a"
+        Fmt.(
+          list ~sep:comma (fun ppf (r, n) ->
+              pf ppf "%s %d" (Analysis.string_of_ins_reason r) n))
+        ins_interesting)
 
 (** Code-size model for the Figure 3 reproduction: every bytecode compiles
     to roughly [codegen_expansion] machine instructions, plus the inline

@@ -29,12 +29,22 @@ val assumptions_of_reason : Analysis.reason -> assumption list
     move-down and swap extensions additionally depend on a single
     mutator and on the collector (scan direction / retrace protocol). *)
 
+val ins_assumptions_of_reason : Analysis.ins_reason -> assumption list
+(** Guards of the {e insertion}-half verdict alone.  Null and literal
+    in-method freshness are unconditional (the collector's
+    allocate-black plus remark re-scan cover them); freshness proved
+    through a callee summary stands on the closed world. *)
+
 type compiled = {
   program : Jir.Program.t;  (** after inlining *)
   results : Analysis.method_result list;
   verdicts : (site_key, Analysis.verdict) Hashtbl.t;
   guards : (site_key, assumption list) Hashtbl.t;
       (** guard table: assumption set of every elided conditional site *)
+  ins_guards : (site_key, assumption list) Hashtbl.t;
+      (** insertion-half guard table, kept apart from [guards] so a
+          hybrid collector can revoke one half of a barrier while the
+          other stays elided *)
   inline_limit : int;
   conf : Analysis.config;
   summaries : Summary.table option;
@@ -55,6 +65,11 @@ type static_stats = {
   array_elided : int;
   static_sites : int;
   by_reason : (Analysis.reason * int) list;
+  ins_elided_sites : int;
+      (** sites whose {e insertion} (Dijkstra) half is removable — only
+          a hybrid collector can cash these in *)
+  both_elided_sites : int;  (** sites with both halves removable *)
+  by_ins_reason : (Analysis.ins_reason * int) list;
 }
 
 val compile :
@@ -78,6 +93,27 @@ val retrace_check : compiled -> site_key -> [ `None | `Open | `Close ]
 val site_assumptions : compiled -> site_key -> assumption list
 (** Assumption set the elision at the site depends on; empty for kept
     sites and unconditional verdicts. *)
+
+val ins_site_assumptions : compiled -> site_key -> assumption list
+(** Assumption set the {e insertion}-half elision at the site depends
+    on; empty for kept-insertion sites and unconditional verdicts. *)
+
+(** Split verdict for a hybrid (deletion + insertion) barrier: how the
+    deletion verdict ([v_elide], overwritten-value facts) and the
+    insertion verdict ([v_ins_elide], stored-value facts) combine at one
+    site. *)
+type hybrid_verdict = [ `Keep | `Elide_deletion | `Elide_insertion | `Elide_both ]
+
+val string_of_hybrid_verdict : hybrid_verdict -> string
+
+val hybrid_verdict : compiled -> site_key -> hybrid_verdict
+(** The split verdict at the site; unknown sites are [`Keep]. *)
+
+val ins_repair_needed : compiled -> site_key -> bool
+(** Must the destination object be queued for a remark-time re-scan when
+    the insertion half is elided at this site?  True for the freshness
+    verdicts (the allocation may predate the current marking cycle);
+    false for provably-null stores and dead code. *)
 
 val guarded_assumptions : compiled -> assumption list
 (** Deduplicated union of all sites' assumption sets, in declaration

@@ -55,6 +55,37 @@ let guard_policy_of (cw : compiled_workload) : Jrt.Interp.guard_policy =
     (Satb_core.Driver.site_assumptions cw.compiled
        { sk_class = c; sk_method = m; sk_pc = pc })
 
+(** Per-site split verdicts for the hybrid (deletion + insertion)
+    barrier, from the compiler's half-verdict tables.  Each half carries
+    its own guard set so revocation can restore one half while the other
+    stays elided. *)
+let half_policy_of (cw : compiled_workload) : Jrt.Interp.half_policy =
+ fun c m pc ->
+  let key =
+    { Satb_core.Driver.sk_class = c; sk_method = m; sk_pc = pc }
+  in
+  match Satb_core.Driver.hybrid_verdict cw.compiled key with
+  | `Keep -> Jrt.Interp.keep_both
+  | (`Elide_deletion | `Elide_insertion | `Elide_both) as hv ->
+      let del = hv = `Elide_deletion || hv = `Elide_both in
+      let ins = hv = `Elide_insertion || hv = `Elide_both in
+      {
+        Jrt.Interp.hs_del_elide = del;
+        hs_ins_elide = ins;
+        hs_ins_repair =
+          ins && Satb_core.Driver.ins_repair_needed cw.compiled key;
+        hs_del_guards =
+          (if del then
+             List.map assumption_to_runtime
+               (Satb_core.Driver.site_assumptions cw.compiled key)
+           else []);
+        hs_ins_guards =
+          (if ins then
+             List.map assumption_to_runtime
+               (Satb_core.Driver.ins_site_assumptions cw.compiled key)
+           else []);
+      }
+
 (** Elision provenance, so runtime revocation events can name the
     original justification of each site they patch. *)
 let explain_policy_of (cw : compiled_workload) : Jrt.Interp.explain_policy =
@@ -72,6 +103,18 @@ let run ?(gc = Jrt.Runner.No_gc) ?(satb_mode = Jrt.Barrier_cost.Conditional)
   let retrace =
     if use_policy then retrace_policy_of cw else Jrt.Interp.no_retrace_checks
   in
+  (* The hybrid collector switches the interpreter to the split-verdict
+     barrier; the half policy carries each half's guards itself. *)
+  let barrier_flavor =
+    match gc with
+    | Jrt.Runner.Hybrid _ -> `Hybrid
+    | _ -> Jrt.Interp.default_config.barrier_flavor
+  in
+  let halves =
+    match gc with
+    | Jrt.Runner.Hybrid _ when use_policy -> half_policy_of cw
+    | _ -> Jrt.Interp.no_halves
+  in
   (* Guards are opt-in: several negative soundness tests deliberately run
      unsound policy/collector combinations to show the oracle catching
      them, which wired guards would (correctly) neutralize. *)
@@ -82,11 +125,22 @@ let run ?(gc = Jrt.Runner.No_gc) ?(satb_mode = Jrt.Barrier_cost.Conditional)
         policy;
         satb_mode;
         retrace;
+        barrier_flavor;
+        halves;
         guards = guard_policy_of cw;
         explain = explain_policy_of cw;
         revoke;
       }
-    else { Jrt.Interp.default_config with policy; satb_mode; retrace }
+    else
+      {
+        Jrt.Interp.default_config with
+        policy;
+        satb_mode;
+        retrace;
+        barrier_flavor;
+        halves;
+        revoke;
+      }
   in
   let report =
     Jrt.Runner.run ~cfg ~gc ~seed ?quantum ?gc_period ?chaos ?retrace_budget

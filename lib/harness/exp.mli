@@ -26,6 +26,11 @@ val retrace_policy_of : compiled_workload -> Jrt.Interp.retrace_policy
 val guard_policy_of : compiled_workload -> Jrt.Interp.guard_policy
 (** The per-site guard table from the compiler's assumption metadata. *)
 
+val half_policy_of : compiled_workload -> Jrt.Interp.half_policy
+(** Per-site split verdicts for the hybrid barrier, from the compiler's
+    deletion- and insertion-half tables; each half carries its own guard
+    set.  {!run} wires this automatically when [gc] is [Hybrid]. *)
+
 val explain_policy_of : compiled_workload -> Jrt.Interp.explain_policy
 (** Elision provenance: the analysis-side justification of each elided
     site, for revocation events and the profiler's hot-site report. *)

@@ -1,0 +1,47 @@
+(** E15 — the Go-style hybrid write barrier: per-collector, per-half
+    dynamic elision across the Table 1 workloads, and a chaos soundness
+    sweep under the hybrid collector with guards and revocation on.
+    See the implementation header for the full experimental setup. *)
+
+type collector = Csatb | Cincr | Cretrace | Chybrid
+
+val collector_name : collector -> string
+val all_collectors : collector list
+
+type row = {
+  bench : string;
+  collector : string;
+  stores : int;
+  del_elided : int;  (** deletion-half elided executions *)
+  del_paid : int;
+  ins_elided : int;  (** insertion-half elided executions *)
+  ins_paid : int;
+  both_elided : int;  (** executions with both halves elided *)
+  del_elide_pct : float;
+  ins_elide_pct : float;
+  both_elide_pct : float;
+  cycles : int;
+  violations : int;
+}
+
+type chaos_row = {
+  c_plan : string;
+  c_bench : string;
+  c_violations : int;  (** must be 0: revocation repairs every plan *)
+  c_revocations : int;
+  c_revoked_sites : int;
+  c_rescans : int;  (** remark-time repair re-scans *)
+}
+
+val measure : unit -> row list
+(** The elision table: four collectors crossed with the six workloads;
+    populates the ["hybrid"] telemetry table (gated per-half by the
+    bench regression gate). *)
+
+val measure_chaos : ?seed:int -> unit -> chaos_row list
+(** The soundness sweep: late-spawn, barrier-skip and class-load fault
+    plans under the hybrid collector; populates ["hybrid_chaos"]. *)
+
+val render : row list -> string
+val render_chaos : chaos_row list -> string
+val print : unit -> unit

@@ -2,6 +2,11 @@
 
 module J = Telemetry
 
+(* Bumped whenever the JSON layout changes incompatibly; {!of_json}
+   refuses files written at any other version so the regression gate
+   never silently compares mismatched layouts. *)
+let schema_version = 2
+
 type site_row = {
   r_site : string;
   r_kind : string;
@@ -9,6 +14,12 @@ type site_row = {
   r_execs : int;
   r_elided_execs : int;
   r_paid_execs : int;
+  r_del_elided : bool;
+  r_ins_elided : bool;
+  r_del_elided_execs : int;
+  r_del_paid_execs : int;
+  r_ins_elided_execs : int;
+  r_ins_paid_execs : int;
   r_barrier_units : int;
   r_revocations : int;
   r_guards : string list;
@@ -19,6 +30,10 @@ type totals = {
   t_execs : int;
   t_elided_execs : int;
   t_paid_execs : int;
+  t_del_elided_execs : int;
+  t_del_paid_execs : int;
+  t_ins_elided_execs : int;
+  t_ins_paid_execs : int;
   t_barrier_units : int;
   t_external_paid : int;
   t_external_elided : int;
@@ -57,6 +72,12 @@ let of_report ~workload ~gc ?(explain = Jrt.Interp.no_explain)
           r_execs = st.Jrt.Interp.execs;
           r_elided_execs = st.Jrt.Interp.elided_execs;
           r_paid_execs = st.Jrt.Interp.paid_execs;
+          r_del_elided = st.Jrt.Interp.st_del_elided;
+          r_ins_elided = st.Jrt.Interp.st_ins_elided;
+          r_del_elided_execs = st.Jrt.Interp.del_elided_execs;
+          r_del_paid_execs = st.Jrt.Interp.del_paid_execs;
+          r_ins_elided_execs = st.Jrt.Interp.ins_elided_execs;
+          r_ins_paid_execs = st.Jrt.Interp.ins_paid_execs;
           r_barrier_units = st.Jrt.Interp.barrier_units;
           r_revocations = st.Jrt.Interp.revocations;
           r_guards =
@@ -75,6 +96,10 @@ let of_report ~workload ~gc ?(explain = Jrt.Interp.no_explain)
       t_execs = sum (fun s -> s.r_execs);
       t_elided_execs = sum (fun s -> s.r_elided_execs);
       t_paid_execs = sum (fun s -> s.r_paid_execs);
+      t_del_elided_execs = sum (fun s -> s.r_del_elided_execs);
+      t_del_paid_execs = sum (fun s -> s.r_del_paid_execs);
+      t_ins_elided_execs = sum (fun s -> s.r_ins_elided_execs);
+      t_ins_paid_execs = sum (fun s -> s.r_ins_paid_execs);
       t_barrier_units = sum (fun s -> s.r_barrier_units);
       t_external_paid = m.Jrt.Interp.external_paid_execs;
       t_external_elided = m.Jrt.Interp.external_elided_execs;
@@ -116,6 +141,23 @@ let units_per_kstep (p : t) : float =
   if p.p_steps = 0 then 0.0
   else 1000.0 *. float_of_int p.p_totals.t_barrier_units /. float_of_int p.p_steps
 
+let has_halves (p : t) : bool =
+  p.p_totals.t_del_elided_execs + p.p_totals.t_del_paid_execs
+  + p.p_totals.t_ins_elided_execs + p.p_totals.t_ins_paid_execs
+  > 0
+
+let half_rate ~elided ~paid : float =
+  if elided + paid = 0 then 0.0
+  else 100.0 *. float_of_int elided /. float_of_int (elided + paid)
+
+let del_elision_rate (p : t) : float =
+  half_rate ~elided:p.p_totals.t_del_elided_execs
+    ~paid:p.p_totals.t_del_paid_execs
+
+let ins_elision_rate (p : t) : float =
+  half_rate ~elided:p.p_totals.t_ins_elided_execs
+    ~paid:p.p_totals.t_ins_paid_execs
+
 let reconciles (p : t) (r : Jrt.Runner.report) : (unit, string) result =
   let m = r.Jrt.Runner.machine in
   let checks =
@@ -132,6 +174,22 @@ let reconciles (p : t) (r : Jrt.Runner.report) : (unit, string) result =
         p.p_totals.t_paid_execs + p.p_totals.t_elided_execs );
       ("dynamic stores", p.p_totals.t_execs, r.Jrt.Runner.dyn.Jrt.Interp.total_execs);
     ]
+  in
+  (* Under the hybrid flavor every store runs each half exactly once
+     (elided or paid), so the per-half sums must also cover every
+     execution. *)
+  let checks =
+    if m.Jrt.Interp.cfg.Jrt.Interp.barrier_flavor = `Hybrid then
+      checks
+      @ [
+          ( "deletion-half executions",
+            p.p_totals.t_del_paid_execs + p.p_totals.t_del_elided_execs,
+            p.p_totals.t_execs );
+          ( "insertion-half executions",
+            p.p_totals.t_ins_paid_execs + p.p_totals.t_ins_elided_execs,
+            p.p_totals.t_execs );
+        ]
+    else checks
   in
   let rec go = function
     | [] -> Ok ()
@@ -164,10 +222,16 @@ let site_to_json (s : site_row) : J.json =
   J.Obj
     [
       ("barrier_units", J.Int s.r_barrier_units);
+      ("del_elided", J.Bool s.r_del_elided);
+      ("del_elided_execs", J.Int s.r_del_elided_execs);
+      ("del_paid_execs", J.Int s.r_del_paid_execs);
       ("elided", J.Bool s.r_elided);
       ("elided_execs", J.Int s.r_elided_execs);
       ("execs", J.Int s.r_execs);
       ("guards", J.List (List.map (fun g -> J.Str g) s.r_guards));
+      ("ins_elided", J.Bool s.r_ins_elided);
+      ("ins_elided_execs", J.Int s.r_ins_elided_execs);
+      ("ins_paid_execs", J.Int s.r_ins_paid_execs);
       ("kind", J.Str s.r_kind);
       ("paid_execs", J.Int s.r_paid_execs);
       ("revocations", J.Int s.r_revocations);
@@ -196,16 +260,21 @@ let to_json (p : t) : J.json =
             ("p99", J.Int p.p_pauses.Stats.d_p99);
             ("total", J.Int p.p_pauses.Stats.d_total);
           ] );
+      ("schema_version", J.Int schema_version);
       ("sites", J.List (List.map site_to_json p.p_sites));
       ("steps", J.Int p.p_steps);
       ( "totals",
         J.Obj
           [
             ("barrier_units", J.Int p.p_totals.t_barrier_units);
+            ("del_elided_execs", J.Int p.p_totals.t_del_elided_execs);
+            ("del_paid_execs", J.Int p.p_totals.t_del_paid_execs);
             ("elided_execs", J.Int p.p_totals.t_elided_execs);
             ("execs", J.Int p.p_totals.t_execs);
             ("external_elided", J.Int p.p_totals.t_external_elided);
             ("external_paid", J.Int p.p_totals.t_external_paid);
+            ("ins_elided_execs", J.Int p.p_totals.t_ins_elided_execs);
+            ("ins_paid_execs", J.Int p.p_totals.t_ins_paid_execs);
             ("paid_execs", J.Int p.p_totals.t_paid_execs);
             ("revocation_events", J.Int p.p_totals.t_revocation_events);
             ("revoked_sites", J.Int p.p_totals.t_revoked_sites);
@@ -280,6 +349,12 @@ let site_of_json (j : J.json) : (site_row, string) result =
     | J.List gs -> map_result (as_str "guards") gs
     | _ -> Error "key \"guards\": expected a list"
   in
+  let* r_del_elided = bool_field o "del_elided" in
+  let* r_del_elided_execs = int_field o "del_elided_execs" in
+  let* r_del_paid_execs = int_field o "del_paid_execs" in
+  let* r_ins_elided = bool_field o "ins_elided" in
+  let* r_ins_elided_execs = int_field o "ins_elided_execs" in
+  let* r_ins_paid_execs = int_field o "ins_paid_execs" in
   let* r_kind = str_field o "kind" in
   let* r_paid_execs = int_field o "paid_execs" in
   let* r_revocations = int_field o "revocations" in
@@ -298,6 +373,12 @@ let site_of_json (j : J.json) : (site_row, string) result =
       r_execs;
       r_elided_execs;
       r_paid_execs;
+      r_del_elided;
+      r_ins_elided;
+      r_del_elided_execs;
+      r_del_paid_execs;
+      r_ins_elided_execs;
+      r_ins_paid_execs;
       r_barrier_units;
       r_revocations;
       r_guards;
@@ -306,6 +387,24 @@ let site_of_json (j : J.json) : (site_row, string) result =
 
 let of_json (j : J.json) : (t, string) result =
   let* o = as_obj j in
+  let* () =
+    match List.assoc_opt "schema_version" o with
+    | None ->
+        Error
+          (Printf.sprintf
+             "profile has no schema_version (predates v%d); regenerate it \
+              with this build"
+             schema_version)
+    | Some v -> (
+        let* v = as_int "schema_version" v in
+        if v = schema_version then Ok ()
+        else
+          Error
+            (Printf.sprintf
+               "profile schema_version %d, but this build reads v%d; \
+                regenerate the file"
+               v schema_version))
+  in
   let* p_cycles = int_field o "cycles" in
   let* p_gc = str_field o "gc" in
   let* mmu = field o "mmu" in
@@ -339,10 +438,14 @@ let of_json (j : J.json) : (t, string) result =
   let* totals = field o "totals" in
   let* t_o = as_obj totals in
   let* t_barrier_units = int_field t_o "barrier_units" in
+  let* t_del_elided_execs = int_field t_o "del_elided_execs" in
+  let* t_del_paid_execs = int_field t_o "del_paid_execs" in
   let* t_elided_execs = int_field t_o "elided_execs" in
   let* t_execs = int_field t_o "execs" in
   let* t_external_elided = int_field t_o "external_elided" in
   let* t_external_paid = int_field t_o "external_paid" in
+  let* t_ins_elided_execs = int_field t_o "ins_elided_execs" in
+  let* t_ins_paid_execs = int_field t_o "ins_paid_execs" in
   let* t_paid_execs = int_field t_o "paid_execs" in
   let* t_revocation_events = int_field t_o "revocation_events" in
   let* t_revoked_sites = int_field t_o "revoked_sites" in
@@ -362,6 +465,10 @@ let of_json (j : J.json) : (t, string) result =
           t_execs;
           t_elided_execs;
           t_paid_execs;
+          t_del_elided_execs;
+          t_del_paid_execs;
+          t_ins_elided_execs;
+          t_ins_paid_execs;
           t_barrier_units;
           t_external_paid;
           t_external_elided;
@@ -384,6 +491,13 @@ let render ?(top = 10) (p : t) : string =
   pf "  stores %d  elided %d (%.1f%%)  paid %d  barrier units %d (%.2f/kstep)\n"
     p.p_totals.t_execs p.p_totals.t_elided_execs (elision_rate p)
     p.p_totals.t_paid_execs p.p_totals.t_barrier_units (units_per_kstep p);
+  if has_halves p then
+    pf
+      "  deletion half: %d elided, %d paid (%.1f%%)  insertion half: %d \
+       elided, %d paid (%.1f%%)\n"
+      p.p_totals.t_del_elided_execs p.p_totals.t_del_paid_execs
+      (del_elision_rate p) p.p_totals.t_ins_elided_execs
+      p.p_totals.t_ins_paid_execs (ins_elision_rate p);
   if p.p_totals.t_external_paid + p.p_totals.t_external_elided > 0 then
     pf "  external stores: %d paid, %d elided (chaos-injected, siteless)\n"
       p.p_totals.t_external_paid p.p_totals.t_external_elided;
@@ -408,11 +522,26 @@ let render ?(top = 10) (p : t) : string =
       "execs" "elided" "paid" "units" "rvk";
     List.iter
       (fun s ->
+        let marker =
+          let half_data =
+            s.r_del_elided_execs + s.r_del_paid_execs + s.r_ins_elided_execs
+            + s.r_ins_paid_execs
+            > 0
+          in
+          if half_data then
+            match (s.r_del_elided, s.r_ins_elided) with
+            | true, true -> ""
+            | true, false -> "  [del-half]"
+            | false, true -> "  [ins-half]"
+            | false, false -> "  [kept]"
+          else if s.r_elided then ""
+          else "  [kept]"
+        in
         pf "  %-*s %-6s %8d %8d %8d %8d %5d  %s%s\n" width s.r_site s.r_kind
           s.r_execs s.r_elided_execs s.r_paid_execs s.r_barrier_units
           s.r_revocations
           (if s.r_guards = [] then "-" else String.concat "," s.r_guards)
-          (if s.r_elided then "" else "  [kept]");
+          marker;
         match s.r_why with
         | Some w -> pf "  %-*s   `- %s\n" width "" w
         | None -> ())
@@ -442,6 +571,21 @@ let diff ?(max_elision_drop = 2.0) ?(max_pause_increase_pct = 25.0)
     regress "elision rate fell %.1f points (%.1f%% -> %.1f%%, allowed drop %.1f)"
       drop old_rate new_rate max_elision_drop
   else note "elision rate %.1f%% -> %.1f%%" old_rate new_rate;
+  (* Per-half elision rates, gated independently when both profiles carry
+     hybrid half data: a deletion-half drop can hide behind an unchanged
+     both-halves rate and vice versa. *)
+  if has_halves baseline && has_halves p then begin
+    let half what old_r new_r =
+      let d = old_r -. new_r in
+      if d > max_elision_drop then
+        regress "%s elision rate fell %.1f points (%.1f%% -> %.1f%%, \
+                 allowed drop %.1f)"
+          what d old_r new_r max_elision_drop
+      else note "%s elision rate %.1f%% -> %.1f%%" what old_r new_r
+    in
+    half "deletion-half" (del_elision_rate baseline) (del_elision_rate p);
+    half "insertion-half" (ins_elision_rate baseline) (ins_elision_rate p)
+  end;
   let pause_check what old_v new_v =
     if new_v > old_v then begin
       let pct =

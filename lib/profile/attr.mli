@@ -9,6 +9,11 @@
     [barrier_units] sum to the machine total.  {!reconciles} checks
     this; the CLI runs it as a self-check on every [profile] run. *)
 
+val schema_version : int
+(** Version stamp written into every profile JSON ({!to_json}) and
+    required to match on read ({!of_json}), so the regression gate never
+    silently compares files with different layouts. *)
+
 type site_row = {
   r_site : string;  (** ["Class.method\@pc"] *)
   r_kind : string;  (** ["field"], ["array"] or ["static"] *)
@@ -16,6 +21,15 @@ type site_row = {
   r_execs : int;
   r_elided_execs : int;
   r_paid_execs : int;
+  r_del_elided : bool;  (** hybrid: deletion half elided (after revocation) *)
+  r_ins_elided : bool;  (** hybrid: insertion half elided *)
+  r_del_elided_execs : int;
+      (** per-half execution counts; all zero outside the hybrid flavor,
+          where [elided_execs] counts both-halves-elided executions and
+          [paid_execs] those where at least one half ran *)
+  r_del_paid_execs : int;
+  r_ins_elided_execs : int;
+  r_ins_paid_execs : int;
   r_barrier_units : int;
   r_revocations : int;
   r_guards : string list;
@@ -26,6 +40,10 @@ type totals = {
   t_execs : int;
   t_elided_execs : int;
   t_paid_execs : int;
+  t_del_elided_execs : int;  (** per-half sums; zero outside hybrid runs *)
+  t_del_paid_execs : int;
+  t_ins_elided_execs : int;
+  t_ins_paid_execs : int;
   t_barrier_units : int;
   t_external_paid : int;  (** chaos stores that ran a barrier (siteless) *)
   t_external_elided : int;  (** chaos stores through guarded elisions *)
@@ -59,6 +77,15 @@ val elision_rate : t -> float
 
 val units_per_kstep : t -> float
 (** Modelled barrier cost per 1000 mutator instructions. *)
+
+val has_halves : t -> bool
+(** Does the profile carry hybrid per-half execution data? *)
+
+val del_elision_rate : t -> float
+(** Deletion-half dynamic elision rate in percent; 0 outside hybrid. *)
+
+val ins_elision_rate : t -> float
+(** Insertion-half dynamic elision rate in percent; 0 outside hybrid. *)
 
 val reconciles : t -> Jrt.Runner.report -> (unit, string) result
 (** Check the profile's sums against the interpreter counters; the

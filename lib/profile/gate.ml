@@ -54,7 +54,25 @@ let known_tables : (string * string list * (string * direction) list) list =
         ("max", Pct_increase (fun t -> t.max_pause_increase_pct));
         ("mmu_10", Abs_drop (fun t -> t.max_mmu_drop));
       ] );
+    ( "hybrid",
+      [ "bench"; "collector" ],
+      [
+        ("del_elide_pct", Points_drop (fun t -> t.max_elision_drop));
+        ("ins_elide_pct", Points_drop (fun t -> t.max_elision_drop));
+        ("both_elide_pct", Points_drop (fun t -> t.max_elision_drop));
+      ] );
   ]
+
+(* Version stamp of the BENCH table-file layout; [bench --json] writes
+   it and {!diff_json} refuses to compare files written at different
+   versions.  Files predating versioning carry none and only compare
+   with each other. *)
+let bench_schema_version = 1
+
+let bench_version (o : (string * J.json) list) : int option =
+  match List.assoc_opt "schema_version" o with
+  | Some (J.Int v) -> Some v
+  | Some _ | None -> None
 
 let scalar_string = function
   | J.Str s -> s
@@ -199,8 +217,27 @@ let diff_json ?(thresholds = default_thresholds) ~(old_ : J.json)
       Error "cannot compare a profiler file with a BENCH table file"
   | false, false -> (
       match (old_, new_) with
-      | J.Obj old_tables, J.Obj new_tables ->
-          Ok (diff_tables ~th:thresholds old_tables new_tables)
+      | J.Obj old_tables, J.Obj new_tables -> (
+          let strip = List.filter (fun (k, _) -> k <> "schema_version") in
+          match (bench_version old_tables, bench_version new_tables) with
+          | Some a, Some b when a <> b ->
+              Error
+                (Printf.sprintf
+                   "schema_version mismatch: old file v%d, new file v%d; \
+                    regenerate the baseline"
+                   a b)
+          | None, Some b ->
+              Error
+                (Printf.sprintf
+                   "old file has no schema_version but the new file is v%d; \
+                    regenerate the baseline"
+                   b)
+          | Some a, None ->
+              Error
+                (Printf.sprintf
+                   "old file is v%d but the new file has no schema_version" a)
+          | Some _, Some _ | None, None ->
+              Ok (diff_tables ~th:thresholds (strip old_tables) (strip new_tables)))
       | _ -> Error "expected top-level JSON objects")
 
 let diff_files ?thresholds ~(old_path : string) (new_path : string) :

@@ -9,11 +9,16 @@
       (benchmark, inline limit) (points drop);
     - [table2]: [cost_units] per mode (percent increase);
     - [pause]: [p99] / [max] per (bench, collector) (percent increase)
-      and [mmu_10] (absolute drop).
+      and [mmu_10] (absolute drop);
+    - [hybrid]: [del_elide_pct] / [ins_elide_pct] / [both_elide_pct]
+      per (bench, collector) (points drop) — each half of the hybrid
+      barrier is gated independently.
 
     A key present in the old file but missing from the new one is a
     regression (a benchmark or collector silently disappearing must not
-    pass the gate); unknown tables are noted and skipped. *)
+    pass the gate); unknown tables are noted and skipped.  Both file
+    formats carry a [schema_version]; comparing files written at
+    different versions is an error, not a silent diff. *)
 
 type thresholds = {
   max_elision_drop : float;
@@ -25,6 +30,10 @@ type thresholds = {
 
 val default_thresholds : thresholds
 (** 2.0 points, 25%, 10%, 0.05. *)
+
+val bench_schema_version : int
+(** Version stamp of the BENCH table-file layout; [bench --json] writes
+    it and {!diff_json} refuses to compare files at different versions. *)
 
 type outcome = {
   o_lines : string list;  (** full comparison log *)

@@ -47,6 +47,20 @@ let satb_cost ~(mode : satb_mode) ~(marking : bool) ~(pre_null : bool) : int =
 (** Cost of one executed card-marking barrier (incremental update). *)
 let card_mark_cost = 2
 
+(** Per-half costs of the hybrid (Yuasa + Dijkstra) barrier.  The
+    deletion half is the SATB shape: marking check, pre-value load/test,
+    out-of-line shade.  The insertion half shares the marking check with
+    the deletion half when both are compiled (the fused form), so on its
+    own it costs a stack-scan-state load/test plus the shade call; the
+    shade of an already-marked value stops at the test. *)
+let hybrid_del_cost ~(marking : bool) ~(pre_null : bool) : int =
+  satb_cost ~mode:Conditional ~marking ~pre_null
+
+let hybrid_ins_cost ~(marking : bool) ~(stack_grey : bool) : int =
+  if not marking then check_marking
+  else check_marking + (2 (* load scan state, branch *))
+       + if stack_grey then log_out_of_line else 0
+
 (** Cost of the tracing-state check the retrace collector's compiler emits
     at a swap-elided store in place of the full SATB barrier: load the
     object's tracing state, compare, branch (§4.3).  The slow path — the

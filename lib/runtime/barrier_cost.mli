@@ -15,6 +15,13 @@ val log_out_of_line : int
 val satb_cost : mode:satb_mode -> marking:bool -> pre_null:bool -> int
 val card_mark_cost : int
 
+val hybrid_del_cost : marking:bool -> pre_null:bool -> int
+(** Deletion (Yuasa) half of the hybrid barrier: the SATB shape. *)
+
+val hybrid_ins_cost : marking:bool -> stack_grey:bool -> int
+(** Insertion (Dijkstra) half: marking check, stack-scan-state test,
+    shade call while the storing thread's stack is grey. *)
+
 val tracing_check_units : int
 (** Inline cost of the retrace collector's tracing-state check compiled at
     a swap-elided store (load state, compare, branch). *)

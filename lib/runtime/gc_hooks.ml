@@ -13,6 +13,11 @@ type caps = {
   descending_scan : bool;
       (** object arrays are scanned from the highest index downwards, the
           direction contract move-down elision depends on *)
+  insertion_half : bool;
+      (** the collector consumes a Dijkstra insertion half
+          ([log_ins_store]) and re-scans the repair set handed to
+          [on_revoke] at remark time, so insertion-half elision is sound
+          under it *)
 }
 
 type t = {
@@ -20,6 +25,10 @@ type t = {
   caps : caps;
   is_marking : unit -> bool;
   log_ref_store : obj:int -> pre:Value.t -> unit;
+  log_ins_store : tid:int -> nv:Value.t -> unit;
+      (** Dijkstra insertion half of a hybrid barrier: shade the value
+          being stored while thread [tid]'s stack is still grey.  No-op
+          for the pure-deletion collectors. *)
   on_unlogged_store : obj:int -> unit;
       (** tracing-state check compiled at swap-elided sites: the analysis
           removed the logging barrier but the retrace protocol
@@ -42,9 +51,10 @@ type t = {
 let none : t =
   {
     name = "none";
-    caps = { retrace_protocol = true; descending_scan = true };
+    caps = { retrace_protocol = true; descending_scan = true; insertion_half = true };
     is_marking = (fun () -> false);
     log_ref_store = (fun ~obj:_ ~pre:_ -> ());
+    log_ins_store = (fun ~tid:_ ~nv:_ -> ());
     on_unlogged_store = (fun ~obj:_ -> ());
     on_revoke = (fun ~objs:_ -> ());
     on_alloc = (fun _ -> ());

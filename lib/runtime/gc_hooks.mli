@@ -7,6 +7,9 @@ type caps = {
       (** honours [on_unlogged_store]; swap elision is sound *)
   descending_scan : bool;
       (** object arrays scanned highest-index-first; move-down is sound *)
+  insertion_half : bool;
+      (** consumes [log_ins_store] and re-scans the [on_revoke] repair
+          set at remark; insertion-half elision is sound *)
 }
 
 type t = {
@@ -15,6 +18,10 @@ type t = {
   is_marking : unit -> bool;
   log_ref_store : obj:int -> pre:Value.t -> unit;
       (** [obj] is the written object's id, [-1] for static stores *)
+  log_ins_store : tid:int -> nv:Value.t -> unit;
+      (** Dijkstra insertion half of a hybrid barrier: shade [nv] while
+          thread [tid]'s stack is grey.  No-op for pure-deletion
+          collectors. *)
   on_unlogged_store : obj:int -> unit;
       (** tracing-state check at swap-elided sites: no pre-value is
           logged, but a retrace collector may need to re-scan [obj].

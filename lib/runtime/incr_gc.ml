@@ -227,9 +227,15 @@ let finish_cycle (t : t) : cycle_report =
 let hooks (t : t) : Gc_hooks.t =
   {
     Gc_hooks.name = "incremental-update";
-    caps = { Gc_hooks.retrace_protocol = false; descending_scan = false };
+    caps =
+      {
+        Gc_hooks.retrace_protocol = false;
+        descending_scan = false;
+        insertion_half = false;
+      };
     is_marking = (fun () -> is_marking t);
     log_ref_store = (fun ~obj ~pre -> log_ref_store t ~obj ~pre);
+    log_ins_store = (fun ~tid:_ ~nv:_ -> ());
     on_unlogged_store = (fun ~obj:_ -> ());
     (* repair by dirtying the written objects' cards: the final pause's
        dirty-card rescan then re-examines their current fields *)

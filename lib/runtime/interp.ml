@@ -56,15 +56,31 @@ type site_stats = {
   st_guards : assumption list;
       (** assumptions this site's elision depends on; revocation of any
           flips [st_elided] off *)
+  mutable st_del_elided : bool;
+      (** hybrid flavor: the deletion (Yuasa) half was compiled out *)
+  mutable st_ins_elided : bool;
+      (** hybrid flavor: the insertion (Dijkstra) half was compiled out *)
+  st_ins_repair : bool;
+      (** insertion-elided destinations join the repair set handed to the
+          collector at remark (fresh-value proofs need the re-scan; a
+          proven-null store does not) *)
+  st_del_guards : assumption list;  (** guards of the deletion half alone *)
+  st_ins_guards : assumption list;  (** guards of the insertion half alone *)
   mutable execs : int;
   mutable pre_null_execs : int;
   mutable paid_execs : int;
-      (** executions that ran a full barrier (kept, revoked or degraded) *)
-  mutable elided_execs : int;  (** executions that skipped the barrier *)
+      (** executions that ran a full barrier (kept, revoked or degraded);
+          under the hybrid flavor, executions where at least one half ran *)
+  mutable elided_execs : int;
+      (** executions that skipped the barrier (both halves, under hybrid) *)
+  mutable del_paid_execs : int;  (** hybrid: deletion halves executed *)
+  mutable del_elided_execs : int;  (** hybrid: deletion halves skipped *)
+  mutable ins_paid_execs : int;  (** hybrid: insertion halves executed *)
+  mutable ins_elided_execs : int;  (** hybrid: insertion halves skipped *)
   mutable barrier_units : int;
       (** modelled RISC units charged at this site (barriers + checks) *)
   mutable revocations : int;
-      (** times this site was patched back to a full barrier *)
+      (** times this site (either half) was patched back *)
 }
 
 (** [policy cls meth pc = true] means the analysis proved the barrier at
@@ -86,6 +102,32 @@ let no_retrace_checks : retrace_policy = fun _ _ _ -> No_check
    table was wired" by physical equality. *)
 let no_guards : guard_policy = fun _ _ _ -> []
 
+(** Split verdict for one site under the hybrid barrier: each half elides
+    (and revokes) independently. *)
+type half_site = {
+  hs_del_elide : bool;
+  hs_ins_elide : bool;
+  hs_ins_repair : bool;
+      (** record insertion-elided destinations for the remark re-scan *)
+  hs_del_guards : assumption list;
+  hs_ins_guards : assumption list;
+}
+
+let keep_both : half_site =
+  {
+    hs_del_elide = false;
+    hs_ins_elide = false;
+    hs_ins_repair = false;
+    hs_del_guards = [];
+    hs_ins_guards = [];
+  }
+
+(** Per-site split verdicts, consulted only under the [`Hybrid] flavor. *)
+type half_policy = class_name -> method_name -> int -> half_site
+
+(* Shared sentinel, like [no_guards]. *)
+let no_halves : half_policy = fun _ _ _ -> keep_both
+
 (** Original justification of a site's elision (the analysis-side
     provenance), attached to revocation events so a revoked site can
     print why its barrier was removed in the first place. *)
@@ -103,9 +145,13 @@ type config = {
           (--no-revoke) runs open-loop so the oracle can demonstrate the
           failure the guards would have caught *)
   satb_mode : Barrier_cost.satb_mode;
-  barrier_flavor : [ `Satb | `Card ];
+  barrier_flavor : [ `Satb | `Card | `Hybrid ];
       (** which barrier body executes at non-elided sites: SATB pre-value
-          logging or incremental-update card marking *)
+          logging, incremental-update card marking, or the fused
+          deletion+insertion hybrid pair *)
+  halves : half_policy;
+      (** split verdicts for the hybrid flavor; [no_halves] keeps both
+          halves everywhere *)
   max_steps : int;
 }
 
@@ -118,6 +164,7 @@ let default_config =
     revoke = true;
     satb_mode = Barrier_cost.Conditional;
     barrier_flavor = `Satb;
+    halves = no_halves;
     max_steps = 50_000_000;
   }
 
@@ -263,8 +310,10 @@ let emit_revoked_site (m : t) (site : site) (st : site_stats)
 (* ---- guards and revocation -------------------------------------------- *)
 
 (** Was a guard table wired at all?  Default configs share the
-    [no_guards] closure, so physical inequality is the test. *)
-let guards_active (m : t) : bool = m.cfg.guards != no_guards
+    [no_guards] / [no_halves] closures, so physical inequality is the
+    test (the hybrid flavor carries its guards inside the half policy). *)
+let guards_active (m : t) : bool =
+  m.cfg.guards != no_guards || m.cfg.halves != no_halves
 
 (** Note an assumption observed false.  The revocation itself happens at
     the next safepoint ({!apply_revocations}); deduplicated, and inert
@@ -303,17 +352,35 @@ let apply_revocations (m : t) : unit =
                failed) );
         ("repair_set", Telemetry.Int (List.length m.guarded_writes));
       ];
+    let hit guards = List.exists (fun a -> List.mem a failed) guards in
     Hashtbl.iter
       (fun site st ->
-        if st.st_elided && List.exists (fun a -> List.mem a failed) st.st_guards
-        then begin
-          st.st_elided <- false;
-          st.st_check <- No_check;
-          st.revocations <- st.revocations + 1;
-          m.revoked_sites <- m.revoked_sites + 1;
-          Telemetry.incr c_revoked_sites;
-          emit_revoked_site m site st ~materialized:false
-        end)
+        match m.cfg.barrier_flavor with
+        | `Hybrid ->
+            (* each half revokes against its own guard set; a site counts
+               as one revocation even if both halves flip together *)
+            let del_flip = st.st_del_elided && hit st.st_del_guards in
+            let ins_flip = st.st_ins_elided && hit st.st_ins_guards in
+            if del_flip then st.st_del_elided <- false;
+            if ins_flip then st.st_ins_elided <- false;
+            if del_flip || ins_flip then begin
+              st.st_elided <- st.st_del_elided && st.st_ins_elided;
+              st.st_check <- No_check;
+              st.revocations <- st.revocations + 1;
+              m.revoked_sites <- m.revoked_sites + 1;
+              Telemetry.incr c_revoked_sites;
+              emit_revoked_site m site st ~materialized:false
+            end
+        | `Satb | `Card ->
+            if st.st_elided && hit st.st_guards then begin
+              st.st_elided <- false;
+              st.st_del_elided <- false;
+              st.st_check <- No_check;
+              st.revocations <- st.revocations + 1;
+              m.revoked_sites <- m.revoked_sites + 1;
+              Telemetry.incr c_revoked_sites;
+              emit_revoked_site m site st ~materialized:false
+            end)
       m.stats;
     (* Repair: every object written through a guarded elided site this
        cycle may have had a pre-value go unlogged; the collector re-scans
@@ -401,54 +468,179 @@ let roots (m : t) : int list =
     m.threads;
   !acc
 
+(** Static roots alone — the part of the root set the hybrid collector
+    marks at cycle start (stacks are scanned lazily). *)
+let static_roots (m : t) : int list =
+  let acc = ref [] in
+  Hashtbl.iter
+    (fun _ v -> match v with Value.Ref id -> acc := id :: !acc | _ -> ())
+    m.statics;
+  !acc
+
+(** Per-thread stack roots: [(tid, refs held in that thread's frames)],
+    including finished threads' (empty) frames so the collector sees every
+    tid it may have been asked about. *)
+let thread_roots (m : t) : (int * int list) list =
+  List.map
+    (fun th ->
+      let acc = ref [] in
+      let add = function Value.Ref id -> acc := id :: !acc | _ -> () in
+      List.iter
+        (fun fr ->
+          Array.iter add fr.locals;
+          List.iter add fr.ostack)
+        th.frames;
+      (th.tid, !acc))
+    m.threads
+
 (* ---- barrier instrumentation ------------------------------------------ *)
 
 let site_stats (m : t) (site : site) (kind : store_kind) : site_stats =
   match Hashtbl.find_opt m.stats site with
   | Some st -> st
   | None ->
-      let guards = m.cfg.guards site.s_class site.s_method site.s_pc in
-      (* a site first reached after one of its assumptions was revoked
-         materializes already patched *)
-      let alive = not (List.exists (fun a -> List.mem a m.revoked) guards) in
-      let would_elide = m.cfg.policy site.s_class site.s_method site.s_pc in
-      let elided = alive && would_elide in
-      if would_elide && not alive then begin
+      let alive guards = not (List.exists (fun a -> List.mem a m.revoked) guards) in
+      let st =
+        match m.cfg.barrier_flavor with
+        | `Hybrid ->
+            (* split verdicts: each half materializes (and may materialize
+               already-patched) against its own guard set *)
+            let hs = m.cfg.halves site.s_class site.s_method site.s_pc in
+            let del_alive = alive hs.hs_del_guards in
+            let ins_alive = alive hs.hs_ins_guards in
+            let del_elided = hs.hs_del_elide && del_alive in
+            let ins_elided = hs.hs_ins_elide && ins_alive in
+            let born_revoked =
+              (hs.hs_del_elide && not del_alive)
+              || (hs.hs_ins_elide && not ins_alive)
+            in
+            {
+              st_kind = kind;
+              st_elided = del_elided && ins_elided;
+              st_check = No_check;
+              st_guards =
+                List.sort_uniq compare (hs.hs_del_guards @ hs.hs_ins_guards);
+              st_del_elided = del_elided;
+              st_ins_elided = ins_elided;
+              st_ins_repair = hs.hs_ins_repair;
+              st_del_guards = hs.hs_del_guards;
+              st_ins_guards = hs.hs_ins_guards;
+              execs = 0;
+              pre_null_execs = 0;
+              paid_execs = 0;
+              elided_execs = 0;
+              del_paid_execs = 0;
+              del_elided_execs = 0;
+              ins_paid_execs = 0;
+              ins_elided_execs = 0;
+              barrier_units = 0;
+              revocations = (if born_revoked then 1 else 0);
+            }
+        | `Satb | `Card ->
+            let guards = m.cfg.guards site.s_class site.s_method site.s_pc in
+            (* a site first reached after one of its assumptions was
+               revoked materializes already patched *)
+            let alive = alive guards in
+            let would_elide = m.cfg.policy site.s_class site.s_method site.s_pc in
+            let elided = alive && would_elide in
+            {
+              st_kind = kind;
+              st_elided = elided;
+              st_check =
+                (if elided then
+                   m.cfg.retrace site.s_class site.s_method site.s_pc
+                 else No_check);
+              st_guards = guards;
+              st_del_elided = elided;
+              st_ins_elided = false;
+              st_ins_repair = false;
+              st_del_guards = guards;
+              st_ins_guards = [];
+              execs = 0;
+              pre_null_execs = 0;
+              paid_execs = 0;
+              elided_execs = 0;
+              del_paid_execs = 0;
+              del_elided_execs = 0;
+              ins_paid_execs = 0;
+              ins_elided_execs = 0;
+              barrier_units = 0;
+              revocations = (if would_elide && not alive then 1 else 0);
+            }
+      in
+      if st.revocations > 0 then begin
         m.revoked_sites <- m.revoked_sites + 1;
         Telemetry.incr c_revoked_sites
       end;
-      let st =
-        {
-          st_kind = kind;
-          st_elided = elided;
-          st_check =
-            (if elided then
-               m.cfg.retrace site.s_class site.s_method site.s_pc
-             else No_check);
-          st_guards = guards;
-          execs = 0;
-          pre_null_execs = 0;
-          paid_execs = 0;
-          elided_execs = 0;
-          barrier_units = 0;
-          revocations = (if would_elide && not alive then 1 else 0);
-        }
-      in
       Hashtbl.replace m.stats site st;
-      if would_elide && not alive then
-        emit_revoked_site m site st ~materialized:true;
+      if st.revocations > 0 then emit_revoked_site m site st ~materialized:true;
       st
 
+(** Execute the fused hybrid barrier: deletion and insertion halves run
+    (or are skipped) independently.  The site-level [paid_execs] /
+    [elided_execs] invariant is preserved — a store counts as elided iff
+    {e both} halves were skipped — so the profiler's reconciliation and
+    every legacy counter stay exact. *)
+let hybrid_store_barrier (m : t) (st : site_stats) ~(tid : int) ~(obj : int)
+    ~(pre : Value.t) ~(nv : Value.t) ~(pre_null : bool) : unit =
+  let marking = m.gc.is_marking () in
+  let charge cost =
+    m.barrier_units <- m.barrier_units + cost;
+    m.cost_units <- m.cost_units + cost;
+    st.barrier_units <- st.barrier_units + cost
+  in
+  let compiled_out = m.cfg.satb_mode = Barrier_cost.No_barrier in
+  (* deletion half (Yuasa): shade the overwritten value *)
+  if st.st_del_elided then st.del_elided_execs <- st.del_elided_execs + 1
+  else begin
+    st.del_paid_execs <- st.del_paid_execs + 1;
+    if not compiled_out then begin
+      charge (Barrier_cost.hybrid_del_cost ~marking ~pre_null);
+      m.gc.log_ref_store ~obj ~pre
+    end
+  end;
+  (* insertion half (Dijkstra): shade the stored value while the storing
+     thread's stack is grey; the collector owns the scan-state test *)
+  if st.st_ins_elided then st.ins_elided_execs <- st.ins_elided_execs + 1
+  else begin
+    st.ins_paid_execs <- st.ins_paid_execs + 1;
+    if not compiled_out then begin
+      charge (Barrier_cost.hybrid_ins_cost ~marking ~stack_grey:true);
+      m.gc.log_ins_store ~tid ~nv
+    end
+  end;
+  (* repair set: a guarded deletion elision may have let a pre-value go
+     unlogged; an insertion elision under a freshness proof needs its
+     destination re-scanned at remark regardless of guards *)
+  if
+    marking && obj >= 0
+    && ((st.st_del_elided && st.st_del_guards <> [])
+       || (st.st_ins_elided && (st.st_ins_repair || st.st_ins_guards <> [])))
+  then m.guarded_writes <- obj :: m.guarded_writes;
+  if st.st_del_elided && st.st_ins_elided then begin
+    m.elided_barrier_execs <- m.elided_barrier_execs + 1;
+    st.elided_execs <- st.elided_execs + 1;
+    Telemetry.incr c_elided
+  end
+  else begin
+    m.barriers_executed <- m.barriers_executed + 1;
+    st.paid_execs <- st.paid_execs + 1;
+    Telemetry.incr c_barriers
+  end
+
 (** Execute the write-barrier protocol for a reference store.
-    [obj = -1] for static stores. *)
-let ref_store_barrier (m : t) (fr : frame) ~(kind : store_kind) ~(obj : int)
-    ~(pre : Value.t) : unit =
+    [obj = -1] for static stores; [nv] is the value being stored and
+    [tid] the storing thread (both consumed by the hybrid flavor only). *)
+let ref_store_barrier (m : t) (fr : frame) ~(kind : store_kind) ~(tid : int)
+    ~(obj : int) ~(pre : Value.t) ~(nv : Value.t) : unit =
   let site = { s_class = fr.f_class; s_method = fr.f_meth.mname; s_pc = fr.pc } in
   let st = site_stats m site kind in
   st.execs <- st.execs + 1;
   let pre_null = not (Value.is_ref pre) in
   if pre_null then st.pre_null_execs <- st.pre_null_execs + 1;
-  if st.st_elided && not (m.swap_degraded && st.st_check <> No_check) then begin
+  if m.cfg.barrier_flavor = `Hybrid then
+    hybrid_store_barrier m st ~tid ~obj ~pre ~nv ~pre_null
+  else if st.st_elided && not (m.swap_degraded && st.st_check <> No_check) then begin
     m.elided_barrier_execs <- m.elided_barrier_execs + 1;
     st.elided_execs <- st.elided_execs + 1;
     Telemetry.incr c_elided;
@@ -489,6 +681,7 @@ let ref_store_barrier (m : t) (fr : frame) ~(kind : store_kind) ~(obj : int)
           Barrier_cost.satb_cost ~mode:m.cfg.satb_mode
             ~marking:(m.gc.is_marking ()) ~pre_null
       | `Card -> Barrier_cost.card_mark_cost
+      | `Hybrid -> assert false (* handled by [hybrid_store_barrier] *)
     in
     m.barrier_units <- m.barrier_units + cost;
     m.cost_units <- m.cost_units + cost;
@@ -496,7 +689,7 @@ let ref_store_barrier (m : t) (fr : frame) ~(kind : store_kind) ~(obj : int)
     let active =
       match m.cfg.satb_mode, m.cfg.barrier_flavor with
       | Barrier_cost.No_barrier, _ -> false
-      | _, `Card -> true
+      | _, (`Card | `Hybrid) -> true
       | (Barrier_cost.Conditional | Barrier_cost.Always_log), `Satb -> true
     in
     if active then m.gc.log_ref_store ~obj ~pre
@@ -510,7 +703,10 @@ let ref_store_barrier (m : t) (fr : frame) ~(kind : store_kind) ~(obj : int)
     code at all. *)
 let has_live_guarded_elisions (m : t) (a : assumption) : bool =
   Hashtbl.fold
-    (fun _ st acc -> acc || (st.st_elided && List.mem a st.st_guards))
+    (fun _ st acc ->
+      acc
+      || (st.st_del_elided && List.mem a st.st_del_guards)
+      || (st.st_ins_elided && List.mem a st.st_ins_guards))
     m.stats false
 
 let external_slot_store (m : t) ~(obj : int) ~(idx : int) ~(v : Value.t)
@@ -551,7 +747,10 @@ let external_guarded_store (m : t) ~(obj : int) ~(idx : int) ~(v : Value.t) :
         m.barriers_executed <- m.barriers_executed + 1;
         m.external_paid_execs <- m.external_paid_execs + 1;
         Telemetry.incr c_barriers;
-        m.gc.log_ref_store ~obj ~pre
+        m.gc.log_ref_store ~obj ~pre;
+        (* tid -1: an external mutator has no scanned stack, so a hybrid
+           collector treats it as permanently grey and shades [v] *)
+        m.gc.log_ins_store ~tid:(-1) ~nv:v
       end)
 
 (** A store with {e no} barrier at all — the deliberate barrier-skip
@@ -741,7 +940,8 @@ let step (m : t) (th : thread) : bool =
             let v = pop fr in
             (if Jir.Types.equal_ty (Jir.Program.static_ty m.prog r) R then
                let pre = Hashtbl.find m.statics (r.fclass, r.fname) in
-               ref_store_barrier m fr ~kind:Static_store ~obj:(-1) ~pre);
+               ref_store_barrier m fr ~kind:Static_store ~tid:th.tid ~obj:(-1)
+                 ~pre ~nv:v);
             Hashtbl.replace m.statics (r.fclass, r.fname) v;
             next ()
         | Getfield r ->
@@ -754,8 +954,8 @@ let step (m : t) (th : thread) : bool =
             let fs = fields_of o in
             let idx = field_index m r in
             (if Jir.Types.equal_ty (Jir.Program.field_ty m.prog r) R then
-               ref_store_barrier m fr ~kind:Field_store ~obj:o.id
-                 ~pre:fs.(idx));
+               ref_store_barrier m fr ~kind:Field_store ~tid:th.tid ~obj:o.id
+                 ~pre:fs.(idx) ~nv:v);
             fs.(idx) <- v;
             next ()
         | New cn ->
@@ -789,7 +989,8 @@ let step (m : t) (th : thread) : bool =
             let o = pop_obj m fr in
             let es = ref_elems_of o in
             if i < 0 || i >= Array.length es then jthrow Bounds;
-            ref_store_barrier m fr ~kind:Array_store ~obj:o.id ~pre:es.(i);
+            ref_store_barrier m fr ~kind:Array_store ~tid:th.tid ~obj:o.id
+              ~pre:es.(i) ~nv:v;
             es.(i) <- v;
             next ()
         | Iaload ->

@@ -38,17 +38,30 @@ type site_stats = {
   mutable st_check : retrace_site;
   st_guards : assumption list;
       (** assumptions this site's elision depends on *)
+  mutable st_del_elided : bool;
+      (** hybrid flavor: the deletion (Yuasa) half was compiled out *)
+  mutable st_ins_elided : bool;
+      (** hybrid flavor: the insertion (Dijkstra) half was compiled out *)
+  st_ins_repair : bool;
+      (** insertion-elided destinations join the remark repair set *)
+  st_del_guards : assumption list;
+  st_ins_guards : assumption list;
   mutable execs : int;
   mutable pre_null_execs : int;
   mutable paid_execs : int;
       (** executions that ran a full barrier (kept, revoked or degraded);
-          [execs = paid_execs + elided_execs] always holds *)
+          [execs = paid_execs + elided_execs] always holds — under the
+          hybrid flavor a store is elided iff {e both} halves skipped *)
   mutable elided_execs : int;  (** executions that skipped the barrier *)
+  mutable del_paid_execs : int;  (** hybrid: deletion halves executed *)
+  mutable del_elided_execs : int;  (** hybrid: deletion halves skipped *)
+  mutable ins_paid_execs : int;  (** hybrid: insertion halves executed *)
+  mutable ins_elided_execs : int;  (** hybrid: insertion halves skipped *)
   mutable barrier_units : int;
       (** modelled RISC units charged at this site (barriers + tracing
           checks); sums to [t.barrier_units] over all sites *)
   mutable revocations : int;
-      (** times this site was patched back to a full barrier *)
+      (** times this site (either half) was patched back *)
 }
 
 type barrier_policy =
@@ -72,6 +85,26 @@ val no_guards : guard_policy
 (** The shared "no guard table wired" closure; pass a {e different}
     closure (even one returning [[]]) to activate guard bookkeeping. *)
 
+type half_site = {
+  hs_del_elide : bool;
+  hs_ins_elide : bool;
+  hs_ins_repair : bool;
+      (** record insertion-elided destinations for the remark re-scan *)
+  hs_del_guards : assumption list;
+  hs_ins_guards : assumption list;
+}
+(** Split verdict for one site under the hybrid barrier: each half
+    elides (and revokes) independently. *)
+
+val keep_both : half_site
+
+type half_policy =
+  Jir.Types.class_name -> Jir.Types.method_name -> int -> half_site
+(** Per-site split verdicts, consulted only under the [`Hybrid] flavor. *)
+
+val no_halves : half_policy
+(** Shared "no half table wired" closure, like {!no_guards}. *)
+
 type explain_policy =
   Jir.Types.class_name -> Jir.Types.method_name -> int -> string option
 (** Original justification of a site's elision (analysis-side
@@ -89,7 +122,10 @@ type config = {
       (** honour guard failures by revoking dependent elisions; [false]
           runs open-loop so the oracle can catch what guards would have *)
   satb_mode : Barrier_cost.satb_mode;
-  barrier_flavor : [ `Satb | `Card ];
+  barrier_flavor : [ `Satb | `Card | `Hybrid ];
+  halves : half_policy;
+      (** split verdicts for the hybrid flavor; {!no_halves} keeps both
+          halves everywhere *)
   max_steps : int;
 }
 
@@ -149,7 +185,8 @@ val create : ?cfg:config -> Jir.Program.t -> t
 val set_collector : t -> Gc_hooks.t -> unit
 
 val guards_active : t -> bool
-(** Was a guard table wired (i.e. [cfg.guards] is not {!no_guards})? *)
+(** Was a guard table wired (i.e. [cfg.guards] is not {!no_guards}, or
+    [cfg.halves] is not {!no_halves})? *)
 
 val request_revoke : t -> assumption -> unit
 (** Note an assumption observed false; the revocation is applied at the
@@ -194,6 +231,13 @@ val spawn_thread : t -> Jir.Types.method_ref -> Value.t list -> thread
 
 val roots : t -> int list
 (** All reference values held in thread stacks and statics. *)
+
+val static_roots : t -> int list
+(** References held in statics alone — what the hybrid collector marks at
+    cycle start (stacks are scanned lazily). *)
+
+val thread_roots : t -> (int * int list) list
+(** [(tid, refs held in that thread's frames)] for every thread. *)
 
 val step : t -> thread -> bool
 (** Execute one instruction; [false] once the thread has finished. *)

@@ -425,9 +425,15 @@ let finish_cycle (t : t) : cycle_report =
 let hooks (t : t) : Gc_hooks.t =
   {
     Gc_hooks.name = "retrace";
-    caps = { Gc_hooks.retrace_protocol = true; descending_scan = true };
+    caps =
+      {
+        Gc_hooks.retrace_protocol = true;
+        descending_scan = true;
+        insertion_half = false;
+      };
     is_marking = (fun () -> is_marking t);
     log_ref_store = (fun ~obj ~pre -> log_ref_store t ~obj ~pre);
+    log_ins_store = (fun ~tid:_ ~nv:_ -> ());
     on_unlogged_store = (fun ~obj -> on_unlogged_store t ~obj);
     on_revoke = (fun ~objs -> on_revoke t ~objs);
     on_alloc = (fun o -> on_alloc t o);

@@ -19,6 +19,7 @@ type gc_choice =
   | Satb of { steps_per_increment : int; trigger_allocs : int }
   | Incr of { steps_per_increment : int; trigger_allocs : int }
   | Retrace of { steps_per_increment : int; trigger_allocs : int }
+  | Hybrid of { steps_per_increment : int; trigger_allocs : int }
 
 let make_satb ?(steps_per_increment = 64) ?(trigger_allocs = 512) () =
   Satb { steps_per_increment; trigger_allocs }
@@ -28,6 +29,24 @@ let make_incr ?(steps_per_increment = 64) ?(trigger_allocs = 512) () =
 
 let make_retrace ?(steps_per_increment = 64) ?(trigger_allocs = 512) () =
   Retrace { steps_per_increment; trigger_allocs }
+
+let make_hybrid ?(steps_per_increment = 64) ?(trigger_allocs = 512) () =
+  Hybrid { steps_per_increment; trigger_allocs }
+
+(** The capability record each choice's collector is expected to expose.
+    Declared once here so flag-level compatibility checks (the CLI's
+    static refusals) and the run-start assertion consult the same truth
+    rather than each growing its own copy. *)
+let caps_of_choice : gc_choice -> Gc_hooks.caps = function
+  | No_gc -> Gc_hooks.none.Gc_hooks.caps
+  | Satb _ ->
+      { Gc_hooks.retrace_protocol = false; descending_scan = true; insertion_half = false }
+  | Incr _ ->
+      { Gc_hooks.retrace_protocol = false; descending_scan = false; insertion_half = false }
+  | Retrace _ ->
+      { Gc_hooks.retrace_protocol = true; descending_scan = true; insertion_half = false }
+  | Hybrid _ ->
+      { Gc_hooks.retrace_protocol = false; descending_scan = false; insertion_half = true }
 
 type gc_summary = {
   cycles : int;
@@ -98,6 +117,7 @@ let run ?(cfg = Interp.default_config) ?(gc = No_gc) ?(quantum = 50)
     | Satb _ -> "satb"
     | Incr _ -> "incremental-update"
     | Retrace _ -> "retrace"
+    | Hybrid _ -> "hybrid"
   in
   Telemetry.emit "run.start"
     [
@@ -203,21 +223,67 @@ let run ?(cfg = Interp.default_config) ?(gc = No_gc) ?(quantum = 50)
                   ~retraced:(fun r -> r.Retrace_gc.retraces)
                   ~pause_steps:(List.rev !pause_steps));
           }
+    | Hybrid { steps_per_increment; _ } ->
+        let t =
+          Hybrid_gc.create ~steps_per_increment m.Interp.heap
+            ~static_roots:(fun () -> Interp.static_roots m)
+            ~thread_roots:(fun () -> Interp.thread_roots m)
+        in
+        Interp.set_collector m (Hybrid_gc.hooks t);
+        let reports = ref [] in
+        Some
+          {
+            l_marking = (fun () -> Hybrid_gc.is_marking t);
+            l_start = (fun () -> Hybrid_gc.start_cycle t);
+            l_quiescent = (fun () -> Hybrid_gc.quiescent t);
+            l_finish =
+              (fun () ->
+                let r = Hybrid_gc.finish_cycle t in
+                reports := r :: !reports;
+                r.Hybrid_gc.final_pause_work);
+            l_degraded = (fun () -> false);
+            l_summary =
+              (fun () ->
+                summary_of_cycles (List.rev !reports)
+                  ~violations:(fun (r : Hybrid_gc.cycle_report) -> r.violations)
+                  ~pause:(fun r -> r.Hybrid_gc.final_pause_work)
+                  ~increments:(fun r -> r.Hybrid_gc.increments)
+                  ~logged:(fun r -> r.Hybrid_gc.del_shades + r.Hybrid_gc.ins_shades)
+                  ~retraced:(fun r -> r.Hybrid_gc.rescans)
+                  ~pause_steps:(List.rev !pause_steps));
+          }
   in
   let trigger =
     match gc with
     | No_gc -> max_int
     | Satb { trigger_allocs; _ }
     | Incr { trigger_allocs; _ }
-    | Retrace { trigger_allocs; _ } ->
+    | Retrace { trigger_allocs; _ }
+    | Hybrid { trigger_allocs; _ } ->
         trigger_allocs
   in
+  (* Capabilities are queried exactly once, here at run start, and
+     asserted against the declared capability record for the chosen
+     collector: a mismatch means a collector was wired whose abilities
+     differ from what flag-level compatibility checks assumed, which
+     must be a loud error, never a silent fallback. *)
+  let caps = m.Interp.gc.Gc_hooks.caps in
+  if caps <> caps_of_choice gc then
+    invalid_arg
+      (Printf.sprintf
+         "Runner.run: collector %s reports capabilities \
+          {retrace=%b; descending=%b; insertion=%b} but the %s choice \
+          declares {retrace=%b; descending=%b; insertion=%b}"
+         m.Interp.gc.Gc_hooks.name caps.Gc_hooks.retrace_protocol
+         caps.Gc_hooks.descending_scan caps.Gc_hooks.insertion_half gc_name
+         (caps_of_choice gc).Gc_hooks.retrace_protocol
+         (caps_of_choice gc).Gc_hooks.descending_scan
+         (caps_of_choice gc).Gc_hooks.insertion_half);
   (* Startup capability guards: the installed collector may lack
      capabilities some verdicts assumed (e.g. swap verdicts under a
      collector without the retrace protocol, move-down under an
      ascending scan).  Revoke before the first mutator instruction —
      inert unless a guard table was wired. *)
-  let caps = m.Interp.gc.Gc_hooks.caps in
   if not caps.Gc_hooks.retrace_protocol then
     Interp.request_revoke m Interp.Retrace_collector;
   if not caps.Gc_hooks.descending_scan then
@@ -242,6 +308,14 @@ let run ?(cfg = Interp.default_config) ?(gc = No_gc) ?(quantum = 50)
      mutator's instruction timeline — the profiler's MMU input *)
   let record_pause l =
     let at_step = m.Interp.instr_count in
+    (* insertion-capable collectors re-scan the cycle's repair set at
+       remark: destinations of insertion-elided stores may hold edges to
+       objects that were provably fresh at analysis time but white at
+       run time (allocated before this cycle started) *)
+    if caps.Gc_hooks.insertion_half && l.l_marking () then begin
+      m.Interp.gc.Gc_hooks.on_revoke ~objs:m.Interp.guarded_writes;
+      m.Interp.guarded_writes <- []
+    end;
     let work = l.l_finish () in
     pause_steps := at_step :: !pause_steps;
     Telemetry.emit "gc.pause"

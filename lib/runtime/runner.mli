@@ -9,6 +9,7 @@ type gc_choice =
   | Satb of { steps_per_increment : int; trigger_allocs : int }
   | Incr of { steps_per_increment : int; trigger_allocs : int }
   | Retrace of { steps_per_increment : int; trigger_allocs : int }
+  | Hybrid of { steps_per_increment : int; trigger_allocs : int }
 
 val make_satb :
   ?steps_per_increment:int -> ?trigger_allocs:int -> unit -> gc_choice
@@ -18,6 +19,15 @@ val make_incr :
 
 val make_retrace :
   ?steps_per_increment:int -> ?trigger_allocs:int -> unit -> gc_choice
+
+val make_hybrid :
+  ?steps_per_increment:int -> ?trigger_allocs:int -> unit -> gc_choice
+
+val caps_of_choice : gc_choice -> Gc_hooks.caps
+(** The capability record the chosen collector is expected to expose —
+    the single truth flag-level compatibility checks and the run-start
+    assertion both consult.  {!run} raises [Invalid_argument] if the
+    installed collector's capabilities disagree. *)
 
 type gc_summary = {
   cycles : int;

@@ -341,9 +341,11 @@ let hooks (t : t) : Gc_hooks.t =
       {
         Gc_hooks.retrace_protocol = false;
         descending_scan = (t.direction = Descending);
+        insertion_half = false;
       };
     is_marking = (fun () -> is_marking t);
     log_ref_store = (fun ~obj ~pre -> log_ref_store t ~obj ~pre);
+    log_ins_store = (fun ~tid:_ ~nv:_ -> ());
     (* no retrace protocol: an unlogged rearranging store is invisible to
        this collector (the negative soundness tests rely on this) *)
     on_unlogged_store = (fun ~obj:_ -> ());

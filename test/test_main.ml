@@ -31,5 +31,6 @@ let () =
       ("harness", Test_harness.tests);
       ("telemetry", Test_telemetry.tests);
       ("profile", Test_profile.tests);
+      ("hybrid", Test_hybrid.tests);
       ("smoke", Test_smoke.tests);
     ]

@@ -232,6 +232,59 @@ let test_gate_profile_files () =
   | Ok _ -> Alcotest.fail "mixed formats must not compare"
   | Error _ -> ()
 
+(* --- schema versioning --------------------------------------------------- *)
+
+let set_version v = function
+  | Telemetry.Obj o ->
+      Telemetry.Obj
+        (("schema_version", Telemetry.Int v)
+        :: List.filter (fun (k, _) -> k <> "schema_version") o)
+  | j -> j
+
+let strip_version = function
+  | Telemetry.Obj o ->
+      Telemetry.Obj (List.filter (fun (k, _) -> k <> "schema_version") o)
+  | j -> j
+
+let test_profile_schema_version () =
+  let j = Attr.to_json (db_profile ()) in
+  (match Attr.of_json j with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "current version must parse: %s" e);
+  (match Attr.of_json (strip_version j) with
+  | Ok _ -> Alcotest.fail "profile without schema_version must not parse"
+  | Error _ -> ());
+  match Attr.of_json (set_version (Attr.schema_version + 1) j) with
+  | Ok _ -> Alcotest.fail "future schema_version must not parse"
+  | Error _ -> ()
+
+let test_gate_bench_schema_version () =
+  let v = set_version Gate.bench_schema_version in
+  (* same version on both sides compares normally *)
+  (match Gate.diff_json ~old_:(v (table1_json 9.0)) (v (table1_json 8.5)) with
+  | Ok o ->
+      Alcotest.(check bool) "versioned pair compares" false (Gate.regressed o)
+  | Error e -> Alcotest.fail e);
+  (* both files predating versioning still compare with each other *)
+  (match Gate.diff_json ~old_:(table1_json 9.0) (table1_json 8.5) with
+  | Ok o ->
+      Alcotest.(check bool) "legacy pair compares" false (Gate.regressed o)
+  | Error e -> Alcotest.fail e);
+  (* mismatched versions are an error, not a silent diff *)
+  (match
+     Gate.diff_json ~old_:(v (table1_json 9.0))
+       (set_version (Gate.bench_schema_version + 1) (table1_json 9.0))
+   with
+  | Ok _ -> Alcotest.fail "version mismatch must not compare"
+  | Error _ -> ());
+  (* and so is a version on only one side, in either direction *)
+  (match Gate.diff_json ~old_:(table1_json 9.0) (v (table1_json 9.0)) with
+  | Ok _ -> Alcotest.fail "unversioned old vs versioned new must not compare"
+  | Error _ -> ());
+  match Gate.diff_json ~old_:(v (table1_json 9.0)) (table1_json 9.0) with
+  | Ok _ -> Alcotest.fail "versioned old vs unversioned new must not compare"
+  | Error _ -> ()
+
 let tests =
   [
     Alcotest.test_case "nearest-rank percentiles" `Quick test_percentiles;
@@ -252,4 +305,8 @@ let tests =
       test_gate_five_point_drop;
     Alcotest.test_case "gate handles profiler files and format mixing" `Quick
       test_gate_profile_files;
+    Alcotest.test_case "profiles reject missing or mismatched versions" `Quick
+      test_profile_schema_version;
+    Alcotest.test_case "bench gate refuses cross-version comparisons" `Quick
+      test_gate_bench_schema_version;
   ]
