@@ -11,13 +11,15 @@ check: all
 
 test: check
 
-# profiler smoke: profile a micro workload, then gate the result against
+# profiler smoke: profile a micro workload under heap-growth pacing with
+# a soft limit low enough that the tiny heap still cycles (and degrades,
+# covering the degrade-don't-die path), then gate the result against
 # itself (must be a clean no-regression pass)
 profile-smoke:
 	dune exec bin/satbelim.exe -- profile --workload micro-expand \
-	  --gc-trigger 8 --json PROFILE_micro.json
+	  --soft-limit 24 --json PROFILE_micro.json
 	dune exec bin/satbelim.exe -- profile --workload micro-expand \
-	  --gc-trigger 8 --baseline PROFILE_micro.json
+	  --soft-limit 24 --baseline PROFILE_micro.json
 	dune exec bench/main.exe -- diff PROFILE_micro.json PROFILE_micro.json
 
 # full reproduction: every table/figure plus the bechamel timings

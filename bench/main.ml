@@ -40,6 +40,10 @@ let experiments =
       "E15: hybrid write barrier, per-collector per-half elision + chaos \
        soundness",
       Harness.Hybrid.print );
+    ( "pacing",
+      "E16: GC pacing sweep — goals, soft limits, auto-tuning + chaos \
+       allocation faults",
+      Harness.Pacing.print );
   ]
 
 (* --- machine-readable artifacts (--json) ------------------------------ *)
@@ -78,7 +82,10 @@ let emit_json () =
   emit "BENCH_profile.json" [ "profile" ];
   ignore (Harness.Hybrid.measure ());
   ignore (Harness.Hybrid.measure_chaos ());
-  emit "BENCH_hybrid.json" [ "hybrid"; "hybrid_chaos" ]
+  emit "BENCH_hybrid.json" [ "hybrid"; "hybrid_chaos" ];
+  ignore (Harness.Pacing.summarize (Harness.Pacing.measure ()));
+  ignore (Harness.Pacing.measure_chaos ());
+  emit "BENCH_pacing.json" [ "pacing"; "pacing_summary"; "pacing_chaos" ]
 
 (* --- regression gate (`bench diff OLD.json NEW.json`) ----------------- *)
 

@@ -283,6 +283,125 @@ let entry_arg =
     & opt string "Main.main"
     & info [ "entry" ] ~docv:"C.M" ~doc:"Entry method.")
 
+(* Pacing flags, shared by `run` and `profile`.  --gc-trigger survives
+   as the deprecated fixed-mode alias; the goal/limit/auto flags
+   configure the {!Jrt.Pacer}.  Contradictory combinations are refused
+   up front, in the same style as the capability refusals below. *)
+
+let heap_goal_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "heap-goal" ] ~docv:"PCT"
+        ~doc:
+          "Heap-growth target: start the next marking cycle once the \
+           live heap has grown $(docv) percent past its size at the \
+           last mark end (100 doubles the heap; default 50).")
+
+let soft_limit_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "soft-limit" ] ~docv:"UNITS"
+        ~doc:
+          "Soft heap limit in heap units: past it the pacer degrades \
+           gracefully (boosted mark budgets, allocate-black, \
+           allocation assists) instead of failing.")
+
+let hard_limit_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "hard-limit" ] ~docv:"UNITS"
+        ~doc:
+          "Hard heap limit in heap units: an allocation that would \
+           push the live heap past $(docv) aborts the run cleanly \
+           with a diagnostic (exit 4).")
+
+let pacer_arg =
+  Arg.(
+    value
+    & opt
+        (some (enum [ ("auto", `Auto); ("goal", `Goal); ("fixed", `Fixed) ]))
+        None
+    & info [ "pacer" ] ~docv:"MODE"
+        ~doc:
+          "Pacing mode: goal (heap-growth target, the default), auto \
+           (the goal retuned every cycle from pause percentiles and \
+           MMU), or fixed (the legacy --gc-trigger allocation count).")
+
+let pacing_of ~gc ~gc_trigger ~heap_goal ~soft_limit ~hard_limit ~pacer :
+    Jrt.Pacer.config =
+  let refuse fmt =
+    Fmt.kstr
+      (fun msg ->
+        Fmt.epr "satbelim: %s@." msg;
+        exit 1)
+      fmt
+  in
+  let any_flag =
+    gc_trigger <> None || heap_goal <> None || soft_limit <> None
+    || hard_limit <> None || pacer <> None
+  in
+  if gc = `None then begin
+    if any_flag then
+      refuse
+        "--gc none never starts a marking cycle, so pacing flags \
+         (--gc-trigger/--heap-goal/--soft-limit/--hard-limit/--pacer) \
+         make no sense with it";
+    Jrt.Pacer.default_config
+  end
+  else begin
+    (match (pacer, gc_trigger) with
+    | Some `Fixed, None ->
+        refuse "--pacer fixed needs --gc-trigger N to supply the trigger"
+    | Some `Goal, Some _ ->
+        refuse
+          "--gc-trigger is the fixed-mode alias; it contradicts --pacer \
+           goal (use --heap-goal instead)"
+    | Some `Auto, Some _ ->
+        refuse
+          "--gc-trigger is the fixed-mode alias; it contradicts --pacer \
+           auto"
+    | _ -> ());
+    (match (gc_trigger, heap_goal, pacer) with
+    | Some _, Some _, _ ->
+        refuse
+          "--gc-trigger (fixed pacing) contradicts --heap-goal \
+           (heap-growth pacing); pick one"
+    | _, Some _, Some `Auto ->
+        refuse
+          "--pacer auto retunes the heap-growth goal itself; it \
+           contradicts --heap-goal"
+    | _ -> ());
+    (match heap_goal with
+    | Some pct when pct <= 0.0 ->
+        refuse "--heap-goal must be a positive percentage (got %g)" pct
+    | _ -> ());
+    (match (soft_limit, hard_limit) with
+    | Some s, _ when s <= 0 -> refuse "--soft-limit must be positive"
+    | _, Some h when h <= 0 -> refuse "--hard-limit must be positive"
+    | Some s, Some h when s >= h ->
+        refuse
+          "--soft-limit %d must be below --hard-limit %d (degradation \
+           must have room to work before the abort)"
+          s h
+    | _ -> ());
+    let mode =
+      match (pacer, gc_trigger, heap_goal) with
+      | Some `Fixed, Some n, _ | None, Some n, None -> Jrt.Pacer.Fixed n
+      | Some `Auto, _, _ -> Jrt.Pacer.Auto
+      | _, _, Some pct -> Jrt.Pacer.Goal (1.0 +. (pct /. 100.0))
+      | _ -> Jrt.Pacer.default_config.Jrt.Pacer.mode
+    in
+    {
+      Jrt.Pacer.mode;
+      soft_limit;
+      hard_limit;
+      goal_floor = Jrt.Pacer.default_goal_floor;
+    }
+  end
+
 let assumption_to_runtime :
     Satb_core.Driver.assumption -> Jrt.Interp.assumption = function
   | Satb_core.Driver.Single_mutator -> Jrt.Interp.Single_mutator
@@ -324,15 +443,19 @@ let half_policy_of ?(no_elim = false) (compiled : Satb_core.Driver.compiled) :
 
 let run_cmd =
   let run file limit mode nos md swap summaries gc entry no_elim chaos_seed
-      retrace_budget no_revoke allow_unsound gc_trigger trace metrics chrome =
+      retrace_budget no_revoke allow_unsound gc_trigger heap_goal soft_limit
+      hard_limit pacer trace metrics chrome =
     let prog = or_die (load file) in
+    let pacing =
+      pacing_of ~gc ~gc_trigger ~heap_goal ~soft_limit ~hard_limit ~pacer
+    in
     let gc_choice =
       match gc with
       | `None -> Jrt.Runner.No_gc
-      | `Satb -> Jrt.Runner.make_satb ~trigger_allocs:gc_trigger ()
-      | `Incr -> Jrt.Runner.make_incr ~trigger_allocs:gc_trigger ()
-      | `Retrace -> Jrt.Runner.make_retrace ~trigger_allocs:gc_trigger ()
-      | `Hybrid -> Jrt.Runner.make_hybrid ~trigger_allocs:gc_trigger ()
+      | `Satb -> Jrt.Runner.make_satb ~pacing ()
+      | `Incr -> Jrt.Runner.make_incr ~pacing ()
+      | `Retrace -> Jrt.Runner.make_retrace ~pacing ()
+      | `Hybrid -> Jrt.Runner.make_hybrid ~pacing ()
     in
     (* Refuse statically-unsound elision/collector combinations, judged
        against the chosen collector's declared capabilities (the same
@@ -479,19 +602,35 @@ let run_cmd =
     if m.Jrt.Interp.degradations > 0 then
       Fmt.pr "degraded: %d cycles, %d swap stores fell back to logging@."
         m.Jrt.Interp.degradations m.Jrt.Interp.degraded_swap_execs;
+    (match r.pacer with
+    | Some ps ->
+        Fmt.pr
+          "pacer: state %s, goal %.2f, trigger %d units, %d/%d cycles \
+           degraded, %d assists, peak live %d units@."
+          (Jrt.Pacer.state_name ps.Jrt.Pacer.p_state) ps.Jrt.Pacer.p_goal
+          ps.Jrt.Pacer.p_trigger_units ps.Jrt.Pacer.p_degraded_cycles
+          ps.Jrt.Pacer.p_cycles ps.Jrt.Pacer.p_assists
+          ps.Jrt.Pacer.p_max_live_units
+    | None -> ());
     (match chaos with
     | Some c ->
         let s = Jrt.Chaos.stats c in
         Fmt.pr
           "chaos: %d spawns, %d damage stores, %d preempted increments, %d \
-           forced remarks, %d class loads@."
+           forced remarks, %d class loads, %d spike allocs, %d ramp allocs@."
           s.Jrt.Chaos.spawns s.Jrt.Chaos.damage_stores
           s.Jrt.Chaos.preempted_increments s.Jrt.Chaos.pressure_remarks
-          s.Jrt.Chaos.class_loads
+          s.Jrt.Chaos.class_loads s.Jrt.Chaos.spike_allocs
+          s.Jrt.Chaos.ramp_allocs
     | None -> ());
     List.iter
       (fun (tid, e) -> Fmt.pr "thread %d died: %s@." tid e)
-      r.thread_errors
+      r.thread_errors;
+    match r.hard_stop with
+    | Some msg ->
+        Fmt.epr "satbelim: hard heap limit: %s@." msg;
+        exit 4
+    | None -> ()
   in
   let no_elim =
     Arg.(value & flag & info [ "no-elim" ] ~doc:"Keep every barrier.")
@@ -535,12 +674,12 @@ let run_cmd =
   let gc_trigger_arg =
     Arg.(
       value
-      & opt int 512
+      & opt (some int) None
       & info [ "gc-trigger" ] ~docv:"N"
           ~doc:
-            "Start a marking cycle every $(docv) allocations (the bundled \
-             workloads allocate little; lower this to exercise the \
-             collector).")
+            "Deprecated fixed-mode alias: start a marking cycle every \
+             $(docv) allocations, bit-for-bit the pre-pacer behaviour.  \
+             Prefer the default heap-growth goal or --heap-goal.")
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Interpret the program with barrier instrumentation")
@@ -548,7 +687,8 @@ let run_cmd =
       const run $ file_arg $ inline_limit_arg $ mode_arg $ nos_arg
       $ movedown_arg $ swap_arg $ summaries_arg $ gc_arg $ entry_arg
       $ no_elim $ chaos_arg $ budget_arg $ no_revoke_arg $ allow_unsound_arg
-      $ gc_trigger_arg $ trace_arg $ metrics_arg $ chrome_arg)
+      $ gc_trigger_arg $ heap_goal_arg $ soft_limit_arg $ hard_limit_arg
+      $ pacer_arg $ trace_arg $ metrics_arg $ chrome_arg)
 
 (* profile *)
 
@@ -564,9 +704,10 @@ let entry_ref_of_string (entry : string) : Jir.Types.method_ref =
       exit 1
 
 let profile_cmd =
-  let run file workload limit mode nos md swap summaries gc gc_trigger entry
-      json top baseline max_elision_drop max_pause_increase max_cost_increase
-      allow_unsound trace metrics chrome =
+  let run file workload limit mode nos md swap summaries gc gc_trigger
+      heap_goal soft_limit hard_limit pacer entry json top baseline
+      max_elision_drop max_pause_increase max_cost_increase allow_unsound
+      trace metrics chrome =
     let name, prog, entry_ref =
       match (file, workload) with
       | Some _, Some _ ->
@@ -588,15 +729,16 @@ let profile_cmd =
               Fmt.epr "satbelim: unknown workload %S (try 'workloads')@." n;
               exit 1)
     in
+    let pacing =
+      pacing_of ~gc ~gc_trigger ~heap_goal ~soft_limit ~hard_limit ~pacer
+    in
     let gc_name, gc_choice =
       match gc with
       | `None -> ("none", Jrt.Runner.No_gc)
-      | `Satb -> ("satb", Jrt.Runner.make_satb ~trigger_allocs:gc_trigger ())
-      | `Incr -> ("incr", Jrt.Runner.make_incr ~trigger_allocs:gc_trigger ())
-      | `Retrace ->
-          ("retrace", Jrt.Runner.make_retrace ~trigger_allocs:gc_trigger ())
-      | `Hybrid ->
-          ("hybrid", Jrt.Runner.make_hybrid ~trigger_allocs:gc_trigger ())
+      | `Satb -> ("satb", Jrt.Runner.make_satb ~pacing ())
+      | `Incr -> ("incr", Jrt.Runner.make_incr ~pacing ())
+      | `Retrace -> ("retrace", Jrt.Runner.make_retrace ~pacing ())
+      | `Hybrid -> ("hybrid", Jrt.Runner.make_hybrid ~pacing ())
     in
     (* same capability-driven static-soundness refusals as `run` *)
     let caps = Jrt.Runner.caps_of_choice gc_choice in
@@ -672,6 +814,11 @@ let profile_cmd =
     List.iter
       (fun (tid, e) -> Fmt.pr "thread %d died: %s@." tid e)
       r.thread_errors;
+    (match r.hard_stop with
+    | Some msg ->
+        Fmt.epr "satbelim: hard heap limit: %s@." msg;
+        exit 4
+    | None -> ());
     let p = Profile.Attr.of_report ~workload:name ~gc:gc_name ~explain r in
     (* the profile must reconcile exactly with the interpreter's global
        counters (also what --metrics reports); a mismatch is a bug in the
@@ -735,11 +882,12 @@ let profile_cmd =
   let gc_trigger_arg =
     Arg.(
       value
-      & opt int 64
+      & opt (some int) None
       & info [ "gc-trigger" ] ~docv:"N"
           ~doc:
-            "Start a marking cycle every $(docv) allocations (default 64, \
-             low enough that the bundled workloads exercise the collector).")
+            "Deprecated fixed-mode alias: start a marking cycle every \
+             $(docv) allocations, bit-for-bit the pre-pacer behaviour.  \
+             Prefer the default heap-growth goal or --heap-goal.")
   in
   let json_arg =
     Arg.(
@@ -807,7 +955,8 @@ let profile_cmd =
     Term.(
       const run $ file_opt_arg $ workload_arg $ inline_limit_arg $ mode_arg
       $ nos_arg $ movedown_arg $ swap_arg $ summaries_arg $ gc_arg
-      $ gc_trigger_arg $ entry_arg $ json_arg $ top_arg $ baseline_arg
+      $ gc_trigger_arg $ heap_goal_arg $ soft_limit_arg $ hard_limit_arg
+      $ pacer_arg $ entry_arg $ json_arg $ top_arg $ baseline_arg
       $ elision_drop_arg $ pause_increase_arg $ cost_increase_arg
       $ allow_unsound_arg $ trace_arg $ metrics_arg $ chrome_arg)
 

@@ -63,15 +63,15 @@ let measure_one ?(trigger_allocs = 16) ?(steps_per_increment = 16)
   in
   let satb =
     go ~use_policy:true ~swap:false "satb"
-      (Jrt.Runner.Satb { steps_per_increment; trigger_allocs })
+      (Jrt.Runner.Satb { steps_per_increment; pacing = Jrt.Pacer.config_of_trigger trigger_allocs })
   in
   let incr =
     go ~use_policy:false ~swap:false "incr"
-      (Jrt.Runner.Incr { steps_per_increment; trigger_allocs })
+      (Jrt.Runner.Incr { steps_per_increment; pacing = Jrt.Pacer.config_of_trigger trigger_allocs })
   in
   let retrace =
     go ~use_policy:true ~swap:true "retrace"
-      (Jrt.Runner.Retrace { steps_per_increment; trigger_allocs })
+      (Jrt.Runner.Retrace { steps_per_increment; pacing = Jrt.Pacer.config_of_trigger trigger_allocs })
   in
   {
     bench = w.name;

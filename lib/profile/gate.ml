@@ -31,6 +31,10 @@ type direction =
   | Points_drop of (thresholds -> float)
   | Pct_increase of (thresholds -> float)
   | Abs_drop of (thresholds -> float)
+  | Max_value of float
+      (* absolute ceiling on the NEW value, independent of the baseline:
+         zero-tolerance metrics (oracle violations, hard stops) gate at
+         0.0 — a baseline must never grandfather one in *)
 
 (* (table, key fields, gated metrics) *)
 let known_tables : (string * string list * (string * direction) list) list =
@@ -60,6 +64,30 @@ let known_tables : (string * string list * (string * direction) list) list =
         ("del_elide_pct", Points_drop (fun t -> t.max_elision_drop));
         ("ins_elide_pct", Points_drop (fun t -> t.max_elision_drop));
         ("both_elide_pct", Points_drop (fun t -> t.max_elision_drop));
+      ] );
+    (* E16: pauses are gated leniently (pacing policies trade pause size
+       for throughput by design), violations and hard stops at zero *)
+    ( "pacing",
+      [ "bench"; "collector"; "policy" ],
+      [
+        ("violations", Max_value 0.0);
+        ("hard_stops", Max_value 0.0);
+        ("elide_pct", Points_drop (fun t -> t.max_elision_drop));
+        ("p99", Pct_increase (fun t -> 2.0 *. t.max_pause_increase_pct));
+        ("mmu_10", Abs_drop (fun t -> 2.0 *. t.max_mmu_drop));
+      ] );
+    ( "pacing_chaos",
+      [ "plan"; "bench"; "collector" ],
+      [
+        ("violations", Max_value 0.0);
+        ("hard_stops", Max_value 0.0);
+      ] );
+    ( "pacing_summary",
+      [ "bench" ],
+      [
+        (* only the TOTAL row carries auto_losses; auto must beat the
+           best fixed trigger on at least 3 of the 6 workloads *)
+        ("auto_losses", Max_value 3.0);
       ] );
   ]
 
@@ -182,7 +210,12 @@ let diff_tables ~(th : thresholds) (old_tables : (string * J.json) list)
                                        %.3f)"
                                       name drop old_v new_v (limit th)
                                   else
-                                    note "%s %.3f -> %.3f ok" name old_v new_v)
+                                    note "%s %.3f -> %.3f ok" name old_v new_v
+                              | Max_value ceiling ->
+                                  if new_v > ceiling then
+                                    regress "%s is %s (ceiling %s)" name
+                                      (fmt_value new_v) (fmt_value ceiling)
+                                  else note "%s %s ok" name (fmt_value new_v))
                           | _, _ ->
                               note "%s/%s %s: not numeric in both files, \
                                     skipped"

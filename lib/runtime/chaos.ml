@@ -47,6 +47,16 @@ type fault =
       (** announce a class load once [at_instr] instructions have run:
           the closed-world assumption behind the interprocedural callee
           summaries fails, and summary-dependent elisions revoke *)
+  | Alloc_spike of { at_instr : int; count : int }
+      (** once [at_instr] instructions have run, allocate [count] ballast
+          objects in one burst ({!Interp.external_alloc}) — a sudden
+          allocation spike the pacer must absorb (early trigger,
+          degraded mode, or a clean hard-limit abort) *)
+  | Mem_pressure of { at_alloc : int; per_safepoint : int; total : int }
+      (** once the heap has allocated [at_alloc] objects, allocate
+          [per_safepoint] ballast objects at every safepoint until
+          [total] have been injected — a sustained memory-pressure ramp
+          that holds the pacer near its limits *)
 
 type plan = {
   seed : int;
@@ -62,6 +72,8 @@ type stats = {
   preempted_increments : int;  (** collector increments withheld *)
   pressure_remarks : int;  (** emergency remarks forced *)
   class_loads : int;  (** class-load announcements *)
+  spike_allocs : int;  (** ballast objects injected by allocation spikes *)
+  ramp_allocs : int;  (** ballast objects injected by pressure ramps *)
 }
 
 (** What the runner must do at this safepoint. *)
@@ -76,6 +88,8 @@ type armed =
   | Apressure of { at_alloc : int; mutable fired : bool }
   | Askip of { at_instr : int; mutable victims_left : int }
   | Aload of { at_instr : int; mutable loaded : bool }
+  | Aspike of { at_instr : int; count : int; mutable fired : bool }
+  | Aramp of { at_alloc : int; per_safepoint : int; mutable left : int }
 
 type t = {
   plan : plan;
@@ -87,6 +101,8 @@ type t = {
   mutable preempted_increments : int;
   mutable pressure_remarks : int;
   mutable class_loads : int;
+  mutable spike_allocs : int;
+  mutable ramp_allocs : int;
 }
 
 (** Same deterministic LCG as {!Runner}'s quantum jitter. *)
@@ -110,7 +126,11 @@ let create (plan : plan) : t =
           | Heap_pressure { at_alloc } -> Apressure { at_alloc; fired = false }
           | Barrier_skip { at_instr; victims } ->
               Askip { at_instr; victims_left = victims }
-          | Class_load { at_instr } -> Aload { at_instr; loaded = false })
+          | Class_load { at_instr } -> Aload { at_instr; loaded = false }
+          | Alloc_spike { at_instr; count } ->
+              Aspike { at_instr; count; fired = false }
+          | Mem_pressure { at_alloc; per_safepoint; total } ->
+              Aramp { at_alloc; per_safepoint; left = total })
         plan.faults;
     rand = lcg (plan.seed lxor 0x5bd1e995);
     spawns = 0;
@@ -119,6 +139,8 @@ let create (plan : plan) : t =
     preempted_increments = 0;
     pressure_remarks = 0;
     class_loads = 0;
+    spike_allocs = 0;
+    ramp_allocs = 0;
   }
 
 (** A deterministic benign plan for [--chaos <seed>]: late spawn plus
@@ -133,7 +155,10 @@ let of_seed (seed : int) : plan =
          [ Preempt_marker { at_alloc = 32 + r 512; skips = 2 + r 12 } ]
        else [])
     @ (if r 4 > 1 then [ Heap_pressure { at_alloc = 64 + r 768 } ] else [])
-    @ if r 4 > 1 then [ Class_load { at_instr = 300 + r 3000 } ] else []
+    @ (if r 4 > 1 then [ Class_load { at_instr = 300 + r 3000 } ] else [])
+    @ if r 4 = 1 then
+        [ Alloc_spike { at_instr = 400 + r 3000; count = 8 + r 56 } ]
+      else []
   in
   {
     seed;
@@ -152,6 +177,8 @@ let stats (t : t) : stats =
     preempted_increments = t.preempted_increments;
     pressure_remarks = t.pressure_remarks;
     class_loads = t.class_loads;
+    spike_allocs = t.spike_allocs;
+    ramp_allocs = t.ramp_allocs;
   }
 
 (* ---- victim selection -------------------------------------------------- *)
@@ -231,6 +258,8 @@ let c_skips = Telemetry.counter "chaos.skipped_barriers"
 let c_preempts = Telemetry.counter "chaos.preempted_increments"
 let c_pressure = Telemetry.counter "chaos.pressure_remarks"
 let c_loads = Telemetry.counter "chaos.class_loads"
+let c_spike = Telemetry.counter "chaos.spike_allocs"
+let c_ramp = Telemetry.counter "chaos.ramp_allocs"
 
 let fault_event (kind : string) (fields : (string * Telemetry.json) list) :
     unit =
@@ -300,6 +329,30 @@ let at_safepoint (t : t) (m : Interp.t) : action =
             Telemetry.incr c_loads;
             fault_event "class-load" [ ("at_instr", Telemetry.Int instr) ];
             Interp.note_class_load m
+          end
+      | Aspike a ->
+          if (not a.fired) && instr >= a.at_instr then begin
+            a.fired <- true;
+            t.spike_allocs <- t.spike_allocs + a.count;
+            Telemetry.incr c_spike ~by:a.count;
+            fault_event "alloc-spike"
+              [ ("at_instr", Telemetry.Int instr);
+                ("count", Telemetry.Int a.count) ];
+            (* may raise Pacer.Hard_limit — propagated to the runner,
+               which must abort cleanly, exactly as mutator pressure
+               would *)
+            Interp.external_alloc m ~count:a.count
+          end
+      | Aramp a ->
+          if a.left > 0 && allocated >= a.at_alloc then begin
+            let n = min a.per_safepoint a.left in
+            a.left <- a.left - n;
+            t.ramp_allocs <- t.ramp_allocs + n;
+            Telemetry.incr c_ramp ~by:n;
+            fault_event "mem-pressure"
+              [ ("at_alloc", Telemetry.Int allocated);
+                ("count", Telemetry.Int n) ];
+            Interp.external_alloc m ~count:n
           end)
     t.armed;
   { defer_increment = !defer; force_remark = !remark }

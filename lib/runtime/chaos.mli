@@ -20,6 +20,13 @@ type fault =
       (** announce a class load at [at_instr]: the closed-world
           assumption behind the callee summaries fails, revoking every
           summary-dependent elision *)
+  | Alloc_spike of { at_instr : int; count : int }
+      (** allocate [count] ballast objects in one burst at [at_instr] —
+          a sudden allocation spike the pacer must absorb *)
+  | Mem_pressure of { at_alloc : int; per_safepoint : int; total : int }
+      (** from [at_alloc] allocations on, inject [per_safepoint] ballast
+          objects at every safepoint until [total] are placed — a
+          sustained memory-pressure ramp against the pacer's limits *)
 
 type plan = {
   seed : int;
@@ -35,6 +42,8 @@ type stats = {
   preempted_increments : int;
   pressure_remarks : int;
   class_loads : int;
+  spike_allocs : int;  (** ballast objects injected by allocation spikes *)
+  ramp_allocs : int;  (** ballast objects injected by pressure ramps *)
 }
 
 type action = { defer_increment : bool; force_remark : bool }
@@ -48,8 +57,8 @@ val create : plan -> t
 
 val of_seed : int -> plan
 (** A deterministic benign plan for [--chaos <seed>]: late spawn plus a
-    seed-dependent mix of preemption, heap pressure, class loading, and
-    pacing; never a barrier skip. *)
+    seed-dependent mix of preemption, heap pressure, class loading,
+    allocation spikes, and pacing; never a barrier skip. *)
 
 val plan : t -> plan
 val stats : t -> stats

@@ -6,6 +6,11 @@
     by the analysis — SATB logs the pre-write value, incremental-update
     card-marking dirties the target's card. *)
 
+(** Mark-budget multiplier every collector applies while the pacer is
+    degraded; one shared constant so the four collectors degrade
+    identically. *)
+let pressure_boost = 4
+
 type caps = {
   retrace_protocol : bool;
       (** the collector honours [on_unlogged_store] (tracing-state
@@ -43,6 +48,11 @@ type t = {
           re-scan; plain SATB restarts the mark from a fresh snapshot;
           collectors that never rely on elision may ignore it. *)
   on_alloc : Heap.obj -> unit;
+  on_pressure : degraded:bool -> unit;
+      (** the pacer entered ([true]) or left ([false]) degraded mode:
+          boost the per-increment mark budget, and collectors that
+          allocate white (incremental update) must force allocate-black
+          for the duration *)
   step : unit -> unit;  (** perform a bounded increment of collector work *)
 }
 
@@ -58,5 +68,6 @@ let none : t =
     on_unlogged_store = (fun ~obj:_ -> ());
     on_revoke = (fun ~objs:_ -> ());
     on_alloc = (fun _ -> ());
+    on_pressure = (fun ~degraded:_ -> ());
     step = (fun () -> ());
   }

@@ -2,6 +2,10 @@
     collectors implement them.  [log_ref_store] is the write-barrier body
     and runs only at sites whose barrier the analysis kept. *)
 
+val pressure_boost : int
+(** Mark-budget multiplier applied by every collector while the pacer is
+    degraded. *)
+
 type caps = {
   retrace_protocol : bool;
       (** honours [on_unlogged_store]; swap elision is sound *)
@@ -32,6 +36,10 @@ type t = {
           enqueues them; plain SATB restarts the mark from a fresh
           snapshot. *)
   on_alloc : Heap.obj -> unit;
+  on_pressure : degraded:bool -> unit;
+      (** pacer degradation entry/exit: while degraded, collectors boost
+          their per-increment mark budget, and collectors that allocate
+          white (incremental update) force allocate-black *)
   step : unit -> unit;  (** one bounded increment of collector work *)
 }
 

@@ -34,7 +34,20 @@ type t = {
   mutable next_id : int;
   mutable live_count : int;
   mutable total_allocated : int;
+  mutable live_units : int;
+  mutable allocated_units : int;
 }
+
+(** Size of an object in heap units: a two-unit header plus one unit per
+    field or element.  The pacer's heap-goal, soft and hard limits are
+    all expressed in these units, so "bytes" of pressure scale with the
+    payloads a workload allocates rather than with object count alone. *)
+let size_units (o : obj) : int =
+  2
+  +
+  match o.payload with
+  | Fields vs | Ref_array vs -> Array.length vs
+  | Int_array es -> Array.length es
 
 let dummy =
   {
@@ -48,7 +61,14 @@ let dummy =
   }
 
 let create () =
-  { objects = Array.make 1024 dummy; next_id = 0; live_count = 0; total_allocated = 0 }
+  {
+    objects = Array.make 1024 dummy;
+    next_id = 0;
+    live_count = 0;
+    total_allocated = 0;
+    live_units = 0;
+    allocated_units = 0;
+  }
 
 let grow h =
   if h.next_id >= Array.length h.objects then begin
@@ -74,6 +94,9 @@ let alloc (h : t) (cls : Jir.Types.class_name) (payload : payload) : obj =
   h.next_id <- h.next_id + 1;
   h.live_count <- h.live_count + 1;
   h.total_allocated <- h.total_allocated + 1;
+  let u = size_units o in
+  h.live_units <- h.live_units + u;
+  h.allocated_units <- h.allocated_units + u;
   o
 
 let alloc_object h cls ~n_fields = alloc h cls (Fields (Array.make n_fields Value.Null))
@@ -111,5 +134,6 @@ let clear_marks (h : t) =
 let free (h : t) (o : obj) =
   if not o.dead then begin
     o.dead <- true;
-    h.live_count <- h.live_count - 1
+    h.live_count <- h.live_count - 1;
+    h.live_units <- h.live_units - size_units o
   end

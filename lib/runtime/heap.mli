@@ -28,9 +28,18 @@ type t = {
   mutable next_id : int;
   mutable live_count : int;
   mutable total_allocated : int;
+  mutable live_units : int;
+      (** units currently held by live objects — the pacer's notion of
+          heap size (its goals and limits are expressed in units) *)
+  mutable allocated_units : int;  (** units ever allocated *)
 }
 
 val create : unit -> t
+
+val size_units : obj -> int
+(** Heap units an object occupies: a two-unit header plus one per field
+    or element. *)
+
 val alloc_object : t -> Jir.Types.class_name -> n_fields:int -> obj
 val alloc_ref_array : t -> Jir.Types.class_name -> len:int -> obj
 val alloc_int_array : t -> len:int -> obj

@@ -60,6 +60,8 @@ type t = {
   mutable stack_scans : int;
   mutable allocated_during : int;
   mutable increments : int;
+  mutable boost : int;
+      (** mark-budget multiplier; >1 while the pacer is degraded *)
   mutable rescans : int;
   mutable cycles : int;
   mutable reports : cycle_report list;
@@ -82,6 +84,7 @@ let create ?(steps_per_increment = 64) ?(sweep = true) (heap : Heap.t)
     stack_scans = 0;
     allocated_during = 0;
     increments = 0;
+    boost = 1;
     rescans = 0;
     cycles = 0;
     reports = [];
@@ -207,7 +210,7 @@ let step (t : t) : unit =
       List.find_opt (fun (tid, _) -> stack_grey t ~tid) (t.thread_roots ())
     with
     | Some (tid, refs) -> scan_stack t tid refs
-    | None -> ignore (drain t t.steps_per_increment)
+    | None -> ignore (drain t (t.steps_per_increment * t.boost))
   end
 
 let quiescent (t : t) : bool =
@@ -313,5 +316,8 @@ let hooks (t : t) : Gc_hooks.t =
     on_unlogged_store = (fun ~obj:_ -> ());
     on_revoke = (fun ~objs -> on_revoke t ~objs);
     on_alloc = (fun o -> on_alloc t o);
+    on_pressure =
+      (fun ~degraded ->
+        t.boost <- (if degraded then Gc_hooks.pressure_boost else 1));
     step = (fun () -> step t);
   }

@@ -34,6 +34,8 @@ type t = {
   mutable stack_scans : int;
   mutable allocated_during : int;
   mutable increments : int;
+  mutable boost : int;
+      (** mark-budget multiplier; >1 while the pacer is degraded *)
   mutable rescans : int;
   mutable cycles : int;
   mutable reports : cycle_report list;

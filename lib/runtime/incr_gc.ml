@@ -41,6 +41,12 @@ type t = {
   mutable dirtied_total : int;
   mutable allocated_during : int;
   mutable increments : int;
+  mutable boost : int;
+      (** mark-budget multiplier; >1 while the pacer is degraded *)
+  mutable force_black : bool;
+      (** degraded mode: allocate black (plus a birth-dirtied card, so
+          elided stores into the new object are still re-scanned at the
+          final pause) instead of the usual allocate-white *)
   mutable cycles : int;
   mutable reports : cycle_report list;
   mutable sweep_enabled : bool;
@@ -58,6 +64,8 @@ let create ?(steps_per_increment = 64) ?(sweep = true) (heap : Heap.t)
     dirtied_total = 0;
     allocated_during = 0;
     increments = 0;
+    boost = 1;
+    force_black = false;
     cycles = 0;
     reports = [];
     sweep_enabled = sweep;
@@ -105,7 +113,17 @@ let on_alloc t (o : Heap.obj) =
   if t.phase = Marking then begin
     (* allocated white: incremental update must trace new objects *)
     o.born_during_mark <- true;
-    t.allocated_during <- t.allocated_during + 1
+    t.allocated_during <- t.allocated_during + 1;
+    if t.force_black then begin
+      (* Degraded mode: allocate black so the final pause no longer owes
+         this object a transitive visit.  Soundness needs its card
+         dirtied at birth: stores into a fresh object are prime pre-null
+         elision targets, and an elided store dirties nothing — the
+         birth-dirty card makes the pause's fixed point re-scan the
+         object's final fields regardless. *)
+      o.Heap.marked <- true;
+      log_ref_store t ~obj:o.Heap.id ~pre:Value.Null
+    end
   end
 
 let drain (t : t) (budget : int) : int =
@@ -124,7 +142,7 @@ let drain (t : t) (budget : int) : int =
 let step (t : t) : unit =
   if t.phase = Marking then begin
     t.increments <- t.increments + 1;
-    ignore (drain t t.steps_per_increment)
+    ignore (drain t (t.steps_per_increment * t.boost))
   end
 
 let quiescent (t : t) : bool = t.phase = Marking && t.gray = []
@@ -243,5 +261,9 @@ let hooks (t : t) : Gc_hooks.t =
       (fun ~objs ->
         List.iter (fun obj -> log_ref_store t ~obj ~pre:Value.Null) objs);
     on_alloc = (fun o -> on_alloc t o);
+    on_pressure =
+      (fun ~degraded ->
+        t.boost <- (if degraded then Gc_hooks.pressure_boost else 1);
+        t.force_black <- degraded);
     step = (fun () -> step t);
   }

@@ -31,6 +31,11 @@ type t = {
   mutable dirtied_total : int;
   mutable allocated_during : int;
   mutable increments : int;
+  mutable boost : int;
+      (** mark-budget multiplier; >1 while the pacer is degraded *)
+  mutable force_black : bool;
+      (** degraded mode: allocate black with a birth-dirtied card instead
+          of the usual allocate-white *)
   mutable cycles : int;
   mutable reports : cycle_report list;
   mutable sweep_enabled : bool;

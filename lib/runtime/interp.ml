@@ -192,6 +192,12 @@ type t = {
   stats : (site, site_stats) Hashtbl.t;
   cfg : config;
   mutable gc : Gc_hooks.t;
+  mutable pacer : Pacer.t option;
+      (** pacing controller; admission-controls every allocation and
+          drives degraded-mode allocation assists *)
+  mutable assist_execs : int;
+      (** collector increments run on allocating threads' behalf while
+          the pacer was degraded *)
   mutable instr_count : int;
   mutable cost_units : int;  (** bytecode + barrier RISC units *)
   mutable barrier_units : int;
@@ -246,6 +252,8 @@ let create ?(cfg = default_config) (prog : Jir.Program.t) : t =
     stats = Hashtbl.create 256;
     cfg;
     gc = Gc_hooks.none;
+    pacer = None;
+    assist_execs = 0;
     instr_count = 0;
     cost_units = 0;
     barrier_units = 0;
@@ -267,6 +275,7 @@ let create ?(cfg = default_config) (prog : Jir.Program.t) : t =
   }
 
 let set_collector m gc = m.gc <- gc
+let set_pacer m p = m.pacer <- Some p
 
 (* ---- telemetry -------------------------------------------------------- *)
 
@@ -282,6 +291,7 @@ let c_revocation_events = Telemetry.counter "jrt.revocation_events"
 let c_revoked_sites = Telemetry.counter "jrt.revoked_sites"
 let c_degradations = Telemetry.counter "jrt.degradations"
 let c_degraded_swap = Telemetry.counter "jrt.degraded_swap_execs"
+let c_assist_execs = Telemetry.counter "jrt.assist_execs"
 
 let site_id (site : site) : string =
   Printf.sprintf "%s.%s@%d" site.s_class site.s_method site.s_pc
@@ -809,11 +819,37 @@ let int_elems_of (o : Heap.obj) =
   | Heap.Int_array es -> es
   | Heap.Fields _ | Heap.Ref_array _ -> bugf "expected int array"
 
-(** Allocate and notify the collector. *)
-let allocate m payload_kind =
-  let o = payload_kind in
+(** Allocate and notify the collector.  The pacer (when installed)
+    admission-controls the allocation {e before} it happens — so the live
+    heap provably never exceeds a hard limit — and, while degraded, makes
+    the allocating thread assist: it runs one collector increment on the
+    spot, shortening the outstanding mark. *)
+let allocate m ~units mk =
+  (match m.pacer with
+  | None -> ()
+  | Some p ->
+      Pacer.before_alloc p m.heap ~units;
+      if Pacer.degraded p && m.gc.is_marking () && not m.in_no_safepoint
+      then begin
+        m.gc.step ();
+        m.assist_execs <- m.assist_execs + 1;
+        Telemetry.incr c_assist_execs;
+        Pacer.note_assist p
+      end);
+  let o = mk () in
   m.gc.on_alloc o;
   o
+
+(** Chaos-injected allocation ballast: [count] small unreachable objects
+    (two fields, four heap units each), allocated through the normal
+    admission-controlled path so spikes exercise the pacer exactly like
+    mutator pressure — including {!Pacer.Hard_limit}. *)
+let external_alloc (m : t) ~(count : int) : unit =
+  for _ = 1 to count do
+    ignore
+      (allocate m ~units:4 (fun () ->
+           Heap.alloc_object m.heap "chaos.Ballast" ~n_fields:2))
+  done
 
 (** Unwind after a runtime exception of [kind] raised at the current pc of
     the top frame. *)
@@ -960,9 +996,10 @@ let step (m : t) (th : thread) : bool =
             next ()
         | New cn ->
             let c = Jir.Program.get_class m.prog cn in
+            let n_fields = List.length c.fields in
             let o =
-              allocate m
-                (Heap.alloc_object m.heap cn ~n_fields:(List.length c.fields))
+              allocate m ~units:(2 + n_fields) (fun () ->
+                  Heap.alloc_object m.heap cn ~n_fields)
             in
             push fr (Value.Ref o.id);
             next ()
@@ -970,9 +1007,10 @@ let step (m : t) (th : thread) : bool =
             let len = pop_int fr in
             if len < 0 then jthrow Bounds;
             let o =
-              match ety with
-              | Elem_ref cn -> allocate m (Heap.alloc_ref_array m.heap cn ~len)
-              | Elem_int -> allocate m (Heap.alloc_int_array m.heap ~len)
+              allocate m ~units:(2 + len) (fun () ->
+                  match ety with
+                  | Elem_ref cn -> Heap.alloc_ref_array m.heap cn ~len
+                  | Elem_int -> Heap.alloc_int_array m.heap ~len)
             in
             push fr (Value.Ref o.id);
             next ()

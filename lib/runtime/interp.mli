@@ -155,6 +155,12 @@ type t = {
   stats : (site, site_stats) Hashtbl.t;
   cfg : config;
   mutable gc : Gc_hooks.t;
+  mutable pacer : Pacer.t option;
+      (** pacing controller; admission-controls every allocation and
+          drives degraded-mode allocation assists *)
+  mutable assist_execs : int;
+      (** collector increments run on allocating threads' behalf while
+          the pacer was degraded *)
   mutable instr_count : int;
   mutable cost_units : int;
   mutable barrier_units : int;
@@ -183,6 +189,10 @@ type t = {
 
 val create : ?cfg:config -> Jir.Program.t -> t
 val set_collector : t -> Gc_hooks.t -> unit
+
+val set_pacer : t -> Pacer.t -> unit
+(** Install the pacing controller; every subsequent allocation passes
+    through {!Pacer.before_alloc} (and may raise {!Pacer.Hard_limit}). *)
 
 val guards_active : t -> bool
 (** Was a guard table wired (i.e. [cfg.guards] is not {!no_guards}, or
@@ -226,6 +236,12 @@ val external_unbarriered_store :
   t -> obj:int -> idx:int -> v:Value.t -> unit
 (** A store with no barrier at all (deliberate barrier-skip fault); the
     oracle must catch the damage. *)
+
+val external_alloc : t -> count:int -> unit
+(** Chaos-injected allocation ballast: [count] small unreachable objects
+    through the normal admission-controlled path, so allocation spikes
+    and memory-pressure ramps exercise the pacer exactly like mutator
+    pressure (including {!Pacer.Hard_limit}). *)
 
 val spawn_thread : t -> Jir.Types.method_ref -> Value.t list -> thread
 

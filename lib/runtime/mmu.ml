@@ -1,0 +1,110 @@
+(** Pause-time percentiles and minimum mutator utilization (MMU) over
+    sliding windows — the pure math shared by the profiler
+    ([Profile.Stats] re-exports this module) and the pacer's feedback
+    mode, which sits below [lib/profile] in the dependency order.
+
+    Everything here is exact and deterministic: the runtime is a
+    deterministic interpreter, so the timeline is measured in mutator
+    instruction steps and pauses in pause-work units (objects processed
+    inside the stop-the-world pause), one work unit costed at one step. *)
+
+(* ---- percentiles -------------------------------------------------------- *)
+
+type dist = {
+  d_count : int;
+  d_total : int;
+  d_p50 : int;
+  d_p90 : int;
+  d_p99 : int;
+  d_max : int;
+}
+
+(** Nearest-rank percentile of a sorted array. *)
+let rank_of (sorted : int array) (p : float) : int =
+  let n = Array.length sorted in
+  if n = 0 then 0
+  else
+    let rank = int_of_float (Float.ceil (p /. 100.0 *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+
+let percentile (xs : int list) (p : float) : int =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  rank_of a p
+
+let dist_of (xs : int list) : dist =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  {
+    d_count = Array.length a;
+    d_total = Array.fold_left ( + ) 0 a;
+    d_p50 = rank_of a 50.0;
+    d_p90 = rank_of a 90.0;
+    d_p99 = rank_of a 99.0;
+    d_max = (if Array.length a = 0 then 0 else a.(Array.length a - 1));
+  }
+
+(* ---- minimum mutator utilization ---------------------------------------- *)
+
+type pause = { at : int; work : int }
+type timeline = { steps : int; pauses : pause list }
+
+let total_time (t : timeline) : int =
+  t.steps + List.fold_left (fun a p -> a + p.work) 0 t.pauses
+
+(** Pause intervals on the {e combined} timeline, where each pause
+    stretches time: pause [i] occupies
+    [[at_i + sum of earlier works, at_i + sum of works through i)]. *)
+let intervals (t : timeline) : (int * int) list =
+  let shift = ref 0 in
+  List.map
+    (fun p ->
+      let s = p.at + !shift in
+      shift := !shift + p.work;
+      (s, s + p.work))
+    (List.sort (fun a b -> compare (a.at, a.work) (b.at, b.work)) t.pauses)
+
+(** Pause time inside the window [[t0, t0+w)]. *)
+let busy_in (ivals : (int * int) list) ~(t0 : int) ~(w : int) : int =
+  List.fold_left
+    (fun acc (s, e) -> acc + max 0 (min e (t0 + w) - max s t0))
+    0 ivals
+
+let mmu (t : timeline) ~(window : int) : float =
+  let total = total_time t in
+  if window <= 0 || total <= 0 then 1.0
+  else begin
+    let w = min window total in
+    let ivals = intervals t in
+    (* The pause-overlap function is piecewise linear in the window
+       start; its maxima lie where a window edge touches a pause edge,
+       so candidates are: the run start, each pause start, and each
+       pause end minus the window. *)
+    let clamp t0 = max 0 (min (total - w) t0) in
+    let candidates =
+      0 :: List.concat_map (fun (s, e) -> [ clamp s; clamp (e - w) ]) ivals
+    in
+    let worst_busy =
+      List.fold_left (fun acc t0 -> max acc (busy_in ivals ~t0 ~w)) 0 candidates
+    in
+    float_of_int (w - worst_busy) /. float_of_int w
+  end
+
+let default_fractions = [ 0.01; 0.02; 0.05; 0.1; 0.2; 0.5; 1.0 ]
+
+let mmu_curve ?(fractions = default_fractions) (t : timeline) :
+    (int * float) list =
+  let total = total_time t in
+  if total <= 0 then []
+  else
+    let windows =
+      List.sort_uniq compare
+        (List.map
+           (fun f -> max 1 (int_of_float (f *. float_of_int total)))
+           fractions)
+    in
+    List.map (fun w -> (w, mmu t ~window:w)) windows
+
+let utilization (t : timeline) : float =
+  let total = total_time t in
+  if total <= 0 then 1.0 else float_of_int t.steps /. float_of_int total

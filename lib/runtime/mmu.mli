@@ -1,19 +1,17 @@
-(** Profiler math: pause-time percentiles and minimum mutator
-    utilization (MMU) over sliding windows.
+(** Pause-time percentiles and minimum mutator utilization (MMU) over
+    sliding windows: the pure profiler math, housed in the runtime
+    library so the pacer's feedback mode can consume it.
+    [Profile.Stats] re-exports everything here (plus the
+    report-to-timeline bridge) for the profiler-facing callers.
 
     The runtime is a deterministic interpreter, so the timeline is
     measured in {e mutator instruction steps} and pauses in the
-    collectors' {e pause-work units} (objects processed inside the
-    stop-the-world pause).  One pause-work unit is costed at one step:
-    both count one unit of work the machine performed, which keeps the
-    utilization model consistent with how E5 compares collectors.
-
-    The math is {!Jrt.Mmu}, re-exported (the pacer's auto mode shares
-    it); only {!timeline_of_summary} is native to this module. *)
+    collectors' {e pause-work units}, one work unit costed at one
+    step. *)
 
 (** {2 Percentiles} *)
 
-type dist = Jrt.Mmu.dist = {
+type dist = {
   d_count : int;  (** number of pauses *)
   d_total : int;  (** summed pause work *)
   d_p50 : int;
@@ -31,19 +29,15 @@ val percentile : int list -> float -> int
 
 (** {2 Minimum mutator utilization} *)
 
-type pause = Jrt.Mmu.pause = {
+type pause = {
   at : int;  (** mutator step at which the pause began *)
   work : int;  (** pause duration, in work units (= steps) *)
 }
 
-type timeline = Jrt.Mmu.timeline = {
+type timeline = {
   steps : int;  (** total mutator instruction steps of the run *)
   pauses : pause list;  (** in timeline order *)
 }
-
-val timeline_of_summary : steps:int -> Jrt.Runner.gc_summary option -> timeline
-(** Build the MMU timeline from a run report: the final-pause works and
-    the steps at which they occurred. *)
 
 val total_time : timeline -> int
 (** Combined length: mutator steps plus all pause work. *)

@@ -84,6 +84,8 @@ type t = {
   mutable logged : int;
   mutable allocated_during : int;
   mutable increments : int;
+  mutable boost : int;
+      (** mark-budget multiplier; >1 while the pacer is degraded *)
   mutable retraces : int;
   mutable enqueued : int;  (** retrace enqueues this cycle (budget basis) *)
   mutable degraded : bool;
@@ -115,6 +117,7 @@ let create ?(steps_per_increment = 64) ?(buffer_capacity = 32)
     logged = 0;
     allocated_during = 0;
     increments = 0;
+    boost = 1;
     retraces = 0;
     enqueued = 0;
     degraded = false;
@@ -348,7 +351,7 @@ let drain (t : t) (budget : int) : int =
 let step (t : t) : unit =
   if t.phase = Marking then begin
     t.increments <- t.increments + 1;
-    ignore (drain t t.steps_per_increment)
+    ignore (drain t (t.steps_per_increment * t.boost))
   end
 
 (** Has the concurrent phase exhausted its known work?  The retrace list
@@ -437,5 +440,8 @@ let hooks (t : t) : Gc_hooks.t =
     on_unlogged_store = (fun ~obj -> on_unlogged_store t ~obj);
     on_revoke = (fun ~objs -> on_revoke t ~objs);
     on_alloc = (fun o -> on_alloc t o);
+    on_pressure =
+      (fun ~degraded ->
+        t.boost <- (if degraded then Gc_hooks.pressure_boost else 1));
     step = (fun () -> step t);
   }

@@ -52,6 +52,8 @@ type t = {
   mutable logged : int;
   mutable allocated_during : int;
   mutable increments : int;
+  mutable boost : int;
+      (** mark-budget multiplier; >1 while the pacer is degraded *)
   mutable retraces : int;
   mutable enqueued : int;
   mutable degraded : bool;

@@ -16,22 +16,36 @@
 
 type gc_choice =
   | No_gc
-  | Satb of { steps_per_increment : int; trigger_allocs : int }
-  | Incr of { steps_per_increment : int; trigger_allocs : int }
-  | Retrace of { steps_per_increment : int; trigger_allocs : int }
-  | Hybrid of { steps_per_increment : int; trigger_allocs : int }
+  | Satb of { steps_per_increment : int; pacing : Pacer.config }
+  | Incr of { steps_per_increment : int; pacing : Pacer.config }
+  | Retrace of { steps_per_increment : int; pacing : Pacer.config }
+  | Hybrid of { steps_per_increment : int; pacing : Pacer.config }
 
-let make_satb ?(steps_per_increment = 64) ?(trigger_allocs = 512) () =
-  Satb { steps_per_increment; trigger_allocs }
+(** [?trigger_allocs] is the deprecated fixed-count alias
+    ([Pacer.Fixed], bit-for-bit the old behaviour); [?pacing] the full
+    pacer config.  With neither, {!Pacer.default_config}'s heap-growth
+    goal paces the run — calibrated so every bundled workload cycles
+    with no flags at all. *)
+let resolve_pacing ?trigger_allocs ?pacing () : Pacer.config =
+  match trigger_allocs, pacing with
+  | Some _, Some _ ->
+      invalid_arg
+        "Runner: ~trigger_allocs (deprecated fixed-count alias) and          ~pacing are mutually exclusive"
+  | Some n, None -> Pacer.config_of_trigger n
+  | None, Some p -> p
+  | None, None -> Pacer.default_config
 
-let make_incr ?(steps_per_increment = 64) ?(trigger_allocs = 512) () =
-  Incr { steps_per_increment; trigger_allocs }
+let make_satb ?(steps_per_increment = 64) ?trigger_allocs ?pacing () =
+  Satb { steps_per_increment; pacing = resolve_pacing ?trigger_allocs ?pacing () }
 
-let make_retrace ?(steps_per_increment = 64) ?(trigger_allocs = 512) () =
-  Retrace { steps_per_increment; trigger_allocs }
+let make_incr ?(steps_per_increment = 64) ?trigger_allocs ?pacing () =
+  Incr { steps_per_increment; pacing = resolve_pacing ?trigger_allocs ?pacing () }
 
-let make_hybrid ?(steps_per_increment = 64) ?(trigger_allocs = 512) () =
-  Hybrid { steps_per_increment; trigger_allocs }
+let make_retrace ?(steps_per_increment = 64) ?trigger_allocs ?pacing () =
+  Retrace { steps_per_increment; pacing = resolve_pacing ?trigger_allocs ?pacing () }
+
+let make_hybrid ?(steps_per_increment = 64) ?trigger_allocs ?pacing () =
+  Hybrid { steps_per_increment; pacing = resolve_pacing ?trigger_allocs ?pacing () }
 
 (** The capability record each choice's collector is expected to expose.
     Declared once here so flag-level compatibility checks (the CLI's
@@ -69,6 +83,11 @@ type report = {
   cost_units : int;
   barrier_units : int;
   gc : gc_summary option;
+  pacer : Pacer.stats option;
+  hard_stop : string option;
+      (** the hard heap limit fired: the run was aborted cleanly with
+          this diagnostic (the in-flight cycle was still finished and
+          checked) *)
   thread_errors : (int * string) list;
 }
 
@@ -253,14 +272,19 @@ let run ?(cfg = Interp.default_config) ?(gc = No_gc) ?(quantum = 50)
                   ~pause_steps:(List.rev !pause_steps));
           }
   in
-  let trigger =
+  let pacer =
     match gc with
-    | No_gc -> max_int
-    | Satb { trigger_allocs; _ }
-    | Incr { trigger_allocs; _ }
-    | Retrace { trigger_allocs; _ }
-    | Hybrid { trigger_allocs; _ } ->
-        trigger_allocs
+    | No_gc -> None
+    | Satb { steps_per_increment; pacing }
+    | Incr { steps_per_increment; pacing }
+    | Retrace { steps_per_increment; pacing }
+    | Hybrid { steps_per_increment; pacing } ->
+        let p =
+          Pacer.create ~collector:gc_name
+            ~increment_budget:steps_per_increment pacing
+        in
+        Interp.set_pacer m p;
+        Some p
   in
   (* Capabilities are queried exactly once, here at run start, and
      asserted against the declared capability record for the chosen
@@ -289,20 +313,19 @@ let run ?(cfg = Interp.default_config) ?(gc = No_gc) ?(quantum = 50)
   if not caps.Gc_hooks.descending_scan then
     Interp.request_revoke m Interp.Descending_scan;
   Interp.apply_revocations m;
-  let last_cycle_alloc = ref 0 in
   let maybe_start_cycle l =
-    if
-      (not (l.l_marking ()))
-      && m.Interp.heap.Heap.total_allocated - !last_cycle_alloc >= trigger
-    then begin
-      Telemetry.emit "gc.cycle.begin"
-        [
-          ("collector", Telemetry.Str gc_name);
-          ("at_step", Telemetry.Int m.Interp.instr_count);
-        ];
-      l.l_start ();
-      Interp.reset_cycle_state m
-    end
+    match pacer with
+    | Some p when (not (l.l_marking ())) && Pacer.should_start p m.Interp.heap
+      ->
+        Telemetry.emit "gc.cycle.begin"
+          [
+            ("collector", Telemetry.Str gc_name);
+            ("at_step", Telemetry.Int m.Interp.instr_count);
+          ];
+        Pacer.note_cycle_start p m.Interp.heap;
+        l.l_start ();
+        Interp.reset_cycle_state m
+    | Some _ | None -> ()
   in
   (* run the final (remark) pause, stamping when it happened on the
      mutator's instruction timeline — the profiler's MMU input *)
@@ -318,6 +341,13 @@ let run ?(cfg = Interp.default_config) ?(gc = No_gc) ?(quantum = 50)
     end;
     let work = l.l_finish () in
     pause_steps := at_step :: !pause_steps;
+    (* cycle bookkeeping: recompute the heap-growth trigger from the
+       live size the mark left behind, feed auto mode, and run the
+       degradation-exit hysteresis *)
+    Option.iter
+      (fun p ->
+        Pacer.note_cycle_end p m.Interp.heap ~at_step ~pause_work:work)
+      pacer;
     Telemetry.emit "gc.pause"
       [
         ("collector", Telemetry.Str gc_name);
@@ -327,69 +357,104 @@ let run ?(cfg = Interp.default_config) ?(gc = No_gc) ?(quantum = 50)
   in
   let finish_cycle l =
     record_pause l;
-    Interp.reset_cycle_state m;
-    last_cycle_alloc := m.Interp.heap.Heap.total_allocated
+    Interp.reset_cycle_state m
+  in
+  (* keep the collector's pressure response in lockstep with the pacer's
+     state machine: boost budgets (and force allocate-black where it
+     matters) on entry, restore on exit *)
+  let pressure_synced = ref false in
+  let sync_pressure () =
+    let degraded =
+      match pacer with Some p -> Pacer.degraded p | None -> false
+    in
+    if degraded <> !pressure_synced then begin
+      pressure_synced := degraded;
+      m.Interp.gc.Gc_hooks.on_pressure ~degraded
+    end
   in
   (* main scheduling loop *)
   let since_gc = ref 0 in
   let continue_ = ref true in
-  while !continue_ do
-    let runnable = List.filter (fun th -> not th.Interp.finished) m.Interp.threads in
-    if runnable = [] then continue_ := false
-    else begin
-      List.iter
-        (fun th ->
-          let q = if seed = 0 then quantum else rand quantum in
-          let k = ref 0 in
-          while !k < q && not th.Interp.finished do
-            ignore (Interp.step m th);
-            incr k;
-            incr since_gc;
-            (* safepoint: collector work is deferred while a swap-elided
-               store pair's window is open *)
-            if !since_gc >= gc_period && not m.Interp.in_no_safepoint then begin
-              since_gc := 0;
-              (* chaos faults fire first, so a late-spawn announcement's
-                 revocation is applied below, before the fault's damage
-                 stores (which run at later safepoints) *)
-              let action =
-                match chaos with
-                | Some c -> Chaos.at_safepoint c m
-                | None -> Chaos.no_action
-              in
-              (* guard failures noticed since the last safepoint patch
-                 their dependent sites atomically here *)
-              Interp.apply_revocations m;
-              (* retrace-budget watchdog: a degraded cycle disables swap
-                 elision for its remainder *)
-              (match live with
-              | Some l when l.l_degraded () -> Interp.set_swap_degraded m
-              | Some _ | None -> ());
-              if not action.Chaos.defer_increment then
-                m.Interp.gc.Gc_hooks.step ();
-              match live with
-              | None -> ()
-              | Some l ->
-                  if action.Chaos.force_remark && l.l_marking () then
-                    (* chaos heap pressure: emergency remark now *)
-                    finish_cycle l
-                  else begin
-                    maybe_start_cycle l;
-                    (* finish once the concurrent phase has gone
-                       quiescent *)
-                    if l.l_quiescent () then finish_cycle l
-                  end
-            end
-          done)
-        runnable
-    end
-  done;
+  let hard_stop = ref None in
+  (try
+     while !continue_ do
+       let runnable =
+         List.filter (fun th -> not th.Interp.finished) m.Interp.threads
+       in
+       if runnable = [] then continue_ := false
+       else
+         List.iter
+           (fun th ->
+             let q = if seed = 0 then quantum else rand quantum in
+             let k = ref 0 in
+             while !k < q && not th.Interp.finished do
+               ignore (Interp.step m th);
+               incr k;
+               incr since_gc;
+               (* safepoint: collector work is deferred while a swap-elided
+                  store pair's window is open *)
+               if !since_gc >= gc_period && not m.Interp.in_no_safepoint
+               then begin
+                 since_gc := 0;
+                 (* chaos faults fire first, so a late-spawn announcement's
+                    revocation is applied below, before the fault's damage
+                    stores (which run at later safepoints) *)
+                 let action =
+                   match chaos with
+                   | Some c -> Chaos.at_safepoint c m
+                   | None -> Chaos.no_action
+                 in
+                 (* guard failures noticed since the last safepoint patch
+                    their dependent sites atomically here *)
+                 Interp.apply_revocations m;
+                 (* retrace-budget watchdog: a degraded cycle disables swap
+                    elision for its remainder *)
+                 (match live with
+                 | Some l when l.l_degraded () -> Interp.set_swap_degraded m
+                 | Some _ | None -> ());
+                 (* poll the pacer's state machine; while degraded it asks
+                    for extra increments on top of the boosted budgets *)
+                 let extra =
+                   match pacer with
+                   | Some p -> Pacer.at_safepoint p m.Interp.heap
+                   | None -> 0
+                 in
+                 sync_pressure ();
+                 if not action.Chaos.defer_increment then begin
+                   m.Interp.gc.Gc_hooks.step ();
+                   for _ = 1 to extra do
+                     m.Interp.gc.Gc_hooks.step ()
+                   done
+                 end;
+                 match live with
+                 | None -> ()
+                 | Some l ->
+                     if action.Chaos.force_remark && l.l_marking () then
+                       (* chaos heap pressure: emergency remark now *)
+                       finish_cycle l
+                     else begin
+                       maybe_start_cycle l;
+                       (* finish once the concurrent phase has gone
+                          quiescent *)
+                       if l.l_quiescent () then finish_cycle l
+                     end
+               end
+             done)
+           runnable
+     done
+   with Pacer.Hard_limit msg ->
+     (* degrade-don't-die ran out of road: abort cleanly.  The refusal
+        happened before the allocation, so the live heap never exceeded
+        the limit; fall through to finish the in-flight cycle below so
+        every invariant is still checked. *)
+     hard_stop := Some msg);
   (* finish any in-flight cycle so its invariants still get checked *)
   (match live with
   | Some l when l.l_marking () -> record_pause l
   | Some _ | None -> ());
   Telemetry.emit "run.finish"
     [
+      ("hard_stop", Telemetry.Bool (!hard_stop <> None));
       ("steps", Telemetry.Int m.Interp.instr_count);
       ("cost_units", Telemetry.Int m.Interp.cost_units);
       ("barriers_executed", Telemetry.Int m.Interp.barriers_executed);
@@ -404,6 +469,8 @@ let run ?(cfg = Interp.default_config) ?(gc = No_gc) ?(quantum = 50)
     cost_units = m.Interp.cost_units;
     barrier_units = m.Interp.barrier_units;
     gc = Option.map (fun l -> l.l_summary ()) live;
+    pacer = Option.map Pacer.stats pacer;
+    hard_stop = !hard_stop;
     thread_errors =
       List.filter_map
         (fun th ->

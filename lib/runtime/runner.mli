@@ -6,22 +6,44 @@
 
 type gc_choice =
   | No_gc
-  | Satb of { steps_per_increment : int; trigger_allocs : int }
-  | Incr of { steps_per_increment : int; trigger_allocs : int }
-  | Retrace of { steps_per_increment : int; trigger_allocs : int }
-  | Hybrid of { steps_per_increment : int; trigger_allocs : int }
+  | Satb of { steps_per_increment : int; pacing : Pacer.config }
+  | Incr of { steps_per_increment : int; pacing : Pacer.config }
+  | Retrace of { steps_per_increment : int; pacing : Pacer.config }
+  | Hybrid of { steps_per_increment : int; pacing : Pacer.config }
+
+(** The [make_*] constructors take {e either} [?trigger_allocs] — the
+    deprecated fixed-allocation-count alias ([Pacer.Fixed n], bit-for-bit
+    the legacy behaviour) — or [?pacing], the full pacer configuration;
+    passing both raises [Invalid_argument].  With neither,
+    {!Pacer.default_config}'s heap-growth goal paces the run. *)
 
 val make_satb :
-  ?steps_per_increment:int -> ?trigger_allocs:int -> unit -> gc_choice
+  ?steps_per_increment:int ->
+  ?trigger_allocs:int ->
+  ?pacing:Pacer.config ->
+  unit ->
+  gc_choice
 
 val make_incr :
-  ?steps_per_increment:int -> ?trigger_allocs:int -> unit -> gc_choice
+  ?steps_per_increment:int ->
+  ?trigger_allocs:int ->
+  ?pacing:Pacer.config ->
+  unit ->
+  gc_choice
 
 val make_retrace :
-  ?steps_per_increment:int -> ?trigger_allocs:int -> unit -> gc_choice
+  ?steps_per_increment:int ->
+  ?trigger_allocs:int ->
+  ?pacing:Pacer.config ->
+  unit ->
+  gc_choice
 
 val make_hybrid :
-  ?steps_per_increment:int -> ?trigger_allocs:int -> unit -> gc_choice
+  ?steps_per_increment:int ->
+  ?trigger_allocs:int ->
+  ?pacing:Pacer.config ->
+  unit ->
+  gc_choice
 
 val caps_of_choice : gc_choice -> Gc_hooks.caps
 (** The capability record the chosen collector is expected to expose —
@@ -51,6 +73,13 @@ type report = {
   cost_units : int;
   barrier_units : int;
   gc : gc_summary option;
+  pacer : Pacer.stats option;
+      (** pacing outcome — trigger, degraded-cycle and assist counts,
+          peak live units; [None] only under [No_gc] *)
+  hard_stop : string option;
+      (** the hard heap limit fired: the run was aborted cleanly with
+          this diagnostic (the in-flight cycle was still finished and
+          checked) *)
   thread_errors : (int * string) list;
 }
 

@@ -72,6 +72,9 @@ type t = {
   mutable logged : int;
   mutable allocated_during : int;
   mutable increments : int;
+  mutable boost : int;
+      (** mark-budget multiplier; >1 while the pacer is degraded
+          (shortened mark budgets under memory pressure) *)
   mutable restarts : int;  (** revocation-triggered restarts, this cycle *)
   mutable cycles : int;
   mutable reports : cycle_report list;  (** most recent first *)
@@ -97,6 +100,7 @@ let create ?(steps_per_increment = 64) ?(buffer_capacity = 32)
     logged = 0;
     allocated_during = 0;
     increments = 0;
+    boost = 1;
     restarts = 0;
     cycles = 0;
     reports = [];
@@ -239,7 +243,7 @@ let drain (t : t) (budget : int) : int =
 let step (t : t) : unit =
   if t.phase = Marking then begin
     t.increments <- t.increments + 1;
-    ignore (drain t t.steps_per_increment)
+    ignore (drain t (t.steps_per_increment * t.boost))
   end
 
 (** Snapshot repair after elision revocation.  Plain SATB has no record
@@ -353,5 +357,6 @@ let hooks (t : t) : Gc_hooks.t =
        needed, the new snapshot subsumes them *)
     on_revoke = (fun ~objs:_ -> restart_mark t);
     on_alloc = (fun o -> on_alloc t o);
+    on_pressure = (fun ~degraded -> t.boost <- (if degraded then Gc_hooks.pressure_boost else 1));
     step = (fun () -> step t);
   }

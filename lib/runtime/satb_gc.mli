@@ -49,6 +49,8 @@ type t = {
   mutable logged : int;
   mutable allocated_during : int;
   mutable increments : int;
+  mutable boost : int;
+      (** mark-budget multiplier; >1 while the pacer is degraded *)
   mutable restarts : int;
   mutable cycles : int;
   mutable reports : cycle_report list;

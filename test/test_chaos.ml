@@ -159,6 +159,116 @@ let test_benign_faults_sound () =
       ("pressure", [ Jrt.Chaos.Heap_pressure { at_alloc = 64 } ]);
     ]
 
+(* --- allocation faults vs the pacer ------------------------------------ *)
+
+let alloc_faults =
+  [
+    ( "alloc-spike",
+      [ Jrt.Chaos.Alloc_spike { at_instr = 800; count = 64 } ] );
+    ( "mem-pressure",
+      [
+        Jrt.Chaos.Mem_pressure
+          { at_alloc = 32; per_safepoint = 4; total = 200 };
+      ] );
+  ]
+
+let test_alloc_faults_sound () =
+  (* the new allocation faults are benign: ballast objects appear out of
+     nowhere, but with no limits armed the runs stay violation-free and
+     the fault demonstrably fired *)
+  List.iter
+    (fun (name, faults) ->
+      List.iter
+        (fun (w : Workloads.Spec.t) ->
+          let chaos = chaos_of faults in
+          let r =
+            Harness.Exp.run ~gc:(satb ()) ~guards:true ~chaos
+              ~fail_on_thread_error:false (compile w)
+          in
+          let s = Jrt.Chaos.stats chaos in
+          Alcotest.(check bool)
+            (name ^ "/" ^ w.name ^ ": fault fired") true
+            (s.Jrt.Chaos.spike_allocs + s.Jrt.Chaos.ramp_allocs > 0);
+          Alcotest.(check int) (name ^ "/" ^ w.name) 0 (violations r))
+        [ Workloads.Db.t; Workloads.Jbb.t ])
+    alloc_faults
+
+let soft_gc ?hard_limit ~soft_limit () =
+  let pacing =
+    { Jrt.Pacer.default_config with soft_limit = Some soft_limit; hard_limit }
+  in
+  Jrt.Runner.make_satb ~pacing ~steps_per_increment:8 ()
+
+let test_alloc_faults_degrade_not_die () =
+  (* with a soft limit armed, an allocation fault pushes the heap into
+     the degradation band: the run must degrade (and stay sound), never
+     abort *)
+  List.iter
+    (fun (name, faults) ->
+      let chaos = chaos_of faults in
+      let r =
+        Harness.Exp.run
+          ~gc:(soft_gc ~soft_limit:90 ())
+          ~guards:true ~chaos ~fail_on_thread_error:false
+          (compile Workloads.Jbb.t)
+      in
+      let p =
+        match r.pacer with
+        | Some p -> p
+        | None -> Alcotest.fail (name ^ ": no pacer stats")
+      in
+      Alcotest.(check int) (name ^ ": sound") 0 (violations r);
+      Alcotest.(check bool)
+        (name ^ ": degraded under pressure") true
+        (p.Jrt.Pacer.p_degraded_cycles > 0);
+      Alcotest.(check bool)
+        (name ^ ": did not die") true
+        (p.Jrt.Pacer.p_hard_stop = None && r.hard_stop = None))
+    alloc_faults
+
+let test_hard_limit_aborts_cleanly () =
+  (* an unsurvivable spike against a hard limit must abort with the
+     diagnostic — after finishing the in-flight cycle, so the oracle
+     still checks every invariant — rather than corrupt state *)
+  let chaos =
+    chaos_of [ Jrt.Chaos.Alloc_spike { at_instr = 400; count = 400 } ]
+  in
+  let r =
+    Harness.Exp.run
+      ~gc:(soft_gc ~soft_limit:200 ~hard_limit:300 ())
+      ~guards:true ~chaos ~fail_on_thread_error:false
+      (compile Workloads.Db.t)
+  in
+  Alcotest.(check bool) "run reports the hard stop" true (r.hard_stop <> None);
+  Alcotest.(check int) "aborted run is still sound" 0 (violations r);
+  match r.pacer with
+  | Some p ->
+      Alcotest.(check bool)
+        "live heap never exceeded the limit" true
+        (p.Jrt.Pacer.p_max_live_units <= 300)
+  | None -> Alcotest.fail "no pacer stats"
+
+(* --- seed audit: every of_seed plan is sound, failures name the seed --- *)
+
+let test_seed_plans_sound () =
+  (* sweep a seed set through the derived fault plans (the CI trace
+     smoke's seeds included); any failure message must carry the seed so
+     the exact plan is reproducible from the log alone *)
+  List.iter
+    (fun seed ->
+      let chaos = Jrt.Chaos.create (Jrt.Chaos.of_seed seed) in
+      let r =
+        Harness.Exp.run ~gc:(satb ()) ~guards:true ~chaos
+          ~fail_on_thread_error:false (compile Workloads.Db.t)
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "chaos seed %d: violation-free" seed)
+        0 (violations r);
+      Alcotest.(check bool)
+        (Printf.sprintf "chaos seed %d: no hard stop" seed)
+        true (r.hard_stop = None))
+    [ 42; 7; 101; 1; 2; 3; 17; 1000 ]
+
 (* --- startup revocation ------------------------------------------------ *)
 
 let test_startup_revocation_under_plain_satb () =
@@ -189,6 +299,14 @@ let tests =
       test_budget_overflow_degrades;
     Alcotest.test_case "benign faults stay violation-free" `Quick
       test_benign_faults_sound;
+    Alcotest.test_case "allocation faults stay violation-free" `Quick
+      test_alloc_faults_sound;
+    Alcotest.test_case "allocation faults degrade, don't die" `Quick
+      test_alloc_faults_degrade_not_die;
+    Alcotest.test_case "hard limit aborts cleanly under a spike" `Quick
+      test_hard_limit_aborts_cleanly;
+    Alcotest.test_case "seed-derived plans are sound (seed in message)"
+      `Quick test_seed_plans_sound;
     Alcotest.test_case "swap under plain satb revokes at startup" `Quick
       test_startup_revocation_under_plain_satb;
   ]

@@ -24,6 +24,7 @@ let () =
       ("gc-edges", Test_gc_edges.tests);
       ("gc-hooks", Test_gc_hooks.tests);
       ("chaos", Test_chaos.tests);
+      ("pacer", Test_pacer.tests);
       ("soundness", Test_soundness.tests);
       ("summary", Test_summary.tests);
       ("analysis-fuzz", Test_analysis_fuzz.tests);

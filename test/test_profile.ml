@@ -81,6 +81,32 @@ let test_mmu_degenerate () =
 
 (* --- per-site sums reconcile exactly with the interpreter --------------- *)
 
+let test_reconcile_under_degraded_pacer () =
+  (* allocation assists interleave collector increments into the
+     allocation path; the per-site attribution must still reconcile
+     exactly, and the pacer's assist book must equal the interpreter's *)
+  let cw =
+    Harness.Exp.compile ~null_or_same:true Workloads.Jbb.t
+  in
+  let pacing = { Jrt.Pacer.default_config with soft_limit = Some 90 } in
+  let gc = Jrt.Runner.make_satb ~pacing ~steps_per_increment:8 () in
+  let r = Harness.Exp.run ~gc ~guards:true ~fail_on_thread_error:false cw in
+  let p =
+    Attr.of_report ~workload:"jbb" ~gc:"satb"
+      ~explain:(Harness.Exp.explain_policy_of cw) r
+  in
+  (match Attr.reconciles p r with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("degraded run does not reconcile: " ^ e));
+  match r.Jrt.Runner.pacer with
+  | Some ps ->
+      Alcotest.(check bool)
+        "assists ran" true (ps.Jrt.Pacer.p_assists > 0);
+      Alcotest.(check int)
+        "pacer assists = interpreter assist execs"
+        r.Jrt.Runner.machine.Jrt.Interp.assist_execs ps.Jrt.Pacer.p_assists
+  | None -> Alcotest.fail "no pacer stats"
+
 let compile_full w =
   Harness.Exp.compile ~null_or_same:true ~move_down:true ~swap:true w
 
@@ -295,6 +321,8 @@ let tests =
       test_mmu_exact_worst_window;
     Alcotest.test_case "MMU degenerate inputs" `Quick test_mmu_degenerate;
     QCheck_alcotest.to_alcotest reconcile_prop;
+    Alcotest.test_case "profile reconciles under a degraded pacer" `Quick
+      test_reconcile_under_degraded_pacer;
     Alcotest.test_case "profile JSON round-trips byte-identically" `Quick
       test_json_roundtrip;
     Alcotest.test_case "hot-site ranking is deterministic" `Quick
