@@ -44,6 +44,10 @@ let experiments =
       "E16: GC pacing sweep — goals, soft limits, auto-tuning + chaos \
        allocation faults",
       Harness.Pacing.print );
+    ( "engines",
+      "E17: direct-threaded engine vs interpreter — steps/sec and \
+       state-equality across the Table 1 workloads",
+      Harness.Engines.print );
   ]
 
 (* --- machine-readable artifacts (--json) ------------------------------ *)
@@ -85,7 +89,9 @@ let emit_json () =
   emit "BENCH_hybrid.json" [ "hybrid"; "hybrid_chaos" ];
   ignore (Harness.Pacing.summarize (Harness.Pacing.measure ()));
   ignore (Harness.Pacing.measure_chaos ());
-  emit "BENCH_pacing.json" [ "pacing"; "pacing_summary"; "pacing_chaos" ]
+  emit "BENCH_pacing.json" [ "pacing"; "pacing_summary"; "pacing_chaos" ];
+  ignore (Harness.Engines.measure ());
+  emit "BENCH_engines.json" [ "engines" ]
 
 (* --- regression gate (`bench diff OLD.json NEW.json`) ----------------- *)
 
@@ -277,6 +283,20 @@ let () =
   match args with
   | "diff" :: rest -> run_diff rest
   | _ ->
+  (* `--engine threaded` retargets every experiment's runtime onto the
+     compiled engine (the CI both-engines lever); default is interp *)
+  let rec extract_engine acc = function
+    | [] -> (None, List.rev acc)
+    | "--engine" :: v :: rest -> (Some v, List.rev_append acc rest)
+    | a :: rest -> extract_engine (a :: acc) rest
+  in
+  let engine, args = extract_engine [] args in
+  (match engine with
+  | None | Some "interp" -> ()
+  | Some "threaded" -> Harness.Exp.default_engine := `Threaded
+  | Some other ->
+      Printf.eprintf "bench: --engine expects interp|threaded, got %S\n" other;
+      exit 2);
   let quick = List.mem "quick" args in
   let json = List.mem "--json" args in
   let selected = List.filter (fun a -> a <> "quick" && a <> "--json") args in

@@ -330,6 +330,19 @@ let pacer_arg =
            (the goal retuned every cycle from pause percentiles and \
            MMU), or fixed (the legacy --gc-trigger allocation count).")
 
+let engine_arg =
+  Arg.(
+    value
+    & opt (enum [ ("interp", `Interp); ("threaded", `Threaded) ]) `Interp
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Execution engine: $(b,interp) (default), the step-accurate \
+           tree-walking interpreter, or $(b,threaded), the direct-threaded \
+           compiled engine — same safepoint cadence, counters, collectors \
+           and chaos faults, several times the steps/sec (see DESIGN.md \
+           §8).  Final state and every printed counter are identical \
+           either way.")
+
 let pacing_of ~gc ~gc_trigger ~heap_goal ~soft_limit ~hard_limit ~pacer :
     Jrt.Pacer.config =
   let refuse fmt =
@@ -339,6 +352,13 @@ let pacing_of ~gc ~gc_trigger ~heap_goal ~soft_limit ~hard_limit ~pacer :
         exit 1)
       fmt
   in
+  (* one warning, in the one path every pacing-aware subcommand funnels
+     through, and only when the flag was actually supplied — scripts that
+     never pass --gc-trigger never see it *)
+  if gc_trigger <> None then
+    Fmt.epr
+      "satbelim: warning: --gc-trigger is deprecated; prefer the default \
+       heap-growth goal or --heap-goal (see --pacer)@.";
   let any_flag =
     gc_trigger <> None || heap_goal <> None || soft_limit <> None
     || hard_limit <> None || pacer <> None
@@ -442,9 +462,9 @@ let half_policy_of ?(no_elim = false) (compiled : Satb_core.Driver.compiled) :
         }
 
 let run_cmd =
-  let run file limit mode nos md swap summaries gc entry no_elim chaos_seed
-      retrace_budget no_revoke allow_unsound gc_trigger heap_goal soft_limit
-      hard_limit pacer trace metrics chrome =
+  let run file limit mode nos md swap summaries gc engine entry no_elim
+      chaos_seed retrace_budget no_revoke allow_unsound gc_trigger heap_goal
+      soft_limit hard_limit pacer trace metrics chrome =
     let prog = or_die (load file) in
     let pacing =
       pacing_of ~gc ~gc_trigger ~heap_goal ~soft_limit ~hard_limit ~pacer
@@ -558,7 +578,7 @@ let run_cmd =
         chaos_seed
     in
     let r =
-      Jrt.Runner.run ~cfg ~gc:gc_choice ?chaos ?retrace_budget
+      Jrt.Runner.run ~cfg ~gc:gc_choice ~engine ?chaos ?retrace_budget
         compiled.program ~entry:entry_ref
     in
     Fmt.pr "steps: %d, cost units: %d (barriers: %d)@." r.steps r.cost_units
@@ -685,10 +705,10 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Interpret the program with barrier instrumentation")
     Term.(
       const run $ file_arg $ inline_limit_arg $ mode_arg $ nos_arg
-      $ movedown_arg $ swap_arg $ summaries_arg $ gc_arg $ entry_arg
-      $ no_elim $ chaos_arg $ budget_arg $ no_revoke_arg $ allow_unsound_arg
-      $ gc_trigger_arg $ heap_goal_arg $ soft_limit_arg $ hard_limit_arg
-      $ pacer_arg $ trace_arg $ metrics_arg $ chrome_arg)
+      $ movedown_arg $ swap_arg $ summaries_arg $ gc_arg $ engine_arg
+      $ entry_arg $ no_elim $ chaos_arg $ budget_arg $ no_revoke_arg
+      $ allow_unsound_arg $ gc_trigger_arg $ heap_goal_arg $ soft_limit_arg
+      $ hard_limit_arg $ pacer_arg $ trace_arg $ metrics_arg $ chrome_arg)
 
 (* profile *)
 
@@ -704,7 +724,7 @@ let entry_ref_of_string (entry : string) : Jir.Types.method_ref =
       exit 1
 
 let profile_cmd =
-  let run file workload limit mode nos md swap summaries gc gc_trigger
+  let run file workload limit mode nos md swap summaries gc engine gc_trigger
       heap_goal soft_limit hard_limit pacer entry json top baseline
       max_elision_drop max_pause_increase max_cost_increase allow_unsound
       trace metrics chrome =
@@ -809,7 +829,8 @@ let profile_cmd =
       }
     in
     let r =
-      Jrt.Runner.run ~cfg ~gc:gc_choice compiled.program ~entry:entry_ref
+      Jrt.Runner.run ~cfg ~gc:gc_choice ~engine compiled.program
+        ~entry:entry_ref
     in
     List.iter
       (fun (tid, e) -> Fmt.pr "thread %d died: %s@." tid e)
@@ -955,7 +976,8 @@ let profile_cmd =
     Term.(
       const run $ file_opt_arg $ workload_arg $ inline_limit_arg $ mode_arg
       $ nos_arg $ movedown_arg $ swap_arg $ summaries_arg $ gc_arg
-      $ gc_trigger_arg $ heap_goal_arg $ soft_limit_arg $ hard_limit_arg
+      $ engine_arg $ gc_trigger_arg $ heap_goal_arg $ soft_limit_arg
+      $ hard_limit_arg
       $ pacer_arg $ entry_arg $ json_arg $ top_arg $ baseline_arg
       $ elision_drop_arg $ pause_increase_arg $ cost_increase_arg
       $ allow_unsound_arg $ trace_arg $ metrics_arg $ chrome_arg)

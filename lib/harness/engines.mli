@@ -1,0 +1,32 @@
+(** E17 — execution-engine comparison: the direct-threaded compiled
+    engine ({!Jrt.Exec}) vs the tree-walking interpreter across the
+    Table 1 workloads, with an exhaustive equality check between the two
+    engines' final states. *)
+
+type row = {
+  bench : string;
+  steps : int;  (** instructions per run (identical under both engines) *)
+  interp_steps_s : float;
+  threaded_steps_s : float;
+  speedup : float;
+  equal : bool;  (** the exhaustive {!diff} found no mismatch *)
+}
+
+val diff : Jrt.Runner.report -> Jrt.Runner.report -> string option
+(** Exhaustive comparison of two runs' final states: steps, cost and
+    barrier units, every machine counter, dynamic store stats, per-site
+    attribution, statics, the full heap graph (class, liveness and
+    payload of every object ever allocated), GC summary, pacer stats and
+    thread errors.  [None] means identical; [Some m] names every
+    mismatching dimension.  Also used by the differential QCheck
+    property. *)
+
+val measure : ?min_seconds:float -> unit -> row list
+(** Run every Table 1 workload under both engines (SATB collector,
+    default pacing), fail loudly if any pair of runs diverges, then
+    measure steps/sec per engine by repeating the deterministic run
+    until cumulative wall time reaches [min_seconds] (default 0.2s).
+    Fills the ["engines"] telemetry table behind BENCH_engines.json. *)
+
+val render : row list -> string
+val print : unit -> unit

@@ -93,10 +93,22 @@ let explain_policy_of (cw : compiled_workload) : Jrt.Interp.explain_policy =
   Satb_core.Driver.justification cw.compiled
     { sk_class = c; sk_method = m; sk_pc = pc }
 
+(** Session-wide default execution engine, so `bench --engine threaded`
+    (and the CI both-engines tier-1 lever) can retarget every experiment
+    without threading a parameter through each call site. *)
+(* initial value honours SATB_ENGINE=threaded so CI can re-run the whole
+   tier-1 suite on the compiled engine without touching any test *)
+let default_engine : [ `Interp | `Threaded ] ref =
+  ref
+    (match Sys.getenv_opt "SATB_ENGINE" with
+    | Some "threaded" -> `Threaded
+    | Some _ | None -> `Interp)
+
 let run ?(gc = Jrt.Runner.No_gc) ?(satb_mode = Jrt.Barrier_cost.Conditional)
     ?(use_policy = true) ?(guards = false) ?(revoke = true) ?chaos
     ?retrace_budget ?(fail_on_thread_error = true) ?(seed = 0) ?quantum
-    ?gc_period (cw : compiled_workload) : Jrt.Runner.report =
+    ?gc_period ?engine (cw : compiled_workload) : Jrt.Runner.report =
+  let engine = match engine with Some e -> e | None -> !default_engine in
   let policy =
     if use_policy then policy_of cw else Jrt.Interp.keep_all_policy
   in
@@ -143,8 +155,8 @@ let run ?(gc = Jrt.Runner.No_gc) ?(satb_mode = Jrt.Barrier_cost.Conditional)
       }
   in
   let report =
-    Jrt.Runner.run ~cfg ~gc ~seed ?quantum ?gc_period ?chaos ?retrace_budget
-      cw.compiled.program ~entry:cw.workload.entry
+    Jrt.Runner.run ~cfg ~gc ~engine ~seed ?quantum ?gc_period ?chaos
+      ?retrace_budget cw.compiled.program ~entry:cw.workload.entry
   in
   (if fail_on_thread_error then
      match report.thread_errors with

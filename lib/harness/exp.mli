@@ -35,6 +35,14 @@ val explain_policy_of : compiled_workload -> Jrt.Interp.explain_policy
 (** Elision provenance: the analysis-side justification of each elided
     site, for revocation events and the profiler's hot-site report. *)
 
+val default_engine : [ `Interp | `Threaded ] ref
+(** Session-wide default for {!run}'s [?engine] (initially [`Interp],
+    or [`Threaded] when the [SATB_ENGINE=threaded] environment variable
+    is set); `bench --engine threaded` flips it so every experiment
+    re-runs on the compiled engine without per-call plumbing, and CI
+    uses the environment variable to re-run the whole tier-1 suite on
+    the compiled engine. *)
+
 val run :
   ?gc:Jrt.Runner.gc_choice ->
   ?satb_mode:Jrt.Barrier_cost.satb_mode ->
@@ -47,6 +55,7 @@ val run :
   ?seed:int ->
   ?quantum:int ->
   ?gc_period:int ->
+  ?engine:[ `Interp | `Threaded ] ->
   compiled_workload ->
   Jrt.Runner.report
 (** Run under the instrumented runtime; fails on any thread error unless
@@ -54,4 +63,5 @@ val run :
     workload threads).  [guards] (default off — the negative soundness
     tests depend on unguarded runs) wires the compiler's guard table so
     assumption failures revoke dependent elisions; [revoke:false] keeps
-    the guards wired but ignores their failures. *)
+    the guards wired but ignores their failures.  [engine] defaults to
+    {!default_engine}. *)

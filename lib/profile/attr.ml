@@ -89,7 +89,9 @@ let of_report ~workload ~gc ?(explain = Jrt.Interp.no_explain)
         :: acc)
       m.Jrt.Interp.stats []
   in
-  let sites = List.sort (fun a b -> compare a.r_site b.r_site) sites in
+  let sites =
+    List.sort (fun a b -> String.compare a.r_site b.r_site) sites
+  in
   let sum f = List.fold_left (fun a s -> a + f s) 0 sites in
   let totals =
     {
@@ -200,6 +202,11 @@ let reconciles (p : t) (r : Jrt.Runner.report) : (unit, string) result =
   in
   go checks
 
+(* Ranking is a total order: units desc, paid execs desc, then site id
+   asc as the deciding key.  Site ids are unique within a profile, so
+   the result never depends on the Hashtbl fold order the rows were
+   born in — `render` and `profile --json` are byte-stable across runs
+   with equal counts. *)
 let hot ?(top = 10) (p : t) : site_row list =
   let ranked =
     List.sort
@@ -207,7 +214,7 @@ let hot ?(top = 10) (p : t) : site_row list =
         match compare b.r_barrier_units a.r_barrier_units with
         | 0 -> (
             match compare b.r_paid_execs a.r_paid_execs with
-            | 0 -> compare a.r_site b.r_site
+            | 0 -> String.compare a.r_site b.r_site
             | c -> c)
         | c -> c)
       p.p_sites

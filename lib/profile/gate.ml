@@ -35,6 +35,10 @@ type direction =
       (* absolute ceiling on the NEW value, independent of the baseline:
          zero-tolerance metrics (oracle violations, hard stops) gate at
          0.0 — a baseline must never grandfather one in *)
+  | Min_value of float
+      (* absolute floor on the NEW value, independent of the baseline:
+         the threaded-engine speedup must never fall below the floor,
+         even if a slow run was accidentally baselined *)
 
 (* (table, key fields, gated metrics) *)
 let known_tables : (string * string list * (string * direction) list) list =
@@ -89,6 +93,13 @@ let known_tables : (string * string list * (string * direction) list) list =
            best fixed trigger on at least 3 of the 6 workloads *)
         ("auto_losses", Max_value 3.0);
       ] );
+    (* E17: the threaded engine's speedup over the interpreter is an
+       absolute floor, not a baseline-relative delta — refreshing the
+       baseline after a dispatch regression must not grandfather it in.
+       Observed 3.6-5.0x across the six workloads; 3.0 leaves headroom
+       for shared-runner timing noise (interp throughput swings tens of
+       percent run-to-run) while still catching any real regression. *)
+    ("engines", [ "benchmark" ], [ ("speedup", Min_value 3.0) ]);
   ]
 
 (* Version stamp of the BENCH table-file layout; [bench --json] writes
@@ -215,6 +226,11 @@ let diff_tables ~(th : thresholds) (old_tables : (string * J.json) list)
                                   if new_v > ceiling then
                                     regress "%s is %s (ceiling %s)" name
                                       (fmt_value new_v) (fmt_value ceiling)
+                                  else note "%s %s ok" name (fmt_value new_v)
+                              | Min_value floor ->
+                                  if new_v < floor then
+                                    regress "%s is %s (floor %s)" name
+                                      (fmt_value new_v) (fmt_value floor)
                                   else note "%s %s ok" name (fmt_value new_v))
                           | _, _ ->
                               note "%s/%s %s: not numeric in both files, \

@@ -12,7 +12,10 @@
       and [mmu_10] (absolute drop);
     - [hybrid]: [del_elide_pct] / [ins_elide_pct] / [both_elide_pct]
       per (bench, collector) (points drop) — each half of the hybrid
-      barrier is gated independently.
+      barrier is gated independently;
+    - [engines]: [speedup] per benchmark (absolute floor, 3.0x) — the
+      threaded engine's advantage over the interpreter may not fall
+      below the floor even if a slow run was accidentally baselined.
 
     A key present in the old file but missing from the new one is a
     regression (a benchmark or collector silently disappearing must not

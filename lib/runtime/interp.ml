@@ -227,6 +227,17 @@ type t = {
   mutable external_elided_execs : int;
       (** chaos-injected external stores through live guarded elisions *)
   field_index : (field_ref, int) Hashtbl.t;
+  mutable barrier_epoch : int;
+      (** bumped whenever per-site verdicts may change (revocation
+          applied, degraded mode entered, cycle state reset); the
+          threaded engine stamps each compiled store site with the epoch
+          it specialized against and respecializes on mismatch — per-site
+          invalidation with no global flush *)
+  mutable stack_roots_override : (unit -> (int * int list) list) option;
+      (** installed by the threaded engine ({!Exec}), which owns the live
+          thread stacks; {!thread_roots} and {!roots} consult it so the
+          collectors see the same root set in the same enumeration order
+          under either engine *)
 }
 
 exception Jexn of exn_kind
@@ -272,6 +283,8 @@ let create ?(cfg = default_config) (prog : Jir.Program.t) : t =
     external_paid_execs = 0;
     external_elided_execs = 0;
     field_index = Hashtbl.create 64;
+    barrier_epoch = 0;
+    stack_roots_override = None;
   }
 
 let set_collector m gc = m.gc <- gc
@@ -348,6 +361,8 @@ let revocation_pending (m : t) : bool = m.pending_revocations <> []
     calls it synchronously before the new thread can run. *)
 let apply_revocations (m : t) : unit =
   if m.pending_revocations <> [] then begin
+    (* compiled code specialized against the old verdicts is stale *)
+    m.barrier_epoch <- m.barrier_epoch + 1;
     let failed = m.pending_revocations in
     m.pending_revocations <- [];
     m.revoked <- failed @ m.revoked;
@@ -412,6 +427,8 @@ let note_class_load (m : t) : unit = request_revoke m Closed_world
     the guarded-write repair set and the degradation flag are per-cycle. *)
 let reset_cycle_state (m : t) : unit =
   m.guarded_writes <- [];
+  (* leaving degraded mode changes what swap-elided sites execute *)
+  if m.swap_degraded then m.barrier_epoch <- m.barrier_epoch + 1;
   m.swap_degraded <- false
 
 (** Enter degraded mode: the retrace budget overflowed, so swap-elided
@@ -419,6 +436,7 @@ let reset_cycle_state (m : t) : unit =
     Applied at safepoints only, so it never lands inside a swap window. *)
 let set_swap_degraded (m : t) : unit =
   if not m.swap_degraded then begin
+    m.barrier_epoch <- m.barrier_epoch + 1;
     m.swap_degraded <- true;
     m.degradations <- m.degradations + 1;
     Telemetry.incr c_degradations;
@@ -463,21 +481,6 @@ let spawn_thread (m : t) (mr : method_ref) (args : Value.t list) : thread =
 
 (* ---- GC root enumeration ---------------------------------------------- *)
 
-(** All reference values currently held in thread stacks and statics. *)
-let roots (m : t) : int list =
-  let acc = ref [] in
-  let add = function Value.Ref id -> acc := id :: !acc | Value.Null | Value.Int _ -> () in
-  Hashtbl.iter (fun _ v -> add v) m.statics;
-  List.iter
-    (fun th ->
-      List.iter
-        (fun fr ->
-          Array.iter add fr.locals;
-          List.iter add fr.ostack)
-        th.frames)
-    m.threads;
-  !acc
-
 (** Static roots alone — the part of the root set the hybrid collector
     marks at cycle start (stacks are scanned lazily). *)
 let static_roots (m : t) : int list =
@@ -487,21 +490,34 @@ let static_roots (m : t) : int list =
     m.statics;
   !acc
 
+(** One interpreter thread's stack roots: frames top first, locals in
+    index order, then the operand stack top first, prepend-accumulated.
+    Marking progress depends on root order, so the threaded engine's
+    override must reproduce exactly this enumeration. *)
+let interp_stack_roots (th : thread) : int list =
+  let acc = ref [] in
+  let add = function Value.Ref id -> acc := id :: !acc | Value.Null | Value.Int _ -> () in
+  List.iter
+    (fun fr ->
+      Array.iter add fr.locals;
+      List.iter add fr.ostack)
+    th.frames;
+  !acc
+
 (** Per-thread stack roots: [(tid, refs held in that thread's frames)],
     including finished threads' (empty) frames so the collector sees every
-    tid it may have been asked about. *)
+    tid it may have been asked about.  When the threaded engine owns the
+    live stacks it installs {!t.stack_roots_override}. *)
 let thread_roots (m : t) : (int * int list) list =
-  List.map
-    (fun th ->
-      let acc = ref [] in
-      let add = function Value.Ref id -> acc := id :: !acc | _ -> () in
-      List.iter
-        (fun fr ->
-          Array.iter add fr.locals;
-          List.iter add fr.ostack)
-        th.frames;
-      (th.tid, !acc))
-    m.threads
+  match m.stack_roots_override with
+  | Some f -> f ()
+  | None -> List.map (fun th -> (th.tid, interp_stack_roots th)) m.threads
+
+(** All reference values currently held in thread stacks and statics —
+    list-identical to the historical single-pass enumeration (statics
+    first, threads in spawn order, each segment prepend-reversed). *)
+let roots (m : t) : int list =
+  List.fold_left (fun acc (_, l) -> l @ acc) (static_roots m) (thread_roots m)
 
 (* ---- barrier instrumentation ------------------------------------------ *)
 
@@ -638,13 +654,16 @@ let hybrid_store_barrier (m : t) (st : site_stats) ~(tid : int) ~(obj : int)
     Telemetry.incr c_barriers
   end
 
-(** Execute the write-barrier protocol for a reference store.
-    [obj = -1] for static stores; [nv] is the value being stored and
-    [tid] the storing thread (both consumed by the hybrid flavor only). *)
-let ref_store_barrier (m : t) (fr : frame) ~(kind : store_kind) ~(tid : int)
-    ~(obj : int) ~(pre : Value.t) ~(nv : Value.t) : unit =
-  let site = { s_class = fr.f_class; s_method = fr.f_meth.mname; s_pc = fr.pc } in
-  let st = site_stats m site kind in
+(** Execute the write-barrier protocol for a reference store whose
+    {!site_stats} record is already in hand — the general (slow-path)
+    body both engines share: the interpreter reaches it through
+    {!ref_store_barrier}, the threaded engine calls it directly from
+    compiled store opcodes whose cached verdict does not qualify for one
+    of the fused fast paths below.  [obj = -1] for static stores; [nv] is
+    the value being stored and [tid] the storing thread (both consumed by
+    the hybrid flavor only). *)
+let ref_store_barrier_st (m : t) (st : site_stats) ~(tid : int) ~(obj : int)
+    ~(pre : Value.t) ~(nv : Value.t) : unit =
   st.execs <- st.execs + 1;
   let pre_null = not (Value.is_ref pre) in
   if pre_null then st.pre_null_execs <- st.pre_null_execs + 1;
@@ -704,6 +723,101 @@ let ref_store_barrier (m : t) (fr : frame) ~(kind : store_kind) ~(tid : int)
     in
     if active then m.gc.log_ref_store ~obj ~pre
   end
+
+(** Site-lookup wrapper used by the tree-walking interpreter: build the
+    site key from the current frame, materialize (or find) its stats,
+    run the shared barrier body. *)
+let ref_store_barrier (m : t) (fr : frame) ~(kind : store_kind) ~(tid : int)
+    ~(obj : int) ~(pre : Value.t) ~(nv : Value.t) : unit =
+  let site = { s_class = fr.f_class; s_method = fr.f_meth.mname; s_pc = fr.pc } in
+  let st = site_stats m site kind in
+  ref_store_barrier_st m st ~tid ~obj ~pre ~nv
+
+(* ---- fused fast-path barrier bodies (threaded engine) ------------------ *)
+
+(* The threaded engine ({!Exec}) specializes every compiled store site to
+   one of these fused bodies when it (re)materializes the site's verdict.
+   Preconditions are established at specialization time and revalidated
+   through {!t.barrier_epoch} stamps — never re-checked on the store fast
+   path.  Each body is a line-for-line restriction of
+   [ref_store_barrier_st] under its precondition, so both engines bump
+   exactly the same counters. *)
+
+(** Precondition: [`Satb]/[`Card] flavor, [st_elided], [No_check],
+    [st_guards = []]. *)
+let barrier_elided_plain (m : t) (st : site_stats) ~(pre : Value.t) : unit =
+  st.execs <- st.execs + 1;
+  if not (Value.is_ref pre) then st.pre_null_execs <- st.pre_null_execs + 1;
+  m.elided_barrier_execs <- m.elided_barrier_execs + 1;
+  st.elided_execs <- st.elided_execs + 1;
+  Telemetry.incr c_elided
+
+(** Precondition: as {!barrier_elided_plain} but [st_guards <> []]. *)
+let barrier_elided_guarded (m : t) (st : site_stats) ~(obj : int)
+    ~(pre : Value.t) : unit =
+  st.execs <- st.execs + 1;
+  if not (Value.is_ref pre) then st.pre_null_execs <- st.pre_null_execs + 1;
+  m.elided_barrier_execs <- m.elided_barrier_execs + 1;
+  st.elided_execs <- st.elided_execs + 1;
+  Telemetry.incr c_elided;
+  if obj >= 0 && m.gc.is_marking () then
+    m.guarded_writes <- obj :: m.guarded_writes
+
+(** Precondition: [`Hybrid] flavor, both halves elided, neither half
+    guarded, not [st_ins_repair]. *)
+let barrier_hybrid_both_elided (m : t) (st : site_stats) ~(pre : Value.t) :
+    unit =
+  st.execs <- st.execs + 1;
+  if not (Value.is_ref pre) then st.pre_null_execs <- st.pre_null_execs + 1;
+  st.del_elided_execs <- st.del_elided_execs + 1;
+  st.ins_elided_execs <- st.ins_elided_execs + 1;
+  m.elided_barrier_execs <- m.elided_barrier_execs + 1;
+  st.elided_execs <- st.elided_execs + 1;
+  Telemetry.incr c_elided
+
+(** Precondition: [`Hybrid] flavor, deletion half elided with no guards,
+    insertion half kept. *)
+let barrier_hybrid_del_elided (m : t) (st : site_stats) ~(tid : int)
+    ~(pre : Value.t) ~(nv : Value.t) : unit =
+  st.execs <- st.execs + 1;
+  if not (Value.is_ref pre) then st.pre_null_execs <- st.pre_null_execs + 1;
+  st.del_elided_execs <- st.del_elided_execs + 1;
+  st.ins_paid_execs <- st.ins_paid_execs + 1;
+  if m.cfg.satb_mode <> Barrier_cost.No_barrier then begin
+    let cost =
+      Barrier_cost.hybrid_ins_cost ~marking:(m.gc.is_marking ())
+        ~stack_grey:true
+    in
+    m.barrier_units <- m.barrier_units + cost;
+    m.cost_units <- m.cost_units + cost;
+    st.barrier_units <- st.barrier_units + cost;
+    m.gc.log_ins_store ~tid ~nv
+  end;
+  m.barriers_executed <- m.barriers_executed + 1;
+  st.paid_execs <- st.paid_execs + 1;
+  Telemetry.incr c_barriers
+
+(** Precondition: [`Hybrid] flavor, insertion half elided with no guards
+    and not [st_ins_repair], deletion half kept. *)
+let barrier_hybrid_ins_elided (m : t) (st : site_stats) ~(obj : int)
+    ~(pre : Value.t) : unit =
+  st.execs <- st.execs + 1;
+  let pre_null = not (Value.is_ref pre) in
+  if pre_null then st.pre_null_execs <- st.pre_null_execs + 1;
+  st.del_paid_execs <- st.del_paid_execs + 1;
+  if m.cfg.satb_mode <> Barrier_cost.No_barrier then begin
+    let cost =
+      Barrier_cost.hybrid_del_cost ~marking:(m.gc.is_marking ()) ~pre_null
+    in
+    m.barrier_units <- m.barrier_units + cost;
+    m.cost_units <- m.cost_units + cost;
+    st.barrier_units <- st.barrier_units + cost;
+    m.gc.log_ref_store ~obj ~pre
+  end;
+  st.ins_elided_execs <- st.ins_elided_execs + 1;
+  m.barriers_executed <- m.barriers_executed + 1;
+  st.paid_execs <- st.paid_execs + 1;
+  Telemetry.incr c_barriers
 
 (* ---- external (chaos-injected) mutator stores ------------------------- *)
 

@@ -185,7 +185,29 @@ type t = {
   mutable external_elided_execs : int;
       (** chaos-injected external stores through live guarded elisions *)
   field_index : (Jir.Types.field_ref, int) Hashtbl.t;
+  mutable barrier_epoch : int;
+      (** bumped whenever per-site verdicts may change (revocations
+          applied, degraded mode entered, cycle state reset); the
+          threaded engine ({!Exec}) stamps each compiled store site with
+          the epoch it specialized against and respecializes on mismatch
+          — per-site invalidation with no global flush *)
+  mutable stack_roots_override : (unit -> (int * int list) list) option;
+      (** installed by the threaded engine, which owns the live thread
+          stacks; {!thread_roots}/{!roots} consult it so collectors see
+          the same root set in the same order under either engine *)
 }
+
+exception Jexn of Jir.Types.exn_kind
+(** A runtime exception in the interpreted program, caught by handler
+    search ([unwind]); shared with the threaded engine so both unwind
+    identically. *)
+
+val jthrow : Jir.Types.exn_kind -> 'a
+
+val bugf : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Raise {!Runtime_bug} with a formatted message — exported so the
+    threaded engine reports invariant violations with byte-identical
+    diagnostics. *)
 
 val create : ?cfg:config -> Jir.Program.t -> t
 val set_collector : t -> Gc_hooks.t -> unit
@@ -257,6 +279,51 @@ val thread_roots : t -> (int * int list) list
 
 val step : t -> thread -> bool
 (** Execute one instruction; [false] once the thread has finished. *)
+
+(** {2 Shared barrier machinery (used by the threaded engine)}
+
+    The threaded engine ({!Exec}) compiles each store site to an opcode
+    that caches the site's {!site_stats} record and dispatches to one of
+    the bodies below, chosen at specialization time from the cached
+    verdict.  Every body bumps exactly the counters the interpreter's
+    store path would. *)
+
+val site_stats : t -> site -> Jir.Types.store_kind -> site_stats
+(** Find or lazily materialize the per-site record (born-revoked
+    accounting included) — the same materialization the interpreter
+    performs at a site's first execution. *)
+
+val ref_store_barrier_st :
+  t -> site_stats -> tid:int -> obj:int -> pre:Value.t -> nv:Value.t -> unit
+(** The general barrier body: handles every flavor, retrace checks,
+    degraded fallbacks and guarded elisions.  [obj = -1] for statics. *)
+
+val barrier_elided_plain : t -> site_stats -> pre:Value.t -> unit
+(** Fused fast path; precondition: [`Satb]/[`Card], elided, no check, no
+    guards. *)
+
+val barrier_elided_guarded : t -> site_stats -> obj:int -> pre:Value.t -> unit
+(** Fused fast path; precondition: as {!barrier_elided_plain} but
+    guarded (joins the repair set while marking). *)
+
+val barrier_hybrid_both_elided : t -> site_stats -> pre:Value.t -> unit
+(** Fused fast path; precondition: [`Hybrid], both halves elided,
+    unguarded, no insertion repair. *)
+
+val barrier_hybrid_del_elided :
+  t -> site_stats -> tid:int -> pre:Value.t -> nv:Value.t -> unit
+(** Fused fast path; precondition: [`Hybrid], deletion half elided and
+    unguarded, insertion half kept. *)
+
+val barrier_hybrid_ins_elided :
+  t -> site_stats -> obj:int -> pre:Value.t -> unit
+(** Fused fast path; precondition: [`Hybrid], insertion half elided,
+    unguarded, no repair, deletion half kept. *)
+
+val allocate : t -> units:int -> (unit -> Heap.obj) -> Heap.obj
+(** Allocate through the pacer's admission control (may raise
+    {!Pacer.Hard_limit}) and notify the collector — the path both
+    engines' [New]/[Newarray] use. *)
 
 type dyn_stats = {
   total_execs : int;

@@ -89,6 +89,17 @@ type report = {
           this diagnostic (the in-flight cycle was still finished and
           checked) *)
   thread_errors : (int * string) list;
+  loop_s : float;
+      (** wall time of the scheduling loop alone — mutator slices plus
+          safepoint/GC work, excluding machine construction and (for the
+          threaded engine) method compilation, which [Exec.create] does
+          eagerly up front.  The steady-state number benchmarks compare
+          across engines. *)
+  gc_s : float;
+      (** portion of [loop_s] spent inside safepoint work — collector
+          increments, pauses, pacing, revocation — which is
+          engine-invariant by construction (the engines share every GC
+          hook).  [loop_s -. gc_s] is mutator time. *)
 }
 
 (** A live collector behind a uniform closure interface, so the scheduling
@@ -125,11 +136,16 @@ let lcg seed =
     let v = (!state lsr 16) land 0x3FFF in
     1 + (v mod bound)
 
-let run ?(cfg = Interp.default_config) ?(gc = No_gc) ?(quantum = 50)
-    ?(seed = 0) ?(gc_period = 32) ?chaos ?retrace_budget
+let run ?(cfg = Interp.default_config) ?(gc = No_gc) ?(engine = `Interp)
+    ?(quantum = 50) ?(seed = 0) ?(gc_period = 32) ?chaos ?retrace_budget
     (prog : Jir.Program.t) ~(entry : Jir.Types.method_ref) : report =
   let m = Interp.create ~cfg prog in
   let _main = Interp.spawn_thread m entry [] in
+  (* the threaded engine wraps the same machine: shared heap, statics,
+     counters and hooks, so everything below it is engine-agnostic *)
+  let exec =
+    match engine with `Interp -> None | `Threaded -> Some (Exec.create m)
+  in
   let gc_name =
     match gc with
     | No_gc -> "none"
@@ -139,12 +155,17 @@ let run ?(cfg = Interp.default_config) ?(gc = No_gc) ?(quantum = 50)
     | Hybrid _ -> "hybrid"
   in
   Telemetry.emit "run.start"
-    [
-      ("entry", Telemetry.Str (entry.Jir.Types.mclass ^ "." ^ entry.Jir.Types.mname));
-      ("gc", Telemetry.Str gc_name);
-      ("seed", Telemetry.Int seed);
-      ("chaos", Telemetry.Bool (chaos <> None));
-    ];
+    ([
+       ("entry", Telemetry.Str (entry.Jir.Types.mclass ^ "." ^ entry.Jir.Types.mname));
+       ("gc", Telemetry.Str gc_name);
+       ("seed", Telemetry.Int seed);
+       ("chaos", Telemetry.Bool (chaos <> None));
+     ]
+    (* only stamped when non-default, so interpreter traces stay
+       bit-identical to earlier releases *)
+    @ match engine with
+      | `Threaded -> [ ("engine", Telemetry.Str "threaded") ]
+      | `Interp -> []);
   (* mutator step at which each final (remark) pause began, oldest first
      once reversed — the profiler's MMU/pause timeline *)
   let pause_steps = ref [] in
@@ -372,10 +393,27 @@ let run ?(cfg = Interp.default_config) ?(gc = No_gc) ?(quantum = 50)
       m.Interp.gc.Gc_hooks.on_pressure ~degraded
     end
   in
+  (* Run up to [fuel] instructions of [th] on the selected engine,
+     returning how many executed.  The interpreter path is the old
+     step-at-a-time loop verbatim; the threaded engine dispatches the
+     whole slice through compiled code. *)
+  let step_slice th ~fuel =
+    match exec with
+    | Some e -> Exec.slice e th ~fuel
+    | None ->
+        let n = ref 0 in
+        while !n < fuel && not th.Interp.finished do
+          ignore (Interp.step m th);
+          incr n
+        done;
+        !n
+  in
   (* main scheduling loop *)
   let since_gc = ref 0 in
   let continue_ = ref true in
   let hard_stop = ref None in
+  let loop_t0 = Telemetry.now_s () in
+  let gc_s = ref 0.0 in
   (try
      while !continue_ do
        let runnable =
@@ -388,13 +426,22 @@ let run ?(cfg = Interp.default_config) ?(gc = No_gc) ?(quantum = 50)
              let q = if seed = 0 then quantum else rand quantum in
              let k = ref 0 in
              while !k < q && not th.Interp.finished do
-               ignore (Interp.step m th);
-               incr k;
-               incr since_gc;
+               (* run straight to the next safepoint boundary in one
+                  slice — the cadence is identical to stepping one
+                  instruction at a time because a safepoint can only
+                  fire when [since_gc] reaches [gc_period].  While a
+                  swap-elided pair's window holds the safepoint open the
+                  bound degenerates to single-stepping, exactly like the
+                  per-instruction loop it replaces. *)
+               let fuel = max 1 (min (q - !k) (gc_period - !since_gc)) in
+               let n = step_slice th ~fuel in
+               k := !k + n;
+               since_gc := !since_gc + n;
                (* safepoint: collector work is deferred while a swap-elided
                   store pair's window is open *)
                if !since_gc >= gc_period && not m.Interp.in_no_safepoint
                then begin
+                 let sp_t0 = Telemetry.now_s () in
                  since_gc := 0;
                  (* chaos faults fire first, so a late-spawn announcement's
                     revocation is applied below, before the fault's damage
@@ -426,7 +473,7 @@ let run ?(cfg = Interp.default_config) ?(gc = No_gc) ?(quantum = 50)
                      m.Interp.gc.Gc_hooks.step ()
                    done
                  end;
-                 match live with
+                 (match live with
                  | None -> ()
                  | Some l ->
                      if action.Chaos.force_remark && l.l_marking () then
@@ -437,7 +484,8 @@ let run ?(cfg = Interp.default_config) ?(gc = No_gc) ?(quantum = 50)
                        (* finish once the concurrent phase has gone
                           quiescent *)
                        if l.l_quiescent () then finish_cycle l
-                     end
+                     end);
+                 gc_s := !gc_s +. (Telemetry.now_s () -. sp_t0)
                end
              done)
            runnable
@@ -450,8 +498,12 @@ let run ?(cfg = Interp.default_config) ?(gc = No_gc) ?(quantum = 50)
      hard_stop := Some msg);
   (* finish any in-flight cycle so its invariants still get checked *)
   (match live with
-  | Some l when l.l_marking () -> record_pause l
+  | Some l when l.l_marking () ->
+      let sp_t0 = Telemetry.now_s () in
+      record_pause l;
+      gc_s := !gc_s +. (Telemetry.now_s () -. sp_t0)
   | Some _ | None -> ());
+  let loop_s = Telemetry.now_s () -. loop_t0 in
   Telemetry.emit "run.finish"
     [
       ("hard_stop", Telemetry.Bool (!hard_stop <> None));
@@ -478,4 +530,6 @@ let run ?(cfg = Interp.default_config) ?(gc = No_gc) ?(quantum = 50)
           | Some e -> Some (th.Interp.tid, e)
           | None -> None)
         m.Interp.threads;
+    loop_s;
+    gc_s = !gc_s;
   }

@@ -81,11 +81,22 @@ type report = {
           this diagnostic (the in-flight cycle was still finished and
           checked) *)
   thread_errors : (int * string) list;
+  loop_s : float;
+      (** wall time of the scheduling loop alone — mutator slices plus
+          safepoint/GC work, excluding machine construction and (for the
+          threaded engine) up-front method compilation.  The
+          steady-state number benchmarks compare across engines. *)
+  gc_s : float;
+      (** portion of [loop_s] spent inside safepoint work — collector
+          increments, pauses, pacing, revocation — which is
+          engine-invariant by construction (the engines share every GC
+          hook).  [loop_s -. gc_s] is mutator time. *)
 }
 
 val run :
   ?cfg:Interp.config ->
   ?gc:gc_choice ->
+  ?engine:[ `Interp | `Threaded ] ->
   ?quantum:int ->
   ?seed:int ->
   ?gc_period:int ->
@@ -94,7 +105,11 @@ val run :
   Jir.Program.t ->
   entry:Jir.Types.method_ref ->
   report
-(** [chaos] injects the given fault plan at safepoints (its plan may
+(** [engine] selects the execution substrate: [`Interp] (default), the
+    step-accurate tree-walking interpreter, or [`Threaded], the
+    direct-threaded compiled engine ({!Exec}) — same safepoint cadence,
+    counters, collectors and chaos faults, ≈10x the steps/sec.
+    [chaos] injects the given fault plan at safepoints (its plan may
     also override [quantum]/[gc_period]); [retrace_budget] bounds the
     retrace collector's per-cycle re-scan queue (see {!Retrace_gc}).
     Startup capability guards and mid-run guard failures revoke

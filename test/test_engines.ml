@@ -1,0 +1,130 @@
+(* Differential fuzz of the direct-threaded engine ({!Jrt.Exec})
+   against the tree-walking interpreter.  Same compiled workload, same
+   collector, same chaos plan — the two final states must be identical
+   in every dimension {!Harness.Engines.diff} checks: steps, cost and
+   barrier units, every machine counter, per-site attribution, statics,
+   the full heap graph, GC summary, pacer stats and thread errors.
+
+   The matrix deliberately includes mid-run revocation (late spawn,
+   class load) and the deliberately-unsound barrier skip: guard
+   failures, elision rollback, snapshot repair and oracle violations
+   must all land identically on both engines. *)
+
+let compile_full w =
+  Harness.Exp.compile ~null_or_same:true ~move_down:true ~swap:true
+    ~summaries:true w
+
+let collectors =
+  [
+    ( "satb",
+      Jrt.Runner.make_satb ~trigger_allocs:24 ~steps_per_increment:8 () );
+    ( "incr",
+      Jrt.Runner.make_incr ~trigger_allocs:24 ~steps_per_increment:8 () );
+    ( "retrace",
+      Jrt.Runner.make_retrace ~trigger_allocs:24 ~steps_per_increment:8 () );
+    ( "hybrid",
+      Jrt.Runner.make_hybrid ~trigger_allocs:24 ~steps_per_increment:8 () );
+  ]
+
+(* chaos plans are stateful; build a fresh one per run so both engines
+   see the same fault schedule from the same initial state *)
+let plans : (string * (unit -> Jrt.Chaos.t option)) list =
+  ("none", fun () -> None)
+  :: (List.map
+        (fun seed ->
+          ( Printf.sprintf "seed-%d" seed,
+            fun () -> Some (Jrt.Chaos.create (Jrt.Chaos.of_seed seed)) ))
+        [ 42; 7; 101 ]
+     @ List.map
+         (fun (name, faults) ->
+           ( name,
+             fun () ->
+               Some
+                 (Jrt.Chaos.create
+                    { Jrt.Chaos.seed = 1; faults; quantum = None; gc_period = None })
+           ))
+         [
+           ( "late-spawn",
+             [ Jrt.Chaos.Late_spawn { at_instr = 1000; stores = 4 } ] );
+           ("class-load", [ Jrt.Chaos.Class_load { at_instr = 800 } ]);
+           ( "barrier-skip",
+             [ Jrt.Chaos.Barrier_skip { at_instr = 1000; victims = 4 } ] );
+         ])
+
+let both ~gc ~plan cw =
+  let run engine =
+    let chaos = plan () in
+    Harness.Exp.run ~gc ~guards:true ?chaos ~fail_on_thread_error:false
+      ~engine cw
+  in
+  let ri = run `Interp in
+  let rt = run `Threaded in
+  (Harness.Engines.diff ri rt, ri)
+
+(* every collector x every plan, on the two workloads that exercise the
+   widest machinery (db: swap/move-down phases; jbb: allocation-heavy
+   with the deepest call graph) *)
+let test_matrix () =
+  let revocations = ref 0 in
+  List.iter
+    (fun w ->
+      let cw = compile_full w in
+      List.iter
+        (fun (gc_name, gc) ->
+          List.iter
+            (fun (plan_name, plan) ->
+              match both ~gc ~plan cw with
+              | Some m, _ ->
+                  Alcotest.failf "%s/%s/%s: engines diverge — %s"
+                    (w : Workloads.Spec.t).name gc_name plan_name m
+              | None, ri ->
+                  revocations :=
+                    !revocations
+                    + ri.Jrt.Runner.machine.Jrt.Interp.revocation_events)
+            plans)
+        collectors)
+    [ Workloads.Db.t; Workloads.Jbb.t ];
+  (* the matrix must actually have exercised mid-run revocation, or the
+     equality above proves less than it claims *)
+  Alcotest.(check bool) "revocation fired somewhere" true (!revocations > 0)
+
+(* random corner of the space: any Table 1 workload, any collector, any
+   seed-derived chaos plan *)
+let differential_prop =
+  QCheck2.Test.make ~name:"engines agree under random chaos" ~count:30
+    QCheck2.Gen.(
+      triple
+        (oneofl Workloads.Registry.table1)
+        (oneofl collectors)
+        (int_range 1 1000))
+    (fun (w, (_, gc), seed) ->
+      let cw = compile_full w in
+      let plan () = Some (Jrt.Chaos.create (Jrt.Chaos.of_seed seed)) in
+      fst (both ~gc ~plan cw) = None)
+
+(* the bench cadence (coarser quantum and GC period) must agree too —
+   it is what E17 times *)
+let test_bench_cadence () =
+  List.iter
+    (fun (w : Workloads.Spec.t) ->
+      let cw = compile_full w in
+      let gc = Jrt.Runner.make_satb () in
+      let run engine =
+        Harness.Exp.run ~gc ~guards:true ~quantum:500 ~gc_period:512 ~engine
+          cw
+      in
+      match Harness.Engines.diff (run `Interp) (run `Threaded) with
+      | None -> ()
+      | Some m ->
+          Alcotest.failf "%s (bench cadence): engines diverge — %s" w.name m)
+    Workloads.Registry.table1
+
+let tests =
+  [
+    Alcotest.test_case
+      "engines identical: 4 collectors x {seeds, revocation, skip}" `Quick
+      test_matrix;
+    QCheck_alcotest.to_alcotest differential_prop;
+    Alcotest.test_case "engines identical at the bench cadence" `Quick
+      test_bench_cadence;
+  ]

@@ -33,5 +33,6 @@ let () =
       ("telemetry", Test_telemetry.tests);
       ("profile", Test_profile.tests);
       ("hybrid", Test_hybrid.tests);
+      ("engines", Test_engines.tests);
       ("smoke", Test_smoke.tests);
     ]

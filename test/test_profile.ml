@@ -190,6 +190,36 @@ let test_hot_deterministic () =
     (List.map (fun s -> s.Attr.r_site) sites)
     (List.map (fun s -> s.Attr.r_site) again)
 
+(* The ranking must not depend on the order rows arrive in (they are
+   born from a Hashtbl fold): a permuted p_sites yields the identical
+   hot list, and exact count ties fall back to site-id order. *)
+let test_hot_tie_break () =
+  let p = db_profile () in
+  let names l = List.map (fun s -> s.Attr.r_site) l in
+  let permuted = { p with Attr.p_sites = List.rev p.Attr.p_sites } in
+  Alcotest.(check (list string))
+    "permutation-invariant"
+    (names (Attr.hot ~top:10 p))
+    (names (Attr.hot ~top:10 permuted));
+  match p.Attr.p_sites with
+  | [] -> Alcotest.fail "db profile has no sites"
+  | s :: _ ->
+      (* two rows with byte-equal counts: only the site id can decide *)
+      let tied =
+        [ { s with Attr.r_site = "Zz.m@9" }; { s with Attr.r_site = "Aa.m@1" } ]
+      in
+      Alcotest.(check (list string))
+        "equal counts fall back to site id"
+        [ "Aa.m@1"; "Zz.m@9" ]
+        (names (Attr.hot ~top:2 { p with Attr.p_sites = tied }))
+
+let test_json_byte_stable () =
+  let render () =
+    Telemetry.json_to_string_pretty (Attr.to_json (db_profile ()))
+  in
+  Alcotest.(check string)
+    "profile --json byte-stable across runs" (render ()) (render ())
+
 (* --- profile diff and the bench gate ------------------------------------- *)
 
 let test_profile_diff_regression () =
@@ -238,6 +268,37 @@ let test_gate_five_point_drop () =
       (Telemetry.Obj [ ("table1", Telemetry.List []) ])
   with
   | Ok o -> Alcotest.(check bool) "missing row fails" true (Gate.regressed o)
+  | Error e -> Alcotest.fail e
+
+let engines_json speedup =
+  Telemetry.Obj
+    [
+      ( "engines",
+        Telemetry.List
+          [
+            Telemetry.Obj
+              [
+                ("benchmark", Telemetry.Str "db");
+                ("speedup", Telemetry.Float speedup);
+              ];
+          ] );
+    ]
+
+(* the speedup gate is an absolute floor on the NEW value: a slow run
+   in the baseline must not lower the bar *)
+let test_gate_engine_speedup_floor () =
+  (match Gate.diff_json ~old_:(engines_json 4.5) (engines_json 2.0) with
+  | Ok o -> Alcotest.(check bool) "2.0x fails the floor" true (Gate.regressed o)
+  | Error e -> Alcotest.fail e);
+  (match Gate.diff_json ~old_:(engines_json 4.5) (engines_json 3.4) with
+  | Ok o -> Alcotest.(check bool) "3.4x passes" false (Gate.regressed o)
+  | Error e -> Alcotest.fail e);
+  (* even against an accidentally-slow baseline, the floor holds *)
+  match Gate.diff_json ~old_:(engines_json 2.0) (engines_json 2.5) with
+  | Ok o ->
+      Alcotest.(check bool)
+        "below-floor new value fails regardless of baseline" true
+        (Gate.regressed o)
   | Error e -> Alcotest.fail e
 
 let test_gate_profile_files () =
@@ -327,10 +388,16 @@ let tests =
       test_json_roundtrip;
     Alcotest.test_case "hot-site ranking is deterministic" `Quick
       test_hot_deterministic;
+    Alcotest.test_case "hot-site ties break on site id" `Quick
+      test_hot_tie_break;
+    Alcotest.test_case "profile JSON is byte-stable across runs" `Quick
+      test_json_byte_stable;
     Alcotest.test_case "profile diff flags a lost extension stack" `Quick
       test_profile_diff_regression;
     Alcotest.test_case "gate fails a doctored 5-point elision drop" `Quick
       test_gate_five_point_drop;
+    Alcotest.test_case "gate floors the threaded-engine speedup" `Quick
+      test_gate_engine_speedup_floor;
     Alcotest.test_case "gate handles profiler files and format mixing" `Quick
       test_gate_profile_files;
     Alcotest.test_case "profiles reject missing or mismatched versions" `Quick
