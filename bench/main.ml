@@ -48,6 +48,10 @@ let experiments =
       "E17: direct-threaded engine vs interpreter — steps/sec and \
        state-equality across the Table 1 workloads",
       Harness.Engines.print );
+    ( "flight",
+      "E18: flight recorder — chaos-run timeline walkthrough and \
+       always-on overhead (<2% gated)",
+      Harness.Flightexp.print );
   ]
 
 (* --- machine-readable artifacts (--json) ------------------------------ *)
@@ -91,7 +95,9 @@ let emit_json () =
   ignore (Harness.Pacing.measure_chaos ());
   emit "BENCH_pacing.json" [ "pacing"; "pacing_summary"; "pacing_chaos" ];
   ignore (Harness.Engines.measure ());
-  emit "BENCH_engines.json" [ "engines" ]
+  emit "BENCH_engines.json" [ "engines" ];
+  ignore (Harness.Flightexp.measure ());
+  emit "BENCH_flight.json" [ "flight" ]
 
 (* --- regression gate (`bench diff OLD.json NEW.json`) ----------------- *)
 

@@ -464,7 +464,7 @@ let half_policy_of ?(no_elim = false) (compiled : Satb_core.Driver.compiled) :
 let run_cmd =
   let run file limit mode nos md swap summaries gc engine entry no_elim
       chaos_seed retrace_budget no_revoke allow_unsound gc_trigger heap_goal
-      soft_limit hard_limit pacer trace metrics chrome =
+      soft_limit hard_limit pacer trace metrics chrome flight_dump =
     let prog = or_die (load file) in
     let pacing =
       pacing_of ~gc ~gc_trigger ~heap_goal ~soft_limit ~hard_limit ~pacer
@@ -510,7 +510,13 @@ let run_cmd =
         exit 1
       end
     end;
-    with_telemetry ~trace ~metrics ~chrome @@ fun () ->
+    (* auto-capture: oracle violations, hard stops and anomaly firings
+       dump the flight recorder to a stable path (armed only on CLI/bench
+       entry points, so `dune runtest`'s negative soundness runs don't
+       spray dump files) *)
+    Flight.arm_capture ();
+    let code =
+      with_telemetry ~trace ~metrics ~chrome @@ fun () ->
     let compiled =
       Satb_core.Driver.compile ~inline_limit:limit
         ~conf:(conf_of mode nos md swap summaries false) prog
@@ -646,14 +652,35 @@ let run_cmd =
     List.iter
       (fun (tid, e) -> Fmt.pr "thread %d died: %s@." tid e)
       r.thread_errors;
+    (match flight_dump with
+    | Some path ->
+        Flight.dump_to_file ~reason:"cli-request" path;
+        Fmt.pr "wrote %s@." path
+    | None -> ());
     match r.hard_stop with
     | Some msg ->
         Fmt.epr "satbelim: hard heap limit: %s@." msg;
-        exit 4
-    | None -> ()
+        4
+    | None -> 0
+    in
+    (* the sink was flushed and closed by with_telemetry; only now is it
+       safe to exit (Stdlib.exit does not unwind Fun.protect) *)
+    (match Flight.captured () with
+    | Some (path, reason) ->
+        Fmt.epr "satbelim: flight recorder dumped to %s (%s)@." path reason
+    | None -> ());
+    if code <> 0 then exit code
   in
   let no_elim =
     Arg.(value & flag & info [ "no-elim" ] ~doc:"Keep every barrier.")
+  in
+  let flight_dump_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flight-dump" ] ~docv:"FILE"
+          ~doc:
+            "Write the flight recorder's ring (GC phase transitions, pacer              decisions, revocations with guard provenance, engine              respecializations, chaos faults) to $(docv) after the run;              $(b,satbelim timeline) reconstructs it.")
   in
   let chaos_arg =
     Arg.(
@@ -708,7 +735,8 @@ let run_cmd =
       $ movedown_arg $ swap_arg $ summaries_arg $ gc_arg $ engine_arg
       $ entry_arg $ no_elim $ chaos_arg $ budget_arg $ no_revoke_arg
       $ allow_unsound_arg $ gc_trigger_arg $ heap_goal_arg $ soft_limit_arg
-      $ hard_limit_arg $ pacer_arg $ trace_arg $ metrics_arg $ chrome_arg)
+      $ hard_limit_arg $ pacer_arg $ trace_arg $ metrics_arg $ chrome_arg
+      $ flight_dump_arg)
 
 (* profile *)
 
@@ -785,7 +813,9 @@ let profile_cmd =
         exit 1
       end
     end;
-    with_telemetry ~trace ~metrics ~chrome @@ fun () ->
+    Flight.arm_capture ();
+    let code =
+      with_telemetry ~trace ~metrics ~chrome @@ fun () ->
     let compiled =
       Satb_core.Driver.compile ~inline_limit:limit
         ~conf:(conf_of mode nos md swap summaries false) prog
@@ -835,56 +865,68 @@ let profile_cmd =
     List.iter
       (fun (tid, e) -> Fmt.pr "thread %d died: %s@." tid e)
       r.thread_errors;
-    (match r.hard_stop with
+    match r.hard_stop with
     | Some msg ->
         Fmt.epr "satbelim: hard heap limit: %s@." msg;
-        exit 4
-    | None -> ());
-    let p = Profile.Attr.of_report ~workload:name ~gc:gc_name ~explain r in
-    (* the profile must reconcile exactly with the interpreter's global
-       counters (also what --metrics reports); a mismatch is a bug in the
-       attribution accounting, not in the user's input *)
-    (match Profile.Attr.reconciles p r with
-    | Ok () -> ()
-    | Error e ->
-        Fmt.epr "satbelim: profile does not reconcile with counters: %s@." e;
-        exit 3);
-    print_string (Profile.Attr.render ~top p);
-    Option.iter
-      (fun path ->
-        Telemetry.write_file path
-          (Telemetry.json_to_string_pretty (Profile.Attr.to_json p));
-        Fmt.pr "wrote %s@." path)
-      json;
-    match baseline with
-    | None -> ()
-    | Some path -> (
-        let parsed =
-          match Telemetry.json_of_string (read_file path) with
-          | Error e -> Error (Fmt.str "%s: %s" path e)
-          | Ok j -> (
-              match Profile.Attr.of_json j with
-              | Error e -> Error (Fmt.str "%s: %s" path e)
-              | Ok b -> Ok b)
-        in
-        match parsed with
+        4
+    | None -> (
+        let p = Profile.Attr.of_report ~workload:name ~gc:gc_name ~explain r in
+        (* the profile must reconcile exactly with the interpreter's global
+           counters (also what --metrics reports); a mismatch is a bug in the
+           attribution accounting, not in the user's input *)
+        match Profile.Attr.reconciles p r with
         | Error e ->
-            Fmt.epr "satbelim: %s@." e;
-            exit 2
-        | Ok baseline ->
-            let d =
-              Profile.Attr.diff ~max_elision_drop
-                ~max_pause_increase_pct:max_pause_increase
-                ~max_cost_increase_pct:max_cost_increase ~baseline p
-            in
-            Fmt.pr "@.-- vs baseline %s --@." path;
-            print_string (Profile.Attr.render_diff d);
-            if Profile.Attr.regressed d then begin
-              Fmt.pr "FAIL: %d regression(s)@."
-                (List.length d.Profile.Attr.df_regressions);
-              exit 1
-            end
-            else Fmt.pr "OK: no regressions@.")
+            Fmt.epr
+              "satbelim: profile does not reconcile with counters: %s@." e;
+            3
+        | Ok () -> (
+            print_string (Profile.Attr.render ~top p);
+            Option.iter
+              (fun path ->
+                Telemetry.write_file path
+                  (Telemetry.json_to_string_pretty (Profile.Attr.to_json p));
+                Fmt.pr "wrote %s@." path)
+              json;
+            match baseline with
+            | None -> 0
+            | Some path -> (
+                let parsed =
+                  match Telemetry.json_of_string (read_file path) with
+                  | Error e -> Error (Fmt.str "%s: %s" path e)
+                  | Ok j -> (
+                      match Profile.Attr.of_json j with
+                      | Error e -> Error (Fmt.str "%s: %s" path e)
+                      | Ok b -> Ok b)
+                in
+                match parsed with
+                | Error e ->
+                    Fmt.epr "satbelim: %s@." e;
+                    2
+                | Ok baseline ->
+                    let d =
+                      Profile.Attr.diff ~max_elision_drop
+                        ~max_pause_increase_pct:max_pause_increase
+                        ~max_cost_increase_pct:max_cost_increase ~baseline p
+                    in
+                    Fmt.pr "@.-- vs baseline %s --@." path;
+                    print_string (Profile.Attr.render_diff d);
+                    if Profile.Attr.regressed d then begin
+                      Fmt.pr "FAIL: %d regression(s)@."
+                        (List.length d.Profile.Attr.df_regressions);
+                      (* keep the evidence: the run's ring is still live *)
+                      ignore (Flight.capture ~reason:"profile-gate");
+                      1
+                    end
+                    else begin
+                      Fmt.pr "OK: no regressions@.";
+                      0
+                    end)))
+    in
+    (match Flight.captured () with
+    | Some (path, reason) ->
+        Fmt.epr "satbelim: flight recorder dumped to %s (%s)@." path reason
+    | None -> ());
+    if code <> 0 then exit code
   in
   let file_opt_arg =
     Arg.(
@@ -994,6 +1036,10 @@ let validate_trace_cmd =
   let run file chrome =
     let lines = String.split_on_char '\n' (read_file file) in
     match Telemetry.validate_trace_lines lines with
+    | Error (0, msg) ->
+        (* whole-file failure (empty trace), not a malformed line *)
+        Fmt.epr "%s: %s@." file msg;
+        exit 1
     | Error (line, msg) ->
         Fmt.epr "%s:%d: %s@." file line msg;
         exit 1
@@ -1034,6 +1080,56 @@ let validate_trace_cmd =
           timestamps, strictly increasing sequence numbers, well-formed \
           events)")
     Term.(const run $ trace_file_arg $ chrome)
+
+(* timeline *)
+
+let timeline_cmd =
+  let run file chrome =
+    match Telemetry.json_of_string (read_file file) with
+    | Error e ->
+        Fmt.epr "satbelim: %s: %s@." file e;
+        exit 1
+    | Ok j -> (
+        match Flight.parse_dump j with
+        | Error e ->
+            Fmt.epr "satbelim: %s: %s@." file e;
+            exit 1
+        | Ok d -> (
+            print_string (Flight.render_timeline d);
+            match chrome with
+            | None -> ()
+            | Some out ->
+                let events = Flight.chrome_events_of_dump d in
+                Telemetry.write_file out
+                  (Telemetry.json_to_string
+                     (Telemetry.chrome_of_events events));
+                Fmt.pr "%s: wrote Chrome trace (%d events)@." out
+                  (List.length events)))
+  in
+  let dump_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"DUMP"
+          ~doc:
+            "Flight-recorder dump (from --flight-dump FILE or an \
+             auto-captured FLIGHT_dump.json).")
+  in
+  let chrome =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome" ] ~docv:"FILE"
+          ~doc:
+            "Also export the recorded events as a Chrome trace-event file \
+             on the mutator-step timeline (1 step = 1us in the viewer).")
+  in
+  Cmd.v
+    (Cmd.info "timeline"
+       ~doc:
+         "Reconstruct the per-cycle GC timeline and per-site elision \
+          lifecycle from a flight-recorder dump")
+    Term.(const run $ dump_arg $ chrome)
 
 (* workloads *)
 
@@ -1079,4 +1175,5 @@ let () =
             profile_cmd;
             workloads_cmd;
             validate_trace_cmd;
+            timeline_cmd;
           ]))

@@ -1,0 +1,194 @@
+(** Always-on flight recorder: a bounded ring buffer of compact GC/runtime
+    events, cheap enough to stay enabled under the threaded engine.
+
+    Each record is five ints (kind, mutator step, three kind-specific
+    payload slots) written into pre-allocated parallel arrays — no
+    allocation on the hot path.  Strings (site ids, collector names,
+    assumption names, chaos fault kinds) are interned once on cold paths
+    and referenced by id from the payload slots.
+
+    The recorder is process-global, like the telemetry registry: the
+    runner resets it at run start ({!begin_run}), installs a step source
+    and per-site snapshot source, and polls the anomaly detectors at
+    safepoints.  A dump ({!dump_json}) is fully deterministic — events
+    carry mutator steps, never wall-clock — so `satbelim timeline` output
+    is byte-stable for a fixed seed.
+
+    Auto-capture: when armed (CLI/bench entry points only, never under
+    `dune runtest`), the first oracle violation, hard-limit abort,
+    anomaly-detector firing or bench-gate failure dumps the ring to a
+    stable path ([FLIGHT_dump.json]); {!captured} reports where so the
+    CLI can print it. *)
+
+(** {1 Event kinds} *)
+
+type kind =
+  | Mark_start  (** a=collector, b=cycle index (0-based), c=snapshot/root size *)
+  | Mark_end  (** a=collector, b=cycle index, c=violations *)
+  | Pause  (** a=final pause work *)
+  | Assist  (** one degraded-mode allocation assist *)
+  | Trigger  (** a=live units, b=trigger units, c=1 if degraded *)
+  | Soft_enter  (** a=live units, b=soft limit *)
+  | Soft_exit  (** a=live units, b=soft limit *)
+  | Retune  (** a=goal*1000, b=p99 pause work, c=mmu*1000 *)
+  | Hard_stop  (** a=live units *)
+  | Revoke_request  (** a=assumption *)
+  | Revoke_apply  (** a=#assumptions, b=repair-set size *)
+  | Revoke_site  (** a=site, b=guard provenance, c=half (0 full / 1 del / 2 ins) *)
+  | Respecialize  (** a=site, b=barrier epoch (threaded engine only) *)
+  | Swap_degraded  (** a=reason *)
+  | Chaos_fault  (** a=fault kind, b=fault payload (instr/alloc/count) *)
+  | Anomaly  (** a=detector, b=observed count *)
+
+val kind_name : kind -> string
+(** Stable dotted name ("mark.start", "revoke.site", ...) used in dumps. *)
+
+type ev = { k : kind; step : int; a : int; b : int; c : int }
+
+(** {1 Recording} *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+(** Master switch, on by default; the overhead experiment (E18) A/Bs it. *)
+
+val intern : string -> int
+(** Intern a string, returning its stable id.  The table persists across
+    {!begin_run} so ids are comparable between runs in one process. *)
+
+val str_of : int -> string
+(** Inverse of {!intern}; ["?<id>"] for an unknown id. *)
+
+val record : kind -> a:int -> b:int -> c:int -> unit
+(** Append one event (the step comes from the installed step source).
+    Constant-time, allocation-free; a no-op while disabled. *)
+
+val set_step_source : (unit -> int) -> unit
+(** The mutator-step clock, installed by the runner
+    ([fun () -> m.instr_count]). *)
+
+val set_meta : (string * string) list -> unit
+(** Run context stamped into dumps (collector, engine, entry, seed, ...). *)
+
+type site_state = {
+  fs_site : string;
+  fs_kind : string;  (** putfield / aastore / putstatic *)
+  fs_state : string;  (** elided / kept / revoked / del-elided / ... *)
+  fs_execs : int;
+  fs_paid : int;
+  fs_elided_execs : int;
+  fs_revocations : int;
+  fs_guards : string list;
+}
+
+val set_sites_source : (unit -> site_state list) -> unit
+(** Called at dump time to snapshot per-site elision state; the runner
+    installs a closure over the live machine. *)
+
+val begin_run : unit -> unit
+(** Reset the ring, detector state and run metadata for a fresh run.
+    Keeps the intern table, the enabled flag and the capture arming. *)
+
+val events : unit -> ev list
+(** Surviving ring contents, oldest first. *)
+
+val recorded : unit -> int
+(** Total events recorded since {!begin_run} (>= length of {!events}
+    once the ring has wrapped). *)
+
+val capacity : unit -> int
+
+val set_capacity : int -> unit
+(** Reallocate the ring (tests only); implies {!begin_run}. *)
+
+(** {1 Anomaly detectors} *)
+
+val poll : unit -> unit
+(** Scan events recorded since the last poll and update the detectors:
+    revocation storm, pacing oscillation, assist spiral, degradation
+    cascade.  Each fires at most once per run, records an {!Anomaly}
+    event and triggers auto-capture.  Called by the runner at
+    safepoints; cheap when nothing new was recorded. *)
+
+val anomalies : unit -> (string * int) list
+(** Detectors fired this run, as [(name, step)], oldest first. *)
+
+(** {1 Auto-capture} *)
+
+val arm_capture : ?dir:string -> unit -> unit
+(** Arm auto-capture (CLI/bench entry points call this; tests never do,
+    so negative soundness runs don't spray dump files).  [dir] defaults
+    to the current directory. *)
+
+val disarm_capture : unit -> unit
+
+val capture : reason:string -> string option
+(** Dump the ring to [<dir>/FLIGHT_dump.json] if armed and nothing was
+    captured yet this process; returns the path when a dump was written.
+    First capture wins — later triggers keep the earlier evidence. *)
+
+val captured : unit -> (string * string) option
+(** [(path, reason)] of the capture performed this process, if any. *)
+
+(** {1 Dumps} *)
+
+val dump_json : reason:string -> Telemetry.json
+(** Deterministic dump of the ring: run metadata, intern table, events,
+    per-site snapshot (sorted by site id) and fired anomalies. *)
+
+val dump_to_file : reason:string -> string -> unit
+
+type dump = {
+  d_reason : string;
+  d_step : int;  (** step source at capture time *)
+  d_capacity : int;
+  d_recorded : int;
+  d_meta : (string * string) list;
+  d_events : ev list;
+  d_sites : site_state list;
+  d_anomalies : (string * int) list;
+  d_strings : string array;  (** payload-slot decoding table *)
+}
+
+val parse_dump : Telemetry.json -> (dump, string) result
+
+(** {1 Timeline reconstruction} *)
+
+type cycle = {
+  cy_n : int;  (** 0-based, as recorded by the collector *)
+  cy_collector : string;
+  cy_start : int;  (** mutator step of mark start *)
+  cy_end : int option;  (** None = still marking at capture *)
+  cy_pause : int option;  (** final pause work *)
+  cy_violations : int;
+  cy_assists : int;
+  cy_revoked_sites : int;
+  cy_faults : int;
+  cy_soft_enters : int;
+  cy_retunes : int;
+}
+
+type site_life = {
+  sl_site : string;
+  sl_kind : string;
+  sl_state : string;
+  sl_history : string;  (** "respec@64 -> revoked@2980 (single-mutator)" *)
+}
+
+type timeline = {
+  tl_cycles : cycle list;
+  tl_sites : site_life list;  (** sorted by site id *)
+  tl_anomalies : (string * int) list;
+  tl_hard_stop : int option;  (** step of the hard-limit abort *)
+  tl_dropped : int;  (** events lost to ring wrap-around *)
+}
+
+val timeline_of : dump -> timeline
+
+val render_timeline : dump -> string
+(** Deterministic ASCII rendering (header, per-cycle table, per-site
+    lifecycle table, anomalies) — the `satbelim timeline` output and the
+    golden-test surface. *)
+
+val chrome_events_of_dump : dump -> Telemetry.event list
+(** Bridge to {!Telemetry.chrome_of_events}: one trace event per ring
+    record, timestamped on the mutator-step axis (1 step = 1 "us"). *)

@@ -58,7 +58,41 @@ let heap_table (h : Jrt.Heap.t) =
       let o = Jrt.Heap.get h i in
       (o.Jrt.Heap.cls, o.Jrt.Heap.dead, o.Jrt.Heap.payload))
 
-let diff (a : Jrt.Runner.report) (b : Jrt.Runner.report) : string option =
+(* Flight-recorder parity: both engines drive the same machine and clock
+   the recorder with the same instruction counter, so the recorded event
+   stream — GC phase transitions, pacer decisions, revocations, faults —
+   must be identical — steps included: the threaded engine's step
+   source adds the slice's in-flight instruction count ([Exec.inflight]),
+   so even an event recorded from inside a fused block carries the
+   interpreter's exact charge-before-execute step.  Respecialization
+   events exist only under the threaded engine and are excluded.
+   Payload slots hold intern-table ids; the table is process-global, so
+   ids are directly comparable between two runs of one process. *)
+let flight_diff (ea : Flight.ev list) (eb : Flight.ev list) : string option =
+  let strip = List.filter (fun e -> e.Flight.k <> Flight.Respecialize) in
+  let a = strip ea and b = strip eb in
+  if a = b then None
+  else
+    let rec first_div i = function
+      | x :: xs, y :: ys when x = y -> first_div (i + 1) (xs, ys)
+      | _ -> i
+    in
+    let i = first_div 0 (a, b) in
+    let show l =
+      match List.nth_opt l i with
+      | Some e ->
+          Printf.sprintf "%s@%d(%d,%d,%d)"
+            (Flight.kind_name e.Flight.k)
+            e.Flight.step e.Flight.a e.Flight.b e.Flight.c
+      | None -> "<end>"
+    in
+    Some
+      (Printf.sprintf
+         "flight events: %d vs %d records, diverging at #%d: %s vs %s"
+         (List.length a) (List.length b) i (show a) (show b))
+
+let diff ?flight (a : Jrt.Runner.report) (b : Jrt.Runner.report) :
+    string option =
   let ma = a.Jrt.Runner.machine and mb = b.Jrt.Runner.machine in
   let mismatches = ref [] in
   let chk name equal = if not equal then mismatches := name :: !mismatches in
@@ -101,6 +135,12 @@ let diff (a : Jrt.Runner.report) (b : Jrt.Runner.report) : string option =
   chk "pacer stats" (a.pacer = b.pacer);
   chk "hard_stop" (a.hard_stop = b.hard_stop);
   chk "thread_errors" (a.thread_errors = b.thread_errors);
+  (match flight with
+  | Some (ea, eb) -> (
+      match flight_diff ea eb with
+      | Some m -> mismatches := m :: !mismatches
+      | None -> ())
+  | None -> ());
   match !mismatches with
   | [] -> None
   | ms -> Some (String.concat "; " (List.rev ms))
@@ -152,8 +192,10 @@ let measure_one ~min_seconds (w : Workloads.Spec.t) : row =
   let gc = Jrt.Runner.make_satb () in
   let check ?quantum ?gc_period tag =
     let ri = Exp.run ~gc ~engine:`Interp ?quantum ?gc_period cw in
+    let ei = Flight.events () in
     let rt = Exp.run ~gc ~engine:`Threaded ?quantum ?gc_period cw in
-    match diff ri rt with
+    let et = Flight.events () in
+    match diff ~flight:(ei, et) ri rt with
     | None -> ()
     | Some m ->
         Fmt.failwith "E17 %s (%s cadence): engines diverge — %s" w.name tag m

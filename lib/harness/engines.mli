@@ -12,14 +12,32 @@ type row = {
   equal : bool;  (** the exhaustive {!diff} found no mismatch *)
 }
 
-val diff : Jrt.Runner.report -> Jrt.Runner.report -> string option
+val diff :
+  ?flight:Flight.ev list * Flight.ev list ->
+  Jrt.Runner.report ->
+  Jrt.Runner.report ->
+  string option
 (** Exhaustive comparison of two runs' final states: steps, cost and
     barrier units, every machine counter, dynamic store stats, per-site
     attribution, statics, the full heap graph (class, liveness and
     payload of every object ever allocated), GC summary, pacer stats and
-    thread errors.  [None] means identical; [Some m] names every
-    mismatching dimension.  Also used by the differential QCheck
-    property. *)
+    thread errors.  [?flight] additionally compares the two runs'
+    flight-recorder event streams (GC phase transitions, pacer
+    decisions, revocations, faults — everything except the
+    threaded-only respecialization records, which are filtered out);
+    kind, order, payloads and steps must all match exactly — the
+    threaded engine's step source includes the slice's in-flight count
+    ([Exec.inflight]), so its events carry the interpreter's steps even
+    from inside fused blocks.  Snapshot each stream with
+    [Flight.events ()] right after its run, before the next run resets
+    the ring.  [None] means identical;
+    [Some m] names every mismatching dimension.  Also used by the
+    differential QCheck property. *)
+
+val bench_quantum : int
+val bench_gc_period : int
+(** The documented coarse throughput cadence (see engines.ml); E18
+    measures the recorder's overhead at the same cadence. *)
 
 val measure : ?min_seconds:float -> unit -> row list
 (** Run every Table 1 workload under both engines (SATB collector,

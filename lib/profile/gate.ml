@@ -100,6 +100,13 @@ let known_tables : (string * string list * (string * direction) list) list =
        for shared-runner timing noise (interp throughput swings tens of
        percent run-to-run) while still catching any real regression. *)
     ("engines", [ "benchmark" ], [ ("speedup", Min_value 3.0) ]);
+    (* E18: the flight recorder must stay cheap enough to leave on — an
+       absolute ceiling on the measured overhead, never baseline-relative,
+       so a noisy baseline can't grandfather in a hot recorder.  The
+       recorder writes nothing per-store (only per-cycle and per-safepoint
+       events), so the true overhead is well under 1%; 2.0 absorbs
+       shared-runner timing noise. *)
+    ("flight", [ "benchmark" ], [ ("overhead_pct", Max_value 2.0) ]);
   ]
 
 (* Version stamp of the BENCH table-file layout; [bench --json] writes

@@ -263,6 +263,20 @@ let c_ramp = Telemetry.counter "chaos.ramp_allocs"
 
 let fault_event (kind : string) (fields : (string * Telemetry.json) list) :
     unit =
+  (* flight-recorder twin: fault kind interned, first numeric field
+     (at_instr / at_alloc) as the payload *)
+  if Flight.enabled () then begin
+    let payload =
+      match
+        List.find_opt
+          (fun (_, v) -> match v with Telemetry.Int _ -> true | _ -> false)
+          fields
+      with
+      | Some (_, Telemetry.Int n) -> n
+      | _ -> 0
+    in
+    Flight.record Flight.Chaos_fault ~a:(Flight.intern kind) ~b:payload ~c:0
+  end;
   Telemetry.emit "chaos.fault" (("fault", Telemetry.Str kind) :: fields)
 
 let at_safepoint (t : t) (m : Interp.t) : action =

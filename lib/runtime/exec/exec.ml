@@ -135,6 +135,9 @@ and cmeth = {
 type store_cell = {
   cell_site : I.site;
   cell_kind : store_kind;
+  cell_fid : int;
+      (** flight-recorder intern id of the site, paid once at compile
+          time so respecialization records stay allocation-free *)
   mutable cell_stamp : int;  (** -1 = never specialized *)
   mutable cell_exec : tid:int -> obj:int -> pre:Value.t -> nv:Value.t -> unit;
 }
@@ -156,6 +159,17 @@ type t = {
   threads : (int, ethread) Hashtbl.t;  (** by tid *)
   statics : (class_name * field_name, static_cell) Hashtbl.t;
   mutable last : ethread option;  (** slice-to-slice thread cache *)
+  slice_n : int ref;
+      (** instructions charged by the slice in flight but not yet flushed
+          to [instr_count]; the flight recorder's step source adds it so
+          mid-slice events land on their true step *)
+  mutable fuse_start : int;
+      (** block-start pc of the fused op in flight, -1 outside one; with
+          [fuse_ep] it recovers the instructions a fused block has
+          consumed when a sub-op records mid-block *)
+  mutable fuse_ep : int;
+      (** pc published by the recording sub-ops (the ref stores) just
+          before barrier work; -1 until one runs in the current block *)
 }
 
 (* ---- operand stack ----------------------------------------------------- *)
@@ -222,6 +236,8 @@ let int_elems_of (o : Heap.obj) =
     interaction falls back to the shared general body. *)
 let specialize (m : I.t) (cell : store_cell) : unit =
   let st = I.site_stats m cell.cell_site cell.cell_kind in
+  Flight.record Flight.Respecialize ~a:cell.cell_fid ~b:m.I.barrier_epoch
+    ~c:0;
   cell.cell_stamp <- m.I.barrier_epoch;
   cell.cell_exec <-
     (match m.I.cfg.I.barrier_flavor with
@@ -261,9 +277,11 @@ let unspecialized : tid:int -> obj:int -> pre:Value.t -> nv:Value.t -> unit =
 
 let store_cell (c_class : class_name) (mname : method_name) (pc : int)
     (kind : store_kind) : store_cell =
+  let site = { I.s_class = c_class; s_method = mname; s_pc = pc } in
   {
-    cell_site = { I.s_class = c_class; s_method = mname; s_pc = pc };
+    cell_site = site;
     cell_kind = kind;
+    cell_fid = Flight.intern (I.site_id site);
     cell_stamp = -1;
     cell_exec = unspecialized;
   }
@@ -1247,6 +1265,7 @@ and compile_blocks (t : t) (c : cmeth) : unit =
                         ( (fun eth fr ->
                             let ev = fa eth fr in
                             let v = decode ev in
+                            t.fuse_ep <- q1;
                             if b.cell_stamp <> m.I.barrier_epoch then
                               specialize m b;
                             b.cell_exec ~tid:eth.ith.I.tid ~obj:(-1)
@@ -1318,6 +1337,7 @@ and compile_blocks (t : t) (c : cmeth) : unit =
                                       fun eth fr ->
                                         let v = decode (fv eth fr) in
                                         fr.epc <- q2;
+                                        t.fuse_ep <- q2;
                                         let o =
                                           deref m fr fr.elocals.(i)
                                         in
@@ -1333,6 +1353,7 @@ and compile_blocks (t : t) (c : cmeth) : unit =
                                         let ov = fo eth fr in
                                         let v = decode (fv eth fr) in
                                         fr.epc <- q2;
+                                        t.fuse_ep <- q2;
                                         let o = deref m fr ov in
                                         let fs = fields_of o in
                                         if b.cell_stamp <> m.I.barrier_epoch
@@ -1392,6 +1413,7 @@ and compile_blocks (t : t) (c : cmeth) : unit =
                                               let i = fi eth fr in
                                               let v = decode (fv eth fr) in
                                               fr.epc <- q3;
+                                              t.fuse_ep <- q3;
                                               let o = deref m fr va in
                                               let es = ref_elems_of o in
                                               if
@@ -1643,6 +1665,9 @@ let create (m : I.t) : t =
       threads = Hashtbl.create 8;
       statics = Hashtbl.create 64;
       last = None;
+      slice_n = ref 0;
+      fuse_start = -1;
+      fuse_ep = -1;
     }
   in
   m.I.stack_roots_override <- Some (fun () -> stack_roots t);
@@ -1654,14 +1679,30 @@ let create (m : I.t) : t =
   t
 
 let compiled_methods (t : t) : int = Hashtbl.length t.methods
+(* Outside a fused block, [slice_n] already includes the running
+   instruction (single-steps pre-charge).  Inside one, the block's k
+   instructions are charged only on completion, but the recording
+   sub-ops publish their pc in [fuse_ep] first, so the consumed prefix
+   — store included, the interpreter's charge-before-execute accounting
+   — is recoverable exactly. *)
+let inflight (t : t) : int =
+  let base = !(t.slice_n) in
+  if t.fuse_start >= 0 && t.fuse_ep >= t.fuse_start then
+    base + (t.fuse_ep - t.fuse_start + 1)
+  else base
 
 (** Run up to [fuel] instructions.  Counters are batched: instead of the
     interpreter's per-instruction [instr_count]/[cost_units] updates and
     budget check, the slice pre-clamps its fuel against the remaining
     budget and flushes both counters once per slice (and before any
-    propagating exception) — nothing reads them mid-slice, so every
-    observer (safepoints, telemetry, the budget diagnostic) sees
-    identical values.
+    propagating exception) — safepoints, telemetry and the budget
+    diagnostic all see identical values.  The one mid-slice reader is
+    the flight recorder's step source, which adds the in-flight count
+    ({!inflight}): single-stepped instructions are charged to [slice_n]
+    before they run (the interpreter's accounting); fused blocks are
+    charged on completion, but their recording sub-ops (the ref stores)
+    publish the block's consumed prefix first, so recorded steps match
+    the interpreter's exactly everywhere.
 
     Fused opcodes run only while they fit in the remaining fuel; the
     tail of a slice single-steps, which keeps safepoint-time operand
@@ -1672,7 +1713,8 @@ let slice (t : t) (ith : I.thread) ~(fuel : int) : int =
   let max_steps = m.I.cfg.I.max_steps in
   let budget_left = max_steps - m.I.instr_count in
   let efuel = if fuel <= budget_left then fuel else max 0 budget_left in
-  let n = ref 0 in
+  let n = t.slice_n in
+  n := 0;
   let executed = ref 0 in
   let flush () =
     m.I.instr_count <- m.I.instr_count + !n;
@@ -1693,31 +1735,32 @@ let slice (t : t) (ith : I.thread) ~(fuel : int) : int =
       end;
       let k = fr.ef_klen.(p) in
       if k > 1 && !n + k <= efuel then (
+        t.fuse_start <- p;
+        t.fuse_ep <- -1;
         try
           fr.ef_fuse.(p) eth fr;
+          t.fuse_start <- -1;
           n := !n + k
         with
         | I.Jexn kind ->
             (* risky sub-instructions stamp [fr.epc], so the executed
                prefix (faulting instruction included) is recoverable *)
+            t.fuse_start <- -1;
             n := !n + (fr.epc - p + 1);
             unwind eth kind
         | e ->
+            t.fuse_start <- -1;
             n := !n + (fr.epc - p + 1);
             flush ();
             raise e)
       else (
-        try
-          fr.ef_ops.(p) eth fr;
-          incr n
-        with
-        | I.Jexn kind ->
-            incr n;
-            unwind eth kind
+        (* charged before executing, like the interpreter: an abort
+           (e.g. a pacer hard stop) includes it, and anything the
+           instruction records sees its own step *)
+        incr n;
+        try fr.ef_ops.(p) eth fr with
+        | I.Jexn kind -> unwind eth kind
         | e ->
-            (* the interpreter charges an instruction before executing
-               it, so an abort (e.g. a pacer hard stop) includes it *)
-            incr n;
             flush ();
             raise e)
     end

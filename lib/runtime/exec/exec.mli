@@ -28,3 +28,10 @@ val slice : t -> Interp.thread -> fuel:int -> int
 val compiled_methods : t -> int
 (** Number of methods compiled so far (observability/tests). *)
 
+val inflight : t -> int
+(** Instructions charged by the slice in flight but not yet flushed to
+    [instr_count] (0 between slices).  The runner's flight-recorder step
+    source adds it, so mid-slice events — including barrier work inside
+    fused blocks, whose store sub-ops publish their consumed prefix —
+    carry exactly the step the interpreter would have recorded. *)
+

@@ -99,6 +99,7 @@ let stack_grey (t : t) ~tid = not (Hashtbl.mem t.scanned tid)
 
 (* telemetry: gc.* counters shared with the other collectors *)
 let c_cycles = Telemetry.counter "gc.cycles"
+let fk_hybrid = Flight.intern "hybrid"
 let c_violations = Telemetry.counter "gc.violations"
 
 let mark_and_gray t id =
@@ -121,6 +122,7 @@ let start_cycle (t : t) : unit =
   t.rescans <- 0;
   (* statics only: every thread stack starts the cycle grey *)
   List.iter (mark_and_gray t) (t.static_roots ());
+  Flight.record Flight.Mark_start ~a:fk_hybrid ~b:t.cycles ~c:0;
   Telemetry.emit "gc.cycle.start"
     [
       ("collector", Telemetry.Str "hybrid");
@@ -282,6 +284,7 @@ let finish_cycle (t : t) : cycle_report =
   Heap.clear_marks t.heap;
   Telemetry.incr c_cycles;
   Telemetry.incr c_violations ~by:violations;
+  Flight.record Flight.Mark_end ~a:fk_hybrid ~b:report.cycle ~c:violations;
   Telemetry.emit "gc.cycle.finish"
     [
       ("collector", Telemetry.Str "hybrid");

@@ -75,6 +75,7 @@ let is_marking t = t.phase = Marking
 
 (* telemetry: gc.* counters shared with the SATB collectors *)
 let c_cycles = Telemetry.counter "gc.cycles"
+let fk_incr = Flight.intern "incremental-update"
 let c_violations = Telemetry.counter "gc.violations"
 
 let mark_and_gray t id =
@@ -93,6 +94,7 @@ let start_cycle (t : t) : unit =
   t.allocated_during <- 0;
   t.increments <- 0;
   List.iter (mark_and_gray t) (t.roots ());
+  Flight.record Flight.Mark_start ~a:fk_incr ~b:t.cycles ~c:0;
   Telemetry.emit "gc.cycle.start"
     [
       ("collector", Telemetry.Str "incremental-update");
@@ -228,6 +230,7 @@ let finish_cycle (t : t) : cycle_report =
   Heap.clear_marks t.heap;
   Telemetry.incr c_cycles;
   Telemetry.incr c_violations ~by:violations;
+  Flight.record Flight.Mark_end ~a:fk_incr ~b:report.cycle ~c:violations;
   Telemetry.emit "gc.cycle.finish"
     [
       ("collector", Telemetry.Str "incremental-update");

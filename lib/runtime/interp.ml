@@ -332,6 +332,21 @@ let emit_revoked_site (m : t) (site : site) (st : site_stats)
 
 (* ---- guards and revocation -------------------------------------------- *)
 
+(** Flight-recorder twin of {!emit_revoked_site}: site, the guard that
+    actually fired (provenance), and which hybrid half flipped.  Interning
+    only happens here, on the cold revocation path. *)
+let flight_revoked_site (site : site) ~(guards : assumption list)
+    ~(failed : assumption list) ~(half : int) : unit =
+  if Flight.enabled () then
+    let prov =
+      match List.find_opt (fun a -> List.mem a failed) guards with
+      | Some a -> string_of_assumption a
+      | None -> "?"
+    in
+    Flight.record Flight.Revoke_site
+      ~a:(Flight.intern (site_id site))
+      ~b:(Flight.intern prov) ~c:half
+
 (** Was a guard table wired at all?  Default configs share the
     [no_guards] / [no_halves] closures, so physical inequality is the
     test (the hybrid flavor carries its guards inside the half policy). *)
@@ -348,6 +363,9 @@ let request_revoke (m : t) (a : assumption) : unit =
     && not (List.mem a m.pending_revocations)
   then begin
     m.pending_revocations <- a :: m.pending_revocations;
+    Flight.record Flight.Revoke_request
+      ~a:(Flight.intern (string_of_assumption a))
+      ~b:0 ~c:0;
     Telemetry.emit "revoke.request"
       [ ("assumption", Telemetry.Str (string_of_assumption a)) ]
   end
@@ -368,6 +386,8 @@ let apply_revocations (m : t) : unit =
     m.revoked <- failed @ m.revoked;
     m.revocation_events <- m.revocation_events + List.length failed;
     Telemetry.incr c_revocation_events ~by:(List.length failed);
+    Flight.record Flight.Revoke_apply ~a:(List.length failed)
+      ~b:(List.length m.guarded_writes) ~c:0;
     Telemetry.emit "revoke.apply"
       [
         ( "assumptions",
@@ -394,6 +414,15 @@ let apply_revocations (m : t) : unit =
               st.revocations <- st.revocations + 1;
               m.revoked_sites <- m.revoked_sites + 1;
               Telemetry.incr c_revoked_sites;
+              flight_revoked_site site
+                ~guards:
+                  ((if del_flip then st.st_del_guards else [])
+                  @ if ins_flip then st.st_ins_guards else [])
+                ~failed
+                ~half:
+                  (if del_flip && ins_flip then 0
+                   else if del_flip then 1
+                   else 2);
               emit_revoked_site m site st ~materialized:false
             end
         | `Satb | `Card ->
@@ -404,6 +433,7 @@ let apply_revocations (m : t) : unit =
               st.revocations <- st.revocations + 1;
               m.revoked_sites <- m.revoked_sites + 1;
               Telemetry.incr c_revoked_sites;
+              flight_revoked_site site ~guards:st.st_guards ~failed ~half:0;
               emit_revoked_site m site st ~materialized:false
             end)
       m.stats;
@@ -440,6 +470,9 @@ let set_swap_degraded (m : t) : unit =
     m.swap_degraded <- true;
     m.degradations <- m.degradations + 1;
     Telemetry.incr c_degradations;
+    Flight.record Flight.Swap_degraded
+      ~a:(Flight.intern "retrace-budget-overflow")
+      ~b:0 ~c:0;
     Telemetry.emit "runtime.degraded"
       [ ("reason", Telemetry.Str "retrace-budget-overflow") ]
   end
@@ -596,7 +629,9 @@ let site_stats (m : t) (site : site) (kind : store_kind) : site_stats =
       in
       if st.revocations > 0 then begin
         m.revoked_sites <- m.revoked_sites + 1;
-        Telemetry.incr c_revoked_sites
+        Telemetry.incr c_revoked_sites;
+        flight_revoked_site site ~guards:st.st_guards ~failed:m.revoked
+          ~half:0
       end;
       Hashtbl.replace m.stats site st;
       if st.revocations > 0 then emit_revoked_site m site st ~materialized:true;

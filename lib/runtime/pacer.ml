@@ -206,6 +206,7 @@ let enter_degraded (t : t) ~(live : int) ~(soft : int) : unit =
     t.degraded_this_cycle <- true;
     t.degraded_entries <- t.degraded_entries + 1;
     Telemetry.incr c_degraded_entries;
+    Flight.record Flight.Soft_enter ~a:live ~b:soft ~c:0;
     Telemetry.emit "pacer.degraded"
       [
         ("collector", Telemetry.Str t.collector);
@@ -230,6 +231,7 @@ let maybe_recover (t : t) ~(live : int) : unit =
   | Some soft
     when t.state = Degraded && live * 100 <= soft * soft_exit_pct ->
       t.state <- Normal;
+      Flight.record Flight.Soft_exit ~a:live ~b:soft ~c:0;
       Telemetry.emit "pacer.recovered"
         [
           ("collector", Telemetry.Str t.collector);
@@ -245,6 +247,7 @@ let note_hard_stop (t : t) (msg : string) : unit =
     t.hard_stop <- Some msg;
     t.state <- Hard_stop;
     Telemetry.incr c_hard_stops;
+    Flight.record Flight.Hard_stop ~a:t.max_live_units ~b:0 ~c:0;
     Telemetry.emit "pacer.hard_stop"
       [
         ("collector", Telemetry.Str t.collector);
@@ -280,6 +283,7 @@ let before_alloc (t : t) (heap : Heap.t) ~(units : int) : unit =
     increment, the pacer keeps the book). *)
 let note_assist (t : t) : unit =
   t.assists <- t.assists + 1;
+  Flight.record Flight.Assist ~a:0 ~b:0 ~c:0;
   Telemetry.incr c_assists
 
 (* ---- cycle pacing ------------------------------------------------------ *)
@@ -294,6 +298,8 @@ let should_start (t : t) (heap : Heap.t) : bool =
       | Goal _ | Auto -> heap.Heap.live_units >= t.trigger_units)
 
 let note_cycle_start (t : t) (heap : Heap.t) : unit =
+  Flight.record Flight.Trigger ~a:heap.Heap.live_units ~b:t.trigger_units
+    ~c:(if t.state = Degraded then 1 else 0);
   Telemetry.emit "pacer.trigger"
     [
       ("collector", Telemetry.Str t.collector);
@@ -329,7 +335,11 @@ let retune (t : t) : unit =
       if last_work <= t.increment_budget && mmu_10 >= auto_min_mmu then
         t.goal <- Float.min auto_max_goal (t.goal *. auto_grow)
       else t.goal <- Float.max auto_min_goal (t.goal *. auto_shrink);
-      if t.goal <> old_goal then
+      if t.goal <> old_goal then begin
+        Flight.record Flight.Retune
+          ~a:(int_of_float (t.goal *. 1000.))
+          ~b:p99
+          ~c:(int_of_float (mmu_10 *. 1000.));
         Telemetry.emit "pacer.retune"
           [
             ("collector", Telemetry.Str t.collector);
@@ -338,6 +348,7 @@ let retune (t : t) : unit =
             ("mmu_10", Telemetry.Float mmu_10);
             ("last_pause", Telemetry.Int last_work);
           ]
+      end
 
 (** Cycle end: record the pause for the feedback loop, recompute the
     next trigger from the live size the mark left behind, and run the

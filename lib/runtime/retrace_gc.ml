@@ -134,6 +134,7 @@ let is_degraded t = t.degraded
 (* telemetry: the gc.* counters are shared with [Satb_gc]/[Incr_gc];
    retrace.* are this collector's own *)
 let c_cycles = Telemetry.counter "gc.cycles"
+let fk_retrace = Flight.intern "retrace"
 let c_violations = Telemetry.counter "gc.violations"
 let c_retraces = Telemetry.counter "retrace.rescans"
 let c_enqueues = Telemetry.counter "retrace.enqueues"
@@ -171,6 +172,8 @@ let start_cycle (t : t) : unit =
   let roots = t.roots () in
   t.snapshot <- Oracle.reachable t.heap roots;
   List.iter (mark_and_gray t) roots;
+  Flight.record Flight.Mark_start ~a:fk_retrace ~b:t.cycles
+    ~c:(Iset.cardinal t.snapshot);
   Telemetry.emit "gc.cycle.start"
     [
       ("collector", Telemetry.Str "retrace");
@@ -407,6 +410,7 @@ let finish_cycle (t : t) : cycle_report =
   Heap.clear_marks t.heap;
   Telemetry.incr c_cycles;
   Telemetry.incr c_violations ~by:violations;
+  Flight.record Flight.Mark_end ~a:fk_retrace ~b:report.cycle ~c:violations;
   Telemetry.emit "gc.cycle.finish"
     [
       ("collector", Telemetry.Str "retrace");

@@ -166,6 +166,56 @@ let run ?(cfg = Interp.default_config) ?(gc = No_gc) ?(engine = `Interp)
     @ match engine with
       | `Threaded -> [ ("engine", Telemetry.Str "threaded") ]
       | `Interp -> []);
+  (* flight recorder: fresh ring per run, clocked by the mutator's
+     instruction counter, with a per-site snapshot source for dumps *)
+  Flight.begin_run ();
+  Flight.set_step_source
+    (match exec with
+    | None -> fun () -> m.Interp.instr_count
+    | Some e -> fun () -> m.Interp.instr_count + Exec.inflight e);
+  Flight.set_meta
+    [
+      ("collector", gc_name);
+      ( "engine",
+        match engine with `Interp -> "interp" | `Threaded -> "threaded" );
+      ("entry", entry.Jir.Types.mclass ^ "." ^ entry.Jir.Types.mname);
+      ("seed", string_of_int seed);
+      ("chaos", if chaos <> None then "yes" else "no");
+    ];
+  Flight.set_sites_source (fun () ->
+      Hashtbl.fold
+        (fun site (st : Interp.site_stats) acc ->
+          let state =
+            match m.Interp.cfg.Interp.barrier_flavor with
+            | `Hybrid ->
+                if st.Interp.st_del_elided && st.Interp.st_ins_elided then
+                  "both-elided"
+                else if st.Interp.st_del_elided then "del-elided"
+                else if st.Interp.st_ins_elided then "ins-elided"
+                else if st.Interp.revocations > 0 then "revoked"
+                else "kept"
+            | `Satb | `Card ->
+                if st.Interp.st_elided then "elided"
+                else if st.Interp.revocations > 0 then "revoked"
+                else "kept"
+          in
+          {
+            Flight.fs_site = Interp.site_id site;
+            fs_kind =
+              (match st.Interp.st_kind with
+              | Jir.Types.Field_store -> "putfield"
+              | Jir.Types.Array_store -> "aastore"
+              | Jir.Types.Static_store -> "putstatic");
+            fs_state = state;
+            fs_execs = st.Interp.execs;
+            fs_paid = st.Interp.paid_execs;
+            fs_elided_execs = st.Interp.elided_execs;
+            fs_revocations = st.Interp.revocations;
+            fs_guards =
+              List.map Interp.string_of_assumption st.Interp.st_guards;
+          }
+          :: acc)
+        m.Interp.stats []);
   (* mutator step at which each final (remark) pause began, oldest first
      once reversed — the profiler's MMU/pause timeline *)
   let pause_steps = ref [] in
@@ -361,6 +411,7 @@ let run ?(cfg = Interp.default_config) ?(gc = No_gc) ?(engine = `Interp)
       m.Interp.guarded_writes <- []
     end;
     let work = l.l_finish () in
+    Flight.record Flight.Pause ~a:work ~b:0 ~c:0;
     pause_steps := at_step :: !pause_steps;
     (* cycle bookkeeping: recompute the heap-growth trigger from the
        live size the mark left behind, feed auto mode, and run the
@@ -467,6 +518,8 @@ let run ?(cfg = Interp.default_config) ?(gc = No_gc) ?(engine = `Interp)
                    | None -> 0
                  in
                  sync_pressure ();
+                 (* anomaly detectors sweep the ring's new events *)
+                 Flight.poll ();
                  if not action.Chaos.defer_increment then begin
                    m.Interp.gc.Gc_hooks.step ();
                    for _ = 1 to extra do
@@ -495,7 +548,8 @@ let run ?(cfg = Interp.default_config) ?(gc = No_gc) ?(engine = `Interp)
         happened before the allocation, so the live heap never exceeded
         the limit; fall through to finish the in-flight cycle below so
         every invariant is still checked. *)
-     hard_stop := Some msg);
+     hard_stop := Some msg;
+     ignore (Flight.capture ~reason:"hard-limit"));
   (* finish any in-flight cycle so its invariants still get checked *)
   (match live with
   | Some l when l.l_marking () ->
@@ -514,13 +568,18 @@ let run ?(cfg = Interp.default_config) ?(gc = No_gc) ?(engine = `Interp)
       ("revocation_events", Telemetry.Int m.Interp.revocation_events);
       ("revoked_sites", Telemetry.Int m.Interp.revoked_sites);
     ];
+  let gc_summary = Option.map (fun l -> l.l_summary ()) live in
+  (match gc_summary with
+  | Some s when s.total_violations > 0 ->
+      ignore (Flight.capture ~reason:"oracle-violation")
+  | Some _ | None -> ());
   {
     machine = m;
     steps = m.Interp.instr_count;
     dyn = Interp.dyn_stats m;
     cost_units = m.Interp.cost_units;
     barrier_units = m.Interp.barrier_units;
-    gc = Option.map (fun l -> l.l_summary ()) live;
+    gc = gc_summary;
     pacer = Option.map Pacer.stats pacer;
     hard_stop = !hard_stop;
     thread_errors =

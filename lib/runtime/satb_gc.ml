@@ -112,6 +112,7 @@ let is_marking t = t.phase = Marking
 (* telemetry: shared with [Incr_gc]/[Retrace_gc] (same names, the
    [collector] field tells the streams apart) *)
 let c_cycles = Telemetry.counter "gc.cycles"
+let fk_satb = Flight.intern "satb"
 let c_restarts = Telemetry.counter "gc.restarts"
 let c_violations = Telemetry.counter "gc.violations"
 
@@ -138,6 +139,8 @@ let start_cycle (t : t) : unit =
   let roots = t.roots () in
   t.snapshot <- Oracle.reachable t.heap roots;
   List.iter (mark_and_gray t) roots;
+  Flight.record Flight.Mark_start ~a:fk_satb ~b:t.cycles
+    ~c:(Iset.cardinal t.snapshot);
   Telemetry.emit "gc.cycle.start"
     [
       ("collector", Telemetry.Str "satb");
@@ -323,6 +326,7 @@ let finish_cycle (t : t) : cycle_report =
   Heap.clear_marks t.heap;
   Telemetry.incr c_cycles;
   Telemetry.incr c_violations ~by:violations;
+  Flight.record Flight.Mark_end ~a:fk_satb ~b:report.cycle ~c:violations;
   Telemetry.emit "gc.cycle.finish"
     [
       ("collector", Telemetry.Str "satb");

@@ -534,8 +534,13 @@ let validate_trace_lines (lines : string list) : (int, int * string) result =
                         in
                         go (i + 1) e.ev_ts e.ev_seq ~starts ~finishes rest)))
   in
-  go 1 0.0 (-1) ~starts:0 ~finishes:0
-    (List.filter (fun l -> String.trim l <> "") lines)
+  match List.filter (fun l -> String.trim l <> "") lines with
+  | [] ->
+      (* an empty trace is its own failure mode (a sink that was armed
+         but never flushed, a truncated file) — report it as such, not
+         as "0 events, schema OK" and not as malformed JSON *)
+      Error (0, "empty trace (no events)")
+  | nonblank -> go 1 0.0 (-1) ~starts:0 ~finishes:0 nonblank
 
 (* ---- chrome trace-event exporter ---------------------------------------- *)
 

@@ -113,7 +113,9 @@ val validate_trace_lines : string list -> (int, int * string) result
     run envelopes well-bracketed — a [run.finish] with no distinct
     preceding [run.start] (duplicated or orphaned) is rejected.
     [Ok n] is the event count; [Error (line, msg)] names the first
-    offender. *)
+    offender.  A trace with no events at all is rejected distinctly as
+    [Error (0, "empty trace (no events)")] — line 0 means the file as a
+    whole, not a malformed line. *)
 
 (** {2 Chrome trace-event exporter} *)
 

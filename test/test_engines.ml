@@ -102,6 +102,36 @@ let differential_prop =
       let plan () = Some (Jrt.Chaos.create (Jrt.Chaos.of_seed seed)) in
       fst (both ~gc ~plan cw) = None)
 
+(* the flight recorder's event stream must be engine-invariant too
+   (modulo Respecialize, which only the threaded engine emits — diff
+   filters it); each stream is snapshotted right after its run, before
+   the next run's begin_run resets the ring *)
+let both_flight ~gc ~plan cw =
+  let run engine =
+    let chaos = plan () in
+    let r =
+      Harness.Exp.run ~gc ~guards:true ?chaos ~fail_on_thread_error:false
+        ~engine cw
+    in
+    (r, Flight.events ())
+  in
+  let ri, ei = run `Interp in
+  let rt, et = run `Threaded in
+  Harness.Engines.diff ~flight:(ei, et) ri rt
+
+let flight_parity_prop =
+  QCheck2.Test.make ~name:"flight event streams agree across engines"
+    ~count:12
+    QCheck2.Gen.(
+      triple
+        (oneofl Workloads.Registry.table1)
+        (oneofl collectors)
+        (oneofl [ 42; 7; 101 ]))
+    (fun (w, (_, gc), seed) ->
+      let cw = compile_full w in
+      let plan () = Some (Jrt.Chaos.create (Jrt.Chaos.of_seed seed)) in
+      both_flight ~gc ~plan cw = None)
+
 (* the bench cadence (coarser quantum and GC period) must agree too —
    it is what E17 times *)
 let test_bench_cadence () =
@@ -125,6 +155,7 @@ let tests =
       "engines identical: 4 collectors x {seeds, revocation, skip}" `Quick
       test_matrix;
     QCheck_alcotest.to_alcotest differential_prop;
+    QCheck_alcotest.to_alcotest flight_parity_prop;
     Alcotest.test_case "engines identical at the bench cadence" `Quick
       test_bench_cadence;
   ]

@@ -1,0 +1,323 @@
+(* Unit tests for the flight recorder: ring mechanics, interning, the
+   anomaly detectors, dump round-trips, timeline reconstruction across
+   all four collectors, render determinism and the capture protocol.
+
+   The recorder is process-global; every test that drives it by hand
+   starts from [Flight.set_capacity] (which implies [begin_run]) and
+   installs its own step source, and ends by restoring the default
+   capacity so the runner-driven tests below see a fresh 4096-slot
+   ring. *)
+
+let step = ref 0
+
+let fresh ?(cap = 64) () =
+  Flight.set_capacity cap;
+  step := 0;
+  Flight.set_step_source (fun () -> !step)
+
+let restore () = Flight.set_capacity 4096
+
+let at s k ~a ~b ~c =
+  step := s;
+  Flight.record k ~a ~b ~c
+
+(* --- ring mechanics ------------------------------------------------------ *)
+
+let test_ring_wrap () =
+  fresh ~cap:16 ();
+  for i = 1 to 40 do
+    at i Flight.Pause ~a:i ~b:0 ~c:0
+  done;
+  Alcotest.(check int) "recorded counts every event" 40 (Flight.recorded ());
+  let evs = Flight.events () in
+  Alcotest.(check int) "ring keeps the last capacity events" 16
+    (List.length evs);
+  Alcotest.(check int) "oldest survivor is recorded-capacity+1" 25
+    (List.hd evs).Flight.a;
+  Alcotest.(check int) "newest survivor is the last record" 40
+    (List.hd (List.rev evs)).Flight.a;
+  restore ()
+
+let test_disabled_records_nothing () =
+  fresh ();
+  Flight.set_enabled false;
+  at 1 Flight.Pause ~a:1 ~b:0 ~c:0;
+  Flight.set_enabled true;
+  Alcotest.(check int) "disabled recorder drops the event" 0
+    (Flight.recorded ());
+  at 2 Flight.Pause ~a:2 ~b:0 ~c:0;
+  Alcotest.(check int) "re-enabled recorder records" 1 (Flight.recorded ());
+  restore ()
+
+let test_intern_stability () =
+  let a = Flight.intern "test-intern-a" in
+  let b = Flight.intern "test-intern-b" in
+  Alcotest.(check bool) "distinct strings, distinct ids" true (a <> b);
+  Alcotest.(check int) "interning is idempotent" a
+    (Flight.intern "test-intern-a");
+  Alcotest.(check string) "str_of inverts intern" "test-intern-a"
+    (Flight.str_of a);
+  Flight.begin_run ();
+  Alcotest.(check int) "the table survives begin_run" a
+    (Flight.intern "test-intern-a")
+
+(* --- anomaly detectors --------------------------------------------------- *)
+
+let test_revocation_storm_detector () =
+  fresh ();
+  let site = Flight.intern "storm-site" in
+  for i = 1 to 6 do
+    at (i * 100) Flight.Revoke_site ~a:site ~b:site ~c:0
+  done;
+  Flight.poll ();
+  (match Flight.anomalies () with
+  | [ ("revocation-storm", at_step) ] ->
+      Alcotest.(check int) "fired at the sixth revocation" 600 at_step
+  | l -> Alcotest.failf "expected one storm firing, got %d" (List.length l));
+  (* the firing itself is on the record, and it fires only once *)
+  let anomaly_events =
+    List.filter (fun e -> e.Flight.k = Flight.Anomaly) (Flight.events ())
+  in
+  Alcotest.(check int) "one anomaly event recorded" 1
+    (List.length anomaly_events);
+  for i = 7 to 20 do
+    at (i * 100) Flight.Revoke_site ~a:site ~b:site ~c:0
+  done;
+  Flight.poll ();
+  Alcotest.(check int) "fires at most once per run" 1
+    (List.length (Flight.anomalies ()));
+  restore ()
+
+let test_storm_window_excludes_slow_revocation () =
+  fresh ();
+  let site = Flight.intern "slow-site" in
+  (* six revocations, but spread over 6 x 2000 steps: never 6 within the
+     5000-step window *)
+  for i = 1 to 6 do
+    at (i * 2000) Flight.Revoke_site ~a:site ~b:site ~c:0
+  done;
+  Flight.poll ();
+  Alcotest.(check int) "slow revocation is not a storm" 0
+    (List.length (Flight.anomalies ()));
+  restore ()
+
+let test_oscillation_and_spiral_detectors () =
+  fresh ();
+  for i = 1 to 4 do
+    at (i * 1000) Flight.Soft_enter ~a:100 ~b:80 ~c:0;
+    at ((i * 1000) + 500) Flight.Soft_exit ~a:70 ~b:80 ~c:0
+  done;
+  Flight.poll ();
+  Alcotest.(check bool) "four soft-limit entries fire the oscillation" true
+    (List.mem_assoc "pacing-oscillation" (Flight.anomalies ()));
+  fresh ();
+  for i = 1 to 50 do
+    at (4000 + i) Flight.Assist ~a:0 ~b:0 ~c:0
+  done;
+  Flight.poll ();
+  Alcotest.(check bool) "fifty assists in a window fire the spiral" true
+    (List.mem_assoc "assist-spiral" (Flight.anomalies ()));
+  restore ()
+
+let test_cascade_detector () =
+  fresh ();
+  at 1000 Flight.Soft_enter ~a:100 ~b:80 ~c:0;
+  at 2000 Flight.Swap_degraded ~a:0 ~b:0 ~c:0;
+  Flight.poll ();
+  Alcotest.(check int) "two degradation signals are not a cascade" 0
+    (List.length (Flight.anomalies ()));
+  at 3000 Flight.Revoke_site ~a:0 ~b:0 ~c:0;
+  Flight.poll ();
+  Alcotest.(check bool) "soft + degraded + revoke within a window cascade"
+    true
+    (List.mem_assoc "degradation-cascade" (Flight.anomalies ()));
+  restore ()
+
+(* --- dumps and timelines ------------------------------------------------- *)
+
+let test_dump_roundtrip () =
+  fresh ();
+  Flight.set_meta [ ("collector", "test"); ("engine", "interp") ];
+  Flight.set_sites_source (fun () ->
+      [
+        {
+          Flight.fs_site = "C.m@1";
+          fs_kind = "putfield";
+          fs_state = "elided";
+          fs_execs = 10;
+          fs_paid = 0;
+          fs_elided_execs = 10;
+          fs_revocations = 0;
+          fs_guards = [ "single-mutator" ];
+        };
+      ]);
+  let coll = Flight.intern "test" in
+  at 100 Flight.Mark_start ~a:coll ~b:0 ~c:5;
+  at 200 Flight.Mark_end ~a:coll ~b:0 ~c:0;
+  at 200 Flight.Pause ~a:3 ~b:0 ~c:0;
+  let j = Flight.dump_json ~reason:"unit" in
+  (* the dump survives a serialize/deserialize cycle too *)
+  let reparsed =
+    match Telemetry.json_of_string (Telemetry.json_to_string_pretty j) with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "dump does not re-read as JSON: %s" e
+  in
+  match Flight.parse_dump reparsed with
+  | Error e -> Alcotest.failf "dump does not parse back: %s" e
+  | Ok d ->
+      Alcotest.(check string) "reason survives" "unit" d.Flight.d_reason;
+      Alcotest.(check int) "events survive" 3
+        (List.length d.Flight.d_events);
+      Alcotest.(check int) "sites survive" 1 (List.length d.Flight.d_sites);
+      let tl = Flight.timeline_of d in
+      (match tl.Flight.tl_cycles with
+      | [ cy ] ->
+          Alcotest.(check int) "cycle start" 100 cy.Flight.cy_start;
+          Alcotest.(check (option int)) "cycle end" (Some 200)
+            cy.Flight.cy_end;
+          Alcotest.(check (option int)) "cycle pause" (Some 3)
+            cy.Flight.cy_pause
+      | l -> Alcotest.failf "expected one cycle, got %d" (List.length l));
+      Alcotest.(check int) "no events dropped" 0 tl.Flight.tl_dropped;
+      restore ()
+
+let test_parse_dump_rejects_junk () =
+  List.iter
+    (fun (what, j) ->
+      match Flight.parse_dump j with
+      | Ok _ -> Alcotest.failf "parsed %s" what
+      | Error _ -> ())
+    [
+      ("a non-object", Telemetry.Int 3);
+      ("an empty object", Telemetry.Obj []);
+      ( "an unversioned flight object",
+        Telemetry.Obj [ ("flight", Telemetry.Obj []) ] );
+    ]
+
+(* --- runner integration: all four collectors ----------------------------- *)
+
+let compile_full w =
+  Harness.Exp.compile ~null_or_same:true ~move_down:true ~swap:true
+    ~summaries:true w
+
+let collectors =
+  [
+    ("satb", fun () -> Jrt.Runner.make_satb ~trigger_allocs:24 ());
+    ("incremental-update", fun () -> Jrt.Runner.make_incr ~trigger_allocs:24 ());
+    ("retrace", fun () -> Jrt.Runner.make_retrace ~trigger_allocs:24 ());
+    ("hybrid", fun () -> Jrt.Runner.make_hybrid ~trigger_allocs:24 ());
+  ]
+
+let chaos_run ~gc cw =
+  let chaos = Jrt.Chaos.create (Jrt.Chaos.of_seed 42) in
+  Harness.Exp.run ~gc ~guards:true ~chaos ~fail_on_thread_error:false cw
+
+(* each collector's chaos run dumps, parses back, and reconstructs a
+   timeline whose cycles carry that collector's name — and rendering the
+   same seed twice is byte-identical (the golden-test contract) *)
+let test_timeline_all_collectors () =
+  let cw = compile_full Workloads.Db.t in
+  List.iter
+    (fun (name, mk) ->
+      let once () =
+        ignore (chaos_run ~gc:(mk ()) cw);
+        let d =
+          match Flight.parse_dump (Flight.dump_json ~reason:"test") with
+          | Ok d -> d
+          | Error e -> Alcotest.failf "%s: dump does not parse: %s" name e
+        in
+        (Flight.render_timeline d, Flight.timeline_of d)
+      in
+      let r1, tl = once () in
+      let r2, _ = once () in
+      Alcotest.(check string) (name ^ ": render is deterministic") r1 r2;
+      Alcotest.(check bool) (name ^ ": reconstructed at least one cycle")
+        true
+        (tl.Flight.tl_cycles <> []);
+      List.iter
+        (fun cy ->
+          Alcotest.(check string)
+            (name ^ ": cycle carries the collector name")
+            name cy.Flight.cy_collector)
+        tl.Flight.tl_cycles;
+      Alcotest.(check bool) (name ^ ": sites reconstructed") true
+        (tl.Flight.tl_sites <> []))
+    collectors
+
+(* the ring is reset per run: a second run's events never leak into the
+   first run's dump surface *)
+let test_begin_run_isolates_runs () =
+  let cw = compile_full Workloads.Db.t in
+  ignore (chaos_run ~gc:(Jrt.Runner.make_satb ~trigger_allocs:24 ()) cw);
+  let first = List.length (Flight.events ()) in
+  Alcotest.(check bool) "first run recorded" true (first > 0);
+  ignore
+    (Harness.Exp.run ~gc:(Jrt.Runner.make_satb ~trigger_allocs:24 ()) cw);
+  let second = Flight.events () in
+  Alcotest.(check bool) "no chaos events leak into the chaos-free run" true
+    (List.for_all (fun e -> e.Flight.k <> Flight.Chaos_fault) second)
+
+(* --- capture protocol ---------------------------------------------------- *)
+
+let test_capture_once_when_armed () =
+  let dir = Filename.temp_file "flight" ".d" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect ~finally:Flight.disarm_capture @@ fun () ->
+  Alcotest.(check bool) "unarmed capture is refused" true
+    (Flight.capture ~reason:"early" = None);
+  Flight.arm_capture ~dir ();
+  match Flight.capture ~reason:"unit-test" with
+  | None ->
+      (* another test (or an earlier capture in this process) already
+         holds the one capture slot; the protocol is first-wins *)
+      Alcotest.(check bool) "a capture already exists" true
+        (Flight.captured () <> None)
+  | Some path ->
+      Alcotest.(check bool) "dump lands in the armed dir" true
+        (Filename.dirname path = dir);
+      Alcotest.(check bool) "dump file exists" true (Sys.file_exists path);
+      (match
+         Telemetry.json_of_string
+           (In_channel.with_open_text path In_channel.input_all)
+       with
+      | Ok j -> (
+          match Flight.parse_dump j with
+          | Ok d ->
+              Alcotest.(check string) "reason stamped" "unit-test"
+                d.Flight.d_reason
+          | Error e -> Alcotest.failf "captured dump unparseable: %s" e)
+      | Error e -> Alcotest.failf "captured dump not JSON: %s" e);
+      Alcotest.(check (option string)) "second capture is refused" None
+        (Flight.capture ~reason:"again");
+      Alcotest.(check bool) "captured reports the first capture" true
+        (Flight.captured () = Some (path, "unit-test"))
+
+let tests =
+  [
+    Alcotest.test_case "ring wraps, keeping the newest events" `Quick
+      test_ring_wrap;
+    Alcotest.test_case "disabled recorder records nothing" `Quick
+      test_disabled_records_nothing;
+    Alcotest.test_case "interning is stable across runs" `Quick
+      test_intern_stability;
+    Alcotest.test_case "revocation-storm detector" `Quick
+      test_revocation_storm_detector;
+    Alcotest.test_case "storm window excludes slow revocation" `Quick
+      test_storm_window_excludes_slow_revocation;
+    Alcotest.test_case "oscillation and assist-spiral detectors" `Quick
+      test_oscillation_and_spiral_detectors;
+    Alcotest.test_case "degradation-cascade detector" `Quick
+      test_cascade_detector;
+    Alcotest.test_case "dump -> JSON -> parse -> timeline round-trip" `Quick
+      test_dump_roundtrip;
+    Alcotest.test_case "parse_dump rejects junk" `Quick
+      test_parse_dump_rejects_junk;
+    Alcotest.test_case
+      "chaos timelines reconstruct deterministically (4 collectors)" `Quick
+      test_timeline_all_collectors;
+    Alcotest.test_case "begin_run isolates runs" `Quick
+      test_begin_run_isolates_runs;
+    Alcotest.test_case "capture: armed, once, parseable" `Quick
+      test_capture_once_when_armed;
+  ]

@@ -170,6 +170,24 @@ let test_validate_trace_rejects_broken () =
             l)
     broken
 
+(* an empty trace is rejected as a whole-file diagnostic (line 0),
+   distinct from a malformed line *)
+let test_validate_trace_empty () =
+  List.iter
+    (fun (what, lines) ->
+      match Telemetry.validate_trace_lines lines with
+      | Ok n -> Alcotest.failf "%s accepted (%d events)" what n
+      | Error (l, msg) ->
+          Alcotest.(check int) (what ^ " flagged as whole-file") 0 l;
+          Alcotest.(check string)
+            (what ^ " message")
+            "empty trace (no events)" msg)
+    [ ("no lines", []); ("only blank lines", [ ""; "   "; "" ]) ];
+  match Telemetry.validate_trace_lines [ "not json" ] with
+  | Ok _ -> Alcotest.fail "malformed line accepted"
+  | Error (l, _) ->
+      Alcotest.(check int) "malformed line is not the empty diagnostic" 1 l
+
 let test_chrome_export_shape () =
   reset ();
   with_recording (fun () ->
@@ -365,6 +383,8 @@ let tests =
     Alcotest.test_case "JSONL schema validator" `Quick test_validate_event_line;
     Alcotest.test_case "trace validator rejects hand-broken traces" `Quick
       test_validate_trace_rejects_broken;
+    Alcotest.test_case "trace validator reports empty traces distinctly"
+      `Quick test_validate_trace_empty;
     Alcotest.test_case "chrome trace export shape" `Quick
       test_chrome_export_shape;
     Alcotest.test_case "chaos run streams a schema-valid trace" `Quick
