@@ -1,6 +1,6 @@
 # Convenience targets; the canonical CI entry point is `make check`.
 
-.PHONY: all check test bench profile-smoke clean
+.PHONY: all check test bench profile-smoke heap-smoke clean
 
 all:
 	dune build
@@ -8,6 +8,7 @@ all:
 check: all
 	dune runtest
 	$(MAKE) profile-smoke
+	$(MAKE) heap-smoke
 
 test: check
 
@@ -21,6 +22,14 @@ profile-smoke:
 	dune exec bin/satbelim.exe -- profile --workload micro-expand \
 	  --soft-limit 24 --baseline PROFILE_micro.json
 	dune exec bench/main.exe -- diff PROFILE_micro.json PROFILE_micro.json
+
+# observatory smoke: the full heap report (census, dominator retention,
+# per-collector barrier float) on db, snapshot export, and a self-diff
+# (must report no census change)
+heap-smoke:
+	dune exec bin/satbelim.exe -- heap --workload db --top 5 \
+	  --snapshot HEAP_db.json
+	dune exec bin/satbelim.exe -- heap diff HEAP_db.json HEAP_db.json
 
 # full reproduction: every table/figure plus the bechamel timings
 bench:

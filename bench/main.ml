@@ -52,6 +52,10 @@ let experiments =
       "E18: flight recorder — chaos-run timeline walkthrough and \
        always-on overhead (<2% gated)",
       Harness.Flightexp.print );
+    ( "heap",
+      "E19: heap-state observatory — allocation-site census, dominator \
+       retention, barrier-float accounting (<3% overhead gated)",
+      Harness.Heapexp.print );
   ]
 
 (* --- machine-readable artifacts (--json) ------------------------------ *)
@@ -97,7 +101,10 @@ let emit_json () =
   ignore (Harness.Engines.measure ());
   emit "BENCH_engines.json" [ "engines" ];
   ignore (Harness.Flightexp.measure ());
-  emit "BENCH_flight.json" [ "flight" ]
+  emit "BENCH_flight.json" [ "flight" ];
+  ignore (Harness.Heapexp.measure ());
+  ignore (Harness.Heapexp.measure_overhead ());
+  emit "BENCH_heap.json" [ "heap"; "heap_overhead" ]
 
 (* --- regression gate (`bench diff OLD.json NEW.json`) ----------------- *)
 

@@ -1045,6 +1045,50 @@ let validate_trace_cmd =
         exit 1
     | Ok n -> (
         Fmt.pr "%s: %d events, schema OK@." file n;
+        (* semantic post-pass: every heap.census event must reconcile the
+           census fold with the heap's own counters, to the unit — a
+           mismatch is a bug in the observatory's accounting *)
+        let censuses = ref 0 in
+        List.iteri
+          (fun i l ->
+            if String.trim l <> "" then
+              match Telemetry.json_of_string l with
+              | Error _ -> ()
+              | Ok j -> (
+                  match Telemetry.event_of_json j with
+                  | Error _ -> ()
+                  | Ok e
+                    when e.Telemetry.ev_kind = "heap.census"
+                         (* sampled counters-only ticks (the always-on
+                            telemetry path between full censuses) carry
+                            no census fold to reconcile *)
+                         && List.mem_assoc "census_live" e.Telemetry.ev_fields
+                    ->
+                      incr censuses;
+                      let geti name =
+                        match List.assoc_opt name e.Telemetry.ev_fields with
+                        | Some (Telemetry.Int n) -> n
+                        | _ ->
+                            Fmt.epr "%s:%d: heap.census missing field %s@."
+                              file (i + 1) name;
+                            exit 1
+                      in
+                      let cl = geti "census_live"
+                      and cu = geti "census_units"
+                      and hl = geti "heap_live"
+                      and hu = geti "heap_units" in
+                      if cl <> hl || cu <> hu then begin
+                        Fmt.epr
+                          "%s:%d: heap.census does not reconcile: census \
+                           %d objects/%d units vs heap counters %d/%d@."
+                          file (i + 1) cl cu hl hu;
+                        exit 1
+                      end
+                  | Ok _ -> ()))
+          lines;
+        if !censuses > 0 then
+          Fmt.pr "%s: %d heap.census event(s) reconcile with heap counters@."
+            file !censuses;
         match chrome with
         | None -> ()
         | Some out ->
@@ -1131,6 +1175,275 @@ let timeline_cmd =
           lifecycle from a flight-recorder dump")
     Term.(const run $ dump_arg $ chrome)
 
+(* heap *)
+
+(* The heap-state observatory front end: run a workload with the
+   observatory armed and report the allocation-site census, dominator
+   retention and per-collector barrier-float accounting; optionally
+   export a byte-stable snapshot, and diff two snapshots. *)
+
+let heap_report_term =
+  let run file workload limit mode nos summaries gc engine heap_goal
+      soft_limit hard_limit pacer entry top snapshot flight_dump trace metrics
+      chrome =
+    let name, prog, entry_ref =
+      match (file, workload) with
+      | Some _, Some _ ->
+          Fmt.epr "satbelim: pass either FILE or --workload, not both@.";
+          exit 1
+      | None, None ->
+          Fmt.epr
+            "satbelim: pass a FILE or --workload NAME (try 'workloads' for \
+             the list)@.";
+          exit 1
+      | Some f, None ->
+          ( Filename.remove_extension (Filename.basename f),
+            or_die (load f),
+            entry_ref_of_string entry )
+      | None, Some n -> (
+          match Workloads.Registry.find n with
+          | Some w -> (w.name, Workloads.Spec.parse w, w.entry)
+          | None ->
+              Fmt.epr "satbelim: unknown workload %S (try 'workloads')@." n;
+              exit 1)
+    in
+    let pacing =
+      (* `Satb stands in for "some collector": the observatory refuses
+         --gc none itself, so pacing flags are always meaningful here *)
+      pacing_of ~gc:`Satb ~gc_trigger:None ~heap_goal ~soft_limit ~hard_limit
+        ~pacer
+    in
+    Flight.arm_capture ();
+    let code =
+      with_telemetry ~trace ~metrics ~chrome @@ fun () ->
+      let compiled =
+        Satb_core.Driver.compile ~inline_limit:limit
+          ~conf:(conf_of mode nos false false summaries false)
+          prog
+      in
+      let policy c m pc =
+        not
+          (Satb_core.Driver.needs_barrier compiled
+             { sk_class = c; sk_method = m; sk_pc = pc })
+      in
+      let retrace c m pc =
+        match
+          Satb_core.Driver.retrace_check compiled
+            { sk_class = c; sk_method = m; sk_pc = pc }
+        with
+        | `Open -> Jrt.Interp.Check_open
+        | `Close -> Jrt.Interp.Check_close
+        | `None -> Jrt.Interp.No_check
+      in
+      let guards c m pc =
+        List.map assumption_to_runtime
+          (Satb_core.Driver.site_assumptions compiled
+             { sk_class = c; sk_method = m; sk_pc = pc })
+      in
+      let run_one gcv =
+        let gc_choice =
+          match gcv with
+          | `Satb -> Jrt.Runner.make_satb ~pacing ()
+          | `Incr -> Jrt.Runner.make_incr ~pacing ()
+          | `Retrace -> Jrt.Runner.make_retrace ~pacing ()
+          | `Hybrid -> Jrt.Runner.make_hybrid ~pacing ()
+        in
+        let cfg =
+          {
+            Jrt.Interp.default_config with
+            policy;
+            retrace;
+            guards;
+            barrier_flavor =
+              (if gcv = `Hybrid then `Hybrid
+               else Jrt.Interp.default_config.barrier_flavor);
+            halves =
+              (if gcv = `Hybrid then half_policy_of compiled
+               else Jrt.Interp.no_halves);
+          }
+        in
+        let obs = Heapscope.Observatory.create () in
+        let r =
+          Jrt.Runner.run ~cfg ~gc:gc_choice ~engine
+            ~observer:(Heapscope.Observatory.observe obs)
+            compiled.program ~entry:entry_ref
+        in
+        List.iter
+          (fun (tid, e) -> Fmt.pr "thread %d died: %s@." tid e)
+          r.Jrt.Runner.thread_errors;
+        (obs, r)
+      in
+      let label = function
+        | `Satb -> "satb"
+        | `Incr -> "incremental-update"
+        | `Retrace -> "retrace"
+        | `Hybrid -> "hybrid"
+      in
+      let collectors =
+        match gc with
+        | `All -> [ `Satb; `Incr; `Retrace; `Hybrid ]
+        | (`Satb | `Incr | `Retrace | `Hybrid) as g -> [ g ]
+      in
+      let results = List.map (fun g -> (g, run_one g)) collectors in
+      (* the ring is reset per run, so the dump covers the last collector
+         observed — with census events and the pending-census snapshot *)
+      (match flight_dump with
+      | Some path ->
+          Flight.dump_to_file ~reason:"cli-request" path;
+          Fmt.pr "wrote %s@." path
+      | None -> ());
+      let g0, (obs0, r0) = List.hd results in
+      let m0 = r0.Jrt.Runner.machine in
+      let h0 = m0.Jrt.Interp.heap in
+      Fmt.pr "workload %s — heap observatory@." name;
+      Fmt.pr
+        "final heap under %s: %d live objects, %d units, %d GC cycles@.@."
+        (label g0) h0.Jrt.Heap.live_count h0.Jrt.Heap.live_units
+        h0.Jrt.Heap.gc_cycle;
+      Fmt.pr "allocation-site census (%s):@." (label g0);
+      print_string
+        (Heapscope.Observatory.render_census ~top
+           (Heapscope.Census.of_heap h0));
+      Fmt.pr "@.dominator retention (%s):@." (label g0);
+      print_string (Heapscope.Observatory.render_retainers ~top m0);
+      List.iter
+        (fun (g, ((obs : Heapscope.Observatory.t), (r : Jrt.Runner.report))) ->
+          Fmt.pr "@.barrier float — %s:@." (label g);
+          print_string (Heapscope.Observatory.render_float obs);
+          match r.Jrt.Runner.hard_stop with
+          | Some msg -> Fmt.pr "  (run aborted on hard heap limit: %s)@." msg
+          | None -> ())
+        results;
+      Option.iter
+        (fun path ->
+          Telemetry.write_file path
+            (Telemetry.json_to_string_pretty
+               (Heapscope.Observatory.snapshot obs0 m0));
+          Fmt.pr "@.wrote %s@." path)
+        snapshot;
+      if List.exists (fun (_, (_, r)) -> r.Jrt.Runner.hard_stop <> None) results
+      then 4
+      else 0
+    in
+    (match Flight.captured () with
+    | Some (path, reason) ->
+        Fmt.epr "satbelim: flight recorder dumped to %s (%s)@." path reason
+    | None -> ());
+    if code <> 0 then exit code
+  in
+  let file_opt_arg =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:"jasm or mini-Java source file (or use --workload).")
+  in
+  let workload_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "workload" ] ~docv:"NAME"
+          ~doc:"Observe a bundled workload instead of a source file.")
+  in
+  let heap_gc_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("all", `All);
+               ("satb", `Satb);
+               ("incr", `Incr);
+               ("retrace", `Retrace);
+               ("hybrid", `Hybrid);
+             ])
+          `All
+      & info [ "gc" ] ~docv:"GC"
+          ~doc:
+            "Collector(s) to observe: all (default — census and retention \
+             from the satb run, float accounting for every collector), or \
+             one of satb, incr, retrace, hybrid.")
+  in
+  let top_arg =
+    Arg.(
+      value
+      & opt int 10
+      & info [ "top" ] ~docv:"N"
+          ~doc:"Census rows and retainers to show (default 10).")
+  in
+  let snapshot_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "snapshot" ] ~docv:"FILE"
+          ~doc:
+            "Write a byte-stable heap snapshot (census, retained sizes, \
+             per-cycle float history) as JSON — the format `heap diff` \
+             consumes.")
+  in
+  let flight_dump_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flight-dump" ] ~docv:"FILE"
+          ~doc:
+            "Write the flight recorder's ring (including per-cycle census \
+             events and the pending-census heap state) after the last \
+             observed run; $(b,satbelim timeline) annotates its cycles \
+             with live units and float%.")
+  in
+  Term.(
+    const run $ file_opt_arg $ workload_arg $ inline_limit_arg $ mode_arg
+    $ nos_arg $ summaries_arg $ heap_gc_arg $ engine_arg $ heap_goal_arg
+    $ soft_limit_arg $ hard_limit_arg $ pacer_arg $ entry_arg $ top_arg
+    $ snapshot_arg $ flight_dump_arg $ trace_arg $ metrics_arg $ chrome_arg)
+
+let heap_diff_cmd =
+  let run old_f new_f =
+    let parse path =
+      match Telemetry.json_of_string (read_file path) with
+      | Ok j -> j
+      | Error e ->
+          Fmt.epr "satbelim: %s: %s@." path e;
+          exit 1
+    in
+    let old_j = parse old_f and new_j = parse new_f in
+    match
+      Heapscope.Observatory.render_diff ~old_name:old_f ~new_name:new_f old_j
+        new_j
+    with
+    | Ok s -> print_string s
+    | Error e ->
+        Fmt.epr "satbelim: %s@." e;
+        exit 1
+  in
+  let old_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"OLD" ~doc:"Older heap snapshot (from heap --snapshot).")
+  in
+  let new_arg =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"NEW" ~doc:"Newer heap snapshot.")
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Census delta between two heap snapshots: per-site growth in live \
+          objects and units, biggest movers first")
+    Term.(const run $ old_arg $ new_arg)
+
+let heap_cmd =
+  Cmd.group ~default:heap_report_term
+    (Cmd.info "heap"
+       ~doc:
+         "Heap-state observatory: allocation-site census, dominator \
+          retention and barrier-float accounting under each collector")
+    [ heap_diff_cmd ]
+
 (* workloads *)
 
 let workloads_cmd =
@@ -1176,4 +1489,5 @@ let () =
             workloads_cmd;
             validate_trace_cmd;
             timeline_cmd;
+            heap_cmd;
           ]))

@@ -24,12 +24,13 @@ type kind =
   | Swap_degraded
   | Chaos_fault
   | Anomaly
+  | Census
 
 let kinds =
   [|
     Mark_start; Mark_end; Pause; Assist; Trigger; Soft_enter; Soft_exit;
     Retune; Hard_stop; Revoke_request; Revoke_apply; Revoke_site;
-    Respecialize; Swap_degraded; Chaos_fault; Anomaly;
+    Respecialize; Swap_degraded; Chaos_fault; Anomaly; Census;
   |]
 
 let int_of_kind = function
@@ -49,6 +50,7 @@ let int_of_kind = function
   | Swap_degraded -> 13
   | Chaos_fault -> 14
   | Anomaly -> 15
+  | Census -> 16
 
 let kind_name = function
   | Mark_start -> "mark.start"
@@ -67,6 +69,7 @@ let kind_name = function
   | Swap_degraded -> "runtime.degraded"
   | Chaos_fault -> "chaos.fault"
   | Anomaly -> "anomaly"
+  | Census -> "heap.census"
 
 let kind_of_name (s : string) : kind option =
   let rec go i =
@@ -130,11 +133,20 @@ type site_state = {
 
 let sites_source : (unit -> site_state list) ref = ref (fun () -> [])
 
+(* Heap-census snapshot at dump time (cycle, live objects, live units).
+   Installed only when a heap observer is armed, so ordinary dumps stay
+   byte-identical to earlier releases.  Exists for the hard-limit abort
+   path: the in-flight cycle's census has not been emitted yet when the
+   ring is captured, so the dump flushes the heap state directly. *)
+let census_source : (unit -> (int * int * int) option) ref =
+  ref (fun () -> None)
+
 let enabled () = !on
 let set_enabled b = on := b
 let set_step_source f = step_source := f
 let set_meta m = meta := m
 let set_sites_source f = sites_source := f
+let set_census_source f = census_source := f
 let recorded () = !total
 let capacity () = !cap
 
@@ -273,7 +285,8 @@ let begin_run () : unit =
   cascade_degraded := -1;
   cascade_revoke := -1;
   step_source := (fun () -> 0);
-  sites_source := (fun () -> [])
+  sites_source := (fun () -> []);
+  census_source := (fun () -> None)
 
 let set_capacity (n : int) : unit =
   let n = max 16 n in
@@ -311,7 +324,7 @@ let dump_json ~(reason : string) : J.json =
     [
       ( "flight",
         J.Obj
-          [
+          ([
             ("version", J.Int 1);
             ("reason", J.Str reason);
             ("at_step", J.Int (!step_source ()));
@@ -343,7 +356,22 @@ let dump_json ~(reason : string) : J.json =
                    (fun (name, step) ->
                      J.Obj [ ("detector", J.Str name); ("at_step", J.Int step) ])
                    (anomalies ())) );
-          ] );
+          ]
+          @
+          (* appended, and only when a heap observer is armed, so dumps
+             without one stay byte-identical to earlier releases *)
+          match !census_source () with
+          | Some (cycle, live, units) ->
+              [
+                ( "pending_census",
+                  J.Obj
+                    [
+                      ("cycle", J.Int cycle);
+                      ("live", J.Int live);
+                      ("live_units", J.Int units);
+                    ] );
+              ]
+          | None -> []) );
     ]
 
 let dump_to_file ~reason path =
@@ -381,6 +409,7 @@ type dump = {
   d_sites : site_state list;
   d_anomalies : (string * int) list;
   d_strings : string array;
+  d_pending_census : (int * int * int) option;
 }
 
 let parse_dump (j : J.json) : (dump, string) result =
@@ -490,6 +519,19 @@ let parse_dump (j : J.json) : (dump, string) result =
         (Ok []) l
       |> Result.map List.rev
     in
+    (* optional: only dumps written under a heap observer carry it *)
+    let* pending_census =
+      match body with
+      | J.Obj kvs -> (
+          match List.assoc_opt "pending_census" kvs with
+          | None -> Ok None
+          | Some pc ->
+              let* cycle = Result.bind (field "cycle" pc) as_int in
+              let* live = Result.bind (field "live" pc) as_int in
+              let* units = Result.bind (field "live_units" pc) as_int in
+              Ok (Some (cycle, live, units)))
+      | _ -> Ok None
+    in
     Ok
       {
         d_reason = reason;
@@ -501,6 +543,7 @@ let parse_dump (j : J.json) : (dump, string) result =
         d_sites = sites;
         d_anomalies = anomalies;
         d_strings = strings;
+        d_pending_census = pending_census;
       }
 
 (* ---- timeline reconstruction ------------------------------------------- *)
@@ -517,6 +560,9 @@ type cycle = {
   cy_faults : int;
   cy_soft_enters : int;
   cy_retunes : int;
+  cy_census : (int * int) option;
+      (** (live units, floating units) from the cycle-end heap census,
+          when a heap observer recorded one *)
 }
 
 type site_life = {
@@ -573,6 +619,7 @@ let timeline_of (d : dump) : timeline =
                 cy_faults = take faults;
                 cy_soft_enters = take soft;
                 cy_retunes = take retunes;
+                cy_census = None;
               }
       | Mark_end ->
           (match !current with
@@ -604,6 +651,7 @@ let timeline_of (d : dump) : timeline =
                   cy_faults = take faults;
                   cy_soft_enters = take soft;
                   cy_retunes = take retunes;
+                  cy_census = None;
                 }
                 :: !cycles);
           current := None
@@ -612,6 +660,12 @@ let timeline_of (d : dump) : timeline =
           match !cycles with
           | cy :: rest when cy.cy_pause = None ->
               cycles := { cy with cy_pause = Some e.a } :: rest
+          | _ -> ())
+      | Census -> (
+          (* recorded by the heap observer right after the pause *)
+          match !cycles with
+          | cy :: rest when cy.cy_census = None ->
+              cycles := { cy with cy_census = Some (e.b, e.c) } :: rest
           | _ -> ())
       | Assist -> incr assists
       | Revoke_site -> incr revoked
@@ -743,12 +797,29 @@ let render_timeline (d : dump) : string =
   (match tl.tl_cycles with
   | [] -> Buffer.add_string buf "  (no marking cycle in the recorded window)\n"
   | cycles ->
+      (* census columns appear only when a heap observer recorded census
+         events, so timelines of ordinary dumps stay byte-identical *)
+      let with_census = List.exists (fun cy -> cy.cy_census <> None) cycles in
+      let census_cells cy =
+        if not with_census then []
+        else
+          match cy.cy_census with
+          | None -> [ "-"; "-" ]
+          | Some (live, fl) ->
+              [
+                string_of_int live;
+                (if live = 0 then "0.0"
+                 else
+                   Printf.sprintf "%.1f"
+                     (100.0 *. float_of_int fl /. float_of_int live));
+              ]
+      in
       Buffer.add_string buf
         (render_table
-           [
-             "cycle"; "collector"; "start"; "end"; "pause"; "assists";
-             "revoked"; "faults"; "notes";
-           ]
+           ([ "cycle"; "collector"; "start"; "end"; "pause"; "assists";
+              "revoked"; "faults" ]
+           @ (if with_census then [ "live_u"; "float%" ] else [])
+           @ [ "notes" ])
            (List.map
               (fun cy ->
                 [
@@ -764,9 +835,17 @@ let render_timeline (d : dump) : string =
                   string_of_int cy.cy_assists;
                   string_of_int cy.cy_revoked_sites;
                   string_of_int cy.cy_faults;
-                  cycle_notes cy;
-                ])
+                ]
+                @ census_cells cy
+                @ [ cycle_notes cy ])
               cycles)));
+  (match d.d_pending_census with
+  | Some (cycle, live, units) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "pending census at capture: cycle %d, %d live (%d units)\n" cycle
+           live units)
+  | None -> ());
   (match tl.tl_hard_stop with
   | Some step ->
       Buffer.add_string buf (Printf.sprintf "hard stop at step %d\n" step)
@@ -844,6 +923,12 @@ let fields_of_ev (d : dump) (e : ev) : (string * J.json) list =
   | Swap_degraded -> [ ("reason", s e.a) ]
   | Chaos_fault -> [ ("fault", s e.a); ("at", J.Int e.b) ]
   | Anomaly -> [ ("detector", s e.a); ("count", J.Int e.b) ]
+  | Census ->
+      [
+        ("cycle", J.Int e.a);
+        ("live_units", J.Int e.b);
+        ("float_units", J.Int e.c);
+      ]
 
 let chrome_events_of_dump (d : dump) : J.event list =
   List.mapi

@@ -39,6 +39,7 @@ type kind =
   | Swap_degraded  (** a=reason *)
   | Chaos_fault  (** a=fault kind, b=fault payload (instr/alloc/count) *)
   | Anomaly  (** a=detector, b=observed count *)
+  | Census  (** a=cycle index, b=live units, c=floating units *)
 
 val kind_name : kind -> string
 (** Stable dotted name ("mark.start", "revoke.site", ...) used in dumps. *)
@@ -83,6 +84,14 @@ type site_state = {
 val set_sites_source : (unit -> site_state list) -> unit
 (** Called at dump time to snapshot per-site elision state; the runner
     installs a closure over the live machine. *)
+
+val set_census_source : (unit -> (int * int * int) option) -> unit
+(** Called at dump time to snapshot the heap census totals
+    [(gc cycle, live objects, live units)].  Installed only when a heap
+    observer is armed — so a hard-limit abort mid-cycle still flushes
+    the in-flight cycle's census into the dump — and reset by
+    {!begin_run}; ordinary dumps carry nothing and stay byte-identical
+    to earlier releases. *)
 
 val begin_run : unit -> unit
 (** Reset the ring, detector state and run metadata for a fresh run.
@@ -147,6 +156,9 @@ type dump = {
   d_sites : site_state list;
   d_anomalies : (string * int) list;
   d_strings : string array;  (** payload-slot decoding table *)
+  d_pending_census : (int * int * int) option;
+      (** [(cycle, live, live_units)] heap state at capture time, present
+          only in dumps written under a heap observer *)
 }
 
 val parse_dump : Telemetry.json -> (dump, string) result
@@ -165,6 +177,9 @@ type cycle = {
   cy_faults : int;
   cy_soft_enters : int;
   cy_retunes : int;
+  cy_census : (int * int) option;
+      (** (live units, floating units) from the cycle-end heap census,
+          when a heap observer recorded one *)
 }
 
 type site_life = {

@@ -107,7 +107,7 @@ let default_engine : [ `Interp | `Threaded ] ref =
 let run ?(gc = Jrt.Runner.No_gc) ?(satb_mode = Jrt.Barrier_cost.Conditional)
     ?(use_policy = true) ?(guards = false) ?(revoke = true) ?chaos
     ?retrace_budget ?(fail_on_thread_error = true) ?(seed = 0) ?quantum
-    ?gc_period ?engine (cw : compiled_workload) : Jrt.Runner.report =
+    ?gc_period ?engine ?observer (cw : compiled_workload) : Jrt.Runner.report =
   let engine = match engine with Some e -> e | None -> !default_engine in
   let policy =
     if use_policy then policy_of cw else Jrt.Interp.keep_all_policy
@@ -156,7 +156,7 @@ let run ?(gc = Jrt.Runner.No_gc) ?(satb_mode = Jrt.Barrier_cost.Conditional)
   in
   let report =
     Jrt.Runner.run ~cfg ~gc ~engine ~seed ?quantum ?gc_period ?chaos
-      ?retrace_budget cw.compiled.program ~entry:cw.workload.entry
+      ?retrace_budget ?observer cw.compiled.program ~entry:cw.workload.entry
   in
   (if fail_on_thread_error then
      match report.thread_errors with

@@ -56,6 +56,7 @@ val run :
   ?quantum:int ->
   ?gc_period:int ->
   ?engine:[ `Interp | `Threaded ] ->
+  ?observer:(Jrt.Interp.t -> unit) ->
   compiled_workload ->
   Jrt.Runner.report
 (** Run under the instrumented runtime; fails on any thread error unless
@@ -64,4 +65,5 @@ val run :
     tests depend on unguarded runs) wires the compiler's guard table so
     assumption failures revoke dependent elisions; [revoke:false] keeps
     the guards wired but ignores their failures.  [engine] defaults to
-    {!default_engine}. *)
+    {!default_engine}.  [observer] is the heap observatory's cycle-end
+    hook, forwarded to {!Jrt.Runner.run}. *)

@@ -1,0 +1,58 @@
+(** Allocation-site census.  See census.mli. *)
+
+let n_age_buckets = 5
+let age_bucket_names = [| "<=1"; "2"; "3-4"; "5-8"; ">8" |]
+
+let age_bucket (age : int) : int =
+  if age <= 1 then 0
+  else if age = 2 then 1
+  else if age <= 4 then 2
+  else if age <= 8 then 3
+  else 4
+
+type row = {
+  site : int;
+  cls : Jir.Types.class_name;
+  mutable live : int;
+  mutable units : int;
+  ages : int array;  (** live objects per age bucket *)
+}
+
+(* Sort for humans and for byte-stable snapshots: heaviest first, names
+   break ties (site ids are interning-order-dependent, names are not). *)
+let compare_rows (a : row) (b : row) : int =
+  match compare b.units a.units with
+  | 0 -> (
+      match compare (Jrt.Sitemap.name a.site) (Jrt.Sitemap.name b.site) with
+      | 0 -> compare a.cls b.cls
+      | c -> c)
+  | c -> c
+
+let of_heap (h : Jrt.Heap.t) : row list =
+  let tbl : (int * Jir.Types.class_name, row) Hashtbl.t = Hashtbl.create 64 in
+  Jrt.Heap.iter_live h (fun o ->
+      let key = (o.Jrt.Heap.site, o.Jrt.Heap.cls) in
+      let r =
+        match Hashtbl.find_opt tbl key with
+        | Some r -> r
+        | None ->
+            let r =
+              {
+                site = o.Jrt.Heap.site;
+                cls = o.Jrt.Heap.cls;
+                live = 0;
+                units = 0;
+                ages = Array.make n_age_buckets 0;
+              }
+            in
+            Hashtbl.add tbl key r;
+            r
+      in
+      r.live <- r.live + 1;
+      r.units <- r.units + Jrt.Heap.size_units o;
+      let b = age_bucket (h.Jrt.Heap.gc_cycle - o.Jrt.Heap.birth_cycle) in
+      r.ages.(b) <- r.ages.(b) + 1);
+  List.sort compare_rows (Hashtbl.fold (fun _ r acc -> r :: acc) tbl [])
+
+let totals (rows : row list) : int * int =
+  List.fold_left (fun (l, u) r -> (l + r.live, u + r.units)) (0, 0) rows

@@ -1,0 +1,33 @@
+(** Allocation-site census: one pass over the live heap, aggregated per
+    (allocation site × class) with object ages bucketed in completed GC
+    cycles.
+
+    The census is exact by construction — it folds the same [iter_live]
+    the sweeps use — so its totals must reconcile {e to the unit} with
+    {!Jrt.Heap.t.live_count} / [live_units]; {!totals} exists so tests
+    (and [satbelim validate-trace]) can check that. *)
+
+val n_age_buckets : int
+
+val age_bucket_names : string array
+(** Human labels, index-aligned with {!row.ages}. *)
+
+val age_bucket : int -> int
+(** Bucket index for an age in completed GC cycles:
+    [<=1], [2], [3-4], [5-8], [>8]. *)
+
+type row = {
+  site : int;  (** interned allocation site ({!Jrt.Sitemap}) *)
+  cls : Jir.Types.class_name;
+  mutable live : int;
+  mutable units : int;
+  ages : int array;  (** live objects per age bucket *)
+}
+
+val of_heap : Jrt.Heap.t -> row list
+(** Census of the live heap, sorted heaviest-units first (site name and
+    class break ties, so the order is stable across runs even though
+    interned ids are not). *)
+
+val totals : row list -> int * int
+(** [(live objects, live units)] summed over the rows. *)

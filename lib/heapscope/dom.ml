@@ -1,0 +1,105 @@
+(** Iterative dominator trees over int graphs.  See dom.mli. *)
+
+type tree = {
+  t_n : int;
+  t_idom : int array;
+  t_rpo : int array;
+}
+
+let virtual_root (t : tree) : int = t.t_n
+
+(* Cooper–Harvey–Kennedy: a data-flow fixed point over reverse postorder
+   with an idom-chain intersect.  Simpler than Lengauer–Tarjan and plenty
+   fast for heaps this size (the intersect walks are short because heap
+   graphs are shallow), and trivially correct to review. *)
+let compute ~(n : int) ~(succ : int -> int list) ~(roots : int list) : tree =
+  let vroot = n in
+  let succ_of v = if v = vroot then roots else succ v in
+  let visited = Array.make (n + 1) false in
+  let preds = Array.make (n + 1) [] in
+  let post = ref [] in
+  (* iterative DFS from the virtual root, collecting postorder and
+     predecessor lists (only edges among reachable nodes matter) *)
+  visited.(vroot) <- true;
+  let stack = ref [ (vroot, ref (succ_of vroot)) ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | (v, rest) :: tl -> (
+        match !rest with
+        | [] ->
+            post := v :: !post;
+            stack := tl
+        | s :: more ->
+            rest := more;
+            if s >= 0 && s <= n then begin
+              preds.(s) <- v :: preds.(s);
+              if not visited.(s) then begin
+                visited.(s) <- true;
+                stack := (s, ref (succ_of s)) :: !stack
+              end
+            end)
+  done;
+  let rpo = Array.of_list !post in
+  let rpo_num = Array.make (n + 1) (-1) in
+  Array.iteri (fun i v -> rpo_num.(v) <- i) rpo;
+  let idom = Array.make (n + 1) (-1) in
+  idom.(vroot) <- vroot;
+  let intersect a b =
+    let a = ref a and b = ref b in
+    while !a <> !b do
+      while rpo_num.(!a) > rpo_num.(!b) do
+        a := idom.(!a)
+      done;
+      while rpo_num.(!b) > rpo_num.(!a) do
+        b := idom.(!b)
+      done
+    done;
+    !a
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun b ->
+        if b <> vroot then begin
+          let new_idom = ref (-1) in
+          List.iter
+            (fun p ->
+              if idom.(p) <> -1 then
+                new_idom := if !new_idom = -1 then p else intersect p !new_idom)
+            preds.(b);
+          if !new_idom <> -1 && idom.(b) <> !new_idom then begin
+            idom.(b) <- !new_idom;
+            changed := true
+          end
+        end)
+      rpo
+  done;
+  { t_n = n; t_idom = idom; t_rpo = rpo }
+
+let idom (t : tree) (v : int) : int = t.t_idom.(v)
+let reachable (t : tree) (v : int) : bool = t.t_idom.(v) <> -1
+
+(* Children precede parents in reverse RPO (a dominator is always earlier
+   in RPO than what it dominates), so one backward pass accumulates
+   subtree sums bottom-up. *)
+let retained (t : tree) ~(units : int -> int) : int array =
+  let ret = Array.make (t.t_n + 1) 0 in
+  for v = 0 to t.t_n - 1 do
+    if t.t_idom.(v) <> -1 then ret.(v) <- units v
+  done;
+  for i = Array.length t.t_rpo - 1 downto 0 do
+    let v = t.t_rpo.(i) in
+    if v <> t.t_n then ret.(t.t_idom.(v)) <- ret.(t.t_idom.(v)) + ret.(v)
+  done;
+  ret
+
+let chain (t : tree) (v : int) : int list =
+  if t.t_idom.(v) = -1 then []
+  else begin
+    let rec up v acc =
+      if v = t.t_n then List.rev acc else up t.t_idom.(v) (v :: acc)
+    in
+    up v []
+  end

@@ -1,0 +1,38 @@
+(** Dominator trees over integer object graphs, for retention analysis:
+    everything an object [d] dominates is retained by it — unreachable the
+    moment [d] dies.
+
+    The graph is given abstractly as node count, successor function and
+    root list, so unit tests can drive the solver with hand-built graphs
+    (diamonds, cycles through back-edges, disconnected components) and
+    the observatory can hand it the live heap.  A {e virtual root} [n]
+    (one past the last real node) is added with the root list as its
+    successors; objects directly reachable from more than one root are
+    dominated by it alone.
+
+    Algorithm: Cooper–Harvey–Kennedy's iterative data-flow formulation
+    ("A simple, fast dominance algorithm") — a fixed point over reverse
+    postorder with idom-chain intersection. *)
+
+type tree
+
+val compute : n:int -> succ:(int -> int list) -> roots:int list -> tree
+(** Nodes are [0 .. n-1]; the virtual root is [n].  Successor ids outside
+    [0..n] are ignored (the heap encodes null as [-1]). *)
+
+val virtual_root : tree -> int
+
+val idom : tree -> int -> int
+(** Immediate dominator: the virtual root for nodes reachable along
+    disjoint paths, [-1] for nodes unreachable from every root. *)
+
+val reachable : tree -> int -> bool
+
+val retained : tree -> units:(int -> int) -> int array
+(** [retained.(v)] sums [units] over [v]'s dominator subtree ([v]
+    included); slot [n] (the virtual root) holds the total over all
+    reachable nodes.  Unreachable nodes retain 0. *)
+
+val chain : tree -> int -> int list
+(** Retainer chain [[v; idom v; ...]] up to (excluding) the virtual
+    root; [[]] if [v] is unreachable. *)

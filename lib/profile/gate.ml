@@ -107,6 +107,17 @@ let known_tables : (string * string list * (string * direction) list) list =
        events), so the true overhead is well under 1%; 2.0 absorbs
        shared-runner timing noise. *)
     ("flight", [ "benchmark" ], [ ("overhead_pct", Max_value 2.0) ]);
+    (* E19: float counts are pure simulation state (interp engine, fixed
+       cadence), so the float columns are diffed like any deterministic
+       metric; the observatory's runtime cost is an absolute ceiling so
+       a noisy baseline can never grandfather in an expensive census. *)
+    ( "heap",
+      [ "bench"; "collector" ],
+      [
+        ("float_units", Pct_increase (fun t -> t.max_cost_increase_pct));
+        ("float_pct", Pct_increase (fun t -> t.max_cost_increase_pct));
+      ] );
+    ("heap_overhead", [ "benchmark" ], [ ("overhead_pct", Max_value 3.0) ]);
   ]
 
 (* Version stamp of the BENCH table-file layout; [bench --json] writes

@@ -246,14 +246,14 @@ let specialize (m : I.t) (cell : store_cell) : unit =
           st.I.st_del_elided && st.I.st_ins_elided
           && st.I.st_del_guards = [] && st.I.st_ins_guards = []
           && not st.I.st_ins_repair
-        then fun ~tid:_ ~obj:_ ~pre ~nv:_ ->
-          I.barrier_hybrid_both_elided m st ~pre
+        then fun ~tid:_ ~obj ~pre ~nv:_ ->
+          I.barrier_hybrid_both_elided m st ~obj ~pre
         else if
           st.I.st_del_elided
           && (not st.I.st_ins_elided)
           && st.I.st_del_guards = []
-        then fun ~tid ~obj:_ ~pre ~nv ->
-          I.barrier_hybrid_del_elided m st ~tid ~pre ~nv
+        then fun ~tid ~obj ~pre ~nv ->
+          I.barrier_hybrid_del_elided m st ~tid ~obj ~pre ~nv
         else if
           st.I.st_ins_elided
           && (not st.I.st_del_elided)
@@ -265,8 +265,8 @@ let specialize (m : I.t) (cell : store_cell) : unit =
           I.ref_store_barrier_st m st ~tid ~obj ~pre ~nv
     | `Satb | `Card ->
         if st.I.st_elided && st.I.st_check = I.No_check then
-          if st.I.st_guards = [] then fun ~tid:_ ~obj:_ ~pre ~nv:_ ->
-            I.barrier_elided_plain m st ~pre
+          if st.I.st_guards = [] then fun ~tid:_ ~obj ~pre ~nv:_ ->
+            I.barrier_elided_plain m st ~obj ~pre
           else fun ~tid:_ ~obj ~pre ~nv:_ ->
             I.barrier_elided_guarded m st ~obj ~pre
         else fun ~tid ~obj ~pre ~nv ->
@@ -274,6 +274,14 @@ let specialize (m : I.t) (cell : store_cell) : unit =
 
 let unspecialized : tid:int -> obj:int -> pre:Value.t -> nv:Value.t -> unit =
  fun ~tid:_ ~obj:_ ~pre:_ ~nv:_ -> assert false
+
+(** Intern the allocation site at [pc] of a method being compiled —
+    once, at compile time, so the allocation closures carry a plain int
+    and the fast path does no lookup at all (one better than the
+    interpreter's per-site cache). *)
+let alloc_site_id (c : cmeth) (pc : int) : int =
+  Sitemap.intern
+    (I.site_id { I.s_class = c.cm_class; s_method = c.cm_meth.mname; s_pc = pc })
 
 let store_cell (c_class : class_name) (mname : method_name) (pc : int)
     (kind : store_kind) : store_cell =
@@ -585,30 +593,35 @@ and compile_op (t : t) (c : cmeth) (pc : int) (ins : int instr) : op =
       let n_fields = List.length cls.fields in
       let units = 2 + n_fields in
       let heap = m.I.heap in
-      let mk () = Heap.alloc_object heap cn ~n_fields in
+      (* the interned id matches what [Interp.alloc_site] would produce
+         at this pc, so census rows are engine-independent *)
+      let site = alloc_site_id c pc in
+      let mk () = Heap.alloc_object ~site heap cn ~n_fields in
       fun _ fr ->
         let o = I.allocate m ~units mk in
         push fr (enc_ref o.Heap.id);
         next fr
   | Newarray (Elem_ref cn) ->
       let heap = m.I.heap in
+      let site = alloc_site_id c pc in
       fun _ fr ->
         let len = pop_int fr in
         if len < 0 then I.jthrow Bounds;
         let o =
           I.allocate m ~units:(2 + len) (fun () ->
-              Heap.alloc_ref_array heap cn ~len)
+              Heap.alloc_ref_array ~site heap cn ~len)
         in
         push fr (enc_ref o.Heap.id);
         next fr
   | Newarray Elem_int ->
       let heap = m.I.heap in
+      let site = alloc_site_id c pc in
       fun _ fr ->
         let len = pop_int fr in
         if len < 0 then I.jthrow Bounds;
         let o =
           I.allocate m ~units:(2 + len) (fun () ->
-              Heap.alloc_int_array heap ~len)
+              Heap.alloc_int_array ~site heap ~len)
         in
         push fr (enc_ref o.Heap.id);
         next fr

@@ -19,6 +19,8 @@ type trace_state = Untraced | Being_traced | Traced
 type obj = {
   id : int;
   cls : Jir.Types.class_name;  (** class, or element class for arrays *)
+  site : int;  (** interned allocation site ({!Sitemap}) *)
+  birth_cycle : int;  (** value of [gc_cycle] when allocated *)
   payload : payload;
   mutable marked : bool;
   mutable born_during_mark : bool;
@@ -26,8 +28,20 @@ type obj = {
           collectors, with opposite consequences) *)
   mutable trace : trace_state;
       (** scan progress within the current marking cycle *)
+  mutable origin : int;
+      (** why the most recent cycle marked this object (an [origin_*]
+          constant); survives [clear_marks] so the float accounting can
+          read it after the sweep — the next cycle overwrites it *)
   mutable dead : bool;  (** reclaimed by a sweep *)
 }
+
+(* Mark origins.  Kept as plain ints (not a variant) so collectors can
+   stamp them on the mark fast path without boxing or a match. *)
+let origin_none = 0
+let origin_trace = 1
+let origin_log = 2
+let origin_alloc = 3
+let origin_repair = 4
 
 type t = {
   mutable objects : obj array;  (** slot i holds object with id i (or dummy) *)
@@ -36,6 +50,7 @@ type t = {
   mutable total_allocated : int;
   mutable live_units : int;
   mutable allocated_units : int;
+  mutable gc_cycle : int;  (** completed GC cycles; object age axis *)
 }
 
 (** Size of an object in heap units: a two-unit header plus one unit per
@@ -53,10 +68,13 @@ let dummy =
   {
     id = -1;
     cls = "";
+    site = 0;
+    birth_cycle = 0;
     payload = Fields [||];
     marked = false;
     born_during_mark = false;
     trace = Untraced;
+    origin = origin_none;
     dead = true;
   }
 
@@ -68,6 +86,7 @@ let create () =
     total_allocated = 0;
     live_units = 0;
     allocated_units = 0;
+    gc_cycle = 0;
   }
 
 let grow h =
@@ -77,16 +96,20 @@ let grow h =
     h.objects <- bigger
   end
 
-let alloc (h : t) (cls : Jir.Types.class_name) (payload : payload) : obj =
+let alloc ?(site = 0) (h : t) (cls : Jir.Types.class_name) (payload : payload)
+    : obj =
   grow h;
   let o =
     {
       id = h.next_id;
       cls;
+      site;
+      birth_cycle = h.gc_cycle;
       payload;
       marked = false;
       born_during_mark = false;
       trace = Untraced;
+      origin = origin_none;
       dead = false;
     }
   in
@@ -99,11 +122,14 @@ let alloc (h : t) (cls : Jir.Types.class_name) (payload : payload) : obj =
   h.allocated_units <- h.allocated_units + u;
   o
 
-let alloc_object h cls ~n_fields = alloc h cls (Fields (Array.make n_fields Value.Null))
+let alloc_object ?site h cls ~n_fields =
+  alloc ?site h cls (Fields (Array.make n_fields Value.Null))
 
-let alloc_ref_array h cls ~len = alloc h cls (Ref_array (Array.make len Value.Null))
+let alloc_ref_array ?site h cls ~len =
+  alloc ?site h cls (Ref_array (Array.make len Value.Null))
 
-let alloc_int_array h ~len = alloc h "int[]" (Int_array (Array.make len 0))
+let alloc_int_array ?site h ~len =
+  alloc ?site h "int[]" (Int_array (Array.make len 0))
 
 let get (h : t) (id : int) : obj =
   if id < 0 || id >= h.next_id then invalid_arg "Heap.get: bad id";

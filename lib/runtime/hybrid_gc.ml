@@ -102,10 +102,13 @@ let c_cycles = Telemetry.counter "gc.cycles"
 let fk_hybrid = Flight.intern "hybrid"
 let c_violations = Telemetry.counter "gc.violations"
 
-let mark_and_gray t id =
+(* [origin] is the float-accounting cause stamp ({!Heap.origin_trace}
+   etc.); first marker wins, drained children inherit their parent's *)
+let mark_and_gray t ~origin id =
   let o = Heap.get t.heap id in
   if (not o.marked) && not o.dead then begin
     o.marked <- true;
+    o.origin <- origin;
     t.gray <- id :: t.gray
   end
 
@@ -121,7 +124,7 @@ let start_cycle (t : t) : unit =
   t.increments <- 0;
   t.rescans <- 0;
   (* statics only: every thread stack starts the cycle grey *)
-  List.iter (mark_and_gray t) (t.static_roots ());
+  List.iter (mark_and_gray t ~origin:Heap.origin_trace) (t.static_roots ());
   Flight.record Flight.Mark_start ~a:fk_hybrid ~b:t.cycles ~c:0;
   Telemetry.emit "gc.cycle.start"
     [
@@ -138,7 +141,7 @@ let log_ref_store t ~obj:_ ~pre =
         let o = Heap.get t.heap id in
         if (not o.marked) && not o.dead then begin
           t.del_shades <- t.del_shades + 1;
-          mark_and_gray t id
+          mark_and_gray t ~origin:Heap.origin_log id
         end
     | _ -> ()
 
@@ -151,7 +154,7 @@ let log_ins_store t ~tid ~nv =
         let o = Heap.get t.heap id in
         if (not o.marked) && not o.dead then begin
           t.ins_shades <- t.ins_shades + 1;
-          mark_and_gray t id
+          mark_and_gray t ~origin:Heap.origin_log id
         end
     | _ -> ()
 
@@ -160,6 +163,7 @@ let log_ins_store t ~tid ~nv =
 let on_alloc t (o : Heap.obj) =
   if t.phase = Marking then begin
     o.marked <- true;
+    o.origin <- Heap.origin_alloc;
     o.born_during_mark <- true;
     t.allocated_during <- t.allocated_during + 1
   end
@@ -177,6 +181,7 @@ let on_revoke t ~objs =
           let o = Heap.get t.heap id in
           if not o.dead then begin
             t.rescans <- t.rescans + 1;
+            if not o.marked then o.origin <- Heap.origin_repair;
             o.marked <- true;
             t.gray <- id :: t.gray
           end
@@ -185,7 +190,7 @@ let on_revoke t ~objs =
 
 (** Scan one grey thread stack, turning it black. *)
 let scan_stack (t : t) (tid : int) (refs : int list) : unit =
-  List.iter (mark_and_gray t) refs;
+  List.iter (mark_and_gray t ~origin:Heap.origin_trace) refs;
   Hashtbl.replace t.scanned tid ();
   t.stack_scans <- t.stack_scans + 1
 
@@ -197,7 +202,8 @@ let drain (t : t) (budget : int) : int =
         t.gray <- rest;
         incr processed;
         let o = Heap.get t.heap id in
-        if not o.dead then List.iter (mark_and_gray t) (Heap.out_edges o)
+        if not o.dead then
+          List.iter (mark_and_gray t ~origin:o.origin) (Heap.out_edges o)
     | [] -> ()
   done;
   !processed
@@ -242,7 +248,7 @@ let finish_cycle (t : t) : cycle_report =
   List.iter
     (fun id ->
       incr pause_work;
-      mark_and_gray t id)
+      mark_and_gray t ~origin:Heap.origin_trace id)
     (all_roots ());
   pause_work := !pause_work + drain t max_int;
   (* Invariant: everything reachable now is marked. *)
@@ -279,6 +285,7 @@ let finish_cycle (t : t) : cycle_report =
     }
   in
   t.cycles <- t.cycles + 1;
+  t.heap.Heap.gc_cycle <- t.heap.Heap.gc_cycle + 1;
   t.reports <- report :: t.reports;
   t.phase <- Idle;
   Heap.clear_marks t.heap;

@@ -78,10 +78,13 @@ let c_cycles = Telemetry.counter "gc.cycles"
 let fk_incr = Flight.intern "incremental-update"
 let c_violations = Telemetry.counter "gc.violations"
 
-let mark_and_gray t id =
+(* [origin] is the float-accounting cause stamp ({!Heap.origin_trace}
+   etc.); first marker wins, drained children inherit their parent's *)
+let mark_and_gray t ~origin id =
   let o = Heap.get t.heap id in
   if (not o.marked) && not o.dead then begin
     o.marked <- true;
+    o.origin <- origin;
     t.gray <- id :: t.gray
   end
 
@@ -93,7 +96,7 @@ let start_cycle (t : t) : unit =
   t.dirtied_total <- 0;
   t.allocated_during <- 0;
   t.increments <- 0;
-  List.iter (mark_and_gray t) (t.roots ());
+  List.iter (mark_and_gray t ~origin:Heap.origin_trace) (t.roots ());
   Flight.record Flight.Mark_start ~a:fk_incr ~b:t.cycles ~c:0;
   Telemetry.emit "gc.cycle.start"
     [
@@ -124,6 +127,7 @@ let on_alloc t (o : Heap.obj) =
          birth-dirty card makes the pause's fixed point re-scan the
          object's final fields regardless. *)
       o.Heap.marked <- true;
+      o.Heap.origin <- Heap.origin_alloc;
       log_ref_store t ~obj:o.Heap.id ~pre:Value.Null
     end
   end
@@ -136,7 +140,8 @@ let drain (t : t) (budget : int) : int =
         t.gray <- rest;
         incr processed;
         let o = Heap.get t.heap id in
-        if not o.dead then List.iter (mark_and_gray t) (Heap.out_edges o)
+        if not o.dead then
+          List.iter (mark_and_gray t ~origin:o.origin) (Heap.out_edges o)
     | [] -> ()
   done;
   !processed
@@ -166,7 +171,7 @@ let finish_cycle (t : t) : cycle_report =
         let o = Heap.get t.heap id in
         if (not o.marked) && not o.dead then begin
           changed := true;
-          mark_and_gray t id
+          mark_and_gray t ~origin:Heap.origin_trace id
         end)
       (t.roots ());
     (* rescan marked objects on dirty cards: their fields were updated *)
@@ -185,7 +190,8 @@ let finish_cycle (t : t) : cycle_report =
                 let g = Heap.get t.heap tgt in
                 if (not g.marked) && not g.dead then begin
                   changed := true;
-                  mark_and_gray t tgt
+                  (* kept only because its parent's card was dirtied *)
+                  mark_and_gray t ~origin:Heap.origin_log tgt
                 end)
               (Heap.out_edges o)
           end
@@ -225,6 +231,7 @@ let finish_cycle (t : t) : cycle_report =
     }
   in
   t.cycles <- t.cycles + 1;
+  t.heap.Heap.gc_cycle <- t.heap.Heap.gc_cycle + 1;
   t.reports <- report :: t.reports;
   t.phase <- Idle;
   Heap.clear_marks t.heap;

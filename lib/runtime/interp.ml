@@ -227,6 +227,16 @@ type t = {
   mutable external_elided_execs : int;
       (** chaos-injected external stores through live guarded elisions *)
   field_index : (field_ref, int) Hashtbl.t;
+  alloc_sites : (site, int) Hashtbl.t;
+      (** interned {!Sitemap} ids of allocation sites, cached per program
+          point so the allocation fast path does no string formatting *)
+  mutable track_heap : bool;
+      (** heap observatory armed: elided stores during marking append to
+          [elided_write_log] (one flag test when off) *)
+  mutable elided_write_log : (int * int) list;
+      (** [(obj, verdict_class)] for stores whose barrier (or a half of
+          it) was elided while marking — lets the float accounting split
+          per-verdict; verdict classes are the [ew_*] constants *)
   mutable barrier_epoch : int;
       (** bumped whenever per-site verdicts may change (revocation
           applied, degraded mode entered, cycle state reset); the
@@ -283,6 +293,9 @@ let create ?(cfg = default_config) (prog : Jir.Program.t) : t =
     external_paid_execs = 0;
     external_elided_execs = 0;
     field_index = Hashtbl.create 64;
+    alloc_sites = Hashtbl.create 64;
+    track_heap = false;
+    elided_write_log = [];
     barrier_epoch = 0;
     stack_roots_override = None;
   }
@@ -308,6 +321,23 @@ let c_assist_execs = Telemetry.counter "jrt.assist_execs"
 
 let site_id (site : site) : string =
   Printf.sprintf "%s.%s@%d" site.s_class site.s_method site.s_pc
+
+(* ---- heap observatory hooks ------------------------------------------- *)
+
+(* Verdict classes of an elided-write-log entry: which (half of the)
+   barrier the store skipped.  Plain ints so the fused fast paths cons a
+   two-int tuple and nothing else. *)
+let ew_full = 0 (* whole barrier elided ([`Satb]/[`Card] flavors) *)
+let ew_del = 1 (* hybrid: deletion half elided, insertion ran *)
+let ew_ins = 2 (* hybrid: insertion half elided, deletion ran *)
+let ew_both = 3 (* hybrid: both halves elided *)
+
+(* One flag test on the elided fast path when the observatory is off;
+   recording is gated on marking because only stores inside a cycle can
+   change what that cycle floats. *)
+let note_elided_write (m : t) ~(obj : int) (cls : int) : unit =
+  if m.track_heap && obj >= 0 && m.gc.is_marking () then
+    m.elided_write_log <- (obj, cls) :: m.elided_write_log
 
 (** [revoke.site] event: the runtime patched one elided site back to a
     full barrier; carries the site id, its guard set, and — when the
@@ -457,6 +487,7 @@ let note_class_load (m : t) : unit = request_revoke m Closed_world
     the guarded-write repair set and the degradation flag are per-cycle. *)
 let reset_cycle_state (m : t) : unit =
   m.guarded_writes <- [];
+  m.elided_write_log <- [];
   (* leaving degraded mode changes what swap-elided sites execute *)
   if m.swap_degraded then m.barrier_epoch <- m.barrier_epoch + 1;
   m.swap_degraded <- false
@@ -484,6 +515,20 @@ let field_index m fr =
       let i = Jir.Program.field_index m.prog fr in
       Hashtbl.replace m.field_index fr i;
       i
+
+(** Interned {!Sitemap} id of the allocation site at [fr]'s current pc.
+    Cached like {!field_index}: the string is formatted once per program
+    point, after which the fast path is one hash lookup. *)
+let alloc_site (m : t) (fr : frame) : int =
+  let key =
+    { s_class = fr.f_class; s_method = fr.f_meth.mname; s_pc = fr.pc }
+  in
+  match Hashtbl.find_opt m.alloc_sites key with
+  | Some id -> id
+  | None ->
+      let id = Sitemap.intern (site_id key) in
+      Hashtbl.replace m.alloc_sites key id;
+      id
 
 (** Spawn a thread running [mr] with [args] already evaluated. *)
 let spawn_thread (m : t) (mr : method_ref) (args : Value.t list) : thread =
@@ -678,6 +723,11 @@ let hybrid_store_barrier (m : t) (st : site_stats) ~(tid : int) ~(obj : int)
     && ((st.st_del_elided && st.st_del_guards <> [])
        || (st.st_ins_elided && (st.st_ins_repair || st.st_ins_guards <> [])))
   then m.guarded_writes <- obj :: m.guarded_writes;
+  if m.track_heap then
+    if st.st_del_elided && st.st_ins_elided then
+      note_elided_write m ~obj ew_both
+    else if st.st_del_elided then note_elided_write m ~obj ew_del
+    else if st.st_ins_elided then note_elided_write m ~obj ew_ins;
   if st.st_del_elided && st.st_ins_elided then begin
     m.elided_barrier_execs <- m.elided_barrier_execs + 1;
     st.elided_execs <- st.elided_execs + 1;
@@ -708,6 +758,7 @@ let ref_store_barrier_st (m : t) (st : site_stats) ~(tid : int) ~(obj : int)
     m.elided_barrier_execs <- m.elided_barrier_execs + 1;
     st.elided_execs <- st.elided_execs + 1;
     Telemetry.incr c_elided;
+    if m.track_heap then note_elided_write m ~obj ew_full;
     (* a write through a guarded site during marking joins the repair
        set: if its guards later fail this cycle, the collector re-scans
        (or re-snapshots) to make up for whatever went unlogged here *)
@@ -780,12 +831,14 @@ let ref_store_barrier (m : t) (fr : frame) ~(kind : store_kind) ~(tid : int)
 
 (** Precondition: [`Satb]/[`Card] flavor, [st_elided], [No_check],
     [st_guards = []]. *)
-let barrier_elided_plain (m : t) (st : site_stats) ~(pre : Value.t) : unit =
+let barrier_elided_plain (m : t) (st : site_stats) ~(obj : int)
+    ~(pre : Value.t) : unit =
   st.execs <- st.execs + 1;
   if not (Value.is_ref pre) then st.pre_null_execs <- st.pre_null_execs + 1;
   m.elided_barrier_execs <- m.elided_barrier_execs + 1;
   st.elided_execs <- st.elided_execs + 1;
-  Telemetry.incr c_elided
+  Telemetry.incr c_elided;
+  if m.track_heap then note_elided_write m ~obj ew_full
 
 (** Precondition: as {!barrier_elided_plain} but [st_guards <> []]. *)
 let barrier_elided_guarded (m : t) (st : site_stats) ~(obj : int)
@@ -795,29 +848,32 @@ let barrier_elided_guarded (m : t) (st : site_stats) ~(obj : int)
   m.elided_barrier_execs <- m.elided_barrier_execs + 1;
   st.elided_execs <- st.elided_execs + 1;
   Telemetry.incr c_elided;
+  if m.track_heap then note_elided_write m ~obj ew_full;
   if obj >= 0 && m.gc.is_marking () then
     m.guarded_writes <- obj :: m.guarded_writes
 
 (** Precondition: [`Hybrid] flavor, both halves elided, neither half
     guarded, not [st_ins_repair]. *)
-let barrier_hybrid_both_elided (m : t) (st : site_stats) ~(pre : Value.t) :
-    unit =
+let barrier_hybrid_both_elided (m : t) (st : site_stats) ~(obj : int)
+    ~(pre : Value.t) : unit =
   st.execs <- st.execs + 1;
   if not (Value.is_ref pre) then st.pre_null_execs <- st.pre_null_execs + 1;
   st.del_elided_execs <- st.del_elided_execs + 1;
   st.ins_elided_execs <- st.ins_elided_execs + 1;
   m.elided_barrier_execs <- m.elided_barrier_execs + 1;
   st.elided_execs <- st.elided_execs + 1;
-  Telemetry.incr c_elided
+  Telemetry.incr c_elided;
+  if m.track_heap then note_elided_write m ~obj ew_both
 
 (** Precondition: [`Hybrid] flavor, deletion half elided with no guards,
     insertion half kept. *)
 let barrier_hybrid_del_elided (m : t) (st : site_stats) ~(tid : int)
-    ~(pre : Value.t) ~(nv : Value.t) : unit =
+    ~(obj : int) ~(pre : Value.t) ~(nv : Value.t) : unit =
   st.execs <- st.execs + 1;
   if not (Value.is_ref pre) then st.pre_null_execs <- st.pre_null_execs + 1;
   st.del_elided_execs <- st.del_elided_execs + 1;
   st.ins_paid_execs <- st.ins_paid_execs + 1;
+  if m.track_heap then note_elided_write m ~obj ew_del;
   if m.cfg.satb_mode <> Barrier_cost.No_barrier then begin
     let cost =
       Barrier_cost.hybrid_ins_cost ~marking:(m.gc.is_marking ())
@@ -840,6 +896,7 @@ let barrier_hybrid_ins_elided (m : t) (st : site_stats) ~(obj : int)
   let pre_null = not (Value.is_ref pre) in
   if pre_null then st.pre_null_execs <- st.pre_null_execs + 1;
   st.del_paid_execs <- st.del_paid_execs + 1;
+  if m.track_heap then note_elided_write m ~obj ew_ins;
   if m.cfg.satb_mode <> Barrier_cost.No_barrier then begin
     let cost =
       Barrier_cost.hybrid_del_cost ~marking:(m.gc.is_marking ()) ~pre_null
@@ -997,7 +1054,8 @@ let external_alloc (m : t) ~(count : int) : unit =
   for _ = 1 to count do
     ignore
       (allocate m ~units:4 (fun () ->
-           Heap.alloc_object m.heap "chaos.Ballast" ~n_fields:2))
+           Heap.alloc_object ~site:Sitemap.runtime_site m.heap "chaos.Ballast"
+             ~n_fields:2))
   done
 
 (** Unwind after a runtime exception of [kind] raised at the current pc of
@@ -1146,20 +1204,22 @@ let step (m : t) (th : thread) : bool =
         | New cn ->
             let c = Jir.Program.get_class m.prog cn in
             let n_fields = List.length c.fields in
+            let site = alloc_site m fr in
             let o =
               allocate m ~units:(2 + n_fields) (fun () ->
-                  Heap.alloc_object m.heap cn ~n_fields)
+                  Heap.alloc_object ~site m.heap cn ~n_fields)
             in
             push fr (Value.Ref o.id);
             next ()
         | Newarray ety ->
             let len = pop_int fr in
             if len < 0 then jthrow Bounds;
+            let site = alloc_site m fr in
             let o =
               allocate m ~units:(2 + len) (fun () ->
                   match ety with
-                  | Elem_ref cn -> Heap.alloc_ref_array m.heap cn ~len
-                  | Elem_int -> Heap.alloc_int_array m.heap ~len)
+                  | Elem_ref cn -> Heap.alloc_ref_array ~site m.heap cn ~len
+                  | Elem_int -> Heap.alloc_int_array ~site m.heap ~len)
             in
             push fr (Value.Ref o.id);
             next ()

@@ -185,6 +185,17 @@ type t = {
   mutable external_elided_execs : int;
       (** chaos-injected external stores through live guarded elisions *)
   field_index : (Jir.Types.field_ref, int) Hashtbl.t;
+  alloc_sites : (site, int) Hashtbl.t;
+      (** interned {!Sitemap} ids of allocation sites, cached per program
+          point so the allocation fast path does no string formatting *)
+  mutable track_heap : bool;
+      (** heap observatory armed: elided stores during marking append to
+          [elided_write_log] (a single flag test when off) *)
+  mutable elided_write_log : (int * int) list;
+      (** [(obj, verdict_class)] for stores whose barrier (or a half of
+          it) was elided while marking; verdict classes are {!ew_full},
+          {!ew_del}, {!ew_ins}, {!ew_both}.  Cleared by
+          {!reset_cycle_state}. *)
   mutable barrier_epoch : int;
       (** bumped whenever per-site verdicts may change (revocations
           applied, degraded mode entered, cycle state reset); the
@@ -298,7 +309,7 @@ val ref_store_barrier_st :
 (** The general barrier body: handles every flavor, retrace checks,
     degraded fallbacks and guarded elisions.  [obj = -1] for statics. *)
 
-val barrier_elided_plain : t -> site_stats -> pre:Value.t -> unit
+val barrier_elided_plain : t -> site_stats -> obj:int -> pre:Value.t -> unit
 (** Fused fast path; precondition: [`Satb]/[`Card], elided, no check, no
     guards. *)
 
@@ -306,12 +317,13 @@ val barrier_elided_guarded : t -> site_stats -> obj:int -> pre:Value.t -> unit
 (** Fused fast path; precondition: as {!barrier_elided_plain} but
     guarded (joins the repair set while marking). *)
 
-val barrier_hybrid_both_elided : t -> site_stats -> pre:Value.t -> unit
+val barrier_hybrid_both_elided :
+  t -> site_stats -> obj:int -> pre:Value.t -> unit
 (** Fused fast path; precondition: [`Hybrid], both halves elided,
     unguarded, no insertion repair. *)
 
 val barrier_hybrid_del_elided :
-  t -> site_stats -> tid:int -> pre:Value.t -> nv:Value.t -> unit
+  t -> site_stats -> tid:int -> obj:int -> pre:Value.t -> nv:Value.t -> unit
 (** Fused fast path; precondition: [`Hybrid], deletion half elided and
     unguarded, insertion half kept. *)
 
@@ -324,6 +336,29 @@ val allocate : t -> units:int -> (unit -> Heap.obj) -> Heap.obj
 (** Allocate through the pacer's admission control (may raise
     {!Pacer.Hard_limit}) and notify the collector — the path both
     engines' [New]/[Newarray] use. *)
+
+(** {2 Heap observatory support}
+
+    Verdict classes of {!t.elided_write_log} entries: which (half of the)
+    barrier an elided store skipped, so the float accounting
+    ({!Heapscope}) can attribute floating garbage per elision verdict. *)
+
+val ew_full : int
+(** Whole barrier elided ([`Satb]/[`Card] flavors). *)
+
+val ew_del : int
+(** Hybrid: deletion half elided, insertion half ran. *)
+
+val ew_ins : int
+(** Hybrid: insertion half elided, deletion half ran. *)
+
+val ew_both : int
+(** Hybrid: both halves elided. *)
+
+val alloc_site : t -> frame -> int
+(** Interned {!Sitemap} id of the allocation site at [frame]'s current
+    pc, cached per program point (the interpreter's [New]/[Newarray]
+    path; the threaded engine interns at compile time instead). *)
 
 type dyn_stats = {
   total_execs : int;

@@ -141,10 +141,13 @@ let c_enqueues = Telemetry.counter "retrace.enqueues"
 let c_repair_enqueues = Telemetry.counter "retrace.repair_enqueues"
 let c_budget_overflows = Telemetry.counter "retrace.budget_overflows"
 
-let mark_and_gray t id =
+(* [origin] is the float-accounting cause stamp ({!Heap.origin_trace}
+   etc.); first marker wins, drained children inherit their parent's *)
+let mark_and_gray t ~origin id =
   let o = Heap.get t.heap id in
   if (not o.marked) && not o.dead then begin
     o.marked <- true;
+    o.origin <- origin;
     t.gray <- Whole id :: t.gray
   end
 
@@ -171,7 +174,7 @@ let start_cycle (t : t) : unit =
   t.repair_enqueues <- 0;
   let roots = t.roots () in
   t.snapshot <- Oracle.reachable t.heap roots;
-  List.iter (mark_and_gray t) roots;
+  List.iter (mark_and_gray t ~origin:Heap.origin_trace) roots;
   Flight.record Flight.Mark_start ~a:fk_retrace ~b:t.cycles
     ~c:(Iset.cardinal t.snapshot);
   Telemetry.emit "gc.cycle.start"
@@ -264,6 +267,7 @@ let on_alloc t (o : Heap.obj) =
   if t.phase = Marking then begin
     (* allocate black: implicitly marked, never examined *)
     o.marked <- true;
+    o.origin <- Heap.origin_alloc;
     o.born_during_mark <- true;
     t.allocated_during <- t.allocated_during + 1
   end
@@ -279,7 +283,7 @@ let scan_array_chunk (t : t) (id : int) ~(upto : int) : unit =
         let last = max 0 (upto - t.array_chunk + 1) in
         for i = upto downto last do
           match es.(i) with
-          | Value.Ref tgt -> mark_and_gray t tgt
+          | Value.Ref tgt -> mark_and_gray t ~origin:o.origin tgt
           | Value.Null | Value.Int _ -> ()
         done;
         if last > 0 then t.gray <- Array_tail { id; upto = last - 1 } :: t.gray
@@ -293,15 +297,18 @@ let scan_array_chunk (t : t) (id : int) ~(upto : int) : unit =
 let rescan (t : t) (id : int) : unit =
   let o = Heap.get t.heap id in
   if not o.dead then begin
+    (* anything first kept by a re-scan owes its survival to the retrace
+       window (or a revocation repair), not the snapshot *)
     (match o.payload with
     | Heap.Ref_array es ->
         Array.iter
           (function
-            | Value.Ref tgt -> mark_and_gray t tgt
+            | Value.Ref tgt -> mark_and_gray t ~origin:Heap.origin_repair tgt
             | Value.Null | Value.Int _ -> ())
           es
     | Heap.Fields _ | Heap.Int_array _ ->
-        List.iter (mark_and_gray t) (Heap.out_edges o));
+        List.iter (mark_and_gray t ~origin:Heap.origin_repair)
+          (Heap.out_edges o));
     o.trace <- Heap.Traced
   end
 
@@ -318,7 +325,7 @@ let drain (t : t) (budget : int) : int =
     (match t.satb_buffer with
     | id :: rest ->
         t.satb_buffer <- rest;
-        mark_and_gray t id
+        mark_and_gray t ~origin:Heap.origin_log id
     | [] -> ());
     match t.gray with
     | Whole id :: rest ->
@@ -331,7 +338,7 @@ let drain (t : t) (budget : int) : int =
               o.trace <- Heap.Being_traced;
               scan_array_chunk t id ~upto:(Array.length es - 1)
           | Heap.Fields _ | Heap.Int_array _ ->
-              List.iter (mark_and_gray t) (Heap.out_edges o);
+              List.iter (mark_and_gray t ~origin:o.origin) (Heap.out_edges o);
               o.trace <- Heap.Traced
         end
     | Array_tail { id; upto } :: rest ->
@@ -404,6 +411,7 @@ let finish_cycle (t : t) : cycle_report =
     }
   in
   t.cycles <- t.cycles + 1;
+  t.heap.Heap.gc_cycle <- t.heap.Heap.gc_cycle + 1;
   t.reports <- report :: t.reports;
   t.phase <- Idle;
   t.degraded <- false;

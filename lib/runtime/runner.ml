@@ -138,8 +138,13 @@ let lcg seed =
 
 let run ?(cfg = Interp.default_config) ?(gc = No_gc) ?(engine = `Interp)
     ?(quantum = 50) ?(seed = 0) ?(gc_period = 32) ?chaos ?retrace_budget
-    (prog : Jir.Program.t) ~(entry : Jir.Types.method_ref) : report =
+    ?observer (prog : Jir.Program.t) ~(entry : Jir.Types.method_ref) : report =
   let m = Interp.create ~cfg prog in
+  (* heap observer: arm verdict logging before the first instruction so
+     the first cycle's elided stores are attributed too *)
+  (match observer with
+  | Some _ -> m.Interp.track_heap <- true
+  | None -> ());
   let _main = Interp.spawn_thread m entry [] in
   (* the threaded engine wraps the same machine: shared heap, statics,
      counters and hooks, so everything below it is engine-agnostic *)
@@ -216,6 +221,16 @@ let run ?(cfg = Interp.default_config) ?(gc = No_gc) ?(engine = `Interp)
           }
           :: acc)
         m.Interp.stats []);
+  (* with a heap observer armed, dumps flush the current heap census so
+     a hard-limit abort mid-cycle still leaves the heap state on disk *)
+  (match observer with
+  | Some _ ->
+      Flight.set_census_source (fun () ->
+          Some
+            ( m.Interp.heap.Heap.gc_cycle,
+              m.Interp.heap.Heap.live_count,
+              m.Interp.heap.Heap.live_units ))
+  | None -> ());
   (* mutator step at which each final (remark) pause began, oldest first
      once reversed — the profiler's MMU/pause timeline *)
   let pause_steps = ref [] in
@@ -425,7 +440,12 @@ let run ?(cfg = Interp.default_config) ?(gc = No_gc) ?(engine = `Interp)
         ("collector", Telemetry.Str gc_name);
         ("at_step", Telemetry.Int at_step);
         ("work", Telemetry.Int work);
-      ]
+      ];
+    (* the observatory reads survivors' mark origins and the cycle's
+       elided-store log, so it must run after the sweep and before
+       [reset_cycle_state] clears the log (in [finish_cycle] below and
+       on the next cycle start) *)
+    match observer with Some f -> f m | None -> ()
   in
   let finish_cycle l =
     record_pause l;

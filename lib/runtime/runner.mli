@@ -102,6 +102,7 @@ val run :
   ?gc_period:int ->
   ?chaos:Chaos.t ->
   ?retrace_budget:int ->
+  ?observer:(Interp.t -> unit) ->
   Jir.Program.t ->
   entry:Jir.Types.method_ref ->
   report
@@ -113,4 +114,11 @@ val run :
     also override [quantum]/[gc_period]); [retrace_budget] bounds the
     retrace collector's per-cycle re-scan queue (see {!Retrace_gc}).
     Startup capability guards and mid-run guard failures revoke
-    dependent elisions when [cfg] wires a guard table. *)
+    dependent elisions when [cfg] wires a guard table.
+
+    [observer] is the heap observatory's cycle-end hook: passing one
+    arms {!Interp.t.track_heap} before the first instruction, installs a
+    flight-recorder census source (so a hard-limit dump flushes the
+    in-flight cycle's heap state), and invokes the hook after every
+    completed cycle's final pause — survivors still carry their mark
+    origins and the cycle's elided-store log has not been reset yet. *)

@@ -116,10 +116,14 @@ let fk_satb = Flight.intern "satb"
 let c_restarts = Telemetry.counter "gc.restarts"
 let c_violations = Telemetry.counter "gc.violations"
 
-let mark_and_gray t id =
+(* [origin] records why the cycle keeps the object (a [Heap.origin_*]
+   constant); first marker wins, children inherit the parent's origin
+   while draining, and the float accounting reads the stamps post-sweep *)
+let mark_and_gray t ~origin id =
   let o = Heap.get t.heap id in
   if (not o.marked) && not o.dead then begin
     o.marked <- true;
+    o.origin <- origin;
     t.gray <- Whole id :: t.gray
   end
 
@@ -138,7 +142,7 @@ let start_cycle (t : t) : unit =
   t.restarts <- 0;
   let roots = t.roots () in
   t.snapshot <- Oracle.reachable t.heap roots;
-  List.iter (mark_and_gray t) roots;
+  List.iter (mark_and_gray t ~origin:Heap.origin_trace) roots;
   Flight.record Flight.Mark_start ~a:fk_satb ~b:t.cycles
     ~c:(Iset.cardinal t.snapshot);
   Telemetry.emit "gc.cycle.start"
@@ -172,6 +176,7 @@ let on_alloc t (o : Heap.obj) =
   if t.phase = Marking then begin
     (* allocate black: implicitly marked, never examined (§1) *)
     o.marked <- true;
+    o.origin <- Heap.origin_alloc;
     o.born_during_mark <- true;
     t.allocated_during <- t.allocated_during + 1
   end
@@ -186,7 +191,7 @@ let scan_array_chunk (t : t) (id : int) ~(upto : int) : unit =
         let upto = min upto (Array.length es - 1) in
         let visit i =
           match es.(i) with
-          | Value.Ref tgt -> mark_and_gray t tgt
+          | Value.Ref tgt -> mark_and_gray t ~origin:o.origin tgt
           | Value.Null | Value.Int _ -> ()
         in
         (match t.direction with
@@ -221,7 +226,7 @@ let drain (t : t) (budget : int) : int =
     (match t.satb_buffer with
     | id :: rest ->
         t.satb_buffer <- rest;
-        mark_and_gray t id
+        mark_and_gray t ~origin:Heap.origin_log id
     | [] -> ());
     (match t.gray with
     | Whole id :: rest ->
@@ -233,7 +238,7 @@ let drain (t : t) (budget : int) : int =
           | Heap.Ref_array es ->
               scan_array_chunk t id ~upto:(Array.length es - 1)
           | Heap.Fields _ | Heap.Int_array _ ->
-              List.iter (mark_and_gray t) (Heap.out_edges o)
+              List.iter (mark_and_gray t ~origin:o.origin) (Heap.out_edges o)
         end
     | Array_tail { id; upto } :: rest ->
         t.gray <- rest;
@@ -266,7 +271,7 @@ let restart_mark (t : t) : unit =
     Telemetry.incr c_restarts;
     let roots = t.roots () in
     t.snapshot <- Oracle.reachable t.heap roots;
-    List.iter (mark_and_gray t) roots;
+    List.iter (mark_and_gray t ~origin:Heap.origin_trace) roots;
     Telemetry.emit "gc.restart"
       [
         ("collector", Telemetry.Str "satb");
@@ -321,6 +326,7 @@ let finish_cycle (t : t) : cycle_report =
     }
   in
   t.cycles <- t.cycles + 1;
+  t.heap.Heap.gc_cycle <- t.heap.Heap.gc_cycle + 1;
   t.reports <- report :: t.reports;
   t.phase <- Idle;
   Heap.clear_marks t.heap;

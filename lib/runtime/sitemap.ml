@@ -1,0 +1,29 @@
+(** Process-global allocation-site interner.  See sitemap.mli. *)
+
+let names : (string, int) Hashtbl.t = Hashtbl.create 64
+let rev : string array ref = ref (Array.make 64 "")
+let next = ref 0
+
+let intern (s : string) : int =
+  match Hashtbl.find_opt names s with
+  | Some id -> id
+  | None ->
+      let id = !next in
+      if id >= Array.length !rev then begin
+        let bigger = Array.make (2 * Array.length !rev) "" in
+        Array.blit !rev 0 bigger 0 (Array.length !rev);
+        rev := bigger
+      end;
+      !rev.(id) <- s;
+      Hashtbl.add names s id;
+      incr next;
+      id
+
+(* id 0 is reserved for allocations with no program-point provenance
+   (chaos ballast, test scaffolding) so census rows always have a name *)
+let runtime_site = intern "<runtime>"
+
+let name (id : int) : string =
+  if id < 0 || id >= !next then "<unknown>" else !rev.(id)
+
+let count () = !next
